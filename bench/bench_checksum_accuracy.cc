@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Section III-D's error-detection accuracy experiment: inject random
+ * "persistency errors" (values reverting to stale contents because a
+ * cache block never drained, the LP failure mode) into protected
+ * regions and count how many produce the same checksum as the
+ * error-free data.
+ *
+ * Paper finding: Modular and Adler-32 miss fewer than 2e-9 of
+ * injected errors; Parity is cheapest but weakest. We run millions of
+ * randomized trials (zero misses expected, giving an upper bound of
+ * ~1/trials) plus crafted adversarial cases that expose the
+ * structural weaknesses of each code.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "base/rng.hh"
+#include "lp/checksum.hh"
+#include "stats/table.hh"
+
+using namespace lp;
+using namespace lp::core;
+
+namespace
+{
+
+/** Checksum a full region of words. */
+std::uint64_t
+digestOf(ChecksumKind kind, const std::vector<std::uint64_t> &words)
+{
+    ChecksumAcc acc(kind);
+    for (auto w : words)
+        acc.addWord(w);
+    return acc.value();
+}
+
+/**
+ * Random lost-writeback trials: revert an aligned 8-word (one cache
+ * block) run to stale values and test detection.
+ */
+std::uint64_t
+randomTrials(ChecksumKind kind, std::uint64_t trials,
+             std::uint64_t &undetected)
+{
+    const std::size_t region = 512;  // one tmm band's worth of words
+    Rng rng(20180604);
+    std::vector<std::uint64_t> fresh(region);
+    std::vector<std::uint64_t> stale(region);
+    for (std::size_t i = 0; i < region; ++i) {
+        fresh[i] = rng.next64();
+        stale[i] = rng.next64();
+    }
+    const std::uint64_t ref = digestOf(kind, fresh);
+
+    undetected = 0;
+    std::vector<std::uint64_t> work = fresh;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+        const std::size_t blk = rng.below(region / 8) * 8;
+        for (std::size_t i = blk; i < blk + 8; ++i)
+            work[i] = stale[i];
+        if (digestOf(kind, work) == ref)
+            ++undetected;
+        for (std::size_t i = blk; i < blk + 8; ++i)
+            work[i] = fresh[i];
+    }
+    return trials;
+}
+
+const char *
+name(ChecksumKind k)
+{
+    static std::string names[4];
+    const int idx = static_cast<int>(k);
+    names[idx] = checksumKindName(k);
+    return names[idx].c_str();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Section III-D: checksum accuracy under injected "
+                "persistency errors ===\n");
+    std::printf("reproduces: miss probability < 2e-9 for modular and "
+                "Adler-32; parity weaker\n\n");
+
+    const struct
+    {
+        ChecksumKind kind;
+        std::uint64_t trials;
+    } plans[] = {
+        {ChecksumKind::Parity, 400000},
+        {ChecksumKind::Modular, 400000},
+        {ChecksumKind::Adler32, 100000},
+        {ChecksumKind::ModularParity, 200000},
+    };
+
+    stats::Table table({"checksum", "trials", "undetected",
+                        "miss probability bound"});
+    for (const auto &plan : plans) {
+        std::uint64_t undetected = 0;
+        randomTrials(plan.kind, plan.trials, undetected);
+        char bound[32];
+        if (undetected == 0) {
+            std::snprintf(bound, sizeof(bound), "< %.1e",
+                          1.0 / static_cast<double>(plan.trials));
+        } else {
+            std::snprintf(bound, sizeof(bound), "%.1e",
+                          static_cast<double>(undetected) /
+                              static_cast<double>(plan.trials));
+        }
+        table.addRow({name(plan.kind), std::to_string(plan.trials),
+                      std::to_string(undetected), bound});
+    }
+    table.print();
+
+    // Crafted adversarial cases: structural blind spots.
+    std::printf("\nAdversarial cases (detected = the code catches the "
+                "corruption):\n\n");
+    stats::Table adv({"case", "parity", "modular", "adler32",
+                      "modular+parity"});
+
+    auto detect_row = [&adv](const char *label,
+                             const std::vector<std::uint64_t> &a,
+                             const std::vector<std::uint64_t> &b) {
+        std::vector<std::string> row = {label};
+        for (ChecksumKind k :
+             {ChecksumKind::Parity, ChecksumKind::Modular,
+              ChecksumKind::Adler32, ChecksumKind::ModularParity}) {
+            row.push_back(digestOf(k, a) != digestOf(k, b)
+                              ? "detected"
+                              : "MISSED");
+        }
+        adv.addRow(row);
+    };
+
+    // 1. Two values swapped: order-insensitive codes are blind.
+    std::vector<std::uint64_t> orig = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<std::uint64_t> swapped = {1, 6, 3, 4, 5, 2, 7, 8};
+    detect_row("swap two values", orig, swapped);
+
+    // 2. Same bit flipped in two words: parity cancels.
+    std::vector<std::uint64_t> twoflip = orig;
+    twoflip[1] ^= 1ull << 17;
+    twoflip[4] ^= 1ull << 17;
+    detect_row("same bit flipped twice", orig, twoflip);
+
+    // 3. Single word corrupted: everything must catch it.
+    std::vector<std::uint64_t> oneflip = orig;
+    oneflip[3] ^= 1ull << 3;
+    detect_row("single bit flip", orig, oneflip);
+
+    // 4. +k / -k compensation: modular sum cancels (parity usually
+    //    catches; adler catches).
+    std::vector<std::uint64_t> comp = orig;
+    comp[0] += 5;
+    comp[7] -= 5;
+    detect_row("compensating +5/-5", orig, comp);
+
+    adv.print();
+
+    std::printf("\nNote: the paper picks Modular as the default -- "
+                "random persistency errors (lost cache blocks of "
+                "fresh vs. stale doubles) essentially never align "
+                "into the structured cancellations above.\n");
+    return 0;
+}

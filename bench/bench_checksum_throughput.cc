@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Native checksum-update throughput per kind (google-benchmark).
+ * Supports Figure 15(b)'s cost ordering: parity < modular <
+ * modular||parity << Adler-32.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "base/rng.hh"
+#include "lp/checksum.hh"
+
+using namespace lp;
+using namespace lp::core;
+
+namespace
+{
+
+const std::vector<double> &
+inputs()
+{
+    static const std::vector<double> data = [] {
+        Rng rng(31);
+        std::vector<double> v(4096);
+        for (auto &x : v)
+            x = rng.uniform(-1, 1);
+        return v;
+    }();
+    return data;
+}
+
+void
+BM_checksum(benchmark::State &state)
+{
+    const auto kind = static_cast<ChecksumKind>(state.range(0));
+    const auto &data = inputs();
+    for (auto _ : state) {
+        ChecksumAcc acc(kind);
+        for (double v : data)
+            acc.add(v);
+        benchmark::DoNotOptimize(acc.value());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(data.size()));
+    state.SetLabel(checksumKindName(kind));
+}
+
+} // namespace
+
+BENCHMARK(BM_checksum)
+    ->Arg(static_cast<int>(ChecksumKind::Parity))
+    ->Arg(static_cast<int>(ChecksumKind::Modular))
+    ->Arg(static_cast<int>(ChecksumKind::Adler32))
+    ->Arg(static_cast<int>(ChecksumKind::ModularParity))
+    ->Arg(static_cast<int>(ChecksumKind::Crc32));
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Checksum-organization ablation (Section III-D, Figure 7): the
+ * standalone hash table the paper adopts vs. the embedded-columns
+ * layout it rejects. Measures what the paper argues qualitatively:
+ * execution time, NVMM writes, and space overhead, plus a
+ * crash/recovery run under each organization to show both are
+ * *correct* -- the difference is engineering cost.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "kernels/tmm_embedded.hh"
+
+using namespace lp;
+using namespace lp::kernels;
+
+int
+main()
+{
+    bench::banner(
+        "Checksum organization: standalone table vs. embedded "
+        "columns (tmm+LP)",
+        "Fig. 7 / Section III-D -- the paper adopts the standalone "
+        "table: ~bsize x less space, no data-layout change");
+
+    const auto cfg = bench::paperMachine();
+    const auto params = bench::paperParams(KernelId::Tmm);
+    const int stages = params.n / params.bsize;
+
+    const auto base = runScheme(KernelId::Tmm, Scheme::Base, params,
+                                cfg);
+    const auto table = runScheme(KernelId::Tmm, Scheme::Lp, params,
+                                 cfg);
+    const auto emb = runTmmEmbedded(params, cfg);
+
+    const double matrix_bytes =
+        3.0 * params.n * params.n * sizeof(double);
+    const double table_bytes =
+        static_cast<double>(stages) * stages * params.threads *
+        sizeof(std::uint64_t);
+
+    stats::Table t({"organization", "exec time", "NVMM writes",
+                    "space overhead", "verified"});
+    t.addRow({"base (no safety)", "1.000x", "1.000x", "-",
+              base.verified ? "yes" : "NO"});
+    t.addRow({"standalone table (7b)",
+              stats::Table::ratio(
+                  bench::ratio(table.execCycles, base.execCycles)),
+              stats::Table::ratio(
+                  bench::ratio(table.nvmmWrites, base.nvmmWrites)),
+              stats::Table::percent(table_bytes / matrix_bytes, 2),
+              table.verified ? "yes" : "NO"});
+    t.addRow({"embedded columns (7a)",
+              stats::Table::ratio(
+                  bench::ratio(emb.execCycles, base.execCycles)),
+              stats::Table::ratio(
+                  bench::ratio(emb.nvmmWrites, base.nvmmWrites)),
+              stats::Table::percent(
+                  static_cast<double>(emb.embeddedBytes) /
+                  matrix_bytes,
+                  2),
+              emb.verified ? "yes" : "NO"});
+    t.print();
+
+    // Crash/recovery correctness under the embedded organization.
+    const auto stores =
+        static_cast<std::uint64_t>(table.stat("stores"));
+    const auto crash = runTmmEmbedded(params, cfg, stores / 2);
+    std::printf("\nembedded organization, crash at 50%%: crashed=%s, "
+                "bands matched=%d rebuilt=%d, verified=%s\n",
+                crash.crashed ? "yes" : "no", crash.bandsMatched,
+                crash.bandsRebuilt, crash.verified ? "yes" : "NO");
+    std::printf("\n(the paper's argument: same failure-safety, but "
+                "the embedded layout costs %.1fx the standalone "
+                "table's space and a matrix-stride change in every "
+                "kernel touching c)\n",
+                static_cast<double>(crash.embeddedBytes) /
+                    table_bytes);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 13: normalized write amplification (NVMM writes) of Lazy
+ * Persistency vs. EagerRecompute across all five benchmarks.
+ *
+ * Paper shape: LP 0.1%-4.4% extra writes (avg 3%); EagerRecompute
+ * 0.2%-55% (avg 20.6%); the gap is largest for store-coalescing
+ * workloads and smallest for large-footprint ones (Gauss).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace lp;
+using namespace lp::kernels;
+
+int
+main()
+{
+    bench::banner("Figure 13: normalized write amplification",
+                  "Fig. 13 -- LP 0.1-4.4% extra writes (avg 3%); "
+                  "EP 0.2-55% (avg 20.6%)");
+
+    const auto cfg = bench::paperMachine();
+    const KernelId ids[] = {KernelId::Tmm, KernelId::Cholesky,
+                            KernelId::Conv2d, KernelId::Gauss,
+                            KernelId::Fft};
+
+    stats::Table table({"benchmark", "base writes", "LP", "EP",
+                        "LP overhead", "EP overhead"});
+    double lp_gmean = 1.0;
+    double ep_gmean = 1.0;
+    int count = 0;
+    for (KernelId id : ids) {
+        const auto params = bench::paperParams(id);
+        const auto base = runScheme(id, Scheme::Base, params, cfg);
+        const auto lp = runScheme(id, Scheme::Lp, params, cfg);
+        const auto ep = runScheme(id, Scheme::EagerRecompute, params,
+                                  cfg);
+        const double lp_rel = bench::ratio(lp.nvmmWrites,
+                                           base.nvmmWrites);
+        const double ep_rel = bench::ratio(ep.nvmmWrites,
+                                           base.nvmmWrites);
+        lp_gmean *= lp_rel;
+        ep_gmean *= ep_rel;
+        ++count;
+        table.addRow({kernelName(id),
+                      stats::Table::num(base.nvmmWrites, 0),
+                      stats::Table::ratio(lp_rel),
+                      stats::Table::ratio(ep_rel),
+                      stats::Table::percent(lp_rel - 1.0),
+                      stats::Table::percent(ep_rel - 1.0)});
+    }
+    lp_gmean = std::pow(lp_gmean, 1.0 / count);
+    ep_gmean = std::pow(ep_gmean, 1.0 / count);
+    table.addRow({"gmean", "-", stats::Table::ratio(lp_gmean),
+                  stats::Table::ratio(ep_gmean),
+                  stats::Table::percent(lp_gmean - 1.0),
+                  stats::Table::percent(ep_gmean - 1.0)});
+    table.print();
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 14: sensitivity of tmm execution time (a) to NVMM read/write
+ * latency for LP vs. EagerRecompute, and (b) to thread count for LP
+ * vs. base.
+ *
+ * Paper shape: (a) EP's overhead grows with NVMM latency while LP's
+ * relative overhead shrinks; (b) LP scales like base from 1 to 16
+ * threads.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace lp;
+using namespace lp::kernels;
+
+int
+main()
+{
+    bench::banner("Figure 14(a): NVMM latency sensitivity (tmm)",
+                  "Fig. 14(a) -- EP overhead rises with latency; "
+                  "LP overhead stays ~flat or falls");
+
+    const auto params = bench::paperParams(KernelId::Tmm);
+
+    struct Lat
+    {
+        double read;
+        double write;
+    };
+    const Lat lats[] = {{60, 150}, {100, 200}, {150, 300}};
+
+    stats::Table table_a({"(read,write) ns", "LP overhead",
+                          "EP overhead"});
+    for (const Lat &l : lats) {
+        sim::MachineConfig cfg = bench::paperMachine();
+        cfg.nvmmReadNs = l.read;
+        cfg.nvmmWriteNs = l.write;
+        const auto base = runScheme(KernelId::Tmm, Scheme::Base,
+                                    params, cfg);
+        const auto lp = runScheme(KernelId::Tmm, Scheme::Lp, params,
+                                  cfg);
+        const auto ep = runScheme(KernelId::Tmm,
+                                  Scheme::EagerRecompute, params,
+                                  cfg);
+        table_a.addRow({"(" + stats::Table::num(l.read, 0) + "," +
+                            stats::Table::num(l.write, 0) + ")",
+                        stats::Table::percent(
+                            bench::ratio(lp.execCycles,
+                                         base.execCycles) - 1.0),
+                        stats::Table::percent(
+                            bench::ratio(ep.execCycles,
+                                         base.execCycles) - 1.0)});
+    }
+    table_a.print();
+
+    bench::banner("Figure 14(b): thread scaling (tmm)",
+                  "Fig. 14(b) -- LP scales with thread count like "
+                  "base; all values normalized to base @ 1 thread");
+
+    double base1 = 0.0;
+    stats::Table table_b({"threads", "base", "LP", "LP overhead"});
+    for (int threads : {1, 2, 4, 8, 16}) {
+        sim::MachineConfig cfg = bench::paperMachine(threads);
+        const auto p = bench::paperParams(KernelId::Tmm, threads);
+        const auto base = runScheme(KernelId::Tmm, Scheme::Base, p,
+                                    cfg);
+        const auto lp = runScheme(KernelId::Tmm, Scheme::Lp, p, cfg);
+        if (threads == 1)
+            base1 = base.execCycles;
+        table_b.addRow({std::to_string(threads),
+                        stats::Table::ratio(
+                            bench::ratio(base.execCycles, base1)),
+                        stats::Table::ratio(
+                            bench::ratio(lp.execCycles, base1)),
+                        stats::Table::percent(
+                            bench::ratio(lp.execCycles,
+                                         base.execCycles) - 1.0)});
+    }
+    table_b.print();
+    return 0;
+}

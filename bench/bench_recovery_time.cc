@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Recovery-cost ablations (Sections III-C, III-E.1, VI-A):
+ *
+ *  1. Recovery + resume cost after a mid-run crash as a function of
+ *     the cleaner period -- the paper's argument that periodic
+ *     flushing bounds recovery work.
+ *  2. Region-granularity tradeoff: smaller LP regions cost more
+ *     checksum overhead in normal execution but lose less work on a
+ *     crash (Section III-C's granularity discussion).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace lp;
+using namespace lp::kernels;
+
+int
+main()
+{
+    bench::banner("Recovery-time ablations (tmm+LP)",
+                  "Sections III-C / III-E.1 / VI-A -- periodic "
+                  "flushing bounds recovery; granularity trades "
+                  "normal-execution overhead against lost work");
+
+    KernelParams params = bench::paperParams(KernelId::Tmm);
+    params.n = 128;  // keep the many-crash sweep quick
+
+    // Part 1 uses an L2 large enough to hold the whole working set:
+    // with no natural evictions, the periodic cleaner is the *only*
+    // route to durability, which isolates its effect on recovery
+    // (Section III-E.1's "recovery time may be unbounded for a large
+    // cache" motivation).
+    sim::MachineConfig cfg = bench::paperMachine();
+    cfg.l2 = {1024 * 1024, 8, 11};
+
+    // Total stores in a full run, to place the crash mid-run.
+    const auto full = runScheme(KernelId::Tmm, Scheme::Lp, params,
+                                cfg);
+    const auto total =
+        static_cast<std::uint64_t>(full.stat("stores"));
+
+    std::printf("1) Crash at 50%% of the store stream; recovery + "
+                "resume cost vs. cleaner period (1MB L2: nothing "
+                "evicts naturally)\n\n");
+    stats::Table t1({"cleaner period (cycles)", "resume stage (min)",
+                     "regions matched", "repaired",
+                     "recovery+resume Mcycles", "verified"});
+    const Cycles periods[] = {0, 2000000, 500000, 100000, 20000};
+    for (Cycles period : periods) {
+        sim::MachineConfig c = cfg;
+        c.cleanerPeriodCycles = period;
+        const auto out = runLpWithCrash(KernelId::Tmm, params, c,
+                                        total / 2);
+        t1.addRow({period == 0 ? "off" : std::to_string(period),
+                   std::to_string(out.recovery.resumeStage),
+                   std::to_string(out.recovery.matched),
+                   std::to_string(out.recovery.repaired),
+                   stats::Table::num(out.recoveryCycles / 1e6, 2),
+                   out.verified ? "yes" : "NO"});
+    }
+    t1.print();
+
+    std::printf("\n2) Region granularity (tile size): normal-run "
+                "overhead vs. post-crash recovery cost\n\n");
+    const sim::MachineConfig gcfg = bench::paperMachine();
+    stats::Table t2({"bsize", "regions", "LP overhead",
+                     "recovery+resume Mcycles", "verified"});
+    for (int bs : {8, 16, 32}) {
+        KernelParams p = bench::paperParams(KernelId::Tmm);
+        p.bsize = bs;
+        const auto base = runScheme(KernelId::Tmm, Scheme::Base, p,
+                                    gcfg);
+        const auto lp = runScheme(KernelId::Tmm, Scheme::Lp, p, gcfg);
+        const auto stores =
+            static_cast<std::uint64_t>(lp.stat("stores"));
+        const auto crash = runLpWithCrash(KernelId::Tmm, p, gcfg,
+                                          stores / 2);
+        const int bands = p.n / bs;
+        t2.addRow({std::to_string(bs),
+                   std::to_string(bands * bands),
+                   stats::Table::percent(
+                       bench::ratio(lp.execCycles, base.execCycles) -
+                       1.0),
+                   stats::Table::num(crash.recoveryCycles / 1e6, 2),
+                   crash.verified ? "yes" : "NO"});
+    }
+    t2.print();
+    return 0;
+}

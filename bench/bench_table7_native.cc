@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Table VII: Lazy Persistency execution-time overhead on a *real*
+ * machine (no simulator). The same templated kernels run with
+ * NativeEnv, which compiles every persistency hook away; the LP
+ * variant differs from base only by the checksum computation, which
+ * is exactly what the paper measured on its DRAM-based Opteron (LP
+ * needs no special hardware).
+ *
+ * Paper values: TMM 0.8%, Cholesky 1.1%, 2D-conv 0.9%, Gauss 2.1%,
+ * FFT 1.1%, gmean 1.1%.
+ *
+ * Implemented with google-benchmark: each kernel/scheme pair is a
+ * registered benchmark; a capture reporter collects the per-kernel
+ * times and a Table VII-style summary is printed at the end.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/intmath.hh"
+#include "base/rng.hh"
+#include "kernels/cholesky.hh"
+#include "kernels/conv2d.hh"
+#include "kernels/env.hh"
+#include "kernels/fft.hh"
+#include "kernels/gauss.hh"
+#include "kernels/tmm.hh"
+#include "lp/checksum_table.hh"
+#include "lp/runtime.hh"
+#include "pmem/arena.hh"
+#include "stats/table.hh"
+
+using namespace lp;
+using namespace lp::kernels;
+
+namespace
+{
+
+// Note on magnitudes: the paper's machine is a 2011 Opteron 6272
+// whose arithmetic throughput is low relative to its DRAM bandwidth,
+// so the checksum ALU work hides behind memory traffic and Table VII
+// reports ~1% overheads. On a modern core the ALU:bandwidth ratio is
+// an order of magnitude higher and the same checksum arithmetic is
+// visible in the low-arithmetic-intensity kernels (gauss: 1 FMA per
+// protected store; fft: ~3.5 flops). What reproduces is the paper's
+// qualitative claim: LP needs no hardware support and its native
+// cost is exactly the checksum arithmetic -- compute-dense kernels
+// (tmm, cholesky) show paper-level ~1-2% overhead.
+constexpr int tmmN = 256;
+constexpr int bsize = 16;
+constexpr int convN = 1024;
+constexpr int convIters = 2;
+constexpr int gaussN = 1024;
+constexpr int gaussStages = 64;
+constexpr int cholN = 192;
+constexpr int fftN = 1 << 19;
+
+/** Shared native state: one arena holding every kernel's data. */
+struct NativeState
+{
+    NativeState()
+        : arena(256u << 20), table(arena, 1u << 16)
+    {
+        Rng rng(7);
+        auto fill = [&rng](double *p, std::size_t n, double lo,
+                           double hi) {
+            for (std::size_t i = 0; i < n; ++i)
+                p[i] = rng.uniform(lo, hi);
+        };
+
+        tmmA = arena.alloc<double>(std::size_t(tmmN) * tmmN);
+        tmmB = arena.alloc<double>(std::size_t(tmmN) * tmmN);
+        tmmC = arena.alloc<double>(std::size_t(tmmN) * tmmN);
+        fill(tmmA, std::size_t(tmmN) * tmmN, 0, 1);
+        fill(tmmB, std::size_t(tmmN) * tmmN, 0, 1);
+
+        convIn = arena.alloc<double>(std::size_t(convN) * convN);
+        convW = arena.alloc<double>(9);
+        convA = arena.alloc<double>(std::size_t(convN) * convN);
+        convB = arena.alloc<double>(std::size_t(convN) * convN);
+        fill(convIn, std::size_t(convN) * convN, -1, 1);
+        fill(convW, 9, 0, 0.2);
+
+        gaussA = arena.alloc<double>(std::size_t(gaussN) * gaussN);
+        gaussM = arena.alloc<double>(std::size_t(gaussN) * gaussN);
+        fill(gaussA, std::size_t(gaussN) * gaussN, -1, 1);
+        for (int i = 0; i < gaussN; ++i)
+            gaussA[std::size_t(i) * gaussN + i] += gaussN;
+
+        cholA = arena.alloc<double>(std::size_t(cholN) * cholN);
+        cholL = arena.alloc<double>(std::size_t(cholN) * cholN);
+        for (int i = 0; i < cholN; ++i) {
+            for (int j = 0; j <= i; ++j) {
+                const double x = rng.uniform(0, 1);
+                cholA[std::size_t(i) * cholN + j] = x;
+                cholA[std::size_t(j) * cholN + i] = x;
+            }
+            cholA[std::size_t(i) * cholN + i] += cholN;
+        }
+
+        fftInRe = arena.alloc<double>(fftN);
+        fftInIm = arena.alloc<double>(fftN);
+        fftARe = arena.alloc<double>(fftN);
+        fftAIm = arena.alloc<double>(fftN);
+        fftBRe = arena.alloc<double>(fftN);
+        fftBIm = arena.alloc<double>(fftN);
+        fill(fftInRe, fftN, -1, 1);
+        fill(fftInIm, fftN, -1, 1);
+    }
+
+    pmem::PersistentArena arena;
+    core::ChecksumTable table;
+
+    double *tmmA, *tmmB, *tmmC;
+    double *convIn, *convW, *convA, *convB;
+    double *gaussA, *gaussM;
+    double *cholA, *cholL;
+    double *fftInRe, *fftInIm, *fftARe, *fftAIm, *fftBRe, *fftBIm;
+};
+
+NativeState &
+state()
+{
+    static NativeState s;
+    return s;
+}
+
+// --- one full native pass per kernel, base vs. LP -------------------
+
+template <bool kLp>
+void
+runTmm()
+{
+    NativeState &s = state();
+    NativeEnv env;
+    const TmmView v{s.tmmA, s.tmmB, s.tmmC, tmmN, bsize};
+    std::fill(s.tmmC, s.tmmC + std::size_t(tmmN) * tmmN, 0.0);
+    std::size_t key = 0;
+    for (int kk = 0; kk < tmmN; kk += bsize) {
+        for (int ii = 0; ii < tmmN; ii += bsize) {
+            if constexpr (kLp) {
+                core::LpRegion region(s.table,
+                                      core::ChecksumKind::Modular);
+                tmmRegionLp(env, v, kk, ii, region, key++ % 1024);
+            } else {
+                tmmRegionBase(env, v, kk, ii);
+            }
+        }
+    }
+}
+
+template <bool kLp>
+void
+runConv()
+{
+    NativeState &s = state();
+    NativeEnv env;
+    const Conv2dView v{s.convIn, s.convW, s.convA, s.convB, convN,
+                       bsize};
+    std::size_t key = 0;
+    for (int it = 0; it < convIters; ++it) {
+        for (int row = 0; row < convN; row += bsize) {
+            if constexpr (kLp) {
+                core::LpRegion region(s.table,
+                                      core::ChecksumKind::Modular);
+                conv2dBandLp(env, v, it, row, row + bsize, region,
+                             key++ % 1024);
+            } else {
+                conv2dBandBase(env, v, it, row, row + bsize);
+            }
+        }
+    }
+}
+
+template <bool kLp>
+void
+runGauss()
+{
+    NativeState &s = state();
+    NativeEnv env;
+    const GaussView v{s.gaussA, s.gaussM, gaussN, bsize};
+    std::copy(s.gaussA, s.gaussA + std::size_t(gaussN) * gaussN,
+              s.gaussM);
+    std::size_t key = 0;
+    for (int k = 0; k < gaussStages; ++k) {
+        if constexpr (kLp) {
+            // Pivot-final region.
+            core::LpRegion pivot(s.table,
+                                 core::ChecksumKind::Modular);
+            pivot.reset(env);
+            for (int j = 0; j < gaussN; ++j)
+                pivot.update(env,
+                             s.gaussM[std::size_t(k) * gaussN + j]);
+            pivot.commit(env, key++ % 1024);
+        }
+        for (int row = 0; row < gaussN; row += bsize) {
+            if ((row + bsize - 1) <= k)
+                continue;
+            if constexpr (kLp) {
+                core::LpRegion region(s.table,
+                                      core::ChecksumKind::Modular);
+                region.reset(env);
+                gaussBandBody(env, v, k, row, row + bsize, &region);
+                region.commit(env, key++ % 1024);
+            } else {
+                gaussBandBody(env, v, k, row, row + bsize, nullptr);
+            }
+        }
+    }
+}
+
+template <bool kLp>
+void
+runChol()
+{
+    NativeState &s = state();
+    NativeEnv env;
+    const CholView v{s.cholA, s.cholL, cholN, bsize};
+    std::fill(s.cholL, s.cholL + std::size_t(cholN) * cholN, 0.0);
+    std::size_t key = 0;
+    for (int jb = 0; jb < cholN / bsize; ++jb) {
+        for (int rb = jb; rb < cholN / bsize; ++rb) {
+            if constexpr (kLp) {
+                core::LpRegion region(s.table,
+                                      core::ChecksumKind::Modular);
+                region.reset(env);
+                cholBlock(env, v, jb, rb, &region, false);
+                region.commit(env, key++ % 1024);
+            } else {
+                cholBlock(env, v, jb, rb, nullptr, false);
+            }
+        }
+    }
+}
+
+template <bool kLp>
+void
+runFft()
+{
+    NativeState &s = state();
+    NativeEnv env;
+    const FftView v{s.fftInRe, s.fftInIm, s.fftARe, s.fftAIm,
+                    s.fftBRe, s.fftBIm, fftN};
+    const int stages = static_cast<int>(floorLog2(fftN));
+    const std::int64_t half = fftN / 2;
+    const int chunks = 16;
+    std::size_t key = 0;
+    for (int k = 0; k < stages; ++k) {
+        for (int c = 0; c < chunks; ++c) {
+            const std::int64_t u0 = half * c / chunks;
+            const std::int64_t u1 = half * (c + 1) / chunks;
+            if constexpr (kLp) {
+                core::LpRegion region(s.table,
+                                      core::ChecksumKind::Modular);
+                region.reset(env);
+                fftChunk(env, v, k, u0, u1, &region);
+                region.commit(env, key++ % 1024);
+            } else {
+                fftChunk(env, v, k, u0, u1, nullptr);
+            }
+        }
+    }
+}
+
+template <void (*Fn)()>
+void
+BM_native(benchmark::State &bench_state)
+{
+    state();  // force setup outside timing
+    for (auto _ : bench_state) {
+        Fn();
+        benchmark::ClobberMemory();
+    }
+}
+
+
+#define LP_NATIVE_BENCH(fn, name)                                     \
+    BENCHMARK(BM_native<fn>)->Name(name)->Repetitions(7)              \
+        ->ReportAggregatesOnly(false)
+
+LP_NATIVE_BENCH(runTmm<false>, "tmm/base");
+LP_NATIVE_BENCH(runTmm<true>, "tmm/lp");
+LP_NATIVE_BENCH(runChol<false>, "cholesky/base");
+LP_NATIVE_BENCH(runChol<true>, "cholesky/lp");
+LP_NATIVE_BENCH(runConv<false>, "2d-conv/base");
+LP_NATIVE_BENCH(runConv<true>, "2d-conv/lp");
+LP_NATIVE_BENCH(runGauss<false>, "gauss/base");
+LP_NATIVE_BENCH(runGauss<true>, "gauss/lp");
+LP_NATIVE_BENCH(runFft<false>, "fft/base");
+LP_NATIVE_BENCH(runFft<true>, "fft/lp");
+
+/** Console reporter that also captures real times by name. */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    bool
+    ReportContext(const Context &context) override
+    {
+        return benchmark::ConsoleReporter::ReportContext(context);
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred ||
+                run.run_type == Run::RT_Aggregate)
+                continue;
+            // Keep the minimum across repetitions: robust against
+            // scheduling noise on shared machines.
+            std::string name = run.benchmark_name();
+            if (const auto pos = name.find("/repeats:");
+                pos != std::string::npos) {
+                name.resize(pos);
+            }
+            const double t = run.GetAdjustedRealTime();
+            auto it = times.find(name);
+            if (it == times.end() || t < it->second)
+                times[name] = t;
+        }
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::map<std::string, double> times;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("=== Table VII: LP overhead on the real (host) "
+                "machine ===\n");
+    std::printf("reproduces: Table VII -- TMM 0.8%%, Cholesky 1.1%%, "
+                "2D-conv 0.9%%, Gauss 2.1%%, FFT 1.1%%, "
+                "gmean 1.1%%\n\n");
+
+    benchmark::Initialize(&argc, argv);
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    const char *kernels[] = {"tmm", "cholesky", "2d-conv", "gauss",
+                             "fft"};
+    const double paper[] = {0.008, 0.011, 0.009, 0.021, 0.011};
+    stats::Table table({"benchmark", "base (ms)", "LP (ms)",
+                        "LP overhead", "paper"});
+    double gmean = 1.0;
+    int count = 0;
+    for (int i = 0; i < 5; ++i) {
+        const std::string k = kernels[i];
+        const auto base_it = reporter.times.find(k + "/base");
+        const auto lp_it = reporter.times.find(k + "/lp");
+        if (base_it == reporter.times.end() ||
+            lp_it == reporter.times.end())
+            continue;
+        const double rel = lp_it->second / base_it->second;
+        gmean *= rel;
+        ++count;
+        table.addRow({k,
+                      stats::Table::num(base_it->second * 1e-6, 2),
+                      stats::Table::num(lp_it->second * 1e-6, 2),
+                      stats::Table::percent(rel - 1.0),
+                      stats::Table::percent(paper[i])});
+    }
+    if (count > 0) {
+        gmean = std::pow(gmean, 1.0 / count);
+        table.addRow({"gmean", "-", "-",
+                      stats::Table::percent(gmean - 1.0),
+                      stats::Table::percent(0.011)});
+    }
+    std::printf("\n");
+    table.print();
+    benchmark::Shutdown();
+    return 0;
+}

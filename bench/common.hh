@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared configuration for the bench harness.
+ *
+ * The paper simulates 1024-4096-square inputs against a 512KB L2
+ * (Table II); a functional simulator cannot afford those sizes, so
+ * every bench scales the problem and the cache together, preserving
+ * the working-set : LLC ratio that drives all of the paper's effects
+ * (natural eviction rates, flush-induced anti-coalescing, checksum
+ * footprint). EXPERIMENTS.md records the mapping per experiment.
+ */
+
+#ifndef LP_BENCH_COMMON_HH
+#define LP_BENCH_COMMON_HH
+
+#include <string>
+
+#include "kernels/harness.hh"
+#include "kernels/workload.hh"
+#include "sim/config.hh"
+#include "stats/table.hh"
+
+namespace lp::bench
+{
+
+/**
+ * The scaled Table II machine: 8 worker cores, 16KB L1s, 128KB
+ * shared L2, NVMM 150/300ns. The L2 is 1/4 of the paper's so that a
+ * 256-square working set (1.5MB) oversubscribes it by ~12x, in the
+ * spirit of the paper's 24MB working set vs. 512KB L2.
+ */
+inline sim::MachineConfig
+paperMachine(int cores = 8)
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = cores;
+    cfg.l1 = {16 * 1024, 8, 2};
+    cfg.l2 = {128 * 1024, 8, 11};
+    cfg.nvmmReadNs = 150.0;
+    cfg.nvmmWriteNs = 300.0;
+    return cfg;
+}
+
+/** Scaled Table V inputs, tile size 16 as in Table IV. */
+inline kernels::KernelParams
+paperParams(kernels::KernelId id, int threads = 8)
+{
+    kernels::KernelParams p;
+    p.threads = threads;
+    p.bsize = 16;
+    switch (id) {
+      case kernels::KernelId::Fft:
+        p.n = 16384;
+        break;
+      case kernels::KernelId::Conv2d:
+        p.n = 256;
+        p.iterations = 4;
+        break;
+      default:
+        p.n = 256;
+        break;
+    }
+    return p;
+}
+
+/** a / b with a guard against an empty denominator. */
+inline double
+ratio(double a, double b)
+{
+    return b == 0.0 ? 0.0 : a / b;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("reproduces: %s\n\n", paper_ref.c_str());
+}
+
+} // namespace lp::bench
+
+#endif // LP_BENCH_COMMON_HH

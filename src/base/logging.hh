@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error reporting helpers in the gem5 idiom.
+ *
+ * panic()  - an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger or core dump can capture state.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits cleanly.
+ * warn()   - something is modelled approximately; execution continues.
+ * inform() - plain status output.
+ */
+
+#ifndef LP_BASE_LOGGING_HH
+#define LP_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace lp
+{
+
+/** Print a formatted message with a severity prefix to stderr. */
+void logMessage(const char *prefix, const std::string &msg);
+
+/** Report an internal bug and abort. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report an unrecoverable user error and exit(1). */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report a modelling approximation or suspicious condition. */
+void warn(const std::string &msg);
+
+/** Report ordinary status. */
+void inform(const std::string &msg);
+
+/**
+ * Assert a library invariant; calls panic() with location info when the
+ * condition is false. Enabled in all build types: the simulator is a
+ * measurement instrument and silent corruption would invalidate results.
+ */
+#define LP_ASSERT(cond, msg)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::lp::panic(std::string(__FILE__) + ":" +                      \
+                        std::to_string(__LINE__) + ": " + (msg));          \
+        }                                                                  \
+    } while (0)
+
+} // namespace lp
+
+#endif // LP_BASE_LOGGING_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * A xoshiro256** generator with an explicit seed. Used for fault
+ * injection (crash points), checksum accuracy experiments, and
+ * randomized property tests. Determinism matters: every experiment in
+ * EXPERIMENTS.md must be exactly reproducible from its seed.
+ */
+
+#ifndef LP_BASE_RNG_HH
+#define LP_BASE_RNG_HH
+
+#include <cstdint>
+
+namespace lp
+{
+
+/** Deterministic xoshiro256** PRNG. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next 64 uniformly random bits. */
+    std::uint64_t
+    next64()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection-free Lemire reduction is overkill here; modulo bias
+        // is negligible for our bounds (<< 2^32).
+        return next64() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace lp
+
+#endif // LP_BASE_RNG_HH

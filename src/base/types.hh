@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fundamental type aliases and constants shared by every subsystem.
+ *
+ * The simulator models a byte-addressable persistent address space.
+ * Addresses are plain 64-bit offsets into a PersistentArena; they are
+ * never host pointers. Cycle counts are 64-bit and monotonically
+ * increasing per core.
+ */
+
+#ifndef LP_BASE_TYPES_HH
+#define LP_BASE_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace lp
+{
+
+/** A simulated physical address (offset into the persistent space). */
+using Addr = std::uint64_t;
+
+/** A duration or timestamp in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Identifier of a simulated core / software thread (0-based). */
+using CoreId = int;
+
+/** An invalid address sentinel. Address 0 is never allocated. */
+inline constexpr Addr invalidAddr = 0;
+
+/** Cache block (line) size in bytes. Fixed at 64B, as in the paper. */
+inline constexpr unsigned blockBytes = 64;
+
+/** log2 of the block size, for address arithmetic. */
+inline constexpr unsigned blockShift = 6;
+
+static_assert((1u << blockShift) == blockBytes);
+
+/** Round an address down to the containing block boundary. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(blockBytes - 1);
+}
+
+/** Extract the block number of an address. */
+constexpr Addr
+blockNumber(Addr a)
+{
+    return a >> blockShift;
+}
+
+/** Offset of an address within its block. */
+constexpr unsigned
+blockOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (blockBytes - 1));
+}
+
+} // namespace lp
+
+#endif // LP_BASE_TYPES_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Eager Persistency primitives in the Intel PMEM style (Section II-A).
+ *
+ * These helpers wrap the environment's clflushopt/sfence to persist
+ * ranges of memory. clflushopt is weakly ordered, so a range persist
+ * issues all flushes back-to-back and orders them with a single
+ * sfence -- the cheapest correct PMEM idiom, which both Eager baseline
+ * schemes use.
+ */
+
+#ifndef LP_EP_PMEM_OPS_HH
+#define LP_EP_PMEM_OPS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace lp::ep
+{
+
+/**
+ * Issue clflushopt for every cache block overlapping
+ * [@p p, @p p + @p bytes). Does not fence.
+ */
+template <typename Env>
+void
+flushRange(Env &env, const void *p, std::size_t bytes)
+{
+    auto addr = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t first = addr & ~std::uintptr_t(blockBytes - 1);
+    const std::uintptr_t last =
+        (addr + (bytes ? bytes - 1 : 0)) & ~std::uintptr_t(blockBytes - 1);
+    for (std::uintptr_t b = first; b <= last; b += blockBytes)
+        env.clflushopt(reinterpret_cast<const void *>(b));
+}
+
+/** Flush a range and fence: on return the range is durable. */
+template <typename Env>
+void
+persistRange(Env &env, const void *p, std::size_t bytes)
+{
+    flushRange(env, p, bytes);
+    env.sfence();
+}
+
+/** Persist a single object (store must already have executed). */
+template <typename Env, typename T>
+void
+persistObject(Env &env, const T *p)
+{
+    persistRange(env, p, sizeof(T));
+}
+
+} // namespace lp::ep
+
+#endif // LP_EP_PMEM_OPS_HH

@@ -1,0 +1,203 @@
+#include "kernels/cholesky.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "ep/eager_recompute.hh"
+#include "kernels/env.hh"
+
+namespace lp::kernels
+{
+
+CholeskyWorkload::CholeskyWorkload(const KernelParams &params,
+                                   SimContext &c)
+    : p(params), ctx(c)
+{
+    LP_ASSERT(p.n > 0 && p.bsize > 0 && p.n % p.bsize == 0,
+              "n must be a multiple of bsize");
+    LP_ASSERT(p.threads >= 1 &&
+              p.threads <= ctx.machine.config().numCores,
+              "more threads than cores");
+
+    const std::size_t elems = static_cast<std::size_t>(p.n) * p.n;
+    double *a = ctx.arena.alloc<double>(elems);
+    double *l = ctx.arena.alloc<double>(elems);
+    v = CholView{a, l, p.n, p.bsize};
+
+    // Symmetric, diagonally dominant => positive definite.
+    Rng rng(p.seed);
+    for (int i = 0; i < p.n; ++i) {
+        for (int j = 0; j <= i; ++j) {
+            const double x = rng.uniform(0.0, 1.0);
+            a[static_cast<std::size_t>(i) * p.n + j] = x;
+            a[static_cast<std::size_t>(j) * p.n + i] = x;
+        }
+        a[static_cast<std::size_t>(i) * p.n + i] += p.n;
+    }
+    std::fill(l, l + elems, 0.0);
+
+    // Golden: plain host Cholesky (lower).
+    golden.assign(a, a + elems);
+    for (int j = 0; j < p.n; ++j) {
+        double d = golden[static_cast<std::size_t>(j) * p.n + j];
+        for (int t = 0; t < j; ++t) {
+            const double x = golden[static_cast<std::size_t>(j) * p.n +
+                                    t];
+            d -= x * x;
+        }
+        const double diag = std::sqrt(d);
+        golden[static_cast<std::size_t>(j) * p.n + j] = diag;
+        for (int i = j + 1; i < p.n; ++i) {
+            double x = golden[static_cast<std::size_t>(i) * p.n + j];
+            for (int t = 0; t < j; ++t) {
+                x -= golden[static_cast<std::size_t>(i) * p.n + t] *
+                     golden[static_cast<std::size_t>(j) * p.n + t];
+            }
+            golden[static_cast<std::size_t>(i) * p.n + j] = x / diag;
+        }
+    }
+    // Zero the upper triangle of the golden factor to match l.
+    for (int i = 0; i < p.n; ++i)
+        for (int j = i + 1; j < p.n; ++j)
+            golden[static_cast<std::size_t>(i) * p.n + j] = 0.0;
+
+    // Key layout: stage jb owns a contiguous range of
+    // regionsInStage(jb) entries.
+    stageKeyBase.resize(numStages() + 1);
+    stageKeyBase[0] = 0;
+    for (int jb = 0; jb < numStages(); ++jb)
+        stageKeyBase[jb + 1] = stageKeyBase[jb] + regionsInStage(jb);
+    table_ = std::make_unique<core::ChecksumTable>(
+        ctx.arena, stageKeyBase[numStages()]);
+    markers = std::make_unique<ep::ProgressMarkers>(ctx.arena,
+                                                    p.threads);
+    ctx.arena.persistAll();
+}
+
+void
+CholeskyWorkload::runRegion(SimEnv &env, Scheme scheme, int jb, int r)
+{
+    switch (scheme) {
+      case Scheme::Base:
+        cholBlock(env, v, jb, jb + r, nullptr, /*eager=*/false);
+        break;
+      case Scheme::Lp: {
+          core::LpRegion region(*table_, p.checksum);
+          region.reset(env);
+          cholBlock(env, v, jb, jb + r, &region, /*eager=*/false);
+          region.commit(env, key(jb, r));
+          break;
+      }
+      case Scheme::EagerRecompute: {
+          cholBlock(env, v, jb, jb + r, nullptr, /*eager=*/true);
+          // Marker value: the region's global key (monotonic per
+          // thread under the round-robin assignment).
+          std::uint64_t *m = markers->slot(env.core());
+          env.st(m, static_cast<std::uint64_t>(key(jb, r)));
+          env.clflushopt(m);
+          env.sfence();
+          env.onRegionCommit();
+          break;
+      }
+      case Scheme::Wal:
+        fatal("WAL is only implemented for tmm (Table IV)");
+    }
+}
+
+std::size_t
+CholeskyWorkload::key(int jb, int r) const
+{
+    return stageKeyBase[jb] + static_cast<std::size_t>(r);
+}
+
+std::size_t
+CholeskyWorkload::numRegions() const
+{
+    return stageKeyBase[numStages()];
+}
+
+void
+CholeskyWorkload::runStages(Scheme scheme, int from_stage)
+{
+    for (int jb = from_stage; jb < numStages(); ++jb) {
+        // Region 0: the diagonal block must finish before the panel.
+        const int diag_thread = jb % p.threads;
+        ctx.sched.add(diag_thread, [this, scheme, jb, diag_thread] {
+            SimEnv env(ctx.machine, ctx.arena, diag_thread,
+                       &ctx.crash);
+            runRegion(env, scheme, jb, 0);
+        });
+        ctx.sched.barrier();
+
+        for (int r = 1; r < regionsInStage(jb); ++r) {
+            const int t = r % p.threads;
+            ctx.sched.add(t, [this, scheme, jb, r, t] {
+                SimEnv env(ctx.machine, ctx.arena, t, &ctx.crash);
+                runRegion(env, scheme, jb, r);
+            });
+        }
+        ctx.sched.barrier();
+    }
+}
+
+void
+CholeskyWorkload::run(Scheme scheme)
+{
+    runStages(scheme, 0);
+}
+
+core::RecoveryResult
+CholeskyWorkload::recoverAndResume()
+{
+    SimEnv env(ctx.machine, ctx.arena, 0, &ctx.crash);
+
+    core::RecoveryCallbacks cb;
+    cb.numStages = numStages();
+    cb.regionsInStage = [this](int jb) { return regionsInStage(jb); };
+    cb.matches = [this, &env](int jb, int r) {
+        if (table_->neverCommitted(key(jb, r)))
+            return false;
+        return cholBlockChecksum(env, v, jb, jb + r, p.checksum) ==
+               table_->stored(key(jb, r));
+    };
+    cb.repair = [this, &env](int jb, int r) {
+        core::LpRegion region(*table_, p.checksum);
+        region.reset(env);
+        cholBlock(env, v, jb, jb + r, &region, /*eager=*/true);
+        region.commitEager(env, key(jb, r));
+    };
+    core::RecoveryResult res =
+        core::recover(cb, core::ResumePolicy::ValidateAllUpTo);
+
+    for (int jb = res.resumeStage; jb < numStages(); ++jb) {
+        for (int r = 0; r < regionsInStage(jb); ++r) {
+            std::uint64_t *e = table_->entry(key(jb, r));
+            env.st(e, core::invalidDigest);
+            env.clflushopt(e);
+        }
+    }
+    env.sfence();
+
+    runStages(Scheme::Lp, res.resumeStage);
+    return res;
+}
+
+bool
+CholeskyWorkload::verify(double tol) const
+{
+    return maxAbsError() <= tol;
+}
+
+double
+CholeskyWorkload::maxAbsError() const
+{
+    double worst = 0.0;
+    const std::size_t elems = static_cast<std::size_t>(p.n) * p.n;
+    for (std::size_t i = 0; i < elems; ++i)
+        worst = std::max(worst, std::fabs(v.l[i] - golden[i]));
+    return worst;
+}
+
+} // namespace lp::kernels

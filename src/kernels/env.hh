@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Memory environments: the one abstraction kernels are written
+ * against.
+ *
+ * Every kernel loop body is a template over an Env. Two environments
+ * exist:
+ *
+ *  - SimEnv routes every load/store/flush/fence and an instruction
+ *    budget through the simulated Machine, operating on data in a
+ *    PersistentArena, and fires the CrashController hooks. This is
+ *    the gem5-substitute used for all simulator experiments.
+ *
+ *  - NativeEnv compiles to raw loads/stores with every hook a no-op,
+ *    so the identical kernel code runs at full native speed for the
+ *    real-machine overhead experiment (Table VII).
+ *
+ * Both are final concrete types: kernels instantiate per-Env, so the
+ * abstraction costs nothing at runtime.
+ */
+
+#ifndef LP_KERNELS_ENV_HH
+#define LP_KERNELS_ENV_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "pmem/arena.hh"
+#include "pmem/crash.hh"
+#include "sim/machine.hh"
+
+namespace lp::kernels
+{
+
+/** Instrumented environment: all traffic goes through the Machine. */
+class SimEnv
+{
+  public:
+    /**
+     * @param machine the simulated machine
+     * @param arena   the persistent arena holding all kernel data
+     * @param core    which core (= software thread) this env drives
+     * @param crash   optional crash injector (may be nullptr)
+     */
+    SimEnv(sim::Machine &machine, pmem::PersistentArena &arena,
+           CoreId core, pmem::CrashController *crash = nullptr)
+        : m(&machine), a(&arena), core_(core), crash(crash)
+    {
+    }
+
+    static constexpr bool simulated = true;
+
+    /** Load a T through the cache hierarchy. */
+    template <typename T>
+    T
+    ld(const T *p)
+    {
+        m->read(core_, a->addrOf(p), sizeof(T));
+        return *p;
+    }
+
+    /** Store a T through the cache hierarchy. */
+    template <typename T>
+    void
+    st(T *p, T v)
+    {
+        *p = v;
+        m->write(core_, a->addrOf(p), sizeof(T));
+        if (crash)
+            crash->onStore();
+    }
+
+    /** Account @p n non-memory instructions. */
+    void tick(std::uint64_t n) { m->tick(core_, n); }
+
+    void
+    clflushopt(const void *p)
+    {
+        m->clflushopt(core_, a->addrOf(p));
+    }
+
+    void
+    clwb(const void *p)
+    {
+        m->clwb(core_, a->addrOf(p));
+    }
+
+    void sfence() { m->sfence(core_); }
+
+    /** Region-commit hook for region-count crash triggers. */
+    void
+    onRegionCommit()
+    {
+        if (crash)
+            crash->onRegionCommit();
+    }
+
+    CoreId core() const { return core_; }
+    sim::Machine &machine() { return *m; }
+    pmem::PersistentArena &arena() { return *a; }
+
+  private:
+    sim::Machine *m;
+    pmem::PersistentArena *a;
+    CoreId core_;
+    pmem::CrashController *crash;
+};
+
+/** Native environment: raw memory, every persistency hook a no-op. */
+class NativeEnv
+{
+  public:
+    static constexpr bool simulated = false;
+
+    template <typename T>
+    T
+    ld(const T *p)
+    {
+        return *p;
+    }
+
+    template <typename T>
+    void
+    st(T *p, T v)
+    {
+        *p = v;
+    }
+
+    void tick(std::uint64_t) {}
+    void clflushopt(const void *) {}
+    void clwb(const void *) {}
+    void sfence() {}
+    void onRegionCommit() {}
+    CoreId core() const { return 0; }
+};
+
+} // namespace lp::kernels
+
+#endif // LP_KERNELS_ENV_HH

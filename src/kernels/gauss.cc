@@ -1,0 +1,306 @@
+#include "kernels/gauss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "kernels/env.hh"
+
+namespace lp::kernels
+{
+
+GaussWorkload::GaussWorkload(const KernelParams &params, SimContext &c)
+    : p(params), ctx(c)
+{
+    LP_ASSERT(p.n >= 2 && p.bsize > 0 && p.n % p.bsize == 0,
+              "n must be a multiple of bsize");
+    LP_ASSERT(p.threads >= 1 &&
+              p.threads <= ctx.machine.config().numCores,
+              "more threads than cores");
+
+    const std::size_t elems = static_cast<std::size_t>(p.n) * p.n;
+    double *a = ctx.arena.alloc<double>(elems);
+    double *m = ctx.arena.alloc<double>(elems);
+    v = GaussView{a, m, p.n, p.bsize};
+
+    // Diagonally dominant so elimination needs no pivoting.
+    Rng rng(p.seed);
+    for (int i = 0; i < p.n; ++i) {
+        for (int j = 0; j < p.n; ++j) {
+            a[static_cast<std::size_t>(i) * p.n + j] =
+                rng.uniform(-1.0, 1.0);
+        }
+        a[static_cast<std::size_t>(i) * p.n + i] += p.n;
+    }
+    std::copy(a, a + elems, m);
+
+    // Golden: the same in-place elimination on the host.
+    golden.assign(a, a + elems);
+    for (int k = 0; k < p.n - 1; ++k) {
+        const double piv = golden[static_cast<std::size_t>(k) * p.n +
+                                  k];
+        for (int i = k + 1; i < p.n; ++i) {
+            const double mult =
+                golden[static_cast<std::size_t>(i) * p.n + k] / piv;
+            golden[static_cast<std::size_t>(i) * p.n + k] = mult;
+            for (int j = k + 1; j < p.n; ++j) {
+                golden[static_cast<std::size_t>(i) * p.n + j] -=
+                    mult *
+                    golden[static_cast<std::size_t>(k) * p.n + j];
+            }
+        }
+    }
+
+    table_ = std::make_unique<core::ChecksumTable>(
+        ctx.arena,
+        static_cast<std::size_t>(numStages()) * numBands() +
+            numStages());
+    markers = std::make_unique<ep::ProgressMarkers>(ctx.arena,
+                                                    p.threads);
+    ctx.arena.persistAll();
+}
+
+std::size_t
+GaussWorkload::numRegions() const
+{
+    std::size_t n_regions = numStages();  // pivot-final regions
+    for (int k = 0; k < numStages(); ++k)
+        for (int band = 0; band < numBands(); ++band)
+            if (bandActive(k, band))
+                ++n_regions;
+    return n_regions;
+}
+
+void
+GaussWorkload::runStages(Scheme scheme, int from_stage)
+{
+    for (int k = from_stage; k < numStages(); ++k) {
+        // Pivot-final region: checksum the now-final row k.
+        if (scheme == Scheme::Lp) {
+            const int pt = k % p.threads;
+            ctx.sched.add(pt, [this, k, pt] {
+                SimEnv env(ctx.machine, ctx.arena, pt, &ctx.crash);
+                core::LpRegion region(*table_, p.checksum);
+                region.reset(env);
+                for (int j = 0; j < p.n; ++j) {
+                    region.update(
+                        env,
+                        env.ld(&v.m[static_cast<std::size_t>(k) *
+                                    p.n + j]));
+                }
+                region.commit(env, pivotKey(k));
+            });
+        }
+        for (int band = 0; band < numBands(); ++band) {
+            if (!bandActive(k, band))
+                continue;
+            const int t = band % p.threads;
+            ctx.sched.add(t, [this, scheme, k, band, t] {
+                SimEnv env(ctx.machine, ctx.arena, t, &ctx.crash);
+                const int row0 = band * p.bsize;
+                const int row1 = row0 + p.bsize;
+                switch (scheme) {
+                  case Scheme::Base:
+                    gaussBandBody(env, v, k, row0, row1, nullptr);
+                    break;
+                  case Scheme::Lp: {
+                      core::LpRegion region(*table_, p.checksum);
+                      region.reset(env);
+                      gaussBandBody(env, v, k, row0, row1, &region);
+                      region.commit(env, bandKey(k, band));
+                      break;
+                  }
+                  case Scheme::EagerRecompute: {
+                      gaussBandBody(env, v, k, row0, row1, nullptr);
+                      for (int i = std::max(row0, k + 1); i < row1;
+                           ++i) {
+                          ep::flushRange(
+                              env,
+                              &v.m[static_cast<std::size_t>(i) * p.n +
+                                   k],
+                              static_cast<std::size_t>(p.n - k) *
+                                  sizeof(double));
+                      }
+                      env.sfence();
+                      std::uint64_t *mk = markers->slot(t);
+                      env.st(mk, static_cast<std::uint64_t>(
+                                     bandKey(k, band)));
+                      env.clflushopt(mk);
+                      env.sfence();
+                      env.onRegionCommit();
+                      break;
+                  }
+                  case Scheme::Wal:
+                    fatal("WAL is only implemented for tmm "
+                          "(Table IV)");
+                }
+            });
+        }
+        ctx.sched.barrier();
+    }
+}
+
+void
+GaussWorkload::run(Scheme scheme)
+{
+    runStages(scheme, 0);
+}
+
+void
+GaussWorkload::rebuildRowEager(SimEnv &env, int i, int through)
+{
+    // Replay row i from the immutable input through stage
+    // min(through, i) - 1, reading pivot rows from the (already
+    // validated or rebuilt) working matrix.
+    const int n = p.n;
+    std::vector<double> row(n);
+    for (int j = 0; j < n; ++j)
+        row[j] = env.ld(&v.a[static_cast<std::size_t>(i) * n + j]);
+    const int last = std::min(through, i);
+    for (int s = 0; s < last; ++s) {
+        const double piv =
+            env.ld(&v.m[static_cast<std::size_t>(s) * n + s]);
+        const double mult = row[s] / piv;
+        row[s] = mult;
+        env.tick(6);
+        for (int j = s + 1; j < n; ++j) {
+            row[j] -= mult *
+                      env.ld(&v.m[static_cast<std::size_t>(s) * n +
+                                  j]);
+            env.tick(2);
+        }
+    }
+    for (int j = 0; j < n; ++j)
+        env.st(&v.m[static_cast<std::size_t>(i) * n + j], row[j]);
+    ep::flushRange(env, &v.m[static_cast<std::size_t>(i) * n],
+                   static_cast<std::size_t>(n) * sizeof(double));
+    env.sfence();
+}
+
+void
+GaussWorkload::advanceRowsEager(SimEnv &env, int row0, int row1,
+                                int s0, int s1)
+{
+    for (int s = s0; s < s1; ++s)
+        gaussBandBody(env, v, s, row0, row1, nullptr);
+    for (int i = row0; i < row1; ++i) {
+        ep::flushRange(env, &v.m[static_cast<std::size_t>(i) * p.n],
+                       static_cast<std::size_t>(p.n) * sizeof(double));
+    }
+    env.sfence();
+}
+
+core::RecoveryResult
+GaussWorkload::recoverAndResume()
+{
+    SimEnv env(ctx.machine, ctx.arena, 0, &ctx.crash);
+    core::RecoveryResult res;
+    const int B = numBands();
+    const int S = numStages();
+
+    // 1. Per-band newest-match scan over the in-place band digests.
+    std::vector<int> found(B, -1);
+    for (int band = 0; band < B; ++band) {
+        const int row0 = band * p.bsize;
+        const int row1 = row0 + p.bsize;
+        for (int k = S - 1; k >= 0; --k) {
+            if (!bandActive(k, band))
+                continue;
+            ++res.checked;
+            if (table_->neverCommitted(bandKey(k, band)))
+                continue;
+            if (gaussBandChecksum(env, v, k, row0, row1, p.checksum) ==
+                table_->stored(bandKey(k, band))) {
+                found[band] = k;
+                break;
+            }
+        }
+    }
+    int resume = 0;
+    for (int band = 0; band < B; ++band)
+        resume = std::max(resume, found[band] + 1);
+    res.resumeStage = resume;
+
+    // 2a. Validate or rebuild finalized pivot rows, ascending, so a
+    // rebuilt row feeds the rebuilds of later rows.
+    for (int k = 0; k < resume; ++k) {
+        ++res.checked;
+        const bool ok =
+            !table_->neverCommitted(pivotKey(k)) &&
+            gaussRowChecksum(env, v, k, p.checksum) ==
+                table_->stored(pivotKey(k));
+        if (ok) {
+            ++res.matched;
+            continue;
+        }
+        rebuildRowEager(env, k, k);
+        core::LpRegion region(*table_, p.checksum);
+        region.reset(env);
+        for (int j = 0; j < p.n; ++j) {
+            region.update(env,
+                          env.ld(&v.m[static_cast<std::size_t>(k) *
+                                      p.n + j]));
+        }
+        region.commitEager(env, pivotKey(k));
+        ++res.repaired;
+    }
+
+    // 2b. Bring every band's non-finalized rows (index >= resume) to
+    // the post-(resume-1) state.
+    for (int band = 0; band < B; ++band) {
+        const int lo = std::max(band * p.bsize, resume);
+        const int hi = (band + 1) * p.bsize;
+        if (lo >= hi)
+            continue;
+        if (found[band] == resume - 1) {
+            ++res.matched;
+        } else if (found[band] >= 0) {
+            advanceRowsEager(env, lo, hi, found[band] + 1, resume);
+            ++res.repaired;
+        } else {
+            for (int i = lo; i < hi; ++i)
+                rebuildRowEager(env, i, resume);
+            ++res.repaired;
+        }
+    }
+
+    // 2c. Drop digests that are stale or about to be re-created.
+    for (int band = 0; band < B; ++band) {
+        for (int k = found[band] + 1; k < S; ++k) {
+            if (!bandActive(k, band))
+                continue;
+            std::uint64_t *e = table_->entry(bandKey(k, band));
+            env.st(e, core::invalidDigest);
+            env.clflushopt(e);
+        }
+    }
+    for (int k = resume; k < S; ++k) {
+        std::uint64_t *e = table_->entry(pivotKey(k));
+        env.st(e, core::invalidDigest);
+        env.clflushopt(e);
+    }
+    env.sfence();
+
+    // 3. Resume normal (lazy) execution.
+    runStages(Scheme::Lp, resume);
+    return res;
+}
+
+bool
+GaussWorkload::verify(double tol) const
+{
+    return maxAbsError() <= tol;
+}
+
+double
+GaussWorkload::maxAbsError() const
+{
+    double worst = 0.0;
+    const std::size_t elems = static_cast<std::size_t>(p.n) * p.n;
+    for (std::size_t i = 0; i < elems; ++i)
+        worst = std::max(worst, std::fabs(v.m[i] - golden[i]));
+    return worst;
+}
+
+} // namespace lp::kernels

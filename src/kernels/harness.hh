@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Experiment harness: one-call entry points used by tests, benches,
+ * and examples to run a kernel under a scheme, optionally with
+ * injected crashes, and collect machine measurements.
+ */
+
+#ifndef LP_KERNELS_HARNESS_HH
+#define LP_KERNELS_HARNESS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lp/recovery.hh"
+#include "kernels/workload.hh"
+#include "sim/config.hh"
+#include "stats/stats.hh"
+
+namespace lp::kernels
+{
+
+/** Measurements of one complete run. */
+struct RunOutcome
+{
+    /** Machine counters accumulated over the run. */
+    stats::Snapshot stats;
+
+    /** Execution time of the run in core cycles. */
+    double execCycles = 0.0;
+
+    /** NVMM writes during the run (all causes). */
+    double nvmmWrites = 0.0;
+
+    /** Result correctness vs. the golden host computation. */
+    bool verified = false;
+    double maxAbsError = 0.0;
+
+    /** Convenience accessor with a 0.0 default. */
+    double
+    stat(const std::string &name) const
+    {
+        auto it = stats.find(name);
+        return it == stats.end() ? 0.0 : it->second;
+    }
+};
+
+/** Run @p kernel to completion under @p scheme and measure it. */
+RunOutcome runScheme(KernelId kernel, Scheme scheme,
+                     const KernelParams &params,
+                     const sim::MachineConfig &cfg);
+
+/**
+ * Windowed tmm measurement matching the paper's methodology
+ * (Section V-C: warm up, then simulate two kk iterations): run
+ * @p warm_stages stages, reset statistics, measure @p window_stages
+ * stages. Only tmm supports windowing; verification is not
+ * meaningful for a partial run, so `verified` reports whether the
+ * executed prefix is internally consistent (always true here).
+ */
+RunOutcome runTmmWindow(Scheme scheme, const KernelParams &params,
+                        const sim::MachineConfig &cfg,
+                        int warm_stages, int window_stages);
+
+/** Result of a crash-inject / recover / resume experiment. */
+struct CrashOutcome
+{
+    /** Whether the armed crash actually fired. */
+    bool crashed = false;
+
+    /** What recovery reported (last recovery if several crashes). */
+    core::RecoveryResult recovery;
+
+    /** Number of injected crashes that fired. */
+    int crashes = 0;
+
+    /** Final result correctness. */
+    bool verified = false;
+    double maxAbsError = 0.0;
+
+    /** Core-0 cycles spent inside recovery (checks + repairs). */
+    double recoveryCycles = 0.0;
+};
+
+/**
+ * Run the LP variant of @p kernel, injecting a crash after
+ * @p crash_after_stores persistent stores; then restore the durable
+ * image, recover, resume, and verify. If the store budget exceeds the
+ * run's stores, the run simply completes (crashed = false).
+ */
+CrashOutcome runLpWithCrash(KernelId kernel, const KernelParams &params,
+                            const sim::MachineConfig &cfg,
+                            std::uint64_t crash_after_stores);
+
+/**
+ * Like runLpWithCrash but injects a *sequence* of crashes: entry i of
+ * @p crash_points arms a crash that many stores after the previous
+ * resume (so later crashes can hit recovery or resumed execution).
+ */
+CrashOutcome runLpWithCrashes(KernelId kernel,
+                              const KernelParams &params,
+                              const sim::MachineConfig &cfg,
+                              const std::vector<std::uint64_t> &
+                                  crash_points);
+
+} // namespace lp::kernels
+
+#endif // LP_KERNELS_HARNESS_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The *embedded* checksum organization of Figure 7(a): checksums are
+ * stored in extra columns appended to the output matrix itself,
+ * instead of a standalone table (Figure 7(b), the library default).
+ *
+ * The paper considers this design and rejects it: the space overhead
+ * is N^2*P/bsize (one full column per kk stage) vs. the table's
+ * N^2*P/bsize^2 entries, the data layout changes (row stride grows,
+ * upsetting alignment and compiler assumptions), and programming
+ * complexity rises. This module implements it faithfully so the
+ * tradeoff can be *measured* (bench_embedded_checksums) and its
+ * recovery tested: digests initialize to the NaN bit pattern, the
+ * paper's suggested "never a real value" sentinel (Section IV).
+ *
+ * The output matrix is allocated with row stride n + numStages; the
+ * digest of region (band, kk) lives at row band*bsize, column
+ * n + kkIdx, as a bit-cast double.
+ */
+
+#ifndef LP_KERNELS_TMM_EMBEDDED_HH
+#define LP_KERNELS_TMM_EMBEDDED_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "lp/checksum.hh"
+#include "kernels/workload.hh"
+
+namespace lp::kernels
+{
+
+/** Views over the stride-extended matrices of the embedded layout. */
+struct TmmEmbView
+{
+    const double *a;
+    const double *b;
+    double *c;        ///< n rows x stride columns
+    int n;
+    int bsize;
+    int stride;       ///< n + numStages
+};
+
+/** Digest cell of region (band, stage). */
+inline double *
+embDigestCell(const TmmEmbView &v, int band, int stage)
+{
+    return &v.c[static_cast<std::size_t>(band) * v.bsize * v.stride +
+                v.n + stage];
+}
+
+/** One LP region with the embedded organization. */
+template <typename Env>
+void
+tmmEmbRegionLp(Env &env, const TmmEmbView &v, int stage, int band,
+               core::ChecksumKind kind)
+{
+    const int n = v.n;
+    const int b = v.bsize;
+    const int kk = stage * b;
+    const int ii = band * b;
+    core::ChecksumAcc acc(kind);
+    const std::uint64_t cost = core::ChecksumAcc::updateCost(kind);
+    for (int jj = 0; jj < n; jj += b) {
+        for (int i = ii; i < ii + b; ++i) {
+            for (int j = jj; j < jj + b; ++j) {
+                double sum =
+                    env.ld(&v.c[static_cast<std::size_t>(i) *
+                                v.stride + j]);
+                for (int k = kk; k < kk + b; ++k) {
+                    sum += env.ld(&v.a[static_cast<std::size_t>(i) *
+                                       n + k]) *
+                           env.ld(&v.b[static_cast<std::size_t>(k) *
+                                       n + j]);
+                }
+                env.tick(2 * b + 4);
+                env.st(&v.c[static_cast<std::size_t>(i) * v.stride +
+                            j],
+                       sum);
+                acc.add(sum);
+                env.tick(cost);
+            }
+        }
+    }
+    env.st(embDigestCell(const_cast<TmmEmbView &>(v), band, stage),
+           std::bit_cast<double>(acc.value()));
+    env.onRegionCommit();
+}
+
+/** Current checksum of a band (region traversal order). */
+template <typename Env>
+std::uint64_t
+tmmEmbBandChecksum(Env &env, const TmmEmbView &v, int band,
+                   core::ChecksumKind kind)
+{
+    const int n = v.n;
+    const int b = v.bsize;
+    const int ii = band * b;
+    core::ChecksumAcc acc(kind);
+    const std::uint64_t cost = core::ChecksumAcc::updateCost(kind);
+    for (int jj = 0; jj < n; jj += b) {
+        for (int i = ii; i < ii + b; ++i) {
+            for (int j = jj; j < jj + b; ++j) {
+                acc.add(env.ld(&v.c[static_cast<std::size_t>(i) *
+                                    v.stride + j]));
+                env.tick(cost);
+            }
+        }
+    }
+    return acc.value();
+}
+
+/** Outcome of one embedded-organization run. */
+struct TmmEmbeddedOutcome
+{
+    double execCycles = 0.0;
+    double nvmmWrites = 0.0;
+    bool verified = false;
+    double maxAbsError = 0.0;
+
+    /** Extra persistent bytes the embedding added to the matrix. */
+    std::size_t embeddedBytes = 0;
+
+    /** Whether the injected crash fired (crash runs only). */
+    bool crashed = false;
+
+    /** Bands recovered by checksum match / by recomputation. */
+    int bandsMatched = 0;
+    int bandsRebuilt = 0;
+};
+
+/**
+ * Run tmm+LP with embedded checksums on a fresh simulated machine;
+ * when @p crash_after_stores is nonzero, inject a crash, recover
+ * (per-band Figure 9, reading digests from the matrix columns),
+ * resume, and verify.
+ */
+TmmEmbeddedOutcome runTmmEmbedded(const KernelParams &params,
+                                  const sim::MachineConfig &cfg,
+                                  std::uint64_t crash_after_stores = 0);
+
+} // namespace lp::kernels
+
+#endif // LP_KERNELS_TMM_EMBEDDED_HH

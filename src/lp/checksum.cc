@@ -1,0 +1,37 @@
+#include "lp/checksum.hh"
+
+#include <array>
+
+namespace lp::core
+{
+
+std::string
+checksumKindName(ChecksumKind kind)
+{
+    switch (kind) {
+      case ChecksumKind::Parity:        return "parity";
+      case ChecksumKind::Modular:       return "modular";
+      case ChecksumKind::Adler32:       return "adler32";
+      case ChecksumKind::ModularParity: return "modular+parity";
+      case ChecksumKind::Crc32:         return "crc32";
+    }
+    return "unknown";
+}
+
+std::uint32_t
+crc32Byte(std::uint32_t crc, std::uint8_t byte)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+}
+
+} // namespace lp::core

@@ -1,0 +1,21 @@
+#include "lp/checksum_table.hh"
+
+namespace lp::core
+{
+
+ChecksumTable::ChecksumTable(pmem::PersistentArena &arena,
+                             std::size_t num_entries)
+    : entries(arena.alloc<std::uint64_t>(num_entries)),
+      count(num_entries)
+{
+    clear();
+}
+
+void
+ChecksumTable::clear()
+{
+    for (std::size_t i = 0; i < count; ++i)
+        entries[i] = invalidDigest;
+}
+
+} // namespace lp::core

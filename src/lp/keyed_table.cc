@@ -1,0 +1,91 @@
+#include "lp/keyed_table.hh"
+
+#include <bit>
+
+#include "base/intmath.hh"
+
+namespace lp::core
+{
+
+KeyedChecksumTable::KeyedChecksumTable(pmem::PersistentArena &arena,
+                                       std::size_t num_slots)
+{
+    slots = std::bit_ceil(num_slots < 2 ? 2 : num_slots);
+    data = arena.alloc<Slot>(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+        data[i].key = emptyKey;
+        data[i].digest = invalidDigest;
+    }
+}
+
+std::size_t
+KeyedChecksumTable::occupancy() const
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < slots; ++i)
+        if (data[i].key != emptyKey)
+            ++n;
+    return n;
+}
+
+std::size_t
+KeyedChecksumTable::claimSlot(std::uint64_t key)
+{
+    LP_ASSERT(key != emptyKey, "reserved key");
+    std::size_t i = bucketOf(key);
+    for (std::size_t probes = 0; probes < slots; ++probes) {
+        if (data[i].key == key)
+            return i;
+        if (data[i].key == emptyKey) {
+            data[i].key = key;
+            return i;
+        }
+        i = (i + 1) & (slots - 1);
+    }
+    fatal("KeyedChecksumTable full: " + std::to_string(slots) +
+          " slots all claimed");
+}
+
+std::size_t
+KeyedChecksumTable::findSlot(std::uint64_t key) const
+{
+    std::size_t i = bucketOf(key);
+    for (std::size_t probes = 0; probes < slots; ++probes) {
+        if (data[i].key == key)
+            return i;
+        if (data[i].key == emptyKey)
+            return npos;
+        i = (i + 1) & (slots - 1);
+    }
+    return npos;
+}
+
+std::uint64_t *
+KeyedChecksumTable::keyPtr(std::size_t slot)
+{
+    LP_ASSERT(slot < slots, "slot out of range");
+    return &data[slot].key;
+}
+
+std::uint64_t *
+KeyedChecksumTable::digestPtr(std::size_t slot)
+{
+    LP_ASSERT(slot < slots, "slot out of range");
+    return &data[slot].digest;
+}
+
+std::uint64_t
+KeyedChecksumTable::storedKey(std::size_t slot) const
+{
+    LP_ASSERT(slot < slots, "slot out of range");
+    return data[slot].key;
+}
+
+std::uint64_t
+KeyedChecksumTable::storedDigest(std::size_t slot) const
+{
+    LP_ASSERT(slot < slots, "slot out of range");
+    return data[slot].digest;
+}
+
+} // namespace lp::core

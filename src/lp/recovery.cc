@@ -1,0 +1,97 @@
+#include "lp/recovery.hh"
+
+#include "base/logging.hh"
+
+namespace lp::core
+{
+
+namespace
+{
+
+/** Newest stage containing at least one matching region, or -1. */
+int
+highWaterMark(const RecoveryCallbacks &cb, RecoveryResult &res)
+{
+    for (int stage = cb.numStages - 1; stage >= 0; --stage) {
+        const int regions = cb.regionsInStage(stage);
+        for (int r = 0; r < regions; ++r) {
+            ++res.checked;
+            if (cb.matches(stage, r))
+                return stage;
+        }
+    }
+    return -1;
+}
+
+RecoveryResult
+recoverValidateAllUpTo(const RecoveryCallbacks &cb)
+{
+    RecoveryResult res;
+    const int hwm = highWaterMark(cb, res);
+    if (hwm < 0) {
+        // Nothing committed and persisted: redo everything. Stages
+        // are re-executed from scratch, so no repair is needed as
+        // long as stage 0 regions recompute from original inputs,
+        // which ValidateAllUpTo kernels guarantee.
+        res.resumeStage = 0;
+        return res;
+    }
+    for (int stage = 0; stage <= hwm; ++stage) {
+        const int regions = cb.regionsInStage(stage);
+        for (int r = 0; r < regions; ++r) {
+            ++res.checked;
+            if (cb.matches(stage, r)) {
+                ++res.matched;
+            } else {
+                cb.repair(stage, r);
+                ++res.repaired;
+            }
+        }
+    }
+    res.resumeStage = hwm + 1;
+    return res;
+}
+
+RecoveryResult
+recoverNewestFullStage(const RecoveryCallbacks &cb)
+{
+    RecoveryResult res;
+    for (int stage = cb.numStages - 1; stage >= 0; --stage) {
+        const int regions = cb.regionsInStage(stage);
+        bool all = true;
+        for (int r = 0; r < regions; ++r) {
+            ++res.checked;
+            if (cb.matches(stage, r)) {
+                ++res.matched;
+            } else {
+                all = false;
+                break;
+            }
+        }
+        if (all) {
+            res.resumeStage = stage + 1;
+            return res;
+        }
+    }
+    res.resumeStage = 0;
+    return res;
+}
+
+} // namespace
+
+RecoveryResult
+recover(const RecoveryCallbacks &cb, ResumePolicy policy)
+{
+    LP_ASSERT(cb.numStages >= 0 && cb.regionsInStage && cb.matches,
+              "incomplete recovery callbacks");
+    switch (policy) {
+      case ResumePolicy::ValidateAllUpTo:
+        LP_ASSERT(cb.repair, "ValidateAllUpTo requires a repair callback");
+        return recoverValidateAllUpTo(cb);
+      case ResumePolicy::NewestFullStage:
+        return recoverNewestFullStage(cb);
+    }
+    panic("unreachable resume policy");
+}
+
+} // namespace lp::core

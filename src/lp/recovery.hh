@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Generic post-crash recovery driver (Section III-E, Figure 9
+ * generalized).
+ *
+ * Recovery runs after the durable image has been restored (the arena's
+ * volatile view equals the NVMM shadow). It walks the program's
+ * stage/region structure, compares each stored checksum against a
+ * checksum recomputed from the restored data, and invokes
+ * kernel-supplied repair callbacks, which must use Eager Persistency
+ * internally so a crash during recovery cannot lose progress.
+ *
+ * Two resume policies cover the kernel classes in this repo:
+ *
+ *  - ValidateAllUpTo: for kernels whose regions write distinct data
+ *    that is never overwritten by later stages (left-looking Cholesky,
+ *    single-pass convolution). Finds the newest stage with any
+ *    matching region (the high-water mark), repairs every mismatching
+ *    region in stages 0..HWM in order (so intra-stage ordering
+ *    constraints hold), and resumes normal execution at HWM+1.
+ *
+ *  - NewestFullStage: for ping-pong (double-buffered) staged kernels
+ *    (Stockham FFT, iterated convolution) where stage s+1 fully
+ *    overwrites one buffer. Finds the newest stage whose regions all
+ *    match and resumes at the following stage; partially persisted
+ *    later stages are simply overwritten.
+ *
+ * Kernels with in-place cross-stage accumulation (TMM, Gauss) need
+ * per-band reverse scans as in Figure 9; those live with the kernels
+ * and are built from the same matches()/repair() callbacks.
+ */
+
+#ifndef LP_LP_RECOVERY_HH
+#define LP_LP_RECOVERY_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace lp::core
+{
+
+/** How the driver chooses the resume point. */
+enum class ResumePolicy
+{
+    ValidateAllUpTo,
+    NewestFullStage,
+};
+
+/** What recovery did; consumed by tests, benches, and EXPERIMENTS. */
+struct RecoveryResult
+{
+    /** First stage normal execution should re-run (0-based). */
+    int resumeStage = 0;
+
+    /** Regions whose checksum was validated (matched). */
+    std::uint64_t matched = 0;
+
+    /** Regions repaired via the repair callback. */
+    std::uint64_t repaired = 0;
+
+    /** Checksum comparisons performed. */
+    std::uint64_t checked = 0;
+};
+
+/** Kernel-supplied structure and validation callbacks. */
+struct RecoveryCallbacks
+{
+    /** Total number of stages the kernel executed or would execute. */
+    int numStages = 0;
+
+    /** Number of regions in a given stage. */
+    std::function<int(int stage)> regionsInStage;
+
+    /**
+     * True iff the stored checksum of (stage, region) equals a
+     * checksum recomputed from the restored durable data. A stored
+     * sentinel (never committed) must return false.
+     */
+    std::function<bool(int stage, int region)> matches;
+
+    /**
+     * Restore (stage, region)'s data to its correct post-stage value,
+     * using Eager Persistency, and rewrite its checksum eagerly.
+     * Within a stage, the driver calls repair in increasing region
+     * order so ordered intra-stage dependences (e.g. Cholesky's
+     * diagonal block before its column) are honoured.
+     */
+    std::function<void(int stage, int region)> repair;
+};
+
+/** Run recovery; see the file comment for policy semantics. */
+RecoveryResult recover(const RecoveryCallbacks &cb, ResumePolicy policy);
+
+} // namespace lp::core
+
+#endif // LP_LP_RECOVERY_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The Lazy Persistency region runtime (Figure 8's helper calls).
+ *
+ * An LpRegion accumulates a checksum over the values a region stores
+ * to persistent memory and commits the digest to the ChecksumTable.
+ * The commit is itself lazy by default (Section III-D chooses Lazy
+ * Persistency for the checksum too); an eager commit variant is
+ * provided for the recovery path, which must be Eager to guarantee
+ * forward progress (Section III-E).
+ *
+ * The runtime is templated over the memory environment (SimEnv or
+ * NativeEnv, see kernels/env.hh) so the exact same region code runs on
+ * the simulator and on real hardware (Table VII).
+ */
+
+#ifndef LP_LP_RUNTIME_HH
+#define LP_LP_RUNTIME_HH
+
+#include <cstdint>
+
+#include "lp/checksum.hh"
+#include "lp/checksum_table.hh"
+
+namespace lp::core
+{
+
+/**
+ * One Lazy Persistency region in flight.
+ *
+ * Usage, mirroring Figure 8:
+ * @code
+ *   LpRegion r(table, ChecksumKind::Modular);
+ *   r.reset(env);                 // entering a new LP region
+ *   ...
+ *   env.st(&c[i][j], sum);
+ *   r.update(env, sum);           // UpdateCheckSum(c[i][j])
+ *   ...
+ *   r.commit(env, key);           // HashTable[GetHashIndex(...)] = ...
+ * @endcode
+ */
+class LpRegion
+{
+  public:
+    LpRegion(ChecksumTable &t, ChecksumKind kind)
+        : table(t), acc(kind)
+    {
+    }
+
+    /** Begin a region: reset the running checksum. */
+    template <typename Env>
+    void
+    reset(Env &env)
+    {
+        acc.reset();
+        env.tick(1);
+    }
+
+    /** Fold a freshly stored value into the running checksum. */
+    template <typename Env>
+    void
+    update(Env &env, double v)
+    {
+        acc.add(v);
+        env.tick(ChecksumAcc::updateCost(acc.kind()));
+    }
+
+    /** Fold a raw 64-bit word (for non-double payloads). */
+    template <typename Env>
+    void
+    updateWord(Env &env, std::uint64_t w)
+    {
+        acc.addWord(w);
+        env.tick(ChecksumAcc::updateCost(acc.kind()));
+    }
+
+    /**
+     * Commit the region: store the digest to table entry @p key.
+     * Lazy -- a plain store; the digest persists by natural eviction.
+     * Notifies the environment's crash controller (if any) that a
+     * region boundary passed.
+     */
+    template <typename Env>
+    void
+    commit(Env &env, std::size_t key)
+    {
+        env.st(table.entry(key), acc.value());
+        env.onRegionCommit();
+    }
+
+    /**
+     * Eagerly commit: store, flush, and fence the digest. Used by
+     * recovery code and by the eager-checksum design alternative
+     * discussed (and rejected for the common case) in Section III-D.
+     */
+    template <typename Env>
+    void
+    commitEager(Env &env, std::size_t key)
+    {
+        std::uint64_t *e = table.entry(key);
+        env.st(e, acc.value());
+        env.clflushopt(e);
+        env.sfence();
+        env.onRegionCommit();
+    }
+
+    /** The running digest (e.g. for tests). */
+    std::uint64_t digest() const { return acc.value(); }
+
+    ChecksumKind kind() const { return acc.kind(); }
+
+  private:
+    ChecksumTable &table;
+    ChecksumAcc acc;
+};
+
+} // namespace lp::core
+
+#endif // LP_LP_RUNTIME_HH

@@ -1,0 +1,52 @@
+#include "pmem/arena.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace lp::pmem
+{
+
+PersistentArena::PersistentArena(std::size_t capacity)
+    : volatileView(alignUp(capacity + baseOffset, blockBytes)),
+      shadow(volatileView.size()),
+      nextFree(baseOffset)
+{
+}
+
+void *
+PersistentArena::allocRaw(std::size_t bytes)
+{
+    const std::size_t at = alignUp(nextFree, blockBytes);
+    const std::size_t end = at + alignUp(bytes, blockBytes);
+    if (end > volatileView.size()) {
+        fatal("PersistentArena exhausted: need " + std::to_string(end) +
+              " bytes, capacity " + std::to_string(volatileView.size()));
+    }
+    nextFree = end;
+    return volatileView.data() + at;
+}
+
+void
+PersistentArena::persistBlock(Addr block_addr)
+{
+    LP_ASSERT(blockOffset(block_addr) == 0, "unaligned persist");
+    LP_ASSERT(block_addr + blockBytes <= volatileView.size(),
+              "persist outside the arena");
+    std::memcpy(shadow.data() + block_addr,
+                volatileView.data() + block_addr, blockBytes);
+    ++persistCount;
+}
+
+void
+PersistentArena::crashRestore()
+{
+    std::memcpy(volatileView.data(), shadow.data(), volatileView.size());
+}
+
+void
+PersistentArena::persistAll()
+{
+    std::memcpy(shadow.data(), volatileView.data(), volatileView.size());
+}
+
+} // namespace lp::pmem

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The persistent memory arena: the functional half of the NVMM model.
+ *
+ * The arena owns two equally-sized buffers:
+ *
+ *  - the volatile view: what program loads return. Kernels hold real
+ *    host pointers into this buffer and compute on it directly.
+ *  - the durable shadow: the bytes that have actually reached NVMM.
+ *
+ * The simulated Machine calls persistBlock() whenever a dirty block
+ * reaches the persistence domain (eviction, flush, cleaner, drain);
+ * the arena then copies those 64 bytes volatile -> shadow. On a crash,
+ * crashRestore() copies shadow -> volatile, so the program observes
+ * exactly the state that survived: persisted blocks keep their values,
+ * unpersisted blocks revert.
+ *
+ * Simulated addresses are offsets into the buffers, so translating
+ * between a host pointer and its Addr is a subtraction.
+ */
+
+#ifndef LP_PMEM_ARENA_HH
+#define LP_PMEM_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "base/types.hh"
+#include "sim/machine.hh"
+
+namespace lp::pmem
+{
+
+/**
+ * A cache-block-aligned byte buffer. Alignment guarantees that host
+ * pointer arithmetic and simulated-address arithmetic agree on block
+ * boundaries, so Env::clflushopt(host_ptr) flushes the block the
+ * program actually wrote.
+ */
+class AlignedBuffer
+{
+  public:
+    explicit AlignedBuffer(std::size_t n)
+        : size_(n),
+          data_(static_cast<std::uint8_t *>(
+              ::operator new[](n, std::align_val_t{blockBytes})))
+    {
+        std::memset(data_, 0, n);
+    }
+
+    ~AlignedBuffer()
+    {
+        ::operator delete[](data_, std::align_val_t{blockBytes});
+    }
+
+    AlignedBuffer(const AlignedBuffer &) = delete;
+    AlignedBuffer &operator=(const AlignedBuffer &) = delete;
+
+    std::uint8_t *data() { return data_; }
+    const std::uint8_t *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    std::size_t size_;
+    std::uint8_t *data_;
+};
+
+/** A byte-addressable persistent heap with a durable shadow. */
+class PersistentArena : public sim::PersistBackend
+{
+  public:
+    /** Create an arena with @p capacity usable bytes. */
+    explicit PersistentArena(std::size_t capacity);
+
+    /// @name Allocation
+    /// @{
+
+    /**
+     * Allocate @p count objects of type T, 64B-aligned so distinct
+     * allocations never share a cache block. Returns a host pointer
+     * into the volatile view. Allocations are never freed (arena
+     * style); fatal() on exhaustion.
+     */
+    template <typename T>
+    T *
+    alloc(std::size_t count)
+    {
+        return static_cast<T *>(allocRaw(count * sizeof(T)));
+    }
+
+    /** Raw 64B-aligned allocation of @p bytes. */
+    void *allocRaw(std::size_t bytes);
+    /// @}
+
+    /// @name Address translation
+    /// @{
+
+    /** Simulated address of a host pointer into the volatile view. */
+    Addr
+    addrOf(const void *p) const
+    {
+        return static_cast<Addr>(
+            static_cast<const std::uint8_t *>(p) - volatileView.data());
+    }
+
+    /** Host pointer (volatile view) for a simulated address. */
+    template <typename T>
+    T *
+    ptr(Addr a)
+    {
+        return reinterpret_cast<T *>(volatileView.data() + a);
+    }
+    /// @}
+
+    /// @name Durability
+    /// @{
+
+    /** sim::PersistBackend: copy one block volatile -> shadow. */
+    void persistBlock(Addr block_addr) override;
+
+    /**
+     * Crash: revert the volatile view to the durable shadow. The
+     * caller must first discard cache state via
+     * Machine::loseVolatileState().
+     */
+    void crashRestore();
+
+    /**
+     * Make the entire current volatile view durable. Used to establish
+     * the initial durable image after input initialization (the paper
+     * assumes inputs are already persistent when the kernel starts).
+     */
+    void persistAll();
+
+    /** Read the *durable* value behind a volatile-view pointer. */
+    template <typename T>
+    T
+    peekDurable(const T *p) const
+    {
+        T out;
+        std::memcpy(&out, shadow.data() + addrOf(p), sizeof(T));
+        return out;
+    }
+    /// @}
+
+    std::size_t bytesAllocated() const { return nextFree - baseOffset; }
+    std::size_t capacity() const { return volatileView.size(); }
+
+    /** Number of persistBlock calls (functional persist count). */
+    std::uint64_t persistedBlocks() const { return persistCount; }
+
+  private:
+    /// First byte handed out; address 0 stays invalid.
+    static constexpr std::size_t baseOffset = blockBytes;
+
+    AlignedBuffer volatileView;
+    AlignedBuffer shadow;
+    std::size_t nextFree;
+    std::uint64_t persistCount = 0;
+};
+
+} // namespace lp::pmem
+
+#endif // LP_PMEM_ARENA_HH

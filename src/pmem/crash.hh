@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Crash (power-failure) injection.
+ *
+ * A CrashController is armed with a trigger -- "after N persistent
+ * stores" or "after N region commits" -- and throws CrashException
+ * from inside the instrumented execution when the trigger fires. The
+ * harness catches the exception, discards volatile machine state,
+ * restores the durable image, and runs recovery. This models an
+ * asynchronous power failure at an arbitrary point in the store
+ * stream, which is the paper's failure model.
+ */
+
+#ifndef LP_PMEM_CRASH_HH
+#define LP_PMEM_CRASH_HH
+
+#include <cstdint>
+#include <exception>
+
+namespace lp::pmem
+{
+
+/** Thrown at the injected crash point; carries no state. */
+class CrashException : public std::exception
+{
+  public:
+    const char *
+    what() const noexcept override
+    {
+        return "injected power failure";
+    }
+};
+
+/** Schedules and fires an injected crash. */
+class CrashController
+{
+  public:
+    /** Fire after @p n more persistent stores (0 disarms). */
+    void
+    armAfterStores(std::uint64_t n)
+    {
+        storesLeft = n;
+        storeArmed = n > 0;
+    }
+
+    /** Fire after @p n more region commits (0 disarms). */
+    void
+    armAfterRegions(std::uint64_t n)
+    {
+        regionsLeft = n;
+        regionArmed = n > 0;
+    }
+
+    void
+    disarm()
+    {
+        storeArmed = false;
+        regionArmed = false;
+    }
+
+    /** Hook invoked by the memory environment on every store. */
+    void
+    onStore()
+    {
+        if (storeArmed && --storesLeft == 0) {
+            storeArmed = false;
+            throw CrashException{};
+        }
+    }
+
+    /** Hook invoked by the LP runtime when a region commits. */
+    void
+    onRegionCommit()
+    {
+        if (regionArmed && --regionsLeft == 0) {
+            regionArmed = false;
+            throw CrashException{};
+        }
+    }
+
+    bool armed() const { return storeArmed || regionArmed; }
+
+  private:
+    std::uint64_t storesLeft = 0;
+    std::uint64_t regionsLeft = 0;
+    bool storeArmed = false;
+    bool regionArmed = false;
+};
+
+} // namespace lp::pmem
+
+#endif // LP_PMEM_CRASH_HH

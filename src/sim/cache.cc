@@ -1,0 +1,121 @@
+#include "sim/cache.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace lp::sim
+{
+
+Cache::Cache(const CacheGeometry &g)
+    : geom(g), sets(g.numSets())
+{
+    // Only the set count must be a power of two (for index masking);
+    // the total size may be any multiple of assoc * blockBytes, which
+    // permits e.g. a 48KB 6-way cache.
+    LP_ASSERT(geom.assoc > 0 && sets > 0, "bad cache geometry");
+    LP_ASSERT(geom.sizeBytes ==
+              static_cast<std::size_t>(sets) * geom.assoc * blockBytes,
+              "cache size must be sets * assoc * blockBytes");
+    LP_ASSERT(isPowerOf2(sets), "set count must be a power of two");
+    lines.resize(static_cast<std::size_t>(sets) * geom.assoc);
+}
+
+unsigned
+Cache::setIndex(Addr block_addr) const
+{
+    return static_cast<unsigned>(blockNumber(block_addr)) & (sets - 1);
+}
+
+Line *
+Cache::find(Addr block_addr)
+{
+    const unsigned set = setIndex(block_addr);
+    Line *base = &lines[static_cast<std::size_t>(set) * geom.assoc];
+    for (unsigned w = 0; w < geom.assoc; ++w) {
+        if (base[w].valid() && base[w].blockAddr == block_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Line *
+Cache::find(Addr block_addr) const
+{
+    return const_cast<Cache *>(this)->find(block_addr);
+}
+
+void
+Cache::touch(Line &line)
+{
+    line.lastUse = ++accessCounter;
+}
+
+Line &
+Cache::victimFor(Addr block_addr)
+{
+    const unsigned set = setIndex(block_addr);
+    Line *base = &lines[static_cast<std::size_t>(set) * geom.assoc];
+    Line *victim = &base[0];
+    for (unsigned w = 0; w < geom.assoc; ++w) {
+        if (!base[w].valid())
+            return base[w];
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+void
+Cache::install(Line &way, Addr block_addr, LineState state)
+{
+    LP_ASSERT(state != LineState::Invalid, "installing an invalid line");
+    way.blockAddr = block_addr;
+    way.state = state;
+    touch(way);
+}
+
+void
+Cache::invalidate(Addr block_addr)
+{
+    if (Line *line = find(block_addr))
+        line->state = LineState::Invalid;
+}
+
+void
+Cache::forEachValid(const std::function<void(Line &)> &fn)
+{
+    for (auto &line : lines) {
+        if (line.valid())
+            fn(line);
+    }
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines)
+        line = Line{};
+    accessCounter = 0;
+}
+
+unsigned
+Cache::residentLines() const
+{
+    unsigned n = 0;
+    for (const auto &line : lines)
+        if (line.valid())
+            ++n;
+    return n;
+}
+
+unsigned
+Cache::dirtyLines() const
+{
+    unsigned n = 0;
+    for (const auto &line : lines)
+        if (line.dirty())
+            ++n;
+    return n;
+}
+
+} // namespace lp::sim

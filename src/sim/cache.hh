@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A set-associative, write-back, write-allocate cache with true-LRU
+ * replacement.
+ *
+ * The cache tracks tags and line metadata only; actual data lives in
+ * the PersistentArena's volatile view (see DESIGN.md section 5). Lines
+ * carry a MESI-style state; for the shared L2 only Invalid / Shared /
+ * Modified are used (the L2 does not distinguish E from S).
+ */
+
+#ifndef LP_SIM_CACHE_HH
+#define LP_SIM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/config.hh"
+
+namespace lp::sim
+{
+
+/** MESI line states. Modified implies the line is dirty. */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Metadata for one cache line. */
+struct Line
+{
+    /** Block-aligned address; invalidAddr when the line is empty. */
+    Addr blockAddr = invalidAddr;
+
+    /** LRU timestamp (global access counter at last touch). */
+    std::uint64_t lastUse = 0;
+
+    /** Coherence state. */
+    LineState state = LineState::Invalid;
+
+    bool valid() const { return state != LineState::Invalid; }
+    bool dirty() const { return state == LineState::Modified; }
+};
+
+/**
+ * One level of cache. Thread-safety is not needed: the simulator
+ * serializes all accesses through the Machine.
+ */
+class Cache
+{
+  public:
+    /** Build a cache with the given geometry. */
+    explicit Cache(const CacheGeometry &geom);
+
+    /** Find the line holding @p block_addr, or nullptr. No LRU touch. */
+    Line *find(Addr block_addr);
+    const Line *find(Addr block_addr) const;
+
+    /** Update the LRU stamp of a resident line. */
+    void touch(Line &line);
+
+    /**
+     * Choose a victim way in the set of @p block_addr: an invalid way
+     * if one exists, otherwise the LRU way. The returned reference
+     * remains valid until the next structural change to the cache.
+     */
+    Line &victimFor(Addr block_addr);
+
+    /**
+     * Install @p block_addr into @p way (which the caller obtained via
+     * victimFor and has already written back / invalidated).
+     */
+    void install(Line &way, Addr block_addr, LineState state);
+
+    /** Invalidate the line holding @p block_addr if present. */
+    void invalidate(Addr block_addr);
+
+    /** Apply @p fn to every valid line (e.g. cleaner sweeps). */
+    void forEachValid(const std::function<void(Line &)> &fn);
+
+    /** Drop all lines (crash: volatile contents are lost). */
+    void reset();
+
+    /** Number of valid lines currently resident. */
+    unsigned residentLines() const;
+
+    /** Number of dirty (Modified) lines currently resident. */
+    unsigned dirtyLines() const;
+
+    const CacheGeometry &geometry() const { return geom; }
+
+  private:
+    /** Set index of a block address. */
+    unsigned setIndex(Addr block_addr) const;
+
+    CacheGeometry geom;
+    unsigned sets;
+    std::vector<Line> lines;      // sets * assoc, set-major
+    std::uint64_t accessCounter = 0;
+};
+
+} // namespace lp::sim
+
+#endif // LP_SIM_CACHE_HH

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * The simulated machine: per-core L1 caches, a shared inclusive L2,
+ * MESI-lite coherence, a memory controller with an ADR-protected write
+ * port, NVMM latency/write accounting, volatility-duration tracking,
+ * and the periodic cache cleaner of Section VI-A.
+ *
+ * Functional model: program data lives in a PersistBackend (the
+ * PersistentArena). The caches track only metadata; when a dirty block
+ * reaches the persistence domain (eviction writeback, clflushopt/clwb,
+ * cleaner sweep, or drain) the backend copies that block's bytes from
+ * the volatile view to the durable NVMM shadow. A crash clears all
+ * cache metadata; the arena then restores the volatile view from the
+ * shadow, leaving the program with exactly the bytes that persisted.
+ *
+ * Timing model: in-order per-core cycle accumulation. L1 hit = L1
+ * latency; L2 hit adds L2 latency; L2 miss adds NVMM read latency.
+ * clflushopt is weakly ordered: it enqueues an asynchronous writeback
+ * whose completion respects the memory controller's write-port
+ * bandwidth; sfence stalls the core until its outstanding flushes
+ * drain. Evictions use the write port but never stall the core.
+ */
+
+#ifndef LP_SIM_MACHINE_HH
+#define LP_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "stats/stats.hh"
+
+namespace lp::sim
+{
+
+class TraceBuffer;
+
+/**
+ * Interface to the durable storage backing the simulated NVMM.
+ * Implemented by pmem::PersistentArena.
+ */
+class PersistBackend
+{
+  public:
+    virtual ~PersistBackend() = default;
+
+    /** Copy one block (64B at @p block_addr) into the durable domain. */
+    virtual void persistBlock(Addr block_addr) = 0;
+};
+
+/** Why a block was written to NVMM; used for per-cause counters. */
+enum class WritebackCause
+{
+    Eviction,   ///< natural LRU eviction from the L2
+    Flush,      ///< explicit clflushopt / clwb
+    Cleaner,    ///< periodic background cleaner (Section VI-A)
+    Drain,      ///< explicit drainDirty() at end of run
+};
+
+/** All measurements the machine collects. */
+struct MachineStats
+{
+    stats::Counter loads;
+    stats::Counter stores;
+    stats::Counter computeOps;
+
+    stats::Counter l1Accesses;
+    stats::Counter l1Misses;
+    stats::Counter l2Accesses;
+    stats::Counter l2Misses;
+
+    stats::Counter nvmmReads;
+    stats::Counter nvmmWrites;     ///< all durable writes, any cause
+    stats::Counter evictionWrites;
+    stats::Counter flushWrites;
+    stats::Counter cleanerWrites;
+    stats::Counter drainWrites;
+
+    stats::Counter flushInstrs;    ///< clflushopt/clwb executed
+    stats::Counter cleanFlushes;   ///< flushes that found no dirty copy
+    stats::Counter fences;
+
+    stats::Counter upgrades;       ///< S->M upgrades
+    stats::Counter invalidationsSent;
+    stats::Counter cacheToCache;   ///< dirty data supplied by a peer L1
+    stats::Counter backInvalidations;
+
+    /// Structural-hazard proxies (Table VI); see DESIGN.md section 5.
+    stats::Counter mshrFullEvents;
+    stats::Counter lsqFullEvents;      ///< FUW proxy
+    stats::Counter loadPortConflicts;  ///< FUR proxy
+    stats::Counter fuiSlotsLost;       ///< FUI proxy (lost issue slots)
+    stats::Counter mcQueueFullEvents;
+
+    stats::Counter fenceStallCycles;
+
+    stats::Maximum maxVdur;        ///< max volatility duration (cycles)
+    stats::Average avgVdur;
+};
+
+/**
+ * NVMM wear summary. The paper's motivation for write efficiency is
+ * endurance: NVM cells tolerate a bounded number of writes, and both
+ * the total write volume and its *concentration* matter (a scheme
+ * that hammers a few metadata blocks wears them out first even at a
+ * low total). Derived on demand from per-block write counts.
+ */
+struct WearSummary
+{
+    /** Distinct blocks written at least once. */
+    std::uint64_t blocksWritten = 0;
+
+    /** Total NVMM block writes. */
+    std::uint64_t totalWrites = 0;
+
+    /** Writes to the most-written block (the wear hot spot). */
+    std::uint64_t maxBlockWrites = 0;
+
+    /** totalWrites / blocksWritten (1.0 = perfectly even). */
+    double meanWritesPerBlock = 0.0;
+
+    /** maxBlockWrites / mean: wear-leveling quality (1.0 = even). */
+    double hotSpotFactor = 0.0;
+};
+
+/** The simulated multicore machine with an NVMM main memory. */
+class Machine
+{
+  public:
+    /**
+     * Build a machine.
+     *
+     * @param config  machine parameters (Table II defaults)
+     * @param backend durable store receiving block writebacks; may be
+     *                nullptr for pure-timing experiments
+     */
+    Machine(const MachineConfig &config, PersistBackend *backend);
+
+    /// @name Program-visible memory operations
+    /// @{
+
+    /** A load of @p size bytes at @p addr executed by core @p c. */
+    void read(CoreId c, Addr addr, unsigned size);
+
+    /** A store of @p size bytes at @p addr executed by core @p c. */
+    void write(CoreId c, Addr addr, unsigned size);
+
+    /**
+     * clflushopt: flush the block of @p addr from the whole hierarchy,
+     * writing it back if dirty. Weakly ordered; order with sfence.
+     */
+    void clflushopt(CoreId c, Addr addr);
+
+    /** clwb: write back the block if dirty but keep it cached clean. */
+    void clwb(CoreId c, Addr addr);
+
+    /** sfence: stall core @p c until its outstanding flushes drain. */
+    void sfence(CoreId c);
+
+    /** Account @p n non-memory instructions on core @p c. */
+    void tick(CoreId c, std::uint64_t n);
+    /// @}
+
+    /// @name Failure and lifecycle control
+    /// @{
+
+    /**
+     * Power failure: all cache metadata is discarded. In-flight
+     * flushes already persisted functionally at issue time (the MC
+     * write queue is in the ADR persistence domain). The caller is
+     * responsible for restoring the volatile view from the shadow
+     * (see pmem::PersistentArena::crashRestore).
+     */
+    void loseVolatileState();
+
+    /**
+     * Write back every dirty block (graceful shutdown or an explicit
+     * full-cache clean). Lines stay resident and become clean.
+     */
+    void drainDirty(WritebackCause cause = WritebackCause::Drain);
+
+    /** Synchronize all core clocks to the maximum (a barrier). */
+    void syncAllCores();
+    /// @}
+
+    /// @name Introspection
+    /// @{
+    Cycles coreCycles(CoreId c) const { return clk[c]; }
+
+    /** Execution time so far: the maximum core clock. */
+    Cycles execCycles() const;
+
+    const MachineStats &machineStats() const { return s; }
+    const MachineConfig &config() const { return cfg; }
+
+    /** All counters as a name->value map (for benches and tests). */
+    stats::Snapshot snapshot() const;
+
+    /** Zero all counters; cache contents are preserved (warm-up). */
+    void resetStats();
+
+    /** Dirty lines currently resident anywhere in the hierarchy. */
+    unsigned totalDirtyLines() const;
+
+    /**
+     * Attach a trace recorder: every subsequent program-visible
+     * operation is appended to it (see sim/trace.hh). Pass nullptr
+     * to stop recording.
+     */
+    void setTraceRecorder(TraceBuffer *recorder) { trace = recorder; }
+
+    /** Per-block NVMM wear summary for the current stats epoch. */
+    WearSummary wearSummary() const;
+    /// @}
+
+  private:
+    /** Directory entry tracking which L1s hold a block. */
+    struct DirEntry
+    {
+        std::uint32_t sharers = 0;
+        int owner = -1;  ///< core holding the block Modified, or -1
+    };
+
+    static std::uint32_t bit(CoreId c) { return 1u << c; }
+
+    /** Fire the periodic cleaner if its deadline passed. */
+    void maybeClean(CoreId c);
+
+    /** Process one block of a load/store. */
+    void accessBlock(CoreId c, Addr blk, bool is_write);
+
+    /** Handle an L1 miss; returns the added latency. */
+    Cycles handleL1Miss(CoreId c, Addr blk, bool is_write);
+
+    /** Invalidate every L1 copy of @p blk except core @p except. */
+    void invalidateOtherSharers(Addr blk, CoreId except);
+
+    /** Evict an L1 victim line (dirty data merges into the L2). */
+    void evictL1Victim(CoreId c, Line &victim);
+
+    /** Evict an L2 victim (back-invalidate L1s, write back if dirty). */
+    void evictL2Victim(CoreId c, Line &victim);
+
+    /**
+     * Reserve the MC write port at or after @p ready; returns the
+     * grant time and advances the port.
+     */
+    Cycles grantWritePort(Cycles ready);
+
+    /** Functionally persist a block and account the NVMM write. */
+    void writebackToNvmm(CoreId c, Addr blk, WritebackCause cause);
+
+    /** Record that @p blk became dirty at time @p now (if not yet). */
+    void markDirty(Addr blk, Cycles now);
+
+    /** Sample the volatility duration of @p blk, if tracked. */
+    void sampleVdur(Addr blk, Cycles now);
+
+    /** Drop flush-queue entries of core @p c that completed by now. */
+    void pruneFlushQueue(CoreId c);
+
+    /** Shared flush path for clflushopt / clwb. */
+    void flushBlock(CoreId c, Addr addr, bool keep_line);
+
+    MachineConfig cfg;
+    PersistBackend *backend;
+    TraceBuffer *trace = nullptr;
+
+    std::vector<Cache> l1s;
+    Cache l2;
+    std::unordered_map<Addr, DirEntry> dir;
+
+    std::vector<Cycles> clk;
+    std::vector<std::vector<Cycles>> flushQ;  ///< per-core completions
+    Cycles writePortFreeAt = 0;
+    Cycles nextCleanAt = 0;
+
+    std::unordered_map<Addr, Cycles> dirtySince;
+
+    /** NVMM writes per block (wear tracking; reset with stats). */
+    std::unordered_map<Addr, std::uint64_t> blockWrites;
+
+    /** execCycles() at the last resetStats(); snapshot reports the
+     *  cycles of the current stats epoch. */
+    Cycles statsBaseline = 0;
+
+    MachineStats s;
+};
+
+} // namespace lp::sim
+
+#endif // LP_SIM_MACHINE_HH

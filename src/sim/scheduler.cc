@@ -1,0 +1,70 @@
+#include "sim/scheduler.hh"
+
+#include "base/logging.hh"
+
+namespace lp::sim
+{
+
+RegionScheduler::RegionScheduler(Machine &m, int num_threads)
+    : machine(m)
+{
+    LP_ASSERT(num_threads >= 1 &&
+              num_threads <= m.config().numCores,
+              "more threads than cores");
+    queues.resize(num_threads);
+}
+
+void
+RegionScheduler::add(int t, std::function<void()> item)
+{
+    LP_ASSERT(t >= 0 && t < numThreads(), "bad thread id");
+    queues[t].push_back(std::move(item));
+}
+
+void
+RegionScheduler::run()
+{
+    for (;;) {
+        int next = -1;
+        Cycles best = 0;
+        for (int t = 0; t < numThreads(); ++t) {
+            if (queues[t].empty())
+                continue;
+            const Cycles c = machine.coreCycles(t);
+            if (next < 0 || c < best) {
+                next = t;
+                best = c;
+            }
+        }
+        if (next < 0)
+            return;
+        auto item = std::move(queues[next].front());
+        queues[next].pop_front();
+        item();
+    }
+}
+
+void
+RegionScheduler::clear()
+{
+    for (auto &q : queues)
+        q.clear();
+}
+
+std::size_t
+RegionScheduler::pending() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues)
+        n += q.size();
+    return n;
+}
+
+void
+RegionScheduler::barrier()
+{
+    run();
+    machine.syncAllCores();
+}
+
+} // namespace lp::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Region-granularity thread interleaver.
+ *
+ * Kernels decompose their work into per-thread ordered sequences of
+ * work items (typically one item per LP region). The scheduler always
+ * executes the next item of the thread whose core clock is smallest,
+ * so threads interleave in the shared L2 approximately as they would
+ * in real time, and the total execution time is the maximum core
+ * clock. A barrier() synchronizes clocks between algorithmic stages
+ * (used by the stage-sequential kernels: Cholesky, LU, FFT).
+ */
+
+#ifndef LP_SIM_SCHEDULER_HH
+#define LP_SIM_SCHEDULER_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace lp::sim
+{
+
+/** Interleaves per-thread work items by smallest core clock. */
+class RegionScheduler
+{
+  public:
+    /**
+     * @param machine     the machine whose core clocks drive ordering
+     * @param num_threads number of software threads (<= machine cores)
+     */
+    RegionScheduler(Machine &machine, int num_threads);
+
+    /** Append a work item to thread @p t's queue. */
+    void add(int t, std::function<void()> item);
+
+    /** Run every queued item to completion, interleaved. */
+    void run();
+
+    /**
+     * Barrier: run all queued items, then synchronize every core
+     * clock to the maximum (threads wait for the slowest).
+     */
+    void barrier();
+
+    int numThreads() const { return static_cast<int>(queues.size()); }
+
+    /**
+     * Drop every queued item. Used after an injected crash: the
+     * pre-crash schedule is meaningless once volatile state is gone.
+     */
+    void clear();
+
+    /** Total items still queued across all threads. */
+    std::size_t pending() const;
+
+  private:
+    Machine &machine;
+    std::vector<std::deque<std::function<void()>>> queues;
+};
+
+} // namespace lp::sim
+
+#endif // LP_SIM_SCHEDULER_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal JSON emission for statistics snapshots.
+ *
+ * Benches and the CLI can dump machine snapshots as JSON so external
+ * tooling (plotting scripts, regression dashboards) can consume runs
+ * without parsing the human-readable tables. Only the subset needed
+ * for that is implemented: objects of string -> (number | string |
+ * nested object), with correct string escaping and locale-proof
+ * number formatting.
+ */
+
+#ifndef LP_STATS_JSON_HH
+#define LP_STATS_JSON_HH
+
+#include <map>
+#include <string>
+#include <variant>
+
+#include "stats/stats.hh"
+
+namespace lp::stats
+{
+
+/** A JSON value: number, string, or object. */
+class JsonValue
+{
+  public:
+    using Object = std::map<std::string, JsonValue>;
+
+    JsonValue() : value(0.0) {}
+    JsonValue(double v) : value(v) {}
+    JsonValue(int v) : value(static_cast<double>(v)) {}
+    JsonValue(std::uint64_t v) : value(static_cast<double>(v)) {}
+    JsonValue(bool v) : value(v ? 1.0 : 0.0) {}
+    JsonValue(const char *v) : value(std::string(v)) {}
+    JsonValue(std::string v) : value(std::move(v)) {}
+    JsonValue(Object v) : value(std::move(v)) {}
+
+    /** Render to compact JSON text. */
+    std::string render() const;
+
+    /** Escape a string per RFC 8259. */
+    static std::string escape(const std::string &s);
+
+    /** Locale-independent number rendering. */
+    static std::string number(double v);
+
+  private:
+    std::variant<double, std::string, Object> value;
+};
+
+/** Convert a stats snapshot into a JSON object value. */
+JsonValue::Object toJson(const Snapshot &snap);
+
+} // namespace lp::stats
+
+#endif // LP_STATS_JSON_HH

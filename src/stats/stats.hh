@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * The simulator exposes its measurements as plain named counters and
+ * scalar trackers collected into a Snapshot. Benches take snapshots
+ * before/after a run and print deltas; tests assert on them directly.
+ */
+
+#ifndef LP_STATS_STATS_HH
+#define LP_STATS_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace lp::stats
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void operator+=(std::uint64_t n) { value_ += n; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Tracks the maximum of a stream of samples. */
+class Maximum
+{
+  public:
+    void
+    sample(std::uint64_t v)
+    {
+        if (v > value_)
+            value_ = v;
+    }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates a sum and a count, exposing the mean. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** A named bag of scalar values, used to diff runs in benches/tests. */
+using Snapshot = std::map<std::string, double>;
+
+} // namespace lp::stats
+
+#endif // LP_STATS_STATS_HH

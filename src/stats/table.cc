@@ -1,0 +1,80 @@
+#include "stats/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace lp::stats
+{
+
+Table::Table(std::vector<std::string> hdrs)
+    : headers(std::move(hdrs))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+std::string
+Table::ratio(double v, int precision)
+{
+    return num(v, precision) + "x";
+}
+
+std::string
+Table::percent(double v, int precision)
+{
+    return num(v * 100.0, precision) + "%";
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "  " << cells[c]
+               << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(headers);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+    for (const auto &row : rows)
+        emit_row(row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace lp::stats

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fixed-width text table printer used by the bench harness.
+ *
+ * Every bench binary prints the rows of the paper table/figure it
+ * reproduces; this formatter keeps their output uniform and legible.
+ */
+
+#ifndef LP_STATS_TABLE_HH
+#define LP_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace lp::stats
+{
+
+/** Builds and prints a simple aligned text table. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; cells beyond the header count are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 3);
+
+    /** Convenience: format a ratio as "1.23x". */
+    static std::string ratio(double v, int precision = 3);
+
+    /** Convenience: format a fraction as a percentage "4.5%". */
+    static std::string percent(double v, int precision = 1);
+
+    /** Render the table to a string (trailing newline included). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace lp::stats
+
+#endif // LP_STATS_TABLE_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the persistent arena: allocation, address
+ * translation, persist/crash semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pmem/arena.hh"
+
+namespace lp::pmem
+{
+namespace
+{
+
+TEST(Arena, AllocationIsBlockAligned)
+{
+    PersistentArena a(1 << 16);
+    double *x = a.alloc<double>(3);
+    double *y = a.alloc<double>(1);
+    EXPECT_EQ(a.addrOf(x) % blockBytes, 0u);
+    EXPECT_EQ(a.addrOf(y) % blockBytes, 0u);
+    // Distinct allocations never share a block.
+    EXPECT_GE(a.addrOf(y) - a.addrOf(x), static_cast<Addr>(blockBytes));
+}
+
+TEST(Arena, HostAlignmentMatchesSimAlignment)
+{
+    PersistentArena a(1 << 16);
+    double *x = a.alloc<double>(8);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(x) % blockBytes,
+              a.addrOf(x) % blockBytes);
+}
+
+TEST(Arena, AddressZeroNeverAllocated)
+{
+    PersistentArena a(1 << 12);
+    void *p = a.allocRaw(8);
+    EXPECT_GE(a.addrOf(p), static_cast<Addr>(blockBytes));
+}
+
+TEST(Arena, RoundTripTranslation)
+{
+    PersistentArena a(1 << 12);
+    double *x = a.alloc<double>(4);
+    const Addr addr = a.addrOf(x);
+    EXPECT_EQ(a.ptr<double>(addr), x);
+}
+
+TEST(Arena, PersistBlockCopiesOneBlock)
+{
+    PersistentArena a(1 << 12);
+    double *x = a.alloc<double>(16);  // two blocks
+    x[0] = 1.5;
+    x[8] = 2.5;  // second block
+    a.persistBlock(blockAlign(a.addrOf(&x[0])));
+    EXPECT_DOUBLE_EQ(a.peekDurable(&x[0]), 1.5);
+    EXPECT_DOUBLE_EQ(a.peekDurable(&x[8]), 0.0);  // not persisted
+    EXPECT_EQ(a.persistedBlocks(), 1u);
+}
+
+TEST(Arena, CrashRestoreRevertsUnpersistedWrites)
+{
+    PersistentArena a(1 << 12);
+    double *x = a.alloc<double>(16);
+    x[0] = 1.0;
+    x[8] = 2.0;
+    a.persistBlock(blockAlign(a.addrOf(&x[0])));
+    // Block 2 (x[8]) never persisted.
+    a.crashRestore();
+    EXPECT_DOUBLE_EQ(x[0], 1.0);   // survived
+    EXPECT_DOUBLE_EQ(x[8], 0.0);   // lost
+}
+
+TEST(Arena, PersistAllMakesEverythingDurable)
+{
+    PersistentArena a(1 << 12);
+    double *x = a.alloc<double>(32);
+    for (int i = 0; i < 32; ++i)
+        x[i] = i * 0.5;
+    a.persistAll();
+    a.crashRestore();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_DOUBLE_EQ(x[i], i * 0.5);
+}
+
+TEST(Arena, RepeatedPersistUpdatesShadow)
+{
+    PersistentArena a(1 << 12);
+    double *x = a.alloc<double>(1);
+    const Addr blk = blockAlign(a.addrOf(x));
+    *x = 1.0;
+    a.persistBlock(blk);
+    *x = 2.0;
+    a.persistBlock(blk);
+    *x = 3.0;  // not persisted
+    a.crashRestore();
+    EXPECT_DOUBLE_EQ(*x, 2.0);
+}
+
+TEST(Arena, BytesAllocatedGrows)
+{
+    PersistentArena a(1 << 12);
+    EXPECT_EQ(a.bytesAllocated(), 0u);
+    a.allocRaw(100);
+    const std::size_t after_first = a.bytesAllocated();
+    EXPECT_GE(after_first, 100u);
+    a.allocRaw(1);
+    EXPECT_GT(a.bytesAllocated(), after_first);
+}
+
+TEST(ArenaDeathTest, ExhaustionIsFatal)
+{
+    PersistentArena a(1 << 10);
+    EXPECT_EXIT(a.allocRaw(1 << 20), ::testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+} // namespace
+} // namespace lp::pmem

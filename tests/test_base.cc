@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for base utilities: address arithmetic, integer math,
+ * and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/intmath.hh"
+#include "base/rng.hh"
+#include "base/types.hh"
+
+namespace lp
+{
+namespace
+{
+
+TEST(Types, BlockAlignment)
+{
+    EXPECT_EQ(blockAlign(0), 0u);
+    EXPECT_EQ(blockAlign(63), 0u);
+    EXPECT_EQ(blockAlign(64), 64u);
+    EXPECT_EQ(blockAlign(65), 64u);
+    EXPECT_EQ(blockAlign(127), 64u);
+    EXPECT_EQ(blockAlign(0xffffffffffffffffull),
+              0xffffffffffffffc0ull);
+}
+
+TEST(Types, BlockNumberAndOffset)
+{
+    EXPECT_EQ(blockNumber(0), 0u);
+    EXPECT_EQ(blockNumber(64), 1u);
+    EXPECT_EQ(blockNumber(130), 2u);
+    EXPECT_EQ(blockOffset(130), 2u);
+    EXPECT_EQ(blockOffset(64), 0u);
+}
+
+TEST(IntMath, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+}
+
+TEST(IntMath, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 8), 0u);
+    EXPECT_EQ(ceilDiv(1, 8), 1u);
+    EXPECT_EQ(ceilDiv(8, 8), 1u);
+    EXPECT_EQ(ceilDiv(9, 8), 2u);
+}
+
+TEST(IntMath, Align)
+{
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignDown(63, 64), 0u);
+    EXPECT_EQ(alignDown(64, 64), 64u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next64() == b.next64());
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniform(-3.0, 5.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, BelowBound)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = r.below(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    // All residues should appear in 1000 draws.
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+} // namespace
+} // namespace lp

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache: placement, LRU
+ * replacement, invalidation, and sweep helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+
+namespace lp::sim
+{
+namespace
+{
+
+CacheGeometry
+smallGeom()
+{
+    // 2 sets x 2 ways x 64B = 256B.
+    return CacheGeometry{256, 2, 1};
+}
+
+TEST(CacheGeometry, SetCount)
+{
+    EXPECT_EQ(smallGeom().numSets(), 2u);
+    EXPECT_EQ((CacheGeometry{64 * 1024, 8, 2}).numSets(), 128u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallGeom());
+    EXPECT_EQ(c.find(0), nullptr);
+    Line &victim = c.victimFor(0);
+    EXPECT_FALSE(victim.valid());
+    c.install(victim, 0, LineState::Exclusive);
+    Line *l = c.find(0);
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->blockAddr, 0u);
+    EXPECT_TRUE(l->valid());
+    EXPECT_FALSE(l->dirty());
+}
+
+TEST(Cache, DirtyTracking)
+{
+    Cache c(smallGeom());
+    Line &w = c.victimFor(64);
+    c.install(w, 64, LineState::Modified);
+    EXPECT_TRUE(c.find(64)->dirty());
+    EXPECT_EQ(c.dirtyLines(), 1u);
+    EXPECT_EQ(c.residentLines(), 1u);
+}
+
+TEST(Cache, SetMapping)
+{
+    // With 2 sets, blocks 0 and 128 map to set 0; 64 and 192 to set 1.
+    Cache c(smallGeom());
+    c.install(c.victimFor(0), 0, LineState::Shared);
+    c.install(c.victimFor(128), 128, LineState::Shared);
+    c.install(c.victimFor(64), 64, LineState::Shared);
+    // Set 0 is now full (ways = 2); a third block there must evict.
+    Line &v = c.victimFor(256);
+    EXPECT_TRUE(v.valid());
+    EXPECT_TRUE(v.blockAddr == 0 || v.blockAddr == 128);
+}
+
+TEST(Cache, LruVictimIsLeastRecentlyTouched)
+{
+    Cache c(smallGeom());
+    Line &w0 = c.victimFor(0);
+    c.install(w0, 0, LineState::Shared);
+    Line &w1 = c.victimFor(128);
+    c.install(w1, 128, LineState::Shared);
+    // Touch block 0 so 128 becomes LRU.
+    c.touch(*c.find(0));
+    Line &v = c.victimFor(256);
+    EXPECT_EQ(v.blockAddr, 128u);
+}
+
+TEST(Cache, InvalidWaysPreferredAsVictims)
+{
+    Cache c(smallGeom());
+    c.install(c.victimFor(0), 0, LineState::Shared);
+    Line &v = c.victimFor(128);
+    EXPECT_FALSE(v.valid());  // second way is free
+}
+
+TEST(Cache, Invalidate)
+{
+    Cache c(smallGeom());
+    c.install(c.victimFor(0), 0, LineState::Modified);
+    c.invalidate(0);
+    EXPECT_EQ(c.find(0), nullptr);
+    EXPECT_EQ(c.residentLines(), 0u);
+    // Invalidating an absent block is a no-op.
+    c.invalidate(64);
+}
+
+TEST(Cache, ForEachValidVisitsAllValid)
+{
+    Cache c(smallGeom());
+    c.install(c.victimFor(0), 0, LineState::Shared);
+    c.install(c.victimFor(64), 64, LineState::Modified);
+    int count = 0;
+    c.forEachValid([&](Line &) { ++count; });
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Cache, ResetDropsEverything)
+{
+    Cache c(smallGeom());
+    c.install(c.victimFor(0), 0, LineState::Modified);
+    c.install(c.victimFor(64), 64, LineState::Shared);
+    c.reset();
+    EXPECT_EQ(c.residentLines(), 0u);
+    EXPECT_EQ(c.find(0), nullptr);
+    EXPECT_EQ(c.find(64), nullptr);
+}
+
+TEST(Cache, CapacityHolds)
+{
+    // Fill a 64-line cache completely; all lines resident.
+    Cache c(CacheGeometry{64 * blockBytes, 4, 1});
+    for (Addr b = 0; b < 64; ++b) {
+        Line &w = c.victimFor(b * blockBytes);
+        EXPECT_FALSE(w.valid());
+        c.install(w, b * blockBytes, LineState::Shared);
+    }
+    EXPECT_EQ(c.residentLines(), 64u);
+}
+
+} // namespace
+} // namespace lp::sim

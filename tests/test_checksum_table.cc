@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the standalone checksum table (Figure 7(b)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "lp/checksum_table.hh"
+#include "pmem/arena.hh"
+
+namespace lp::core
+{
+namespace
+{
+
+TEST(ChecksumTable, InitializedToSentinel)
+{
+    pmem::PersistentArena arena(1 << 16);
+    ChecksumTable t(arena, 64);
+    EXPECT_EQ(t.size(), 64u);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(t.stored(i), invalidDigest);
+        EXPECT_TRUE(t.neverCommitted(i));
+    }
+}
+
+TEST(ChecksumTable, StoreAndRead)
+{
+    pmem::PersistentArena arena(1 << 16);
+    ChecksumTable t(arena, 8);
+    *t.entry(3) = 0xdeadbeefull;
+    EXPECT_EQ(t.stored(3), 0xdeadbeefull);
+    EXPECT_FALSE(t.neverCommitted(3));
+    EXPECT_TRUE(t.neverCommitted(2));
+}
+
+TEST(ChecksumTable, EntriesLiveInTheArena)
+{
+    pmem::PersistentArena arena(1 << 16);
+    ChecksumTable t(arena, 8);
+    // The entry pointer translates to a valid arena address.
+    const Addr a = arena.addrOf(t.entry(0));
+    EXPECT_GE(a, static_cast<Addr>(blockBytes));
+    EXPECT_EQ(arena.ptr<std::uint64_t>(a), t.entry(0));
+}
+
+TEST(ChecksumTable, SurvivesCrashOnlyWhenPersisted)
+{
+    pmem::PersistentArena arena(1 << 16);
+    ChecksumTable t(arena, 16);
+    arena.persistAll();  // sentinel image durable
+
+    *t.entry(0) = 111;
+    arena.persistBlock(blockAlign(arena.addrOf(t.entry(0))));
+    *t.entry(15) = 222;  // same or different block; not persisted if
+                         // in a different block than entry 0
+    arena.crashRestore();
+    EXPECT_EQ(t.stored(0), 111u);
+    // Entry 15 lives 120 bytes after entry 0 -> a different block.
+    EXPECT_EQ(t.stored(15), invalidDigest);
+}
+
+TEST(ChecksumTable, ClearResetsEverything)
+{
+    pmem::PersistentArena arena(1 << 16);
+    ChecksumTable t(arena, 8);
+    *t.entry(1) = 7;
+    t.clear();
+    EXPECT_TRUE(t.neverCommitted(1));
+}
+
+TEST(ChecksumTable, SpaceOverheadIsSmall)
+{
+    // The paper reports ~1% space overhead for TMM: table
+    // (N/b)^2 entries vs. 3 N^2 matrix doubles.
+    const std::size_t n = 1024;
+    const std::size_t b = 16;
+    pmem::PersistentArena arena(1 << 20);
+    ChecksumTable t(arena, (n / b) * (n / b));
+    const double table_bytes = static_cast<double>(t.bytes());
+    const double data_bytes =
+        3.0 * static_cast<double>(n) * n * sizeof(double);
+    EXPECT_LT(table_bytes / data_bytes, 0.01);
+}
+
+TEST(ChecksumTableDeathTest, OutOfRangeIndexPanics)
+{
+    pmem::PersistentArena arena(1 << 16);
+    ChecksumTable t(arena, 4);
+    EXPECT_DEATH((void)t.stored(4), "out of range");
+}
+
+} // namespace
+} // namespace lp::core

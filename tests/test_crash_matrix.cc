@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cross-product crash/recovery property sweep: every kernel under
+ * every checksum kind and several thread counts must recover a
+ * mid-run power failure to the golden result. This is the widest
+ * correctness net in the suite -- it exercises the interaction of
+ * region traversal order (Adler-32 is order-sensitive), per-kernel
+ * recovery procedures, and the scheduler's thread interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kernels/harness.hh"
+
+namespace lp::kernels
+{
+namespace
+{
+
+sim::MachineConfig
+machineFor(int threads)
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = threads;
+    cfg.l1 = {8 * 1024, 4, 2};
+    cfg.l2 = {32 * 1024, 8, 11};  // small: force real evictions
+    return cfg;
+}
+
+KernelParams
+paramsFor(KernelId id, int threads, core::ChecksumKind kind)
+{
+    KernelParams p;
+    p.threads = threads;
+    p.checksum = kind;
+    switch (id) {
+      case KernelId::Fft:
+        p.n = 128;
+        break;
+      default:
+        p.n = 32;
+        p.bsize = 8;
+        break;
+    }
+    return p;
+}
+
+using Combo = std::tuple<KernelId, core::ChecksumKind, int>;
+
+class CrashMatrix : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(CrashMatrix, MidRunCrashRecovers)
+{
+    auto [kernel, kind, threads] = GetParam();
+    const auto cfg = machineFor(threads);
+    const auto p = paramsFor(kernel, threads, kind);
+
+    const auto full = runScheme(kernel, Scheme::Lp, p, cfg);
+    ASSERT_TRUE(full.verified);
+    const auto total =
+        static_cast<std::uint64_t>(full.stat("stores"));
+
+    const auto out = runLpWithCrash(kernel, p, cfg, total / 2);
+    EXPECT_TRUE(out.crashed);
+    EXPECT_TRUE(out.verified)
+        << kernelName(kernel) << "/"
+        << core::checksumKindName(kind) << "/" << threads
+        << " threads: err " << out.maxAbsError;
+}
+
+std::string
+comboName(const ::testing::TestParamInfo<Combo> &info)
+{
+    auto [kernel, kind, threads] = info.param;
+    std::string n = kernelName(kernel) + "_" +
+                    core::checksumKindName(kind) + "_t" +
+                    std::to_string(threads);
+    for (auto &ch : n)
+        if (ch == '-' || ch == '+')
+            ch = '_';
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindSweep, CrashMatrix,
+    ::testing::Combine(
+        ::testing::Values(KernelId::Tmm, KernelId::Cholesky,
+                          KernelId::Conv2d, KernelId::Gauss,
+                          KernelId::Fft),
+        ::testing::Values(core::ChecksumKind::Parity,
+                          core::ChecksumKind::Modular,
+                          core::ChecksumKind::Adler32,
+                          core::ChecksumKind::ModularParity),
+        ::testing::Values(4)),
+    comboName);
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadSweep, CrashMatrix,
+    ::testing::Combine(
+        ::testing::Values(KernelId::Tmm, KernelId::Cholesky,
+                          KernelId::Conv2d, KernelId::Gauss,
+                          KernelId::Fft),
+        ::testing::Values(core::ChecksumKind::Modular),
+        ::testing::Values(1, 2, 3)),
+    comboName);
+
+} // namespace
+} // namespace lp::kernels

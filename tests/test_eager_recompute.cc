@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the EagerRecompute building blocks: per-thread progress
+ * markers (false-sharing-free, durable) and the two-fence region
+ * commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "ep/eager_recompute.hh"
+#include "kernels/env.hh"
+#include "pmem/arena.hh"
+#include "sim/machine.hh"
+
+namespace lp::ep
+{
+namespace
+{
+
+using kernels::SimEnv;
+
+struct Fixture
+{
+    Fixture()
+        : arena(1 << 20), machine(config(), &arena),
+          markers(arena, 4)
+    {
+        data = arena.alloc<double>(128);
+        arena.persistAll();
+    }
+
+    static sim::MachineConfig
+    config()
+    {
+        sim::MachineConfig cfg;
+        cfg.numCores = 4;
+        cfg.l1 = {1024, 2, 2};
+        cfg.l2 = {4096, 4, 11};
+        return cfg;
+    }
+
+    pmem::PersistentArena arena;
+    sim::Machine machine;
+    ProgressMarkers markers;
+    double *data;
+};
+
+TEST(ProgressMarkers, StartAtNone)
+{
+    Fixture f;
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(f.markers.value(t), ProgressMarkers::none);
+}
+
+TEST(ProgressMarkers, SlotsAreBlockSeparated)
+{
+    Fixture f;
+    for (int t = 1; t < 4; ++t) {
+        const auto gap =
+            reinterpret_cast<std::uintptr_t>(f.markers.slot(t)) -
+            reinterpret_cast<std::uintptr_t>(f.markers.slot(t - 1));
+        EXPECT_GE(gap, static_cast<std::uintptr_t>(blockBytes));
+    }
+}
+
+TEST(EagerCommit, RegionIsDurableAfterCommit)
+{
+    Fixture f;
+    SimEnv env(f.machine, f.arena, 0);
+    for (int i = 0; i < 16; ++i)
+        env.st(&f.data[i], 2.0 * i);
+
+    std::vector<std::pair<const void *, std::size_t>> ranges;
+    ranges.emplace_back(f.data, 16 * sizeof(double));
+    eagerCommitRegion(env, ranges, f.markers, 0, 41);
+
+    f.machine.loseVolatileState();
+    f.arena.crashRestore();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_DOUBLE_EQ(f.data[i], 2.0 * i);
+    EXPECT_EQ(f.markers.value(0), 41u);
+}
+
+TEST(EagerCommit, MarkerOrderedAfterData)
+{
+    // Crash *between* the data fence and the marker persist cannot
+    // leave a marker claiming unpersisted data: the marker is stored
+    // and flushed strictly after the data fence. Simulate by
+    // crashing mid-commit: run the data part only, crash, and check
+    // the marker still reads the previous value.
+    Fixture f;
+    SimEnv env(f.machine, f.arena, 0);
+    for (int i = 0; i < 8; ++i)
+        env.st(&f.data[i], 1.0);
+    std::vector<std::pair<const void *, std::size_t>> ranges;
+    ranges.emplace_back(f.data, 8 * sizeof(double));
+    // Data part, manually.
+    for (const auto &[p, bytes] : ranges)
+        flushRange(env, p, bytes);
+    env.sfence();
+    // Crash before the marker store.
+    f.machine.loseVolatileState();
+    f.arena.crashRestore();
+    EXPECT_EQ(f.markers.value(0), ProgressMarkers::none);
+    EXPECT_DOUBLE_EQ(f.data[0], 1.0);  // data did persist
+}
+
+TEST(EagerCommit, TwoFencesPerRegion)
+{
+    Fixture f;
+    SimEnv env(f.machine, f.arena, 0);
+    env.st(&f.data[0], 3.0);
+    std::vector<std::pair<const void *, std::size_t>> ranges;
+    ranges.emplace_back(f.data, sizeof(double));
+    const auto fences = f.machine.machineStats().fences.value();
+    eagerCommitRegion(env, ranges, f.markers, 0, 7);
+    EXPECT_EQ(f.machine.machineStats().fences.value(), fences + 2);
+}
+
+TEST(EagerCommit, MonotonicMarkersPerThread)
+{
+    Fixture f;
+    for (int t = 0; t < 4; ++t) {
+        SimEnv env(f.machine, f.arena, t);
+        std::vector<std::pair<const void *, std::size_t>> ranges;
+        ranges.emplace_back(&f.data[t * 8], 8 * sizeof(double));
+        for (std::uint64_t r = 0; r < 3; ++r) {
+            env.st(&f.data[t * 8], static_cast<double>(r));
+            eagerCommitRegion(env, ranges, f.markers, t, r);
+            EXPECT_EQ(f.markers.value(t), r);
+        }
+    }
+}
+
+} // namespace
+} // namespace lp::ep

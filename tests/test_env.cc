@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the memory environments: SimEnv routes traffic through
+ * the machine and fires crash hooks; NativeEnv is a transparent
+ * no-op wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/env.hh"
+#include "pmem/arena.hh"
+#include "pmem/crash.hh"
+#include "sim/machine.hh"
+
+namespace lp::kernels
+{
+namespace
+{
+
+struct Fixture
+{
+    Fixture()
+        : arena(1 << 20), machine(config(), &arena)
+    {
+        data = arena.alloc<double>(64);
+        words = arena.alloc<std::uint64_t>(64);
+    }
+
+    static sim::MachineConfig
+    config()
+    {
+        sim::MachineConfig cfg;
+        cfg.numCores = 2;
+        cfg.l1 = {1024, 2, 2};
+        cfg.l2 = {4096, 4, 11};
+        return cfg;
+    }
+
+    pmem::PersistentArena arena;
+    sim::Machine machine;
+    double *data;
+    std::uint64_t *words;
+};
+
+TEST(SimEnv, LoadReturnsStoredValueAndCountsTraffic)
+{
+    Fixture f;
+    SimEnv env(f.machine, f.arena, 0);
+    env.st(&f.data[0], 2.75);
+    EXPECT_DOUBLE_EQ(env.ld(&f.data[0]), 2.75);
+    EXPECT_EQ(f.machine.machineStats().stores.value(), 1u);
+    EXPECT_EQ(f.machine.machineStats().loads.value(), 1u);
+}
+
+TEST(SimEnv, TypedAccessesWork)
+{
+    Fixture f;
+    SimEnv env(f.machine, f.arena, 0);
+    env.st(&f.words[3], std::uint64_t{0xabcdefull});
+    EXPECT_EQ(env.ld(&f.words[3]), 0xabcdefull);
+}
+
+TEST(SimEnv, CoreRoutingUsesTheRightClock)
+{
+    Fixture f;
+    SimEnv env0(f.machine, f.arena, 0);
+    SimEnv env1(f.machine, f.arena, 1);
+    env0.tick(4000);
+    EXPECT_GT(f.machine.coreCycles(0), f.machine.coreCycles(1));
+    env1.tick(8000);
+    EXPECT_GT(f.machine.coreCycles(1), f.machine.coreCycles(0));
+    EXPECT_EQ(env0.core(), 0);
+    EXPECT_EQ(env1.core(), 1);
+}
+
+TEST(SimEnv, StoreFiresCrashHook)
+{
+    Fixture f;
+    pmem::CrashController crash;
+    SimEnv env(f.machine, f.arena, 0, &crash);
+    crash.armAfterStores(3);
+    env.st(&f.data[0], 1.0);
+    env.st(&f.data[1], 2.0);
+    EXPECT_THROW(env.st(&f.data[2], 3.0), pmem::CrashException);
+    // The volatile write itself happened before the throw.
+    EXPECT_DOUBLE_EQ(f.data[2], 3.0);
+}
+
+TEST(SimEnv, LoadsDoNotFireCrashHook)
+{
+    Fixture f;
+    pmem::CrashController crash;
+    SimEnv env(f.machine, f.arena, 0, &crash);
+    crash.armAfterStores(1);
+    for (int i = 0; i < 16; ++i)
+        env.ld(&f.data[i]);
+    EXPECT_TRUE(crash.armed());
+}
+
+TEST(SimEnv, FlushAndFenceDelegateToMachine)
+{
+    Fixture f;
+    SimEnv env(f.machine, f.arena, 0);
+    env.st(&f.data[0], 5.0);
+    env.clflushopt(&f.data[0]);
+    env.sfence();
+    EXPECT_EQ(f.machine.machineStats().flushInstrs.value(), 1u);
+    EXPECT_EQ(f.machine.machineStats().fences.value(), 1u);
+    EXPECT_DOUBLE_EQ(f.arena.peekDurable(&f.data[0]), 5.0);
+
+    env.st(&f.data[1], 6.0);
+    env.clwb(&f.data[1]);
+    env.sfence();
+    EXPECT_DOUBLE_EQ(f.arena.peekDurable(&f.data[1]), 6.0);
+}
+
+TEST(NativeEnv, IsTransparent)
+{
+    NativeEnv env;
+    double x = 0.0;
+    env.st(&x, 9.5);
+    EXPECT_DOUBLE_EQ(env.ld(&x), 9.5);
+    EXPECT_DOUBLE_EQ(x, 9.5);
+    // All hooks compile and do nothing.
+    env.tick(1000);
+    env.clflushopt(&x);
+    env.clwb(&x);
+    env.sfence();
+    env.onRegionCommit();
+    EXPECT_EQ(env.core(), 0);
+    static_assert(!NativeEnv::simulated);
+    static_assert(kernels::SimEnv::simulated);
+}
+
+} // namespace
+} // namespace lp::kernels

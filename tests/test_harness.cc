@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the experiment harness: measurement plumbing, scheme
+ * comparisons at harness level, and crash-series bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/harness.hh"
+
+namespace lp::kernels
+{
+namespace
+{
+
+sim::MachineConfig
+testMachine()
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = 4;
+    cfg.l1 = {8 * 1024, 4, 2};
+    cfg.l2 = {64 * 1024, 8, 11};
+    return cfg;
+}
+
+KernelParams
+tinyTmm()
+{
+    KernelParams p;
+    p.n = 32;
+    p.bsize = 8;
+    p.threads = 4;
+    return p;
+}
+
+TEST(Harness, RunSchemeReportsStats)
+{
+    const auto out = runScheme(KernelId::Tmm, Scheme::Base, tinyTmm(),
+                               testMachine());
+    EXPECT_TRUE(out.verified);
+    EXPECT_GT(out.execCycles, 0.0);
+    EXPECT_GT(out.stat("loads"), 0.0);
+    EXPECT_GT(out.stat("stores"), 0.0);
+    EXPECT_EQ(out.stat("nonexistent_counter"), 0.0);
+    EXPECT_DOUBLE_EQ(out.nvmmWrites, out.stat("nvmm_writes"));
+}
+
+TEST(Harness, DeterministicAcrossRuns)
+{
+    const auto a = runScheme(KernelId::Tmm, Scheme::Lp, tinyTmm(),
+                             testMachine());
+    const auto b = runScheme(KernelId::Tmm, Scheme::Lp, tinyTmm(),
+                             testMachine());
+    EXPECT_DOUBLE_EQ(a.execCycles, b.execCycles);
+    EXPECT_DOUBLE_EQ(a.nvmmWrites, b.nvmmWrites);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(Harness, SeedChangesData)
+{
+    KernelParams p1 = tinyTmm();
+    KernelParams p2 = tinyTmm();
+    p2.seed = 999;
+    const auto a = runScheme(KernelId::Tmm, Scheme::Base, p1,
+                             testMachine());
+    const auto b = runScheme(KernelId::Tmm, Scheme::Base, p2,
+                             testMachine());
+    EXPECT_TRUE(a.verified);
+    EXPECT_TRUE(b.verified);
+}
+
+TEST(Harness, LpOverheadIsSmallFractionOfBase)
+{
+    // The paper's central claim in miniature: LP execution time is
+    // within a few percent of base.
+    const auto base = runScheme(KernelId::Tmm, Scheme::Base,
+                                tinyTmm(), testMachine());
+    const auto lp = runScheme(KernelId::Tmm, Scheme::Lp, tinyTmm(),
+                              testMachine());
+    EXPECT_LT(lp.execCycles / base.execCycles, 1.15);
+    EXPECT_LT(lp.nvmmWrites / std::max(base.nvmmWrites, 1.0), 1.30);
+}
+
+TEST(Harness, CrashOutcomeCountsRecoveryCycles)
+{
+    const auto out = runLpWithCrash(KernelId::Tmm, tinyTmm(),
+                                    testMachine(), 2000);
+    EXPECT_TRUE(out.crashed);
+    EXPECT_GT(out.recoveryCycles, 0.0);
+}
+
+TEST(Harness, EmptyCrashSeriesJustRuns)
+{
+    const auto out = runLpWithCrashes(KernelId::Tmm, tinyTmm(),
+                                      testMachine(), {});
+    EXPECT_FALSE(out.crashed);
+    EXPECT_EQ(out.crashes, 0);
+    EXPECT_TRUE(out.verified);
+}
+
+} // namespace
+} // namespace lp::kernels

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the JSON stats emitter: escaping, number formats,
+ * nesting, and snapshot conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/json.hh"
+
+namespace lp::stats
+{
+namespace
+{
+
+TEST(Json, Numbers)
+{
+    EXPECT_EQ(JsonValue(0.0).render(), "0");
+    EXPECT_EQ(JsonValue(42).render(), "42");
+    EXPECT_EQ(JsonValue(-7).render(), "-7");
+    EXPECT_EQ(JsonValue(1.5).render(), "1.5");
+    EXPECT_EQ(JsonValue(std::uint64_t{123456789}).render(),
+              "123456789");
+    // Non-finite values degrade to null, never invalid JSON.
+    EXPECT_EQ(JsonValue(std::nan("")).render(), "null");
+}
+
+TEST(Json, Strings)
+{
+    EXPECT_EQ(JsonValue("plain").render(), "\"plain\"");
+    EXPECT_EQ(JsonValue("a\"b").render(), "\"a\\\"b\"");
+    EXPECT_EQ(JsonValue("back\\slash").render(),
+              "\"back\\\\slash\"");
+    EXPECT_EQ(JsonValue("line\nbreak").render(),
+              "\"line\\nbreak\"");
+    EXPECT_EQ(JsonValue(std::string(1, '\x01')).render(),
+              "\"\\u0001\"");
+}
+
+TEST(Json, Booleans)
+{
+    EXPECT_EQ(JsonValue(true).render(), "1");
+    EXPECT_EQ(JsonValue(false).render(), "0");
+}
+
+TEST(Json, Objects)
+{
+    JsonValue::Object inner;
+    inner.emplace("x", JsonValue(1));
+    JsonValue::Object outer;
+    outer.emplace("name", JsonValue("tmm"));
+    outer.emplace("stats", JsonValue(inner));
+    EXPECT_EQ(JsonValue(outer).render(),
+              "{\"name\":\"tmm\",\"stats\":{\"x\":1}}");
+}
+
+TEST(Json, EmptyObject)
+{
+    EXPECT_EQ(JsonValue(JsonValue::Object{}).render(), "{}");
+}
+
+TEST(Json, SnapshotRoundTrip)
+{
+    Snapshot snap;
+    snap["nvmm_writes"] = 1234;
+    snap["exec_cycles"] = 5.5e6;
+    const auto obj = toJson(snap);
+    const std::string s = JsonValue(obj).render();
+    EXPECT_NE(s.find("\"nvmm_writes\":1234"), std::string::npos);
+    EXPECT_NE(s.find("\"exec_cycles\":5500000"), std::string::npos);
+}
+
+} // namespace
+} // namespace lp::stats

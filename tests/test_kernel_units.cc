@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Kernel-internal unit tests: individual region bodies, checksum
+ * traversal consistency (a region's committed digest must equal the
+ * recovery-side recomputation on the same data), and index/bounds
+ * helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/rng.hh"
+#include "kernels/cholesky.hh"
+#include "kernels/conv2d.hh"
+#include "kernels/env.hh"
+#include "kernels/fft.hh"
+#include "kernels/gauss.hh"
+#include "kernels/tmm.hh"
+#include "lp/checksum_table.hh"
+#include "pmem/arena.hh"
+
+namespace lp::kernels
+{
+namespace
+{
+
+struct Fixture
+{
+    Fixture()
+        : arena(8u << 20), machine(config(), &arena)
+    {
+    }
+
+    static sim::MachineConfig
+    config()
+    {
+        sim::MachineConfig cfg;
+        cfg.numCores = 1;
+        cfg.l1 = {4096, 4, 2};
+        cfg.l2 = {16384, 4, 11};
+        return cfg;
+    }
+
+    SimEnv
+    env()
+    {
+        return SimEnv(machine, arena, 0);
+    }
+
+    pmem::PersistentArena arena;
+    sim::Machine machine;
+};
+
+TEST(TmmUnits, RegionDigestMatchesBandRecomputation)
+{
+    // The digest a region commits must equal what recovery
+    // recomputes from the band afterwards -- for every checksum kind
+    // (Adler-32 is order-sensitive, so this checks traversal order).
+    Fixture f;
+    const int n = 16;
+    const int b = 8;
+    double *a = f.arena.alloc<double>(n * n);
+    double *bb = f.arena.alloc<double>(n * n);
+    double *c = f.arena.alloc<double>(n * n);
+    Rng rng(3);
+    for (int i = 0; i < n * n; ++i) {
+        a[i] = rng.uniform(0, 1);
+        bb[i] = rng.uniform(0, 1);
+        c[i] = 0.0;
+    }
+    const TmmView v{a, bb, c, n, b};
+    core::ChecksumTable table(f.arena, 8);
+
+    for (core::ChecksumKind kind :
+         {core::ChecksumKind::Parity, core::ChecksumKind::Modular,
+          core::ChecksumKind::Adler32,
+          core::ChecksumKind::ModularParity}) {
+        auto env = f.env();
+        core::LpRegion region(table, kind);
+        tmmRegionLp(env, v, /*kk=*/0, /*ii=*/8, region, 1);
+        EXPECT_EQ(table.stored(1),
+                  tmmBandChecksum(env, v, 8, kind))
+            << core::checksumKindName(kind);
+    }
+}
+
+TEST(TmmUnits, BaseAndLpRegionComputeTheSameValues)
+{
+    Fixture f;
+    const int n = 16;
+    const int b = 8;
+    double *a = f.arena.alloc<double>(n * n);
+    double *bb = f.arena.alloc<double>(n * n);
+    double *c1 = f.arena.alloc<double>(n * n);
+    double *c2 = f.arena.alloc<double>(n * n);
+    Rng rng(4);
+    for (int i = 0; i < n * n; ++i) {
+        a[i] = rng.uniform(0, 1);
+        bb[i] = rng.uniform(0, 1);
+        c1[i] = c2[i] = 0.0;
+    }
+    core::ChecksumTable table(f.arena, 8);
+    auto env = f.env();
+    const TmmView v1{a, bb, c1, n, b};
+    const TmmView v2{a, bb, c2, n, b};
+    tmmRegionBase(env, v1, 0, 0);
+    core::LpRegion region(table, core::ChecksumKind::Modular);
+    tmmRegionLp(env, v2, 0, 0, region, 0);
+    for (int i = 0; i < n * n; ++i)
+        EXPECT_DOUBLE_EQ(c1[i], c2[i]) << i;
+}
+
+TEST(CholUnits, DiagonalBlockFactorsCorrectly)
+{
+    // One diagonal block on a small SPD matrix equals the host
+    // Cholesky of that block.
+    Fixture f;
+    const int n = 8;
+    const int b = 8;
+    double *a = f.arena.alloc<double>(n * n);
+    double *l = f.arena.alloc<double>(n * n);
+    Rng rng(5);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j <= i; ++j) {
+            const double x = rng.uniform(0, 1);
+            a[i * n + j] = a[j * n + i] = x;
+        }
+        a[i * n + i] += n;
+    }
+    std::fill(l, l + n * n, 0.0);
+    const CholView v{a, l, n, b};
+    auto env = f.env();
+    cholBlock(env, v, 0, 0, nullptr, false);
+
+    // L * L^T must reconstruct A (lower part).
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j <= i; ++j) {
+            double sum = 0.0;
+            for (int t = 0; t < n; ++t)
+                sum += l[i * n + t] * l[j * n + t];
+            EXPECT_NEAR(sum, a[i * n + j], 1e-9);
+        }
+    }
+}
+
+TEST(CholUnits, RegionDigestMatchesBlockRecomputation)
+{
+    Fixture f;
+    const int n = 16;
+    const int b = 8;
+    double *a = f.arena.alloc<double>(n * n);
+    double *l = f.arena.alloc<double>(n * n);
+    Rng rng(6);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j <= i; ++j) {
+            const double x = rng.uniform(0, 1);
+            a[i * n + j] = a[j * n + i] = x;
+        }
+        a[i * n + i] += n;
+    }
+    std::fill(l, l + n * n, 0.0);
+    const CholView v{a, l, n, b};
+    core::ChecksumTable table(f.arena, 4);
+    auto env = f.env();
+
+    // Stage 0: diagonal then panel; each digest must revalidate.
+    core::LpRegion diag(table, core::ChecksumKind::Adler32);
+    diag.reset(env);
+    cholBlock(env, v, 0, 0, &diag, false);
+    diag.commit(env, 0);
+    EXPECT_EQ(table.stored(0),
+              cholBlockChecksum(env, v, 0, 0,
+                                core::ChecksumKind::Adler32));
+
+    core::LpRegion panel(table, core::ChecksumKind::Adler32);
+    panel.reset(env);
+    cholBlock(env, v, 0, 1, &panel, false);
+    panel.commit(env, 1);
+    EXPECT_EQ(table.stored(1),
+              cholBlockChecksum(env, v, 0, 1,
+                                core::ChecksumKind::Adler32));
+}
+
+TEST(GaussUnits, BandDigestMatchesRecomputation)
+{
+    Fixture f;
+    const int n = 16;
+    double *a = f.arena.alloc<double>(n * n);
+    double *m = f.arena.alloc<double>(n * n);
+    Rng rng(7);
+    for (int i = 0; i < n * n; ++i)
+        a[i] = rng.uniform(-1, 1);
+    for (int i = 0; i < n; ++i)
+        a[i * n + i] += n;
+    std::copy(a, a + n * n, m);
+    const GaussView v{a, m, n, 8};
+    core::ChecksumTable table(f.arena, 4);
+    auto env = f.env();
+
+    core::LpRegion region(table, core::ChecksumKind::Adler32);
+    region.reset(env);
+    gaussBandBody(env, v, /*k=*/2, /*row0=*/0, /*row1=*/8, &region);
+    region.commit(env, 0);
+    EXPECT_EQ(table.stored(0),
+              gaussBandChecksum(env, v, 2, 0, 8,
+                                core::ChecksumKind::Adler32));
+}
+
+TEST(GaussUnits, RowChecksumCoversWholeRow)
+{
+    Fixture f;
+    const int n = 8;
+    double *a = f.arena.alloc<double>(n * n);
+    double *m = f.arena.alloc<double>(n * n);
+    for (int i = 0; i < n * n; ++i)
+        m[i] = i;
+    const GaussView v{a, m, n, 4};
+    auto env = f.env();
+    const auto before =
+        gaussRowChecksum(env, v, 2, core::ChecksumKind::Modular);
+    m[2 * n + 7] += 1.0;  // perturb the last column
+    EXPECT_NE(gaussRowChecksum(env, v, 2,
+                               core::ChecksumKind::Modular),
+              before);
+}
+
+TEST(FftUnits, ChunkDigestMatchesRecomputation)
+{
+    Fixture f;
+    const int n = 64;
+    double *ire = f.arena.alloc<double>(n);
+    double *iim = f.arena.alloc<double>(n);
+    double *are = f.arena.alloc<double>(n);
+    double *aim = f.arena.alloc<double>(n);
+    double *bre = f.arena.alloc<double>(n);
+    double *bim = f.arena.alloc<double>(n);
+    Rng rng(8);
+    for (int i = 0; i < n; ++i) {
+        ire[i] = rng.uniform(-1, 1);
+        iim[i] = rng.uniform(-1, 1);
+    }
+    const FftView v{ire, iim, are, aim, bre, bim, n};
+    core::ChecksumTable table(f.arena, 4);
+    auto env = f.env();
+
+    core::LpRegion region(table, core::ChecksumKind::Adler32);
+    region.reset(env);
+    fftChunk(env, v, /*k=*/0, 5, 23, &region);
+    region.commit(env, 0);
+    EXPECT_EQ(table.stored(0),
+              fftChunkChecksum(env, v, 0, 5, 23,
+                               core::ChecksumKind::Adler32));
+}
+
+TEST(FftUnits, StagesChainThroughBuffers)
+{
+    FftView v{};
+    v.n = 16;
+    double in[1], a[1], b[1];
+    v.inRe = v.inIm = in;
+    v.aRe = v.aIm = a;
+    v.bRe = v.bIm = b;
+    // Structural identities: stage 0 reads the immutable input; each
+    // later stage reads the previous stage's destination.
+    EXPECT_EQ(fftSrcRe(v, 0), v.inRe);
+    for (int k = 1; k < 4; ++k)
+        EXPECT_EQ(fftSrcRe(v, k), fftDstRe(v, k - 1));
+    EXPECT_NE(fftDstRe(v, 0), fftDstRe(v, 1));
+    EXPECT_EQ(fftDstRe(v, 0), fftDstRe(v, 2));
+}
+
+TEST(ConvUnits, PingPongMapping)
+{
+    Conv2dView v{};
+    double in[1], a[1], b[1];
+    v.input = in;
+    v.bufA = a;
+    v.bufB = b;
+    EXPECT_EQ(conv2dSrc(v, 0), in);
+    EXPECT_EQ(conv2dDst(v, 0), a);
+    EXPECT_EQ(conv2dSrc(v, 1), a);
+    EXPECT_EQ(conv2dDst(v, 1), b);
+    EXPECT_EQ(conv2dSrc(v, 2), b);
+    EXPECT_EQ(conv2dDst(v, 2), a);
+}
+
+TEST(ConvUnits, BandDigestMatchesRecomputation)
+{
+    Fixture f;
+    const int n = 16;
+    double *in = f.arena.alloc<double>(n * n);
+    double *w = f.arena.alloc<double>(9);
+    double *a = f.arena.alloc<double>(n * n);
+    double *b = f.arena.alloc<double>(n * n);
+    Rng rng(9);
+    for (int i = 0; i < n * n; ++i)
+        in[i] = rng.uniform(-1, 1);
+    for (int i = 0; i < 9; ++i)
+        w[i] = rng.uniform(0, 0.3);
+    const Conv2dView v{in, w, a, b, n, 8};
+    core::ChecksumTable table(f.arena, 4);
+    auto env = f.env();
+
+    core::LpRegion region(table, core::ChecksumKind::Adler32);
+    conv2dBandLp(env, v, /*s=*/0, 0, 8, region, 0);
+    EXPECT_EQ(table.stored(0),
+              conv2dBandChecksum(env, v, 0, 0, 8,
+                                 core::ChecksumKind::Adler32));
+}
+
+TEST(ConvUnits, ZeroPaddingAtEdges)
+{
+    // A uniform input under a normalized stencil keeps interior
+    // values but attenuates the border (padding contributes zeros).
+    Fixture f;
+    const int n = 8;
+    double *in = f.arena.alloc<double>(n * n);
+    double *w = f.arena.alloc<double>(9);
+    double *a = f.arena.alloc<double>(n * n);
+    double *b = f.arena.alloc<double>(n * n);
+    for (int i = 0; i < n * n; ++i)
+        in[i] = 1.0;
+    for (int i = 0; i < 9; ++i)
+        w[i] = 1.0 / 9.0;
+    const Conv2dView v{in, w, a, b, n, n};
+    auto env = f.env();
+    conv2dBandBase(env, v, 0, 0, n);
+    EXPECT_NEAR(a[3 * n + 3], 1.0, 1e-12);          // interior
+    EXPECT_NEAR(a[0], 4.0 / 9.0, 1e-12);            // corner
+    EXPECT_NEAR(a[0 * n + 3], 6.0 / 9.0, 1e-12);    // edge
+}
+
+} // namespace
+} // namespace lp::kernels

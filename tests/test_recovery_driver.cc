@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the generic recovery driver's two resume policies, using
+ * synthetic stage/region fixtures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "lp/recovery.hh"
+
+namespace lp::core
+{
+namespace
+{
+
+/** A synthetic world: matches[stage][region] drives the driver. */
+struct World
+{
+    explicit World(std::vector<std::vector<bool>> m)
+        : matchGrid(std::move(m))
+    {
+    }
+
+    RecoveryCallbacks
+    callbacks()
+    {
+        RecoveryCallbacks cb;
+        cb.numStages = static_cast<int>(matchGrid.size());
+        cb.regionsInStage = [this](int s) {
+            return static_cast<int>(matchGrid[s].size());
+        };
+        cb.matches = [this](int s, int r) { return matchGrid[s][r]; };
+        cb.repair = [this](int s, int r) {
+            repaired.emplace_back(s, r);
+            matchGrid[s][r] = true;
+        };
+        return cb;
+    }
+
+    std::vector<std::vector<bool>> matchGrid;
+    std::vector<std::pair<int, int>> repaired;
+};
+
+TEST(RecoveryDriver, ValidateAllUpToNothingMatched)
+{
+    World w({{false, false}, {false, false}});
+    auto res = recover(w.callbacks(),
+                       ResumePolicy::ValidateAllUpTo);
+    EXPECT_EQ(res.resumeStage, 0);
+    EXPECT_TRUE(w.repaired.empty());
+}
+
+TEST(RecoveryDriver, ValidateAllUpToRepairsBelowHighWaterMark)
+{
+    // Stage 1 has one match -> HWM = 1; everything not matching in
+    // stages 0..1 is repaired; resume at 2.
+    World w({{true, false, true},
+             {false, true, false},
+             {false, false, false}});
+    auto res = recover(w.callbacks(),
+                       ResumePolicy::ValidateAllUpTo);
+    EXPECT_EQ(res.resumeStage, 2);
+    const std::vector<std::pair<int, int>> expect = {
+        {0, 1}, {1, 0}, {1, 2}};
+    EXPECT_EQ(w.repaired, expect);
+    EXPECT_EQ(res.repaired, 3u);
+    EXPECT_EQ(res.matched, 3u);
+}
+
+TEST(RecoveryDriver, ValidateAllUpToFullyMatchedResumesAtEnd)
+{
+    World w({{true}, {true}, {true}});
+    auto res = recover(w.callbacks(),
+                       ResumePolicy::ValidateAllUpTo);
+    EXPECT_EQ(res.resumeStage, 3);
+    EXPECT_TRUE(w.repaired.empty());
+}
+
+TEST(RecoveryDriver, ValidateAllUpToRepairsInRegionOrder)
+{
+    // Intra-stage ordering matters (Cholesky's diagonal first).
+    World w({{false, false, false, true}});
+    auto res = recover(w.callbacks(),
+                       ResumePolicy::ValidateAllUpTo);
+    EXPECT_EQ(res.resumeStage, 1);
+    ASSERT_EQ(w.repaired.size(), 3u);
+    EXPECT_LT(w.repaired[0].second, w.repaired[1].second);
+    EXPECT_LT(w.repaired[1].second, w.repaired[2].second);
+}
+
+TEST(RecoveryDriver, NewestFullStagePicksNewestCompleteStage)
+{
+    World w({{true, true},
+             {true, true},
+             {true, false},
+             {false, false}});
+    auto res = recover(w.callbacks(),
+                       ResumePolicy::NewestFullStage);
+    EXPECT_EQ(res.resumeStage, 2);
+    EXPECT_TRUE(w.repaired.empty());  // policy never repairs
+}
+
+TEST(RecoveryDriver, NewestFullStageNothingComplete)
+{
+    World w({{false}, {true, false}});
+    auto res = recover(w.callbacks(),
+                       ResumePolicy::NewestFullStage);
+    EXPECT_EQ(res.resumeStage, 0);
+}
+
+TEST(RecoveryDriver, NewestFullStageAllComplete)
+{
+    World w({{true}, {true}});
+    auto res = recover(w.callbacks(),
+                       ResumePolicy::NewestFullStage);
+    EXPECT_EQ(res.resumeStage, 2);
+}
+
+TEST(RecoveryDriver, ZeroStagesIsANoOp)
+{
+    World w({});
+    auto res1 = recover(w.callbacks(),
+                        ResumePolicy::ValidateAllUpTo);
+    EXPECT_EQ(res1.resumeStage, 0);
+    auto res2 = recover(w.callbacks(),
+                        ResumePolicy::NewestFullStage);
+    EXPECT_EQ(res2.resumeStage, 0);
+}
+
+TEST(RecoveryDriver, VariableRegionCounts)
+{
+    // Triangular structure like Cholesky: later stages have fewer
+    // regions.
+    World w({{true, true, true}, {true, false}, {false}});
+    auto res = recover(w.callbacks(),
+                       ResumePolicy::ValidateAllUpTo);
+    EXPECT_EQ(res.resumeStage, 2);
+    const std::vector<std::pair<int, int>> expect = {{1, 1}};
+    EXPECT_EQ(w.repaired, expect);
+}
+
+} // namespace
+} // namespace lp::core

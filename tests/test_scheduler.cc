@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the min-clock region scheduler: ordering, interleaving,
+ * barriers, and crash cleanup.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hh"
+#include "sim/scheduler.hh"
+
+namespace lp::sim
+{
+namespace
+{
+
+MachineConfig
+cfg4()
+{
+    MachineConfig cfg;
+    cfg.numCores = 4;
+    cfg.l1 = {1024, 2, 2};
+    cfg.l2 = {4096, 4, 11};
+    return cfg;
+}
+
+TEST(Scheduler, RunsAllItems)
+{
+    Machine m(cfg4(), nullptr);
+    RegionScheduler sched(m, 4);
+    int count = 0;
+    for (int t = 0; t < 4; ++t)
+        for (int i = 0; i < 5; ++i)
+            sched.add(t, [&count] { ++count; });
+    EXPECT_EQ(sched.pending(), 20u);
+    sched.run();
+    EXPECT_EQ(count, 20);
+    EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Scheduler, PerThreadOrderPreserved)
+{
+    Machine m(cfg4(), nullptr);
+    RegionScheduler sched(m, 2);
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+        sched.add(0, [&order, i] { order.push_back(i); });
+    sched.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Scheduler, PicksThreadWithSmallestClock)
+{
+    Machine m(cfg4(), nullptr);
+    RegionScheduler sched(m, 2);
+    std::vector<int> trace;
+    // Thread 0's first item is expensive; thread 1's items are cheap,
+    // so both of thread 1's items should run before thread 0's second.
+    sched.add(0, [&] { trace.push_back(0); m.tick(0, 10000); });
+    sched.add(0, [&] { trace.push_back(1); });
+    sched.add(1, [&] { trace.push_back(10); m.tick(1, 4); });
+    sched.add(1, [&] { trace.push_back(11); m.tick(1, 4); });
+    sched.run();
+    EXPECT_EQ(trace, (std::vector<int>{0, 10, 11, 1}));
+}
+
+TEST(Scheduler, BarrierSynchronizesClocks)
+{
+    Machine m(cfg4(), nullptr);
+    RegionScheduler sched(m, 2);
+    sched.add(0, [&] { m.tick(0, 40000); });
+    sched.add(1, [&] { m.tick(1, 4); });
+    sched.barrier();
+    EXPECT_EQ(m.coreCycles(0), m.coreCycles(1));
+    EXPECT_EQ(m.coreCycles(0), 10000u);
+}
+
+TEST(Scheduler, ClearDropsPendingItems)
+{
+    Machine m(cfg4(), nullptr);
+    RegionScheduler sched(m, 2);
+    int count = 0;
+    sched.add(0, [&] { ++count; });
+    sched.add(1, [&] { ++count; });
+    sched.clear();
+    sched.run();
+    EXPECT_EQ(count, 0);
+}
+
+TEST(Scheduler, ExceptionLeavesRemainingItemsQueued)
+{
+    Machine m(cfg4(), nullptr);
+    RegionScheduler sched(m, 1);
+    sched.add(0, [] { throw std::runtime_error("boom"); });
+    sched.add(0, [] {});
+    EXPECT_THROW(sched.run(), std::runtime_error);
+    EXPECT_EQ(sched.pending(), 1u);
+    sched.clear();
+    EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(SchedulerDeathTest, TooManyThreadsPanics)
+{
+    Machine m(cfg4(), nullptr);
+    EXPECT_DEATH(RegionScheduler(m, 5), "more threads than cores");
+}
+
+} // namespace
+} // namespace lp::sim

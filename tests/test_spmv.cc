@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the SpMV extension kernel: correctness under every
+ * scheme, keyed-table usage, irregular-region load balance, and
+ * crash recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/harness.hh"
+#include "kernels/spmv.hh"
+
+namespace lp::kernels
+{
+namespace
+{
+
+sim::MachineConfig
+testMachine(int cores = 4)
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = cores;
+    cfg.l1 = {8 * 1024, 4, 2};
+    cfg.l2 = {32 * 1024, 8, 11};
+    return cfg;
+}
+
+KernelParams
+smallParams()
+{
+    KernelParams p;
+    p.n = 128;
+    p.bsize = 16;
+    p.threads = 4;
+    p.iterations = 5;
+    return p;
+}
+
+TEST(Spmv, BaseProducesGoldenResult)
+{
+    const auto out = runScheme(KernelId::Spmv, Scheme::Base,
+                               smallParams(), testMachine());
+    EXPECT_TRUE(out.verified) << out.maxAbsError;
+}
+
+TEST(Spmv, LpProducesGoldenResultWithNoFlushes)
+{
+    const auto out = runScheme(KernelId::Spmv, Scheme::Lp,
+                               smallParams(), testMachine());
+    EXPECT_TRUE(out.verified) << out.maxAbsError;
+    EXPECT_EQ(out.stat("flush_instrs"), 0.0);
+    EXPECT_EQ(out.stat("fences"), 0.0);
+}
+
+TEST(Spmv, EagerRecomputeProducesGoldenResult)
+{
+    const auto out = runScheme(KernelId::Spmv, Scheme::EagerRecompute,
+                               smallParams(), testMachine());
+    EXPECT_TRUE(out.verified) << out.maxAbsError;
+    EXPECT_GT(out.stat("fences"), 0.0);
+}
+
+TEST(Spmv, SingleIterationWorks)
+{
+    KernelParams p = smallParams();
+    p.iterations = 1;
+    const auto out = runScheme(KernelId::Spmv, Scheme::Lp, p,
+                               testMachine());
+    EXPECT_TRUE(out.verified);
+}
+
+TEST(Spmv, RegionKeysAreUnique)
+{
+    std::set<std::uint64_t> keys;
+    for (int s = 0; s < 64; ++s)
+        for (int band = 0; band < 256; ++band)
+            keys.insert(SpmvWorkload::regionKey(s, band));
+    EXPECT_EQ(keys.size(), 64u * 256u);
+}
+
+TEST(Spmv, KeyedTableHoldsOneSlotPerRegion)
+{
+    const auto p = smallParams();
+    SimContext ctx(testMachine(),
+                   arenaBytesFor(KernelId::Spmv, p));
+    SpmvWorkload w(p, ctx);
+    w.run(Scheme::Lp);
+    EXPECT_EQ(w.table().occupancy(), w.numRegions());
+}
+
+class SpmvCrashSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SpmvCrashSweep, RecoversToGolden)
+{
+    const auto p = smallParams();
+    const auto cfg = testMachine();
+    const auto full = runScheme(KernelId::Spmv, Scheme::Lp, p, cfg);
+    const auto total =
+        static_cast<std::uint64_t>(full.stat("stores"));
+    const std::uint64_t point =
+        1 + (total - 2) * static_cast<std::uint64_t>(GetParam()) / 7;
+    const auto out = runLpWithCrash(KernelId::Spmv, p, cfg, point);
+    EXPECT_TRUE(out.crashed);
+    EXPECT_TRUE(out.verified)
+        << "crash point " << point << " err " << out.maxAbsError;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpmvCrashSweep,
+                         ::testing::Range(0, 8));
+
+TEST(Spmv, RepeatedCrashesConverge)
+{
+    const auto p = smallParams();
+    const auto cfg = testMachine();
+    const auto full = runScheme(KernelId::Spmv, Scheme::Lp, p, cfg);
+    const auto total =
+        static_cast<std::uint64_t>(full.stat("stores"));
+    const auto out = runLpWithCrashes(KernelId::Spmv, p, cfg,
+                                      {total / 2, total / 6});
+    EXPECT_EQ(out.crashes, 2);
+    EXPECT_TRUE(out.verified);
+}
+
+TEST(Spmv, ChecksumKindsAllRecover)
+{
+    for (core::ChecksumKind kind :
+         {core::ChecksumKind::Parity, core::ChecksumKind::Adler32}) {
+        KernelParams p = smallParams();
+        p.checksum = kind;
+        const auto cfg = testMachine();
+        const auto full = runScheme(KernelId::Spmv, Scheme::Lp, p,
+                                    cfg);
+        const auto total =
+            static_cast<std::uint64_t>(full.stat("stores"));
+        const auto out = runLpWithCrash(KernelId::Spmv, p, cfg,
+                                        total / 2);
+        EXPECT_TRUE(out.verified)
+            << core::checksumKindName(kind);
+    }
+}
+
+} // namespace
+} // namespace lp::kernels

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+namespace lp::stats
+{
+namespace
+{
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    c++;
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Maximum, TracksMax)
+{
+    Maximum m;
+    EXPECT_EQ(m.value(), 0u);
+    m.sample(3);
+    m.sample(1);
+    m.sample(9);
+    m.sample(4);
+    EXPECT_EQ(m.value(), 9u);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::ratio(1.5, 1), "1.5x");
+    EXPECT_EQ(Table::percent(0.123, 1), "12.3%");
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    Table t({"scheme", "time"});
+    t.addRow({"base", "1.00"});
+    t.addRow({"tmm+LP", "1.002"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("scheme"), std::string::npos);
+    EXPECT_NE(s.find("tmm+LP"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"only"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+} // namespace
+} // namespace lp::stats

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the embedded checksum organization (Figure 7(a)):
+ * correctness without failure, crash/recovery sweep, sentinel
+ * initialization, and the space accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/harness.hh"
+#include "kernels/tmm_embedded.hh"
+
+namespace lp::kernels
+{
+namespace
+{
+
+sim::MachineConfig
+testMachine()
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = 4;
+    cfg.l1 = {8 * 1024, 4, 2};
+    cfg.l2 = {64 * 1024, 8, 11};
+    return cfg;
+}
+
+KernelParams
+smallParams()
+{
+    KernelParams p;
+    p.n = 32;
+    p.bsize = 8;
+    p.threads = 4;
+    return p;
+}
+
+TEST(TmmEmbedded, FailureFreeRunVerifies)
+{
+    const auto out = runTmmEmbedded(smallParams(), testMachine());
+    EXPECT_TRUE(out.verified) << out.maxAbsError;
+    EXPECT_FALSE(out.crashed);
+    EXPECT_GT(out.execCycles, 0.0);
+}
+
+TEST(TmmEmbedded, SpaceAccountingMatchesLayout)
+{
+    const auto p = smallParams();
+    const auto out = runTmmEmbedded(p, testMachine());
+    const std::size_t stages = p.n / p.bsize;
+    EXPECT_EQ(out.embeddedBytes,
+              static_cast<std::size_t>(p.n) * stages *
+                  sizeof(double));
+}
+
+TEST(TmmEmbedded, AddsNoFlushesInNormalExecution)
+{
+    // Embedded LP is still lazy: compare writes against the base
+    // scheme on the same machine scale.
+    const auto p = smallParams();
+    const auto cfg = testMachine();
+    const auto base = runScheme(KernelId::Tmm, Scheme::Base, p, cfg);
+    const auto emb = runTmmEmbedded(p, cfg);
+    // Within a few percent of base writes (different stride changes
+    // eviction patterns slightly).
+    EXPECT_LT(emb.nvmmWrites, base.nvmmWrites * 1.15 + 64.0);
+}
+
+class EmbeddedCrashSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EmbeddedCrashSweep, RecoversToGolden)
+{
+    const auto p = smallParams();
+    const auto cfg = testMachine();
+    // Total stores from a full embedded run's scale: use the
+    // standalone-table LP run as the yardstick (same store count for
+    // data; embedded adds one digest store per region).
+    const auto full = runScheme(KernelId::Tmm, Scheme::Lp, p, cfg);
+    const auto total =
+        static_cast<std::uint64_t>(full.stat("stores"));
+    const std::uint64_t point =
+        1 + (total - 2) * static_cast<std::uint64_t>(GetParam()) / 5;
+    const auto out = runTmmEmbedded(p, cfg, point);
+    EXPECT_TRUE(out.crashed);
+    EXPECT_TRUE(out.verified)
+        << "crash point " << point << " err " << out.maxAbsError;
+    EXPECT_EQ(out.bandsMatched + out.bandsRebuilt, p.n / p.bsize);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EmbeddedCrashSweep,
+                         ::testing::Range(0, 6));
+
+TEST(TmmEmbedded, ChecksumKindsAllWork)
+{
+    for (core::ChecksumKind kind :
+         {core::ChecksumKind::Parity, core::ChecksumKind::Modular,
+          core::ChecksumKind::Adler32,
+          core::ChecksumKind::ModularParity}) {
+        KernelParams p = smallParams();
+        p.checksum = kind;
+        const auto out = runTmmEmbedded(p, testMachine(), 3000);
+        EXPECT_TRUE(out.verified)
+            << core::checksumKindName(kind);
+    }
+}
+
+} // namespace
+} // namespace lp::kernels

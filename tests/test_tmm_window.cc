@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for windowed tmm measurement (the paper's Section V-C
+ * methodology): warm-up exclusion, stats-epoch accounting, and
+ * bounds checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/harness.hh"
+#include "kernels/tmm.hh"
+
+namespace lp::kernels
+{
+namespace
+{
+
+sim::MachineConfig
+testMachine()
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = 4;
+    cfg.l1 = {4 * 1024, 4, 2};
+    cfg.l2 = {16 * 1024, 4, 11};
+    return cfg;
+}
+
+KernelParams
+tmm32()
+{
+    KernelParams p;
+    p.n = 32;
+    p.bsize = 8;
+    p.threads = 4;
+    return p;
+}
+
+TEST(TmmWindow, WindowCountsOnlyWindowStores)
+{
+    // A full run has S stages; a 1-stage window must report ~1/S of
+    // the full run's stores (exactly 1/S: every stage stores the
+    // whole c matrix plus its digests).
+    const auto full = runScheme(KernelId::Tmm, Scheme::Lp, tmm32(),
+                                testMachine());
+    const auto window = runTmmWindow(Scheme::Lp, tmm32(),
+                                     testMachine(), 1, 1);
+    const int stages = 32 / 8;
+    EXPECT_DOUBLE_EQ(window.stat("stores"),
+                     full.stat("stores") / stages);
+}
+
+TEST(TmmWindow, ExecCyclesAreWindowOnly)
+{
+    const auto two = runTmmWindow(Scheme::Base, tmm32(),
+                                  testMachine(), 0, 2);
+    const auto one_warm = runTmmWindow(Scheme::Base, tmm32(),
+                                       testMachine(), 1, 1);
+    // A warmed 1-stage window is cheaper than a cold 2-stage run and
+    // also cheaper than its own warm-up (caches are hot).
+    EXPECT_LT(one_warm.execCycles, two.execCycles);
+    EXPECT_GT(one_warm.execCycles, 0.0);
+}
+
+TEST(TmmWindow, WarmupReducesMissRate)
+{
+    // Use a cache that holds the whole working set so the warm-up's
+    // effect is unambiguous (with a thrashing cache, warm and cold
+    // windows miss alike).
+    sim::MachineConfig cfg = testMachine();
+    cfg.l2 = {64 * 1024, 8, 11};
+    const auto cold = runTmmWindow(Scheme::Base, tmm32(), cfg, 0, 1);
+    const auto warm = runTmmWindow(Scheme::Base, tmm32(), cfg, 2, 1);
+    EXPECT_LT(warm.stat("l2_misses"), cold.stat("l2_misses"));
+}
+
+TEST(TmmWindow, AllSchemesSupportWindowing)
+{
+    for (Scheme s : {Scheme::Base, Scheme::Lp,
+                     Scheme::EagerRecompute, Scheme::Wal}) {
+        const auto out = runTmmWindow(s, tmm32(), testMachine(), 1,
+                                      2);
+        EXPECT_GT(out.execCycles, 0.0) << schemeName(s);
+        EXPECT_GT(out.stat("stores"), 0.0) << schemeName(s);
+    }
+}
+
+TEST(TmmWindowDeathTest, OversizedWindowPanics)
+{
+    SimContext ctx(testMachine(),
+                   arenaBytesFor(KernelId::Tmm, tmm32()));
+    TmmWorkload w(tmm32(), ctx);
+    EXPECT_DEATH(w.runWindow(Scheme::Base, 3, 3),
+                 "window exceeds");
+}
+
+} // namespace
+} // namespace lp::kernels

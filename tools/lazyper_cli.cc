@@ -1,0 +1,224 @@
+/**
+ * @file
+ * lazyper_cli -- run any kernel x scheme x machine configuration from
+ * the command line and print the measurements. The fastest way to
+ * explore the design space without writing code.
+ *
+ * Examples:
+ *   lazyper_cli --kernel tmm --scheme lp
+ *   lazyper_cli --kernel gauss --scheme ep --n 128 --threads 4
+ *   lazyper_cli --kernel fft --scheme lp --crash-at 50 --seed 7
+ *   lazyper_cli --kernel tmm --scheme lp --l2-kb 64 \
+ *               --checksum adler32 --cleaner-period 100000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/logging.hh"
+#include "kernels/harness.hh"
+#include "stats/json.hh"
+
+using namespace lp;
+using namespace lp::kernels;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --kernel tmm|cholesky|conv2d|gauss|fft|spmv\n"
+        "  --scheme base|lp|ep|wal                  (default lp)\n"
+        "  --n N             problem size            (default 128)\n"
+        "  --bsize B         tile/band size          (default 16)\n"
+        "  --threads T       worker threads          (default 8)\n"
+        "  --iterations I    conv2d outer iterations (default 4)\n"
+        "  --checksum parity|modular|adler32|combined|crc32\n"
+        "  --seed S          input seed              (default 12345)\n"
+        "  --l1-kb K         per-core L1 size        (default 16)\n"
+        "  --l2-kb K         shared L2 size          (default 128)\n"
+        "  --read-ns / --write-ns   NVMM latencies   (150 / 300)\n"
+        "  --cleaner-period C       cycles, 0 = off  (default 0)\n"
+        "  --crash-at P      crash at P%% of the LP store stream,\n"
+        "                    recover, resume, verify (default off)\n"
+        "  --json            emit the full stats snapshot as JSON\n",
+        argv0);
+    std::exit(2);
+}
+
+KernelId
+parseKernel(const std::string &s)
+{
+    if (s == "tmm")
+        return KernelId::Tmm;
+    if (s == "cholesky")
+        return KernelId::Cholesky;
+    if (s == "conv2d" || s == "2d-conv")
+        return KernelId::Conv2d;
+    if (s == "gauss")
+        return KernelId::Gauss;
+    if (s == "fft")
+        return KernelId::Fft;
+    if (s == "spmv")
+        return KernelId::Spmv;
+    fatal("unknown kernel: " + s);
+}
+
+Scheme
+parseScheme(const std::string &s)
+{
+    if (s == "base")
+        return Scheme::Base;
+    if (s == "lp")
+        return Scheme::Lp;
+    if (s == "ep" || s == "eager")
+        return Scheme::EagerRecompute;
+    if (s == "wal")
+        return Scheme::Wal;
+    fatal("unknown scheme: " + s);
+}
+
+core::ChecksumKind
+parseChecksum(const std::string &s)
+{
+    if (s == "parity")
+        return core::ChecksumKind::Parity;
+    if (s == "modular")
+        return core::ChecksumKind::Modular;
+    if (s == "adler32")
+        return core::ChecksumKind::Adler32;
+    if (s == "combined" || s == "modular+parity")
+        return core::ChecksumKind::ModularParity;
+    if (s == "crc32")
+        return core::ChecksumKind::Crc32;
+    fatal("unknown checksum kind: " + s);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    KernelId kernel = KernelId::Tmm;
+    Scheme scheme = Scheme::Lp;
+    KernelParams params;
+    sim::MachineConfig cfg;
+    cfg.l1 = {16 * 1024, 8, 2};
+    cfg.l2 = {128 * 1024, 8, 11};
+    int crash_pct = -1;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--kernel") {
+            kernel = parseKernel(next());
+        } else if (arg == "--scheme") {
+            scheme = parseScheme(next());
+        } else if (arg == "--n") {
+            params.n = std::atoi(next().c_str());
+        } else if (arg == "--bsize") {
+            params.bsize = std::atoi(next().c_str());
+        } else if (arg == "--threads") {
+            params.threads = std::atoi(next().c_str());
+        } else if (arg == "--iterations") {
+            params.iterations = std::atoi(next().c_str());
+        } else if (arg == "--checksum") {
+            params.checksum = parseChecksum(next());
+        } else if (arg == "--seed") {
+            params.seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--l1-kb") {
+            cfg.l1.sizeBytes = std::atoi(next().c_str()) * 1024;
+        } else if (arg == "--l2-kb") {
+            cfg.l2.sizeBytes = std::atoi(next().c_str()) * 1024;
+        } else if (arg == "--read-ns") {
+            cfg.nvmmReadNs = std::atof(next().c_str());
+        } else if (arg == "--write-ns") {
+            cfg.nvmmWriteNs = std::atof(next().c_str());
+        } else if (arg == "--cleaner-period") {
+            cfg.cleanerPeriodCycles =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--crash-at") {
+            crash_pct = std::atoi(next().c_str());
+        } else if (arg == "--json") {
+            json = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    cfg.numCores = params.threads;
+
+    std::printf("kernel=%s scheme=%s n=%d bsize=%d threads=%d "
+                "checksum=%s L1=%uKB L2=%uKB NVMM=%g/%gns\n",
+                kernelName(kernel).c_str(),
+                schemeName(scheme).c_str(), params.n, params.bsize,
+                params.threads,
+                core::checksumKindName(params.checksum).c_str(),
+                cfg.l1.sizeBytes / 1024, cfg.l2.sizeBytes / 1024,
+                cfg.nvmmReadNs, cfg.nvmmWriteNs);
+
+    if (crash_pct < 0) {
+        const auto out = runScheme(kernel, scheme, params, cfg);
+        if (json) {
+            stats::JsonValue::Object obj = stats::toJson(out.stats);
+            obj.emplace("kernel", kernelName(kernel));
+            obj.emplace("scheme", schemeName(scheme));
+            obj.emplace("verified", out.verified);
+            std::printf("%s\n",
+                        stats::JsonValue(obj).render().c_str());
+            return out.verified ? 0 : 1;
+        }
+        std::printf("exec cycles:   %.0f\n", out.execCycles);
+        std::printf("NVMM writes:   %.0f (evict %.0f, flush %.0f, "
+                    "cleaner %.0f)\n",
+                    out.nvmmWrites, out.stat("eviction_writes"),
+                    out.stat("flush_writes"),
+                    out.stat("cleaner_writes"));
+        std::printf("NVMM reads:    %.0f\n", out.stat("nvmm_reads"));
+        std::printf("flush instrs:  %.0f   fences: %.0f\n",
+                    out.stat("flush_instrs"), out.stat("fences"));
+        std::printf("L2 miss rate:  %.4f\n",
+                    out.stat("l2_accesses") > 0
+                        ? out.stat("l2_misses") /
+                              out.stat("l2_accesses")
+                        : 0.0);
+        std::printf("verified:      %s (max abs err %.3e)\n",
+                    out.verified ? "yes" : "NO", out.maxAbsError);
+        return out.verified ? 0 : 1;
+    }
+
+    if (scheme != Scheme::Lp)
+        fatal("--crash-at requires --scheme lp");
+    const auto full = runScheme(kernel, Scheme::Lp, params, cfg);
+    const auto total =
+        static_cast<std::uint64_t>(full.stat("stores"));
+    const auto out = runLpWithCrash(
+        kernel, params, cfg,
+        total * static_cast<std::uint64_t>(crash_pct) / 100);
+    std::printf("crash injected at %d%% (%llu stores): %s\n",
+                crash_pct,
+                static_cast<unsigned long long>(
+                    total * crash_pct / 100),
+                out.crashed ? "fired" : "did not fire");
+    std::printf("recovery: matched=%llu repaired=%llu checked=%llu "
+                "resume-stage=%d\n",
+                static_cast<unsigned long long>(out.recovery.matched),
+                static_cast<unsigned long long>(
+                    out.recovery.repaired),
+                static_cast<unsigned long long>(out.recovery.checked),
+                out.recovery.resumeStage);
+    std::printf("recovery+resume cycles: %.0f\n", out.recoveryCycles);
+    std::printf("verified: %s (max abs err %.3e)\n",
+                out.verified ? "yes" : "NO", out.maxAbsError);
+    return out.verified ? 0 : 1;
+}
