@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checksum_accuracy.dir/bench_checksum_accuracy.cc.o"
+  "CMakeFiles/bench_checksum_accuracy.dir/bench_checksum_accuracy.cc.o.d"
+  "bench_checksum_accuracy"
+  "bench_checksum_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checksum_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checksum_throughput.dir/bench_checksum_throughput.cc.o"
+  "CMakeFiles/bench_checksum_throughput.dir/bench_checksum_throughput.cc.o.d"
+  "bench_checksum_throughput"
+  "bench_checksum_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checksum_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cleaner_policies.dir/bench_cleaner_policies.cc.o"
+  "CMakeFiles/bench_cleaner_policies.dir/bench_cleaner_policies.cc.o.d"
+  "bench_cleaner_policies"
+  "bench_cleaner_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cleaner_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_embedded_checksums.dir/bench_embedded_checksums.cc.o"
+  "CMakeFiles/bench_embedded_checksums.dir/bench_embedded_checksums.cc.o.d"
+  "bench_embedded_checksums"
+  "bench_embedded_checksums.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_embedded_checksums.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

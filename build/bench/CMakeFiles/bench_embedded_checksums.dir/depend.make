@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_embedded_checksums.
+# This may be replaced when dependencies are built.

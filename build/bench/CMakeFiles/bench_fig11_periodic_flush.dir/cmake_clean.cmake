@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_periodic_flush.dir/bench_fig11_periodic_flush.cc.o"
+  "CMakeFiles/bench_fig11_periodic_flush.dir/bench_fig11_periodic_flush.cc.o.d"
+  "bench_fig11_periodic_flush"
+  "bench_fig11_periodic_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_periodic_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_write_amp.dir/bench_fig13_write_amp.cc.o"
+  "CMakeFiles/bench_fig13_write_amp.dir/bench_fig13_write_amp.cc.o.d"
+  "bench_fig13_write_amp"
+  "bench_fig13_write_amp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_write_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_cache_checksum.dir/bench_fig15_cache_checksum.cc.o"
+  "CMakeFiles/bench_fig15_cache_checksum.dir/bench_fig15_cache_checksum.cc.o.d"
+  "bench_fig15_cache_checksum"
+  "bench_fig15_cache_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_cache_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

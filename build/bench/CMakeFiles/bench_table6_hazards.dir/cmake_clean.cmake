@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_hazards.dir/bench_table6_hazards.cc.o"
+  "CMakeFiles/bench_table6_hazards.dir/bench_table6_hazards.cc.o.d"
+  "bench_table6_hazards"
+  "bench_table6_hazards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_hazards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

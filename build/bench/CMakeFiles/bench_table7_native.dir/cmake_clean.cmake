@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_native.dir/bench_table7_native.cc.o"
+  "CMakeFiles/bench_table7_native.dir/bench_table7_native.cc.o.d"
+  "bench_table7_native"
+  "bench_table7_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmm_crash_recovery.dir/tmm_crash_recovery.cc.o"
+  "CMakeFiles/tmm_crash_recovery.dir/tmm_crash_recovery.cc.o.d"
+  "tmm_crash_recovery"
+  "tmm_crash_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmm_crash_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

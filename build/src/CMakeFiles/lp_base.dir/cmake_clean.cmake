@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_base.dir/base/logging.cc.o"
+  "CMakeFiles/lp_base.dir/base/logging.cc.o.d"
+  "liblp_base.a"
+  "liblp_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

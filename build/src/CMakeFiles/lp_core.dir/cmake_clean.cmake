@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_core.dir/lp/checksum.cc.o"
+  "CMakeFiles/lp_core.dir/lp/checksum.cc.o.d"
+  "CMakeFiles/lp_core.dir/lp/checksum_table.cc.o"
+  "CMakeFiles/lp_core.dir/lp/checksum_table.cc.o.d"
+  "CMakeFiles/lp_core.dir/lp/keyed_table.cc.o"
+  "CMakeFiles/lp_core.dir/lp/keyed_table.cc.o.d"
+  "CMakeFiles/lp_core.dir/lp/recovery.cc.o"
+  "CMakeFiles/lp_core.dir/lp/recovery.cc.o.d"
+  "liblp_core.a"
+  "liblp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/cholesky.cc" "src/CMakeFiles/lp_kernels.dir/kernels/cholesky.cc.o" "gcc" "src/CMakeFiles/lp_kernels.dir/kernels/cholesky.cc.o.d"
+  "/root/repo/src/kernels/conv2d.cc" "src/CMakeFiles/lp_kernels.dir/kernels/conv2d.cc.o" "gcc" "src/CMakeFiles/lp_kernels.dir/kernels/conv2d.cc.o.d"
+  "/root/repo/src/kernels/fft.cc" "src/CMakeFiles/lp_kernels.dir/kernels/fft.cc.o" "gcc" "src/CMakeFiles/lp_kernels.dir/kernels/fft.cc.o.d"
+  "/root/repo/src/kernels/gauss.cc" "src/CMakeFiles/lp_kernels.dir/kernels/gauss.cc.o" "gcc" "src/CMakeFiles/lp_kernels.dir/kernels/gauss.cc.o.d"
+  "/root/repo/src/kernels/harness.cc" "src/CMakeFiles/lp_kernels.dir/kernels/harness.cc.o" "gcc" "src/CMakeFiles/lp_kernels.dir/kernels/harness.cc.o.d"
+  "/root/repo/src/kernels/spmv.cc" "src/CMakeFiles/lp_kernels.dir/kernels/spmv.cc.o" "gcc" "src/CMakeFiles/lp_kernels.dir/kernels/spmv.cc.o.d"
+  "/root/repo/src/kernels/tmm.cc" "src/CMakeFiles/lp_kernels.dir/kernels/tmm.cc.o" "gcc" "src/CMakeFiles/lp_kernels.dir/kernels/tmm.cc.o.d"
+  "/root/repo/src/kernels/tmm_embedded.cc" "src/CMakeFiles/lp_kernels.dir/kernels/tmm_embedded.cc.o" "gcc" "src/CMakeFiles/lp_kernels.dir/kernels/tmm_embedded.cc.o.d"
+  "/root/repo/src/kernels/workload.cc" "src/CMakeFiles/lp_kernels.dir/kernels/workload.cc.o" "gcc" "src/CMakeFiles/lp_kernels.dir/kernels/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lp_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_kernels.dir/kernels/cholesky.cc.o"
+  "CMakeFiles/lp_kernels.dir/kernels/cholesky.cc.o.d"
+  "CMakeFiles/lp_kernels.dir/kernels/conv2d.cc.o"
+  "CMakeFiles/lp_kernels.dir/kernels/conv2d.cc.o.d"
+  "CMakeFiles/lp_kernels.dir/kernels/fft.cc.o"
+  "CMakeFiles/lp_kernels.dir/kernels/fft.cc.o.d"
+  "CMakeFiles/lp_kernels.dir/kernels/gauss.cc.o"
+  "CMakeFiles/lp_kernels.dir/kernels/gauss.cc.o.d"
+  "CMakeFiles/lp_kernels.dir/kernels/harness.cc.o"
+  "CMakeFiles/lp_kernels.dir/kernels/harness.cc.o.d"
+  "CMakeFiles/lp_kernels.dir/kernels/spmv.cc.o"
+  "CMakeFiles/lp_kernels.dir/kernels/spmv.cc.o.d"
+  "CMakeFiles/lp_kernels.dir/kernels/tmm.cc.o"
+  "CMakeFiles/lp_kernels.dir/kernels/tmm.cc.o.d"
+  "CMakeFiles/lp_kernels.dir/kernels/tmm_embedded.cc.o"
+  "CMakeFiles/lp_kernels.dir/kernels/tmm_embedded.cc.o.d"
+  "CMakeFiles/lp_kernels.dir/kernels/workload.cc.o"
+  "CMakeFiles/lp_kernels.dir/kernels/workload.cc.o.d"
+  "liblp_kernels.a"
+  "liblp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

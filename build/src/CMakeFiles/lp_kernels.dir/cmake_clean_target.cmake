@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblp_kernels.a"
+)

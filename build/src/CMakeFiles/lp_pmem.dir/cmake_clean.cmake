@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_pmem.dir/pmem/arena.cc.o"
+  "CMakeFiles/lp_pmem.dir/pmem/arena.cc.o.d"
+  "liblp_pmem.a"
+  "liblp_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

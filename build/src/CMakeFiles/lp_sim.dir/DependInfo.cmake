@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/CMakeFiles/lp_sim.dir/sim/cache.cc.o" "gcc" "src/CMakeFiles/lp_sim.dir/sim/cache.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/lp_sim.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/lp_sim.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/lp_sim.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/lp_sim.dir/sim/scheduler.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/lp_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/lp_sim.dir/sim/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lp_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_sim.dir/sim/cache.cc.o"
+  "CMakeFiles/lp_sim.dir/sim/cache.cc.o.d"
+  "CMakeFiles/lp_sim.dir/sim/machine.cc.o"
+  "CMakeFiles/lp_sim.dir/sim/machine.cc.o.d"
+  "CMakeFiles/lp_sim.dir/sim/scheduler.cc.o"
+  "CMakeFiles/lp_sim.dir/sim/scheduler.cc.o.d"
+  "CMakeFiles/lp_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/lp_sim.dir/sim/trace.cc.o.d"
+  "liblp_sim.a"
+  "liblp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

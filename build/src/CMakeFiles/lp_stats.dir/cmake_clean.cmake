@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_stats.dir/stats/json.cc.o"
+  "CMakeFiles/lp_stats.dir/stats/json.cc.o.d"
+  "CMakeFiles/lp_stats.dir/stats/table.cc.o"
+  "CMakeFiles/lp_stats.dir/stats/table.cc.o.d"
+  "liblp_stats.a"
+  "liblp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

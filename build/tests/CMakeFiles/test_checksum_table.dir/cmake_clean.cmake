@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checksum_table.dir/test_checksum_table.cc.o"
+  "CMakeFiles/test_checksum_table.dir/test_checksum_table.cc.o.d"
+  "test_checksum_table"
+  "test_checksum_table.pdb"
+  "test_checksum_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checksum_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_matrix.dir/test_crash_matrix.cc.o"
+  "CMakeFiles/test_crash_matrix.dir/test_crash_matrix.cc.o.d"
+  "test_crash_matrix"
+  "test_crash_matrix.pdb"
+  "test_crash_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

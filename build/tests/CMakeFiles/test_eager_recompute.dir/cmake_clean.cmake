@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eager_recompute.dir/test_eager_recompute.cc.o"
+  "CMakeFiles/test_eager_recompute.dir/test_eager_recompute.cc.o.d"
+  "test_eager_recompute"
+  "test_eager_recompute.pdb"
+  "test_eager_recompute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eager_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

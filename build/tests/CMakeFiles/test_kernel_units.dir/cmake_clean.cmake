@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_units.dir/test_kernel_units.cc.o"
+  "CMakeFiles/test_kernel_units.dir/test_kernel_units.cc.o.d"
+  "test_kernel_units"
+  "test_kernel_units.pdb"
+  "test_kernel_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

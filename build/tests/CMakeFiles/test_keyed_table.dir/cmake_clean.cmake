@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keyed_table.dir/test_keyed_table.cc.o"
+  "CMakeFiles/test_keyed_table.dir/test_keyed_table.cc.o.d"
+  "test_keyed_table"
+  "test_keyed_table.pdb"
+  "test_keyed_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keyed_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmem_ops.dir/test_pmem_ops.cc.o"
+  "CMakeFiles/test_pmem_ops.dir/test_pmem_ops.cc.o.d"
+  "test_pmem_ops"
+  "test_pmem_ops.pdb"
+  "test_pmem_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmem_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recovery_driver.dir/test_recovery_driver.cc.o"
+  "CMakeFiles/test_recovery_driver.dir/test_recovery_driver.cc.o.d"
+  "test_recovery_driver"
+  "test_recovery_driver.pdb"
+  "test_recovery_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recovery_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tmm_embedded.dir/test_tmm_embedded.cc.o"
+  "CMakeFiles/test_tmm_embedded.dir/test_tmm_embedded.cc.o.d"
+  "test_tmm_embedded"
+  "test_tmm_embedded.pdb"
+  "test_tmm_embedded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tmm_embedded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

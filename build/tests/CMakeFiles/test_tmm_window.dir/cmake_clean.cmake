@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tmm_window.dir/test_tmm_window.cc.o"
+  "CMakeFiles/test_tmm_window.dir/test_tmm_window.cc.o.d"
+  "test_tmm_window"
+  "test_tmm_window.pdb"
+  "test_tmm_window[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tmm_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

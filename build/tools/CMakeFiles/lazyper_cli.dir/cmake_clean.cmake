@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyper_cli.dir/lazyper_cli.cc.o"
+  "CMakeFiles/lazyper_cli.dir/lazyper_cli.cc.o.d"
+  "lazyper_cli"
+  "lazyper_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyper_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
