@@ -1,0 +1,120 @@
+/**
+ * @file
+ * YCSB-style evaluation of the lp::store KV store: load plus mixes
+ * A (50/50), B (95/5) and C (read-only), under zipfian (theta 0.99)
+ * and uniform key popularity, for the three persistency backends
+ * (Lazy Persistency, eager per-op flushing, write-ahead logging).
+ *
+ * Reports mix throughput, NVMM block writes and write amplification
+ * (NVMM writes per mutation). Expected shape, mirroring the paper's
+ * Figure 10/13 ordering on its kernels: LP issues the fewest NVMM
+ * writes per mutation -- batching lets dirty journal lines coalesce
+ * in cache and the fold writes each distinct key once per window --
+ * while eager pays one flushed write per mutation and the WAL pays
+ * for log entries on top of the data. Every run is verified against
+ * a golden host-side map before its numbers are reported.
+ *
+ * Writes the full result grid to BENCH_store.json (or argv[1]) via
+ * the stats JSON exporter for external tooling.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench/common.hh"
+#include "stats/json.hh"
+#include "store/driver.hh"
+
+using namespace lp;
+using namespace lp::store;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("YCSB on lp::store (load + A/B/C, zipfian/uniform)",
+                  "Fig. 10/13 ordering on a KV store: LP < EP/WAL "
+                  "NVMM writes, higher throughput");
+
+    const auto mcfg = bench::paperMachine(1);
+    const StoreConfig scfg;  // defaults: 4 shards, 32-op batches
+    YcsbParams base;
+    base.records = 4096;
+    base.ops = 16384;
+
+    const Backend backends[] = {Backend::Lp, Backend::EagerPerOp,
+                                Backend::Wal};
+    const YcsbMix mixes[] = {YcsbMix::A, YcsbMix::B, YcsbMix::C};
+    const bool dists[] = {true, false};
+
+    stats::JsonValue::Object root;
+    root.emplace("records", double(base.records));
+    root.emplace("ops", double(base.ops));
+    root.emplace("shards", scfg.shards);
+    root.emplace("batch_ops", scfg.batchOps);
+    root.emplace("fold_batches", scfg.foldBatches);
+
+    bool all_verified = true;
+    for (bool zipf : dists) {
+        for (YcsbMix mix : mixes) {
+            YcsbParams p = base;
+            p.mix = mix;
+            p.zipfian = zipf;
+
+            const std::string label =
+                mixName(mix) + std::string(zipf ? "/zipf" : "/unif");
+            stats::Table table({"mix " + label, "exec cycles",
+                                "NVMM writes", "writes/mut",
+                                "Mops/s", "vs eager writes"});
+
+            double eagerWrites = 0.0;
+            stats::JsonValue::Object grid;
+            for (Backend b : backends) {
+                const auto out = runStoreYcsb(b, scfg, p, mcfg);
+                all_verified = all_verified && out.verified;
+                if (b == Backend::EagerPerOp)
+                    eagerWrites = double(out.nvmmWrites);
+
+                table.addRow(
+                    {backendName(b),
+                     stats::Table::num(out.execCycles, 0),
+                     stats::Table::num(double(out.nvmmWrites), 0),
+                     stats::Table::num(out.writesPerMutation, 3),
+                     stats::Table::num(out.opsPerSec / 1e6, 2),
+                     eagerWrites == 0.0
+                         ? std::string("-")
+                         : stats::Table::ratio(double(out.nvmmWrites) /
+                                               eagerWrites)});
+
+                stats::JsonValue::Object entry =
+                    stats::toJson(out.stats);
+                entry.emplace("load", stats::toJson(out.loadStats));
+                entry.emplace("load_writes_per_record",
+                              out.loadWritesPerRecord);
+                entry.emplace("writes_per_mutation",
+                              out.writesPerMutation);
+                entry.emplace("ops_per_sec", out.opsPerSec);
+                entry.emplace("mutations", out.mutations);
+                entry.emplace("verified", out.verified);
+                grid.emplace(backendName(b), std::move(entry));
+            }
+            table.print();
+            std::printf("\n");
+            root.emplace(std::string(zipf ? "zipf_" : "unif_") +
+                             mixName(mix),
+                         std::move(grid));
+        }
+    }
+
+    const char *path = argc > 1 ? argv[1] : "BENCH_store.json";
+    if (std::FILE *f = std::fopen(path, "w")) {
+        const std::string text = stats::JsonValue(root).render();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s\n", path);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    return all_verified ? 0 : 1;
+}

@@ -95,14 +95,27 @@ class WalTx
     void
     logWord(const void *p)
     {
+        logKnown(p,
+                 env.template ld<std::uint64_t>(
+                     static_cast<const std::uint64_t *>(p)));
+    }
+
+    /**
+     * Log an explicit pre-image for @p p without re-reading it.
+     * Callers that plan a whole batch of mutations before arming the
+     * transaction (e.g. the KV store's WAL backend, which resolves
+     * open-addressing probe targets op by op on a scratch view of the
+     * table) already hold the pre-images; re-reading would observe
+     * the planned post-state instead.
+     */
+    void
+    logKnown(const void *p, std::uint64_t old_value)
+    {
         std::uint64_t *cnt = area.count();
         LP_ASSERT(*cnt < area.capacity(), "WAL log overflow");
         WalEntry &e = area.entries()[*cnt];
-        const std::uint64_t old =
-            env.template ld<std::uint64_t>(
-                static_cast<const std::uint64_t *>(p));
         env.st(&e.addr, area.arena().addrOf(p));
-        env.st(&e.old, old);
+        env.st(&e.old, old_value);
         env.st(cnt, *cnt + 1);
         dataPtrs.push_back(p);
     }

@@ -32,18 +32,35 @@ std::size_t
 KeyedChecksumTable::claimSlot(std::uint64_t key)
 {
     LP_ASSERT(key != emptyKey, "reserved key");
+    const std::size_t limit = slots * maxLoadNum / maxLoadDen;
     std::size_t i = bucketOf(key);
     for (std::size_t probes = 0; probes < slots; ++probes) {
         if (data[i].key == key)
             return i;
         if (data[i].key == emptyKey) {
+            if (claimed + 1 > limit) {
+                // The volatile counter can overcount after a crash
+                // restore reverted unpersisted claims; resync from
+                // the table before refusing.
+                claimed = occupancy();
+            }
+            if (claimed + 1 > limit) {
+                fatal("KeyedChecksumTable over load-factor limit: " +
+                      std::to_string(claimed) + "/" +
+                      std::to_string(slots) + " slots claimed (max " +
+                      std::to_string(limit) +
+                      " = 7/8); size the table larger -- it cannot "
+                      "grow in place because committed digests "
+                      "reference fixed persistent slots");
+            }
             data[i].key = key;
+            ++claimed;
             return i;
         }
         i = (i + 1) & (slots - 1);
     }
-    fatal("KeyedChecksumTable full: " + std::to_string(slots) +
-          " slots all claimed");
+    panic("KeyedChecksumTable probe loop exhausted below the "
+          "load-factor limit");
 }
 
 std::size_t

@@ -50,11 +50,24 @@ class KeyedChecksumTable
 
     /**
      * Allocate a table with @p num_slots slots (rounded up to a
-     * power of two) in @p arena. Load factors above ~0.7 degrade
-     * probing; fatal() when the table fills completely.
+     * power of two) in @p arena.
+     *
+     * Load-factor limit: open addressing degrades sharply as the
+     * table fills (expected probe length ~1/(1-load)), and a
+     * completely full table would make every claim of a new key probe
+     * all slots. claimSlot() therefore refuses to push the occupancy
+     * past maxLoadNum/maxLoadDen (7/8) and fatal()s with a sizing
+     * hint instead of degrading silently. Size tables at or below
+     * ~50% expected occupancy (as the bundled users do); the table
+     * cannot grow in place because slots live at fixed persistent
+     * addresses that committed digests already reference.
      */
     KeyedChecksumTable(pmem::PersistentArena &arena,
                        std::size_t num_slots);
+
+    /// Occupancy ceiling enforced by claimSlot(): 7/8 of the slots.
+    static constexpr std::size_t maxLoadNum = 7;
+    static constexpr std::size_t maxLoadDen = 8;
 
     /** Number of slots (a power of two). */
     std::size_t size() const { return slots; }
@@ -122,6 +135,13 @@ class KeyedChecksumTable
 
     Slot *data;
     std::size_t slots;
+
+    /**
+     * Claims observed by this (volatile) handle. May overcount after
+     * a crash restore reverts unpersisted claims; claimSlot() resyncs
+     * it from the table before declaring the table over-full.
+     */
+    std::size_t claimed = 0;
 };
 
 } // namespace lp::core

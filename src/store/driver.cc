@@ -1,0 +1,222 @@
+#include "store/driver.hh"
+
+#include <chrono>
+#include <map>
+#include <vector>
+
+#include "base/rng.hh"
+#include "kernels/env.hh"
+#include "kernels/workload.hh"
+#include "pmem/crash.hh"
+
+namespace lp::store
+{
+
+namespace
+{
+
+/** Compare the store's persistent map against a golden map. */
+bool
+mapsEqual(const std::map<std::uint64_t, std::uint64_t> &snap,
+          const std::unordered_map<std::uint64_t, std::uint64_t> &golden)
+{
+    if (snap.size() != golden.size())
+        return false;
+    for (const auto &[k, v] : golden) {
+        const auto it = snap.find(k);
+        if (it == snap.end() || it->second != v)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+StoreRunResult
+runStoreYcsb(Backend b, const StoreConfig &scfg, const YcsbParams &p,
+             const sim::MachineConfig &mcfg)
+{
+    kernels::SimContext ctx(mcfg, storeArenaBytes(scfg));
+    KvStore<kernels::SimEnv> store(ctx.arena, scfg, b);
+    ctx.arena.persistAll();
+    kernels::SimEnv env(ctx.machine, ctx.arena, 0);
+
+    std::unordered_map<std::uint64_t, std::uint64_t> golden;
+    ycsbLoad(env, store, p, &golden);
+
+    StoreRunResult out;
+    out.loadStats = ctx.machine.snapshot();
+    out.loadWritesPerRecord =
+        p.records == 0 ? 0.0
+                       : out.loadStats.at("nvmm_writes") /
+                             double(p.records);
+    ctx.machine.resetStats();
+
+    const MixCounts c = ycsbMix(env, store, p, &golden);
+
+    out.stats = ctx.machine.snapshot();
+    out.execCycles = out.stats.at("exec_cycles");
+    out.nvmmWrites =
+        static_cast<std::uint64_t>(out.stats.at("nvmm_writes"));
+    out.reads = c.reads;
+    out.mutations = c.mutations;
+    out.writesPerMutation =
+        c.mutations == 0
+            ? 0.0
+            : double(out.nvmmWrites) / double(c.mutations);
+    const double seconds =
+        out.execCycles / (mcfg.clockGhz * 1e9);
+    out.opsPerSec = seconds == 0.0 ? 0.0 : double(p.ops) / seconds;
+    out.verified = mapsEqual(store.snapshot(), golden);
+    return out;
+}
+
+NativeRunResult
+runStoreNative(Backend b, const StoreConfig &scfg, const YcsbParams &p)
+{
+    pmem::PersistentArena arena(storeArenaBytes(scfg));
+    KvStore<kernels::NativeEnv> store(arena, scfg, b);
+    arena.persistAll();
+    kernels::NativeEnv env;
+
+    std::unordered_map<std::uint64_t, std::uint64_t> golden;
+    const auto t0 = std::chrono::steady_clock::now();
+    ycsbLoad(env, store, p, &golden);
+    const MixCounts c = ycsbMix(env, store, p, &golden);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    NativeRunResult out;
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    out.reads = c.reads;
+    out.mutations = c.mutations;
+    out.verified = mapsEqual(store.snapshot(), golden);
+    return out;
+}
+
+StoreCrashOutcome
+runStoreWithCrash(Backend b, const StoreConfig &scfg,
+                  const StoreCrashSpec &spec,
+                  const sim::MachineConfig &mcfg)
+{
+    using kernels::SimEnv;
+
+    kernels::SimContext ctx(mcfg, storeArenaBytes(scfg));
+    KvStore<SimEnv> store(ctx.arena, scfg, b);
+    ctx.arena.persistAll();
+    SimEnv env(ctx.machine, ctx.arena, 0, &ctx.crash);
+
+    /**
+     * Every mutation is recorded BEFORE it executes, tagged with the
+     * epoch it must land in. Epoch assignment is deterministic --
+     * batches close after exactly batchOps mutations -- so even an op
+     * interrupted mid-execution (whose put() never returned, but
+     * whose batch may still have committed) carries the right tag.
+     */
+    struct OpRec
+    {
+        int shard;
+        std::uint64_t epoch;
+        bool isPut;
+        std::uint64_t key;
+        std::uint64_t value;
+    };
+    std::vector<OpRec> issued;
+    std::vector<std::uint64_t> shardMuts(scfg.shards, 0);
+    Rng rng(spec.seed);
+
+    auto issueOne = [&](std::size_t i) {
+        const std::uint64_t key =
+            keyOfRecord(rng.below(spec.records), spec.seed);
+        const bool isPut = !rng.chance(spec.delFraction);
+        const std::uint64_t value = 0x1000 + i;
+        const int sh = store.shardOf(key);
+        const std::uint64_t epoch =
+            shardMuts[sh] / std::uint64_t(scfg.batchOps) + 1;
+        ++shardMuts[sh];
+        issued.push_back(OpRec{sh, epoch, isPut, key, value});
+        if (isPut)
+            store.put(env, key, value);
+        else
+            store.del(env, key);
+    };
+
+    // Golden replay of @p ops; with @p cut, only ops at or below
+    // their shard's epoch watermark.
+    auto replay = [](const std::vector<OpRec> &ops,
+                     const std::vector<std::uint64_t> *cut) {
+        std::map<std::uint64_t, std::uint64_t> m;
+        for (const OpRec &r : ops) {
+            if (cut && r.epoch > (*cut)[r.shard])
+                continue;
+            if (r.isPut)
+                m[r.key] = r.value;
+            else
+                m.erase(r.key);
+        }
+        return m;
+    };
+
+    StoreCrashOutcome out;
+    if (spec.byRegions)
+        ctx.crash.armAfterRegions(spec.point);
+    else
+        ctx.crash.armAfterStores(spec.point);
+
+    try {
+        for (std::size_t i = 0; i < spec.preOps; ++i)
+            issueOne(i);
+        store.checkpoint(env);
+        ctx.crash.disarm();
+    } catch (const pmem::CrashException &) {
+        out.crashed = true;
+        ctx.crash.disarm();
+        ctx.sched.clear();
+        ctx.machine.loseVolatileState();
+        ctx.arena.crashRestore();
+        out.report = store.recover(env);
+
+        if (b == Backend::EagerPerOp) {
+            // Completed ops are all durable; the one in-flight op is
+            // slot-atomic, so it either became fully visible or not.
+            const auto snap = store.snapshot();
+            if (snap == replay(issued, nullptr)) {
+                out.committedStateVerified = true;
+            } else {
+                std::vector<OpRec> done(
+                    issued.begin(),
+                    issued.empty() ? issued.end() : issued.end() - 1);
+                if (snap == replay(done, nullptr)) {
+                    out.committedStateVerified = true;
+                    issued = std::move(done);
+                }
+            }
+        } else {
+            out.committedStateVerified =
+                store.snapshot() ==
+                replay(issued, &out.report.committedEpochs);
+            // Keep only the committed ops and rebase the epoch
+            // prediction: post-recovery batches restart at the
+            // watermark regardless of how full the last one was.
+            std::vector<OpRec> keep;
+            for (const OpRec &r : issued)
+                if (r.epoch <= out.report.committedEpochs[r.shard])
+                    keep.push_back(r);
+            issued = std::move(keep);
+            for (int s = 0; s < scfg.shards; ++s) {
+                shardMuts[s] = out.report.committedEpochs[s] *
+                               std::uint64_t(scfg.batchOps);
+            }
+        }
+    }
+    if (!out.crashed)
+        out.committedStateVerified = true;  // nothing to check
+
+    // Forward progress: the recovered store must keep working.
+    for (std::size_t j = 0; j < spec.postOps; ++j)
+        issueOne(spec.preOps + j);
+    store.checkpoint(env);
+    out.finalStateVerified = store.snapshot() == replay(issued, nullptr);
+    return out;
+}
+
+} // namespace lp::store

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Drivers for the KV store: the YCSB bench phases (templated over
+ * Env, so the identical store code runs on the simulated machine and
+ * natively), the simulated run returning machine statistics, and the
+ * crash-injection harness that verifies recovery against a golden
+ * replay of exactly the committed batches.
+ */
+
+#ifndef LP_STORE_DRIVER_HH
+#define LP_STORE_DRIVER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/config.hh"
+#include "stats/stats.hh"
+#include "store/kv_store.hh"
+#include "store/ycsb.hh"
+
+namespace lp::store
+{
+
+/** Operation counts of one mix phase. */
+struct MixCounts
+{
+    std::uint64_t reads = 0;
+    std::uint64_t readHits = 0;
+    std::uint64_t mutations = 0;
+};
+
+/**
+ * Load phase: insert every record, then checkpoint so the mix starts
+ * from a fully durable image. @p golden, if given, tracks the
+ * expected final map.
+ */
+template <typename Env>
+void
+ycsbLoad(Env &env, KvStore<Env> &store, const YcsbParams &p,
+         std::unordered_map<std::uint64_t, std::uint64_t> *golden)
+{
+    for (std::size_t id = 0; id < p.records; ++id) {
+        const std::uint64_t key = keyOfRecord(id, p.seed);
+        const std::uint64_t val = id + 1;
+        store.put(env, key, val);
+        if (golden)
+            (*golden)[key] = val;
+    }
+    store.checkpoint(env);
+}
+
+/**
+ * Run the mix, ending with a checkpoint so every scheme pays its full
+ * durability cost inside the measured window.
+ */
+template <typename Env>
+MixCounts
+ycsbMix(Env &env, KvStore<Env> &store, const YcsbParams &p,
+        std::unordered_map<std::uint64_t, std::uint64_t> *golden)
+{
+    YcsbStream stream(p);
+    MixCounts c;
+    for (std::size_t i = 0; i < p.ops; ++i) {
+        const auto op = stream.next();
+        if (op.read) {
+            ++c.reads;
+            if (store.get(env, op.key))
+                ++c.readHits;
+        } else {
+            ++c.mutations;
+            const std::uint64_t val = 0x100000 + i;
+            store.put(env, op.key, val);
+            if (golden)
+                (*golden)[op.key] = val;
+        }
+    }
+    store.checkpoint(env);
+    return c;
+}
+
+/** Result of one simulated YCSB run (stats cover the mix only). */
+struct StoreRunResult
+{
+    stats::Snapshot stats;
+    double execCycles = 0.0;
+    std::uint64_t nvmmWrites = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t mutations = 0;
+
+    /** Load-phase machine stats (records inserts + checkpoint). */
+    stats::Snapshot loadStats;
+
+    /** Load-phase NVMM block writes per inserted record. */
+    double loadWritesPerRecord = 0.0;
+
+    /** NVMM block writes per mutation (write amplification proxy). */
+    double writesPerMutation = 0.0;
+
+    /** Mix operations per simulated second. */
+    double opsPerSec = 0.0;
+
+    /** Final persistent map equals the golden host-side replay. */
+    bool verified = false;
+};
+
+/** Load + mix on the simulated machine. */
+StoreRunResult runStoreYcsb(Backend b, const StoreConfig &scfg,
+                            const YcsbParams &p,
+                            const sim::MachineConfig &mcfg);
+
+/** Result of the native (NativeEnv) run of the same phases. */
+struct NativeRunResult
+{
+    double seconds = 0.0;
+    std::uint64_t reads = 0;
+    std::uint64_t mutations = 0;
+    bool verified = false;
+};
+
+/** Load + mix natively: same templated code, no instrumentation. */
+NativeRunResult runStoreNative(Backend b, const StoreConfig &scfg,
+                               const YcsbParams &p);
+
+/** One crash-injection run. */
+struct StoreCrashSpec
+{
+    std::size_t records = 512;   ///< key-space size of the op stream
+    std::size_t preOps = 2000;   ///< mutations attempted before crash
+    std::size_t postOps = 512;   ///< mutations after recovery
+    double delFraction = 0.2;    ///< deletes among mutations
+    bool byRegions = false;      ///< arm on region commits, not stores
+    std::uint64_t point = 1;     ///< crash after this many stores/regions
+    std::uint64_t seed = 7;
+};
+
+struct StoreCrashOutcome
+{
+    bool crashed = false;
+    RecoveryReport report;
+
+    /**
+     * After recovery, the persistent map equalled the golden replay
+     * of exactly the committed batches (for the eager backend: of all
+     * completed ops, the single in-flight op optionally included).
+     */
+    bool committedStateVerified = false;
+
+    /** After postOps more ops and a checkpoint, state still exact. */
+    bool finalStateVerified = false;
+};
+
+/**
+ * Run a deterministic put/del stream with a crash armed, recover,
+ * verify the committed prefix, then keep going and verify again.
+ * If the crash point lies beyond the run, the run just completes
+ * (outcome.crashed == false) and the final check still applies.
+ */
+StoreCrashOutcome runStoreWithCrash(Backend b, const StoreConfig &scfg,
+                                    const StoreCrashSpec &spec,
+                                    const sim::MachineConfig &mcfg);
+
+} // namespace lp::store
+
+#endif // LP_STORE_DRIVER_HH

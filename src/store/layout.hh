@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Persistent layout and configuration of the `lp::store` key-value
+ * store.
+ *
+ * The store is an open-addressing persistent hash map (16-byte
+ * slots: key + value, linear probing with tombstones) fronted, per
+ * shard, by a persistent batch journal. How those two structures are
+ * made durable is the backend's choice (see kv_store.hh): the Lazy
+ * Persistency backend lets journal lines drain by natural eviction
+ * and folds them into the table at periodic eager checkpoints; the
+ * eager backend persists every mutation in place; the WAL backend
+ * wraps each batch in an undo-logged durable transaction.
+ *
+ * Table slots are 16B (4 per 64B block) so a slot never spans a
+ * cache block; the simulated NVMM persists whole blocks atomically,
+ * so one slot is either entirely old or entirely new in the durable
+ * image. Journal entries are packed at 24B for write density and MAY
+ * straddle blocks: a torn (half-persisted) entry is precisely what
+ * the per-batch checksum detects, so density costs nothing in
+ * safety. Shard metadata owns a full block so its eager updates
+ * never share a line with lazily-drained data.
+ */
+
+#ifndef LP_STORE_LAYOUT_HH
+#define LP_STORE_LAYOUT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "lp/checksum.hh"
+
+namespace lp::store
+{
+
+/** How a store instance makes its mutations durable. */
+enum class Backend
+{
+    Lp,          ///< Lazy Persistency: lazy journal + checksum epochs
+    EagerPerOp,  ///< clflushopt + sfence per mutation (PMEM idiom)
+    Wal,         ///< per-batch undo-logged durable transactions
+};
+
+/** Human-readable backend name (used by the CLI and benches). */
+std::string backendName(Backend b);
+
+/** Parse a backend name ("lp", "eager", "wal"); fatal() on error. */
+Backend parseBackend(const std::string &s);
+
+/** Sizing and batching parameters of one store instance. */
+struct StoreConfig
+{
+    /** Maximum number of live keys; the table holds 2x slots. */
+    std::size_t capacity = 1 << 14;
+
+    /** Number of shards (independent journals / epoch sequences). */
+    int shards = 4;
+
+    /** Mutations per batch (= per LP region / WAL transaction). */
+    int batchOps = 32;
+
+    /**
+     * LP backend: eager checkpoint (journal fold) every this many
+     * committed batches per shard. Bounds both journal space and the
+     * recovery replay window, like the periodic flush of the paper's
+     * Section VI-A bounds recovery time. Larger windows coalesce more
+     * repeated-key table writes per fold, so write amplification
+     * drops as this grows (at the cost of journal space and recovery
+     * replay length).
+     */
+    int foldBatches = 64;
+
+    /** Checksum kind protecting LP batches. */
+    core::ChecksumKind checksum = core::ChecksumKind::Modular;
+};
+
+/**
+ * Generous arena budget (bytes) for one store with @p cfg, covering
+ * any backend's structures plus per-allocation alignment slack.
+ */
+std::size_t storeArenaBytes(const StoreConfig &cfg);
+
+/** One open-addressing table slot. 16B: 4 slots per cache block. */
+struct KvSlot
+{
+    std::uint64_t key;
+    std::uint64_t value;
+};
+
+/** Key sentinel: never-used slot (arena is zero..., set explicitly). */
+inline constexpr std::uint64_t slotEmptyKey = ~0ull;
+
+/** Key sentinel: deleted slot; probing continues past it. */
+inline constexpr std::uint64_t slotTombstoneKey = ~0ull - 1;
+
+/** Largest key a user may store. */
+inline constexpr std::uint64_t maxUserKey = slotTombstoneKey - 1;
+
+/** Journal record type, held in the low byte of JEntry::tag. */
+enum class JOp : std::uint8_t
+{
+    Header = 0,  ///< batch header: key = op count, value = epoch
+    Put = 1,
+    Del = 2,
+};
+
+/**
+ * One journal record, packed to 24B (2.67 records per block) for
+ * write density; records may straddle blocks because the per-batch
+ * checksum catches torn records. The batch's epoch rides in every
+ * record's tag, so a stale record from an earlier journal generation
+ * (the journal array restarts at offset 0 after each fold) can never
+ * be mistaken for part of a newer batch.
+ */
+struct JEntry
+{
+    std::uint64_t tag;  ///< (epoch << 8) | JOp
+    std::uint64_t key;  ///< user key; for Header: op count of batch
+    std::uint64_t value;
+
+    static std::uint64_t
+    makeTag(JOp op, std::uint64_t epoch)
+    {
+        return (epoch << 8) | static_cast<std::uint64_t>(op);
+    }
+
+    std::uint64_t epoch() const { return tag >> 8; }
+    JOp op() const { return static_cast<JOp>(tag & 0xff); }
+};
+
+static_assert(sizeof(JEntry) == 24);
+static_assert(sizeof(KvSlot) == 16);
+
+/**
+ * Per-shard persistent metadata; owns a full block so its eager
+ * updates never share a line with lazy data. foldedEpoch is the
+ * durable watermark: every batch up to and including it is fully
+ * folded into the table (LP) or transactionally committed (WAL).
+ */
+struct ShardMeta
+{
+    std::uint64_t foldedEpoch;
+    std::uint64_t pad[7];
+};
+
+static_assert(sizeof(ShardMeta) == 64);
+
+} // namespace lp::store
+
+#endif // LP_STORE_LAYOUT_HH

@@ -1,0 +1,59 @@
+#include "store/layout.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace lp::store
+{
+
+std::string
+backendName(Backend b)
+{
+    switch (b) {
+      case Backend::Lp:         return "lp";
+      case Backend::EagerPerOp: return "eager";
+      case Backend::Wal:        return "wal";
+    }
+    return "?";
+}
+
+Backend
+parseBackend(const std::string &s)
+{
+    if (s == "lp")
+        return Backend::Lp;
+    if (s == "eager")
+        return Backend::EagerPerOp;
+    if (s == "wal")
+        return Backend::Wal;
+    fatal("unknown store backend '" + s + "' (lp | eager | wal)");
+}
+
+std::size_t
+storeArenaBytes(const StoreConfig &cfg)
+{
+    // Mirrors KvStore's allocation math, over-approximated: charge
+    // the union of every backend's structures so one budget fits all
+    // three, then pad per-allocation block alignment and arena slack.
+    const std::size_t slots = std::bit_ceil(
+        cfg.capacity * 2 < 64 ? std::size_t{64} : cfg.capacity * 2);
+    const std::size_t window = std::bit_ceil(4ull * cfg.foldBatches);
+    const std::size_t ckslots =
+        std::bit_ceil(std::size_t(cfg.shards) * window * 2);
+    const std::size_t jcap =
+        std::size_t(cfg.foldBatches + 2) * (cfg.batchOps + 1);
+    const std::size_t walEntries = 2 * std::size_t(cfg.batchOps) + 2;
+
+    std::size_t bytes = slots * 16 + ckslots * 16;
+    bytes += std::size_t(cfg.shards) *
+             (sizeof(std::uint64_t) * 8 +   // ShardMeta block
+              jcap * 24 +                   // journal
+              walEntries * 16 + 2 * 64);    // WAL log + count + status
+    // ~6 allocations per shard plus 3 global, each padded to a block.
+    bytes += (std::size_t(cfg.shards) * 6 + 8) * blockBytes;
+    return bytes + 4096;
+}
+
+} // namespace lp::store

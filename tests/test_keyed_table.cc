@@ -128,14 +128,33 @@ TEST(KeyedTable, RandomizedClaimFindAgree)
     EXPECT_EQ(t.occupancy(), 600u);
 }
 
-TEST(KeyedTableDeathTest, FullTableIsFatal)
+TEST(KeyedTableDeathTest, OverLoadFactorIsFatal)
 {
     pmem::PersistentArena arena(1 << 16);
-    KeyedChecksumTable t(arena, 4);  // 4 slots
-    for (std::uint64_t k = 1; k <= 4; ++k)
+    KeyedChecksumTable t(arena, 8);  // 8 slots, claim limit 7/8 = 7
+    for (std::uint64_t k = 1; k <= 7; ++k)
         t.claimSlot(k);
+    // The 8th distinct key would fill the table completely; the
+    // load-factor guard refuses with a sizing hint instead of letting
+    // probe chains degrade toward a full-table infinite probe.
     EXPECT_EXIT(t.claimSlot(99), ::testing::ExitedWithCode(1),
-                "full");
+                "load-factor");
+}
+
+TEST(KeyedTable, GuardResyncsAfterCrashRestore)
+{
+    pmem::PersistentArena arena(1 << 16);
+    KeyedChecksumTable t(arena, 8);
+    arena.persistAll();  // empty table durable
+    for (std::uint64_t k = 1; k <= 7; ++k)
+        t.claimSlot(k);
+    // None of the claims persisted; after the crash the table is
+    // empty again and the volatile claim counter must not make the
+    // guard fire spuriously.
+    arena.crashRestore();
+    for (std::uint64_t k = 10; k <= 16; ++k)
+        t.claimSlot(k);
+    EXPECT_EQ(t.occupancy(), 7u);
 }
 
 TEST(KeyedTableDeathTest, ReservedKeyPanics)

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Unit and property tests for lp::store::KvStore: map semantics and
+ * read-your-writes on every backend, golden-map equivalence after a
+ * checkpoint, the SimEnv/NativeEnv identical-code guarantee, clean
+ * recovery after a checkpoint, recovery idempotence (including a
+ * crash injected *during* recovery), the YCSB generators, and the
+ * table occupancy guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.hh"
+#include "kernels/env.hh"
+#include "kernels/workload.hh"
+#include "store/driver.hh"
+#include "store/kv_store.hh"
+#include "store/ycsb.hh"
+
+namespace lp::store
+{
+namespace
+{
+
+sim::MachineConfig
+smallMachine()
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = 1;
+    cfg.l1 = {8 * 1024, 4, 2};
+    cfg.l2 = {32 * 1024, 8, 11};  // small: force real evictions
+    return cfg;
+}
+
+StoreConfig
+smallConfig()
+{
+    StoreConfig cfg;
+    cfg.capacity = 1024;
+    cfg.shards = 2;
+    cfg.batchOps = 8;
+    cfg.foldBatches = 8;
+    return cfg;
+}
+
+const Backend kBackends[] = {Backend::Lp, Backend::EagerPerOp,
+                             Backend::Wal};
+
+class StoreBackends : public ::testing::TestWithParam<Backend>
+{
+};
+
+TEST_P(StoreBackends, PutGetDelSemantics)
+{
+    const StoreConfig scfg = smallConfig();
+    kernels::SimContext ctx(smallMachine(), storeArenaBytes(scfg));
+    KvStore<kernels::SimEnv> store(ctx.arena, scfg, GetParam());
+    ctx.arena.persistAll();
+    kernels::SimEnv env(ctx.machine, ctx.arena, 0);
+
+    EXPECT_EQ(store.get(env, 42), std::nullopt);
+    store.put(env, 42, 1);
+    store.put(env, 99, 2);
+    // Read-your-writes before any batch commits.
+    EXPECT_EQ(store.get(env, 42), std::optional<std::uint64_t>(1));
+    store.put(env, 42, 3);  // overwrite
+    EXPECT_EQ(store.get(env, 42), std::optional<std::uint64_t>(3));
+    store.del(env, 99);
+    EXPECT_EQ(store.get(env, 99), std::nullopt);
+    store.del(env, 12345);  // deleting an absent key is a no-op
+
+    store.checkpoint(env);
+    EXPECT_EQ(store.get(env, 42), std::optional<std::uint64_t>(3));
+    EXPECT_EQ(store.get(env, 99), std::nullopt);
+    EXPECT_EQ(store.liveKeys(), 1u);
+}
+
+TEST_P(StoreBackends, SnapshotMatchesGoldenAfterCheckpoint)
+{
+    const StoreConfig scfg = smallConfig();
+    kernels::SimContext ctx(smallMachine(), storeArenaBytes(scfg));
+    KvStore<kernels::SimEnv> store(ctx.arena, scfg, GetParam());
+    ctx.arena.persistAll();
+    kernels::SimEnv env(ctx.machine, ctx.arena, 0);
+
+    std::map<std::uint64_t, std::uint64_t> golden;
+    Rng rng(99);
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t key = keyOfRecord(rng.below(400), 5);
+        if (rng.chance(0.25)) {
+            store.del(env, key);
+            golden.erase(key);
+        } else {
+            store.put(env, key, i);
+            golden[key] = i;
+        }
+    }
+    store.checkpoint(env);
+    EXPECT_EQ(store.snapshot(), golden);
+    for (const auto &[k, v] : golden)
+        EXPECT_EQ(store.get(env, k), std::optional<std::uint64_t>(v));
+}
+
+/**
+ * The identical templated code must run under NativeEnv and produce
+ * the same logical map as the simulated run.
+ */
+TEST_P(StoreBackends, NativeEnvRunsIdenticalCode)
+{
+    const StoreConfig scfg = smallConfig();
+
+    kernels::SimContext ctx(smallMachine(), storeArenaBytes(scfg));
+    KvStore<kernels::SimEnv> simStore(ctx.arena, scfg, GetParam());
+    ctx.arena.persistAll();
+    kernels::SimEnv simEnv(ctx.machine, ctx.arena, 0);
+
+    pmem::PersistentArena nativeArena(storeArenaBytes(scfg));
+    KvStore<kernels::NativeEnv> natStore(nativeArena, scfg, GetParam());
+    nativeArena.persistAll();
+    kernels::NativeEnv natEnv;
+
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t key = keyOfRecord(rng.below(300), 11);
+        if (rng.chance(0.2)) {
+            simStore.del(simEnv, key);
+            natStore.del(natEnv, key);
+        } else {
+            simStore.put(simEnv, key, i);
+            natStore.put(natEnv, key, i);
+        }
+    }
+    simStore.checkpoint(simEnv);
+    natStore.checkpoint(natEnv);
+    EXPECT_EQ(simStore.snapshot(), natStore.snapshot());
+}
+
+TEST_P(StoreBackends, NativeDriverVerifies)
+{
+    YcsbParams p;
+    p.records = 512;
+    p.ops = 2048;
+    const auto out = runStoreNative(GetParam(), smallConfig(), p);
+    EXPECT_TRUE(out.verified);
+    EXPECT_EQ(out.reads + out.mutations, p.ops);
+}
+
+/**
+ * After a checkpoint every committed op is durable: a crash right
+ * after it must recover to the identical map with nothing to replay.
+ */
+TEST_P(StoreBackends, RecoverAfterCheckpointFindsNothing)
+{
+    const StoreConfig scfg = smallConfig();
+    kernels::SimContext ctx(smallMachine(), storeArenaBytes(scfg));
+    KvStore<kernels::SimEnv> store(ctx.arena, scfg, GetParam());
+    ctx.arena.persistAll();
+    kernels::SimEnv env(ctx.machine, ctx.arena, 0);
+
+    Rng rng(3);
+    for (int i = 0; i < 1500; ++i)
+        store.put(env, keyOfRecord(rng.below(200), 1), i);
+    store.checkpoint(env);
+    const auto before = store.snapshot();
+
+    ctx.machine.loseVolatileState();
+    ctx.arena.crashRestore();
+    const RecoveryReport rep = store.recover(env);
+    EXPECT_EQ(rep.batchesReplayed, 0u);
+    EXPECT_EQ(rep.entriesReplayed, 0u);
+    EXPECT_FALSE(rep.walUndone);
+    EXPECT_EQ(store.snapshot(), before);
+
+    // And the recovered store keeps working.
+    store.put(env, keyOfRecord(0, 1), 0xabc);
+    store.checkpoint(env);
+    EXPECT_EQ(store.get(env, keyOfRecord(0, 1)),
+              std::optional<std::uint64_t>(0xabc));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, StoreBackends,
+                         ::testing::ValuesIn(kBackends),
+                         [](const auto &info) {
+                             return backendName(info.param);
+                         });
+
+/**
+ * Recovery must be idempotent: running it again on the repaired image
+ * finds nothing further and changes nothing.
+ */
+TEST(StoreRecovery, RecoverTwiceIsIdempotent)
+{
+    const StoreConfig scfg = smallConfig();
+    kernels::SimContext ctx(smallMachine(), storeArenaBytes(scfg));
+    KvStore<kernels::SimEnv> store(ctx.arena, scfg, Backend::Lp);
+    ctx.arena.persistAll();
+    kernels::SimEnv env(ctx.machine, ctx.arena, 0,
+                        &ctx.crash);
+
+    ctx.crash.armAfterStores(2500);
+    Rng rng(17);
+    bool crashed = false;
+    try {
+        for (int i = 0; i < 4000; ++i)
+            store.put(env, keyOfRecord(rng.below(300), 2), i);
+        store.checkpoint(env);
+        ctx.crash.disarm();
+    } catch (const pmem::CrashException &) {
+        crashed = true;
+        ctx.crash.disarm();
+        ctx.sched.clear();
+        ctx.machine.loseVolatileState();
+        ctx.arena.crashRestore();
+    }
+    ASSERT_TRUE(crashed);
+
+    const RecoveryReport first = store.recover(env);
+    const auto afterFirst = store.snapshot();
+
+    // Recovery repaired with Eager Persistency, so a second crash
+    // restore keeps its work; running recovery again is a no-op.
+    ctx.machine.loseVolatileState();
+    ctx.arena.crashRestore();
+    const RecoveryReport second = store.recover(env);
+    EXPECT_EQ(second.batchesReplayed, 0u);
+    EXPECT_EQ(second.entriesReplayed, 0u);
+    EXPECT_EQ(second.committedEpochs, first.committedEpochs);
+    EXPECT_EQ(store.snapshot(), afterFirst);
+}
+
+/**
+ * A crash *during* recovery must be recoverable by simply running
+ * recovery again (Section III-E: recovery uses Eager Persistency and
+ * replay converges thanks to the single-copy probe invariant).
+ */
+TEST(StoreRecovery, CrashDuringRecoveryIsRecoverable)
+{
+    const StoreConfig scfg = smallConfig();
+    kernels::SimContext ctx(smallMachine(), storeArenaBytes(scfg));
+    KvStore<kernels::SimEnv> store(ctx.arena, scfg, Backend::Lp);
+    ctx.arena.persistAll();
+    kernels::SimEnv env(ctx.machine, ctx.arena, 0, &ctx.crash);
+
+    // Deterministic op stream, recorded with predicted epochs so the
+    // golden cut at any watermark is reproducible.
+    struct OpRec
+    {
+        int shard;
+        std::uint64_t epoch;
+        std::uint64_t key;
+        std::uint64_t value;
+    };
+    std::vector<OpRec> issued;
+    std::vector<std::uint64_t> shardMuts(scfg.shards, 0);
+    Rng rng(23);
+
+    ctx.crash.armAfterStores(3000);
+    bool crashed = false;
+    try {
+        for (int i = 0; i < 4000; ++i) {
+            const std::uint64_t key = keyOfRecord(rng.below(300), 4);
+            const int sh = store.shardOf(key);
+            const std::uint64_t epoch =
+                shardMuts[sh] / std::uint64_t(scfg.batchOps) + 1;
+            ++shardMuts[sh];
+            issued.push_back(
+                OpRec{sh, epoch, key, std::uint64_t(i)});
+            store.put(env, key, std::uint64_t(i));
+        }
+        store.checkpoint(env);
+        ctx.crash.disarm();
+    } catch (const pmem::CrashException &) {
+        crashed = true;
+        ctx.crash.disarm();
+        ctx.sched.clear();
+        ctx.machine.loseVolatileState();
+        ctx.arena.crashRestore();
+    }
+    ASSERT_TRUE(crashed);
+
+    // Crash again partway through recovery itself.
+    ctx.crash.armAfterStores(40);
+    bool recoveryCrashed = false;
+    try {
+        store.recover(env);
+        ctx.crash.disarm();
+    } catch (const pmem::CrashException &) {
+        recoveryCrashed = true;
+        ctx.crash.disarm();
+        ctx.sched.clear();
+        ctx.machine.loseVolatileState();
+        ctx.arena.crashRestore();
+    }
+
+    const RecoveryReport rep = store.recover(env);
+    (void)recoveryCrashed;  // may or may not fire; both must verify
+
+    std::map<std::uint64_t, std::uint64_t> golden;
+    for (const OpRec &r : issued)
+        if (r.epoch <= rep.committedEpochs[r.shard])
+            golden[r.key] = r.value;
+    EXPECT_EQ(store.snapshot(), golden);
+}
+
+TEST(StoreYcsb, KeyOfRecordIsInjective)
+{
+    std::unordered_map<std::uint64_t, std::size_t> seen;
+    for (std::size_t id = 0; id < 10000; ++id) {
+        const std::uint64_t k = keyOfRecord(id, 42);
+        EXPECT_LE(k, maxUserKey);
+        const auto [it, fresh] = seen.emplace(k, id);
+        EXPECT_TRUE(fresh) << "collision between " << it->second
+                           << " and " << id;
+    }
+}
+
+TEST(StoreYcsb, ZipfianIsBoundedAndSkewed)
+{
+    ZipfianGen zipf(1000, 0.99);
+    Rng rng(5);
+    std::vector<std::uint64_t> counts(1000, 0);
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t v = zipf.next(rng);
+        ASSERT_LT(v, 1000u);
+        ++counts[v];
+    }
+    // Rank 0 must dwarf the uniform expectation (50 per item).
+    EXPECT_GT(counts[0], 2000u);
+}
+
+TEST(StoreYcsb, MixReadFractions)
+{
+    EXPECT_DOUBLE_EQ(readFraction(YcsbMix::A), 0.5);
+    EXPECT_DOUBLE_EQ(readFraction(YcsbMix::B), 0.95);
+    EXPECT_DOUBLE_EQ(readFraction(YcsbMix::C), 1.0);
+    EXPECT_EQ(parseMix("a"), YcsbMix::A);
+    EXPECT_EQ(parseMix("B"), YcsbMix::B);
+}
+
+TEST(StoreConfigTest, ParseBackendRoundTrips)
+{
+    for (Backend b : kBackends)
+        EXPECT_EQ(parseBackend(backendName(b)), b);
+}
+
+TEST(StoreDeathTest, OverCapacityIsFatal)
+{
+    StoreConfig scfg;
+    scfg.capacity = 8;  // floor-clamped to 64 slots; limit 7/8 = 56
+    scfg.shards = 1;
+    ASSERT_DEATH(
+        {
+            pmem::PersistentArena arena(storeArenaBytes(scfg));
+            KvStore<kernels::NativeEnv> store(arena, scfg,
+                                              Backend::EagerPerOp);
+            arena.persistAll();
+            kernels::NativeEnv env;
+            for (std::uint64_t k = 1; k <= 60; ++k)
+                store.put(env, k * 1000, k);
+        },
+        "load-factor");
+}
+
+} // namespace
+} // namespace lp::store

@@ -10,6 +10,12 @@
  *   lazyper_cli --kernel fft --scheme lp --crash-at 50 --seed 7
  *   lazyper_cli --kernel tmm --scheme lp --l2-kb 64 \
  *               --checksum adler32 --cleaner-period 100000
+ *
+ * The `store` subcommand drives the persistent KV store instead of a
+ * kernel (see docs/store_design.md):
+ *   lazyper_cli store --backend lp --mix a --records 4096 --ops 16384
+ *   lazyper_cli store --backend wal --mix b --uniform --json
+ *   lazyper_cli store --backend lp --crash-at 2000
  */
 
 #include <cstdio>
@@ -20,6 +26,7 @@
 #include "base/logging.hh"
 #include "kernels/harness.hh"
 #include "stats/json.hh"
+#include "store/driver.hh"
 
 using namespace lp;
 using namespace lp::kernels;
@@ -47,8 +54,9 @@ usage(const char *argv0)
         "  --cleaner-period C       cycles, 0 = off  (default 0)\n"
         "  --crash-at P      crash at P%% of the LP store stream,\n"
         "                    recover, resume, verify (default off)\n"
-        "  --json            emit the full stats snapshot as JSON\n",
-        argv0);
+        "  --json            emit the full stats snapshot as JSON\n"
+        "or: %s store ...   (persistent KV store; see `%s store -h`)\n",
+        argv0, argv0, argv0);
     std::exit(2);
 }
 
@@ -100,11 +108,165 @@ parseChecksum(const std::string &s)
     fatal("unknown checksum kind: " + s);
 }
 
+[[noreturn]] void
+storeUsage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s store [options]\n"
+        "  --backend lp|eager|wal    persistency scheme  (default lp)\n"
+        "  --records R     loaded key-space size         (default 4096)\n"
+        "  --ops O         mix operations                (default 16384)\n"
+        "  --mix a|b|c     YCSB mix                      (default a)\n"
+        "  --uniform       uniform keys instead of zipfian\n"
+        "  --theta T       zipfian skew                  (default 0.99)\n"
+        "  --shards S / --batch-ops B / --fold-batches F / --capacity C\n"
+        "  --checksum parity|modular|adler32|combined|crc32\n"
+        "  --seed S                                      (default 42)\n"
+        "  --crash-at N    crash after N persistent stores, recover,\n"
+        "                  verify against the committed-batch replay\n"
+        "  --crash-regions N   same, but after N region commits\n"
+        "  --json          emit the result as JSON\n",
+        argv0);
+    std::exit(2);
+}
+
+int
+runStoreCommand(int argc, char **argv)
+{
+    using namespace lp::store;
+
+    Backend backend = Backend::Lp;
+    StoreConfig scfg;
+    YcsbParams p;
+    std::int64_t crash_at = -1;
+    bool crash_regions = false;
+    bool json = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                storeUsage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--backend") {
+            backend = parseBackend(next());
+        } else if (arg == "--records") {
+            p.records = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--ops") {
+            p.ops = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--mix") {
+            p.mix = parseMix(next());
+        } else if (arg == "--uniform") {
+            p.zipfian = false;
+        } else if (arg == "--theta") {
+            p.theta = std::atof(next().c_str());
+        } else if (arg == "--shards") {
+            scfg.shards = std::atoi(next().c_str());
+        } else if (arg == "--batch-ops") {
+            scfg.batchOps = std::atoi(next().c_str());
+        } else if (arg == "--fold-batches") {
+            scfg.foldBatches = std::atoi(next().c_str());
+        } else if (arg == "--capacity") {
+            scfg.capacity = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--checksum") {
+            scfg.checksum = parseChecksum(next());
+        } else if (arg == "--seed") {
+            p.seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--crash-at") {
+            crash_at = std::atoll(next().c_str());
+            crash_regions = false;
+        } else if (arg == "--crash-regions") {
+            crash_at = std::atoll(next().c_str());
+            crash_regions = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else {
+            storeUsage(argv[0]);
+        }
+    }
+
+    sim::MachineConfig mcfg;
+    mcfg.numCores = 1;
+    mcfg.l1 = {16 * 1024, 8, 2};
+    mcfg.l2 = {128 * 1024, 8, 11};
+
+    std::printf("store backend=%s records=%zu ops=%zu mix=%s %s "
+                "shards=%d batch=%d fold=%d checksum=%s\n",
+                backendName(backend).c_str(), p.records, p.ops,
+                mixName(p.mix).c_str(),
+                p.zipfian ? "zipfian" : "uniform", scfg.shards,
+                scfg.batchOps, scfg.foldBatches,
+                core::checksumKindName(scfg.checksum).c_str());
+
+    if (crash_at >= 0) {
+        StoreCrashSpec spec;
+        spec.records = p.records;
+        spec.preOps = p.ops;
+        spec.byRegions = crash_regions;
+        spec.point = static_cast<std::uint64_t>(crash_at);
+        spec.seed = p.seed;
+        const auto out =
+            runStoreWithCrash(backend, scfg, spec, mcfg);
+        std::printf(
+            "crash after %lld %s: %s\n",
+            static_cast<long long>(crash_at),
+            crash_regions ? "region commits" : "persistent stores",
+            out.crashed ? "fired" : "did not fire");
+        std::printf("recovery: replayed=%llu entries=%llu "
+                    "discarded=%llu wal-undone=%llu\n",
+                    static_cast<unsigned long long>(
+                        out.report.batchesReplayed),
+                    static_cast<unsigned long long>(
+                        out.report.entriesReplayed),
+                    static_cast<unsigned long long>(
+                        out.report.batchesDiscarded),
+                    static_cast<unsigned long long>(
+                        out.report.walUndone));
+        const bool ok =
+            out.committedStateVerified && out.finalStateVerified;
+        std::printf("committed state: %s   final state: %s\n",
+                    out.committedStateVerified ? "verified" : "WRONG",
+                    out.finalStateVerified ? "verified" : "WRONG");
+        return ok ? 0 : 1;
+    }
+
+    const auto out = runStoreYcsb(backend, scfg, p, mcfg);
+    if (json) {
+        stats::JsonValue::Object obj = stats::toJson(out.stats);
+        obj.emplace("backend", backendName(backend));
+        obj.emplace("mix", mixName(p.mix));
+        obj.emplace("zipfian", p.zipfian);
+        obj.emplace("records", double(p.records));
+        obj.emplace("ops", double(p.ops));
+        obj.emplace("writes_per_mutation", out.writesPerMutation);
+        obj.emplace("ops_per_sec", out.opsPerSec);
+        obj.emplace("verified", out.verified);
+        std::printf("%s\n", stats::JsonValue(obj).render().c_str());
+        return out.verified ? 0 : 1;
+    }
+    std::printf("exec cycles:     %.0f\n", out.execCycles);
+    std::printf("NVMM writes:     %llu\n",
+                static_cast<unsigned long long>(out.nvmmWrites));
+    std::printf("reads/mutations: %llu / %llu\n",
+                static_cast<unsigned long long>(out.reads),
+                static_cast<unsigned long long>(out.mutations));
+    std::printf("writes/mutation: %.3f\n", out.writesPerMutation);
+    std::printf("throughput:      %.3g ops/s (simulated)\n",
+                out.opsPerSec);
+    std::printf("verified:        %s\n", out.verified ? "yes" : "NO");
+    return out.verified ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc >= 2 && std::strcmp(argv[1], "store") == 0)
+        return runStoreCommand(argc, argv);
+
     KernelId kernel = KernelId::Tmm;
     Scheme scheme = Scheme::Lp;
     KernelParams params;
