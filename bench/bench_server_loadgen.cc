@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Multi-connection load generator for lp::server: starts an in-process
+ * server (4 shard workers) on an ephemeral port, loads a record set,
+ * then drives YCSB mixes A (50/50), B (95/5) and C (read-only) from 8
+ * concurrent client connections, each pipelining a 16-op window, for
+ * each persistency backend (LP, eager per-op, WAL).
+ *
+ * Reports closed-loop throughput and p50/p99/p999 operation latency.
+ * Latency here is send-to-reply, and a reply is only sent once the
+ * mutation is *recoverable* (its batch epoch committed), so the mix-A
+ * tail directly exposes each backend's ack-deferral story: eager acks
+ * per-op, LP/WAL acks ride on batch commits bounded by the flush
+ * deadline.
+ *
+ * Writes the full grid to BENCH_server.json (or argv[1]) via the
+ * stats JSON exporter.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "bench/common.hh"
+#include "server/client.hh"
+#include "server/server.hh"
+#include "stats/json.hh"
+#include "stats/table.hh"
+#include "store/ycsb.hh"
+
+using namespace lp;
+using namespace lp::server;
+using namespace lp::store;
+
+namespace
+{
+
+constexpr int kShards = 4;
+constexpr int kClients = 8;
+constexpr std::size_t kWindow = 16;
+constexpr std::size_t kRecords = 2048;
+constexpr std::size_t kOpsPerClient = 2048;
+constexpr std::uint64_t kKeySeed = 42;  ///< keyOfRecord mapping seed
+
+using Clock = std::chrono::steady_clock;
+
+/** What one client connection observed during a mix. */
+struct ClientResult
+{
+    std::vector<double> latUs;
+    std::uint64_t reads = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t errors = 0;
+};
+
+/**
+ * Closed-loop client: keeps up to kWindow requests in flight, matches
+ * replies by echoed id (the server may reorder across shards), and
+ * records send-to-reply latency per completed op.
+ */
+void
+runClient(Client &c, const YcsbParams &p, std::uint64_t rngSeed,
+          ClientResult &out)
+{
+    Rng rng(rngSeed * 0x9e3779b97f4a7c15ull + 1);
+    ZipfianGen zipf(p.records < 2 ? 2 : p.records, p.theta);
+    std::unordered_map<std::uint64_t, Clock::time_point> inflight;
+    out.latUs.reserve(kOpsPerClient);
+
+    auto recvOne = [&]() -> bool {
+        const auto r = c.recvResponse(30000);
+        if (!r) {
+            ++out.errors;
+            return false;
+        }
+        const auto it = inflight.find(r->id);
+        if (it == inflight.end()) {
+            ++out.errors;  // reply to an id we never sent
+            return false;
+        }
+        if (r->status == Status::Retry) {
+            ++out.retries;
+        } else {
+            const auto ns = std::chrono::duration_cast<
+                std::chrono::nanoseconds>(Clock::now() - it->second);
+            out.latUs.push_back(double(ns.count()) / 1e3);
+        }
+        inflight.erase(it);
+        return true;
+    };
+
+    std::size_t sent = 0;
+    while (sent < kOpsPerClient || !inflight.empty()) {
+        if (sent < kOpsPerClient && inflight.size() < kWindow) {
+            const bool read = rng.chance(readFraction(p.mix));
+            const std::uint64_t rank =
+                p.zipfian ? zipf.next(rng) : rng.below(p.records);
+            Request q;
+            q.id = c.nextId();
+            q.key = keyOfRecord(rank % p.records, kKeySeed);
+            if (read) {
+                q.op = Op::Get;
+                ++out.reads;
+            } else {
+                q.op = Op::Put;
+                q.value = (rngSeed << 32) ^ sent;
+                ++out.updates;
+            }
+            inflight.emplace(q.id, Clock::now());
+            if (!c.sendRequest(q)) {
+                ++out.errors;
+                break;
+            }
+            ++sent;
+        } else if (!recvOne()) {
+            break;
+        }
+    }
+}
+
+/** Load the record set through one connection, in BATCH frames. */
+bool
+loadRecords(Client &c)
+{
+    constexpr std::size_t kChunk = 256;
+    for (std::size_t at = 0; at < kRecords; at += kChunk) {
+        Request q;
+        q.op = Op::Batch;
+        q.id = c.nextId();
+        for (std::size_t i = at; i < at + kChunk && i < kRecords; ++i)
+            q.batch.push_back(
+                BatchOp{true, keyOfRecord(i, kKeySeed), i});
+        if (!c.sendRequest(q))
+            return false;
+        const auto r = c.recvResponse(30000);
+        if (!r || r->status != Status::Ok)
+            return false;
+    }
+    return true;
+}
+
+/** Percentile of a sorted sample (nearest-rank). */
+double
+pct(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto idx = std::min(
+        sorted.size() - 1, std::size_t(p * double(sorted.size())));
+    return sorted[idx];
+}
+
+std::string
+makeDataDir()
+{
+    char tmpl[] = "/tmp/lpserver-bench-XXXXXX";
+    const char *dir = mkdtemp(tmpl);
+    if (dir == nullptr)
+        fatal("mkdtemp failed");
+    return dir;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner(
+        "lp::server load generator (YCSB A/B/C over TCP)",
+        "end-to-end LP vs. eager vs. WAL: recoverable-ack "
+        "throughput and latency");
+
+    const Backend backends[] = {Backend::Lp, Backend::EagerPerOp,
+                                Backend::Wal};
+    const YcsbMix mixes[] = {YcsbMix::A, YcsbMix::B, YcsbMix::C};
+
+    stats::JsonValue::Object root;
+    root.emplace("records", double(kRecords));
+    root.emplace("ops_per_client", double(kOpsPerClient));
+    root.emplace("clients", kClients);
+    root.emplace("shards", kShards);
+    root.emplace("window", double(kWindow));
+    root.emplace("zipfian", true);
+
+    bool clean = true;
+    for (Backend b : backends) {
+        const std::string dir = makeDataDir();
+        ServerConfig cfg;
+        cfg.dataDir = dir;
+        cfg.shards = kShards;
+        cfg.backend = b;
+        cfg.quiet = true;
+        Server srv(cfg);
+        srv.start();
+
+        Client loader;
+        if (!loader.connectTo(cfg.host, srv.port()) ||
+            !loadRecords(loader))
+            fatal("load phase failed (backend " +
+                  std::string(backendName(b)) + ")");
+        loader.close();
+
+        stats::Table table({std::string("backend ") + backendName(b),
+                            "ops", "Kops/s", "p50 us", "p99 us",
+                            "p999 us", "retries"});
+        stats::JsonValue::Object perMix;
+        for (YcsbMix mix : mixes) {
+            YcsbParams p;
+            p.records = kRecords;
+            p.mix = mix;
+            p.zipfian = true;
+            p.seed = kKeySeed;
+
+            std::vector<std::unique_ptr<Client>> conns;
+            for (int i = 0; i < kClients; ++i) {
+                conns.push_back(std::make_unique<Client>());
+                if (!conns.back()->connectTo(cfg.host, srv.port()))
+                    fatal("client connect failed");
+            }
+
+            std::vector<ClientResult> results(kClients);
+            std::vector<std::thread> threads;
+            const auto t0 = Clock::now();
+            for (int i = 0; i < kClients; ++i)
+                threads.emplace_back(runClient, std::ref(*conns[i]),
+                                     std::cref(p),
+                                     std::uint64_t(i + 1),
+                                     std::ref(results[i]));
+            for (auto &t : threads)
+                t.join();
+            const auto t1 = Clock::now();
+            for (auto &c : conns)
+                c->close();
+
+            std::vector<double> lat;
+            std::uint64_t reads = 0, updates = 0, retries = 0,
+                          errors = 0;
+            for (const ClientResult &r : results) {
+                lat.insert(lat.end(), r.latUs.begin(), r.latUs.end());
+                reads += r.reads;
+                updates += r.updates;
+                retries += r.retries;
+                errors += r.errors;
+            }
+            std::sort(lat.begin(), lat.end());
+            const double secs =
+                std::chrono::duration<double>(t1 - t0).count();
+            const double opsPerSec =
+                secs > 0.0 ? double(lat.size()) / secs : 0.0;
+            clean = clean && errors == 0 &&
+                    lat.size() + retries ==
+                        std::uint64_t(kClients) * kOpsPerClient;
+
+            table.addRow({"mix " + mixName(mix),
+                          stats::Table::num(double(lat.size()), 0),
+                          stats::Table::num(opsPerSec / 1e3, 1),
+                          stats::Table::num(pct(lat, 0.50), 1),
+                          stats::Table::num(pct(lat, 0.99), 1),
+                          stats::Table::num(pct(lat, 0.999), 1),
+                          stats::Table::num(double(retries), 0)});
+
+            stats::JsonValue::Object entry;
+            entry.emplace("ops_completed", double(lat.size()));
+            entry.emplace("reads", double(reads));
+            entry.emplace("updates", double(updates));
+            entry.emplace("retries", double(retries));
+            entry.emplace("errors", double(errors));
+            entry.emplace("throughput_ops_per_sec", opsPerSec);
+            entry.emplace("p50_us", pct(lat, 0.50));
+            entry.emplace("p99_us", pct(lat, 0.99));
+            entry.emplace("p999_us", pct(lat, 0.999));
+            entry.emplace("wall_seconds", secs);
+            perMix.emplace(mixName(mix), std::move(entry));
+        }
+        table.print();
+        std::printf("\n");
+        root.emplace(backendName(b), std::move(perMix));
+
+        srv.stop();
+        std::filesystem::remove_all(dir);
+    }
+
+    const char *path = argc > 1 ? argv[1] : "BENCH_server.json";
+    if (std::FILE *f = std::fopen(path, "w")) {
+        const std::string text = stats::JsonValue(root).render();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s\n", path);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return 1;
+    }
+    return clean ? 0 : 1;
+}

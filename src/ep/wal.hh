@@ -44,16 +44,24 @@ class WalArea
      * Allocate a log able to hold @p capacity entries in @p arena.
      * Each thread uses a private WalArea, as PMEM-style software
      * logging does, to avoid synchronizing on the log tail.
+     *
+     * @p attach: keep the existing bytes (a re-mapped durable image
+     * after a process restart) instead of zeroing count and status,
+     * so an armed-but-uncommitted transaction from the previous
+     * incarnation is still visible to applyUndo().
      */
-    WalArea(pmem::PersistentArena &arena, std::size_t capacity)
+    WalArea(pmem::PersistentArena &arena, std::size_t capacity,
+            bool attach = false)
         : arena_(&arena),
           entries_(arena.alloc<WalEntry>(capacity)),
           count_(arena.alloc<std::uint64_t>(1)),
           status_(arena.alloc<std::uint64_t>(1)),
           capacity_(capacity)
     {
-        *count_ = 0;
-        *status_ = 0;
+        if (!attach) {
+            *count_ = 0;
+            *status_ = 0;
+        }
     }
 
     pmem::PersistentArena &arena() { return *arena_; }

@@ -17,6 +17,32 @@
  *
  * Both are final concrete types: kernels instantiate per-Env, so the
  * abstraction costs nothing at runtime.
+ *
+ * CONCURRENCY CONTRACT -- single writer per shard. An Env instance,
+ * and every structure driven through it (an LpRegion, a KvStore and
+ * each shard inside it), is single-threaded state: neither SimEnv
+ * nor NativeEnv performs any synchronization, and NativeEnv's plain
+ * loads/stores are NOT atomic. The rules every caller must follow:
+ *
+ *  1. One owning thread per Env and per shard. Concurrent software
+ *     threads each get their own Env (SimEnv: own core id; NativeEnv:
+ *     own instance) over disjoint persistent data. The simulator
+ *     emulates parallelism by interleaving single-threaded region
+ *     work items (RegionScheduler); a native service shards at the
+ *     process level -- one single-shard KvStore per worker thread,
+ *     as lp::server does -- so no shard is ever touched by two
+ *     threads. Debug builds of KvStore assert this on every access.
+ *  2. Ownership transfer must synchronize. Handing work or results
+ *     between a shard owner and another thread (e.g. lp::server's
+ *     acceptor <-> worker queues) must go through a synchronizing
+ *     mechanism (mutex, atomic release/acquire); the Env itself
+ *     provides no visibility guarantees between host threads.
+ *  3. Cross-thread observers read atomics only. Any watermark or
+ *     statistic a non-owning thread may poll (e.g. lp::server's
+ *     acceptor reading worker progress for STATS) must be mirrored
+ *     into std::atomic variables by the owner; peeking at a live
+ *     shard's fields from another thread is a data race even when it
+ *     "only reads".
  */
 
 #ifndef LP_KERNELS_ENV_HH

@@ -8,10 +8,16 @@ namespace lp::core
 {
 
 KeyedChecksumTable::KeyedChecksumTable(pmem::PersistentArena &arena,
-                                       std::size_t num_slots)
+                                       std::size_t num_slots, bool attach)
 {
     slots = std::bit_ceil(num_slots < 2 ? 2 : num_slots);
     data = arena.alloc<Slot>(slots);
+    if (attach) {
+        // Existing durable image: keep the committed digests; the
+        // volatile claim counter resyncs lazily via occupancy().
+        claimed = occupancy();
+        return;
+    }
     for (std::size_t i = 0; i < slots; ++i) {
         data[i].key = emptyKey;
         data[i].digest = invalidDigest;

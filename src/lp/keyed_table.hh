@@ -61,9 +61,16 @@ class KeyedChecksumTable
      * ~50% expected occupancy (as the bundled users do); the table
      * cannot grow in place because slots live at fixed persistent
      * addresses that committed digests already reference.
+     *
+     * @p attach: when true, the slots are NOT initialized -- the
+     * arena region is an existing durable image (e.g. a re-mapped
+     * backing file after a process restart) whose committed digests
+     * recovery is about to validate. The caller must guarantee the
+     * allocation replays at the same arena offset as the incarnation
+     * that wrote the image.
      */
     KeyedChecksumTable(pmem::PersistentArena &arena,
-                       std::size_t num_slots);
+                       std::size_t num_slots, bool attach = false);
 
     /// Occupancy ceiling enforced by claimSlot(): 7/8 of the slots.
     static constexpr std::size_t maxLoadNum = 7;

@@ -1,14 +1,72 @@
 #include "pmem/arena.hh"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "base/intmath.hh"
 #include "base/logging.hh"
 
 namespace lp::pmem
 {
 
+AlignedBuffer::AlignedBuffer(std::size_t n, const std::string &path)
+    : size_(n), data_(nullptr), mapped_(true)
+{
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0)
+        fatal("cannot open arena backing file " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        fatal("cannot stat arena backing file " + path);
+    }
+    if (st.st_size != 0 && static_cast<std::size_t>(st.st_size) != n) {
+        ::close(fd);
+        fatal("arena backing file " + path + " has size " +
+              std::to_string(st.st_size) + ", expected " +
+              std::to_string(n) + " -- configuration mismatch with the "
+              "process that created it");
+    }
+    if (st.st_size == 0 && ::ftruncate(fd, static_cast<off_t>(n)) != 0) {
+        ::close(fd);
+        fatal("cannot size arena backing file " + path);
+    }
+    void *m = ::mmap(nullptr, n, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd, 0);
+    ::close(fd);
+    if (m == MAP_FAILED)
+        fatal("cannot mmap arena backing file " + path);
+    data_ = static_cast<std::uint8_t *>(m);
+}
+
+AlignedBuffer::~AlignedBuffer()
+{
+    if (mapped_)
+        ::munmap(data_, size_);
+    else
+        ::operator delete[](data_, std::align_val_t{blockBytes});
+}
+
+void
+AlignedBuffer::syncToFile()
+{
+    if (mapped_)
+        ::msync(data_, size_, MS_SYNC);
+}
+
 PersistentArena::PersistentArena(std::size_t capacity)
     : volatileView(alignUp(capacity + baseOffset, blockBytes)),
-      shadow(volatileView.size()),
+      shadow(std::make_unique<AlignedBuffer>(volatileView.size())),
+      nextFree(baseOffset)
+{
+}
+
+PersistentArena::PersistentArena(std::size_t capacity,
+                                 const std::string &backingFile)
+    : volatileView(alignUp(capacity + baseOffset, blockBytes),
+                   backingFile),
       nextFree(baseOffset)
 {
 }
@@ -32,21 +90,32 @@ PersistentArena::persistBlock(Addr block_addr)
     LP_ASSERT(blockOffset(block_addr) == 0, "unaligned persist");
     LP_ASSERT(block_addr + blockBytes <= volatileView.size(),
               "persist outside the arena");
-    std::memcpy(shadow.data() + block_addr,
-                volatileView.data() + block_addr, blockBytes);
+    if (shadow) {
+        std::memcpy(shadow->data() + block_addr,
+                    volatileView.data() + block_addr, blockBytes);
+    }
     ++persistCount;
 }
 
 void
 PersistentArena::crashRestore()
 {
-    std::memcpy(volatileView.data(), shadow.data(), volatileView.size());
+    LP_ASSERT(shadow, "crashRestore on a file-backed arena: a process "
+                      "crash is simulated by restarting the process "
+                      "and re-attaching to the backing file");
+    std::memcpy(volatileView.data(), shadow->data(),
+                volatileView.size());
 }
 
 void
 PersistentArena::persistAll()
 {
-    std::memcpy(shadow.data(), volatileView.data(), volatileView.size());
+    if (shadow) {
+        std::memcpy(shadow->data(), volatileView.data(),
+                    volatileView.size());
+    } else {
+        volatileView.syncToFile();
+    }
 }
 
 } // namespace lp::pmem

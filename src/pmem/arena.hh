@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <string>
 
 #include "base/types.hh"
 #include "sim/machine.hh"
@@ -38,6 +39,13 @@ namespace lp::pmem
  * pointer arithmetic and simulated-address arithmetic agree on block
  * boundaries, so Env::clflushopt(host_ptr) flushes the block the
  * program actually wrote.
+ *
+ * Two storage modes: plain heap memory (zero-initialized), or a
+ * shared mapping of a backing file. The file mode creates the file if
+ * absent (ftruncate zero-fills it) and maps an existing file's bytes
+ * unchanged, which is how a restarted process re-attaches to state a
+ * previous incarnation left behind. mmap returns page-aligned memory,
+ * which satisfies the block alignment requirement.
  */
 class AlignedBuffer
 {
@@ -50,10 +58,14 @@ class AlignedBuffer
         std::memset(data_, 0, n);
     }
 
-    ~AlignedBuffer()
-    {
-        ::operator delete[](data_, std::align_val_t{blockBytes});
-    }
+    /**
+     * Map @p path (created and zero-extended to @p n bytes if needed)
+     * as shared, writable memory. An existing file of a different
+     * size is a configuration mismatch and fatal()s.
+     */
+    AlignedBuffer(std::size_t n, const std::string &path);
+
+    ~AlignedBuffer();
 
     AlignedBuffer(const AlignedBuffer &) = delete;
     AlignedBuffer &operator=(const AlignedBuffer &) = delete;
@@ -61,18 +73,46 @@ class AlignedBuffer
     std::uint8_t *data() { return data_; }
     const std::uint8_t *data() const { return data_; }
     std::size_t size() const { return size_; }
+    bool fileBacked() const { return mapped_; }
+
+    /** File mode: msync the mapping so the file matches memory. */
+    void syncToFile();
 
   private:
     std::size_t size_;
     std::uint8_t *data_;
+    bool mapped_ = false;
 };
 
-/** A byte-addressable persistent heap with a durable shadow. */
+/**
+ * A byte-addressable persistent heap. Two durability models:
+ *
+ *  - Simulated (default): a heap volatile view plus a durable shadow
+ *    of identical layout; the simulated Machine's persistBlock()
+ *    copies blocks volatile -> shadow, and crashRestore() reverts
+ *    the view to exactly what persisted.
+ *
+ *  - File-backed: the "volatile" view is a shared mmap of a backing
+ *    file, so every plain store lands in the OS page cache and
+ *    survives *process* death (SIGKILL included) -- the page cache is
+ *    the persistence domain, the durable analog of NVMM under the
+ *    paper's ADR crash model with a process-crash (not power-loss)
+ *    failure envelope. A restarted process re-attaches by rebuilding
+ *    the identical allocation sequence over the same file. There is
+ *    no shadow; persistAll() msyncs. This mode backs the native
+ *    lp::server shards (docs/server_design.md).
+ */
 class PersistentArena : public sim::PersistBackend
 {
   public:
-    /** Create an arena with @p capacity usable bytes. */
+    /** Create a simulated arena with @p capacity usable bytes. */
     explicit PersistentArena(std::size_t capacity);
+
+    /**
+     * Create a file-backed arena over @p backingFile (created and
+     * zero-filled if absent, re-attached byte-for-byte if present).
+     */
+    PersistentArena(std::size_t capacity, const std::string &backingFile);
 
     /// @name Allocation
     /// @{
@@ -134,15 +174,24 @@ class PersistentArena : public sim::PersistBackend
      */
     void persistAll();
 
-    /** Read the *durable* value behind a volatile-view pointer. */
+    /**
+     * Read the *durable* value behind a volatile-view pointer. In
+     * file-backed mode every store is already in the persistence
+     * domain, so this reads the view itself.
+     */
     template <typename T>
     T
     peekDurable(const T *p) const
     {
         T out;
-        std::memcpy(&out, shadow.data() + addrOf(p), sizeof(T));
+        const std::uint8_t *base =
+            shadow ? shadow->data() : volatileView.data();
+        std::memcpy(&out, base + addrOf(p), sizeof(T));
         return out;
     }
+
+    /** True iff this arena persists through a backing file. */
+    bool fileBacked() const { return volatileView.fileBacked(); }
     /// @}
 
     std::size_t bytesAllocated() const { return nextFree - baseOffset; }
@@ -156,7 +205,9 @@ class PersistentArena : public sim::PersistBackend
     static constexpr std::size_t baseOffset = blockBytes;
 
     AlignedBuffer volatileView;
-    AlignedBuffer shadow;
+    /// Durable shadow; absent in file-backed mode (the view itself
+    /// is the durable medium there).
+    std::unique_ptr<AlignedBuffer> shadow;
     std::size_t nextFree;
     std::uint64_t persistCount = 0;
 };

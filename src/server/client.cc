@@ -1,0 +1,220 @@
+#include "server/client.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdio>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace lp::server
+{
+
+Client::~Client()
+{
+    close();
+}
+
+bool
+Client::connectTo(const std::string &host, int port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(std::uint16_t(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        close();
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    in_.clear();
+    inAt_ = 0;
+}
+
+bool
+Client::sendRequest(const Request &r)
+{
+    if (fd_ < 0)
+        return false;
+    std::vector<std::uint8_t> buf;
+    encodeRequest(r, buf);
+    std::size_t at = 0;
+    while (at < buf.size()) {
+        const ssize_t n = ::write(fd_, buf.data() + at,
+                                  buf.size() - at);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            close();
+            return false;
+        }
+        at += std::size_t(n);
+    }
+    return true;
+}
+
+std::optional<Response>
+Client::recvResponse(int timeoutMs)
+{
+    if (fd_ < 0)
+        return std::nullopt;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeoutMs < 0 ? 0 : timeoutMs);
+    for (;;) {
+        // Try to decode from what we already have.
+        Response resp;
+        std::size_t used = 0;
+        const Decode d = decodeResponse(in_.data() + inAt_,
+                                        in_.size() - inAt_, used, resp);
+        if (d == Decode::Ok) {
+            inAt_ += used;
+            if (inAt_ == in_.size()) {
+                in_.clear();
+                inAt_ = 0;
+            }
+            return resp;
+        }
+        if (d == Decode::Malformed) {
+            close();
+            return std::nullopt;
+        }
+
+        // Need more bytes.
+        int waitMs = -1;
+        if (timeoutMs >= 0) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (left <= 0)
+                return std::nullopt;
+            waitMs = int(left);
+        }
+        pollfd pf{fd_, POLLIN, 0};
+        const int pr = ::poll(&pf, 1, waitMs);
+        if (pr == 0)
+            return std::nullopt;  // timeout
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            close();
+            return std::nullopt;
+        }
+        std::uint8_t buf[64 * 1024];
+        const ssize_t n = ::read(fd_, buf, sizeof(buf));
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            close();  // EOF (server closed us) or hard error
+            return std::nullopt;
+        }
+        // Compact the consumed prefix before growing.
+        if (inAt_ > 0) {
+            in_.erase(in_.begin(), in_.begin() + std::ptrdiff_t(inAt_));
+            inAt_ = 0;
+        }
+        in_.insert(in_.end(), buf, buf + n);
+    }
+}
+
+std::optional<Response>
+Client::roundTrip(const Request &r, int timeoutMs)
+{
+    if (!sendRequest(r))
+        return std::nullopt;
+    return recvResponse(timeoutMs);
+}
+
+std::optional<Response>
+Client::get(std::uint64_t key, int timeoutMs)
+{
+    Request r;
+    r.op = Op::Get;
+    r.id = nextId();
+    r.key = key;
+    return roundTrip(r, timeoutMs);
+}
+
+std::optional<Response>
+Client::put(std::uint64_t key, std::uint64_t value, int timeoutMs)
+{
+    Request r;
+    r.op = Op::Put;
+    r.id = nextId();
+    r.key = key;
+    r.value = value;
+    return roundTrip(r, timeoutMs);
+}
+
+std::optional<Response>
+Client::del(std::uint64_t key, int timeoutMs)
+{
+    Request r;
+    r.op = Op::Del;
+    r.id = nextId();
+    r.key = key;
+    return roundTrip(r, timeoutMs);
+}
+
+std::optional<Response>
+Client::stats(int timeoutMs)
+{
+    Request r;
+    r.op = Op::Stats;
+    r.id = nextId();
+    return roundTrip(r, timeoutMs);
+}
+
+std::optional<Response>
+Client::shutdownServer(int timeoutMs)
+{
+    Request r;
+    r.op = Op::Shutdown;
+    r.id = nextId();
+    return roundTrip(r, timeoutMs);
+}
+
+int
+waitForPortFile(const std::string &dataDir, int timeoutMs)
+{
+    const std::string path = dataDir + "/PORT";
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeoutMs);
+    for (;;) {
+        if (FILE *f = std::fopen(path.c_str(), "r")) {
+            int port = 0;
+            const int got = std::fscanf(f, "%d", &port);
+            std::fclose(f);
+            if (got == 1 && port > 0)
+                return port;
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            return 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+} // namespace lp::server

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A small blocking client for lp::server, used by the CLI, the
+ * integration tests, and the load generator. One Client owns one TCP
+ * connection. Two usage styles:
+ *
+ *  - Synchronous helpers (get/put/del/stats/shutdownServer): send one
+ *    request and wait for its reply. Simple, one op in flight.
+ *
+ *  - Pipelined: sendRequest() any number of frames, then recvResponse()
+ *    them back (matching by the echoed id), which is how the load
+ *    generator keeps a window of operations in flight.
+ *
+ * Not thread-safe; one thread per Client.
+ */
+
+#ifndef LP_SERVER_CLIENT_HH
+#define LP_SERVER_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hh"
+
+namespace lp::server
+{
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to @p host:@p port. Returns false on failure. */
+    bool connectTo(const std::string &host, int port);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /** A fresh request id (per-connection monotonic). */
+    std::uint64_t nextId() { return ++lastId_; }
+
+    /**
+     * Encode and send one request. Returns false if the connection
+     * broke (the peer closed it, e.g. after a malformed frame).
+     */
+    bool sendRequest(const Request &r);
+
+    /**
+     * Receive the next response frame, waiting up to @p timeoutMs
+     * (-1 = forever). Returns nullopt on timeout, disconnect, or a
+     * malformed reply.
+     */
+    std::optional<Response> recvResponse(int timeoutMs = -1);
+
+    /// @name Synchronous one-shot helpers (nullopt = transport error)
+    /// @{
+    std::optional<Response> get(std::uint64_t key, int timeoutMs = -1);
+    std::optional<Response> put(std::uint64_t key, std::uint64_t value,
+                                int timeoutMs = -1);
+    std::optional<Response> del(std::uint64_t key, int timeoutMs = -1);
+    std::optional<Response> stats(int timeoutMs = -1);
+    std::optional<Response> shutdownServer(int timeoutMs = -1);
+    /// @}
+
+  private:
+    std::optional<Response> roundTrip(const Request &r, int timeoutMs);
+
+    int fd_ = -1;
+    std::uint64_t lastId_ = 0;
+    std::vector<std::uint8_t> in_;
+    std::size_t inAt_ = 0;  ///< consumed prefix of in_
+};
+
+/**
+ * Read dataDir/PORT (written atomically by the server once it is
+ * listening), polling up to @p timeoutMs. Returns 0 on timeout.
+ */
+int waitForPortFile(const std::string &dataDir, int timeoutMs);
+
+} // namespace lp::server
+
+#endif // LP_SERVER_CLIENT_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Wire protocol of lp::server -- a small length-prefixed binary
+ * framing over TCP, designed for pipelining (every request carries a
+ * client-chosen 64-bit id that its response echoes, so responses may
+ * be matched out of order).
+ *
+ * Frame layout (all integers little-endian):
+ *
+ *   u32 len        payload bytes following this field (not counting
+ *                  the 4 length bytes themselves)
+ *   u8  op/status  first payload byte
+ *   u64 id         request id, echoed verbatim in the response
+ *   ...            op-specific payload (see below)
+ *
+ * Requests:
+ *   GET      op=1  u64 key                          (len 17)
+ *   PUT      op=2  u64 key, u64 value               (len 25)
+ *   DEL      op=3  u64 key                          (len 17)
+ *   BATCH    op=4  u32 n, then n x {u8 sub, u64 key[, u64 value]}
+ *                  where sub is 2 (put, with value) or 3 (del)
+ *   STATS    op=5  --                               (len 9)
+ *   SHUTDOWN op=6  --                               (len 9)
+ *
+ * Responses:
+ *   status=0 Ok        GET carries u64 value; STATS carries a JSON
+ *                      text body; PUT/DEL/BATCH/SHUTDOWN carry nothing
+ *   status=1 NotFound  GET miss (no value)
+ *   status=2 Retry     connection over its in-flight budget; resend
+ *                      later (backpressure, not an error)
+ *   status=3 Err       semantically invalid (e.g. a key in the
+ *                      reserved sentinel range)
+ *
+ * Robustness rules: a frame whose length field exceeds maxFrameBytes,
+ * whose opcode/status is unknown, whose length disagrees with its
+ * opcode, or whose BATCH count is oversized or inconsistent is
+ * Malformed -- the peer must close the connection. Truncated input is
+ * NeedMore: keep the bytes and wait. Decoders never read past the
+ * supplied buffer.
+ */
+
+#ifndef LP_SERVER_PROTOCOL_HH
+#define LP_SERVER_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lp::server
+{
+
+/** Request opcodes. */
+enum class Op : std::uint8_t
+{
+    Get = 1,
+    Put = 2,
+    Del = 3,
+    Batch = 4,
+    Stats = 5,
+    Shutdown = 6,
+};
+
+/** Response status codes. */
+enum class Status : std::uint8_t
+{
+    Ok = 0,
+    NotFound = 1,
+    Retry = 2,
+    Err = 3,
+};
+
+/** Largest accepted payload (the u32 after the length field). */
+inline constexpr std::size_t maxFrameBytes = 1u << 20;
+
+/** Largest accepted BATCH op count. */
+inline constexpr std::size_t maxBatchOps = 4096;
+
+/** One mutation inside a BATCH request. */
+struct BatchOp
+{
+    bool isPut;
+    std::uint64_t key;
+    std::uint64_t value;  ///< meaningful only when isPut
+};
+
+/** A decoded request. */
+struct Request
+{
+    Op op = Op::Get;
+    std::uint64_t id = 0;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+    std::vector<BatchOp> batch;  ///< BATCH only
+};
+
+/** A decoded response. */
+struct Response
+{
+    Status status = Status::Ok;
+    std::uint64_t id = 0;
+    bool hasValue = false;       ///< GET hit: value is meaningful
+    std::uint64_t value = 0;
+    std::string body;            ///< STATS: JSON text
+};
+
+/** Outcome of one decode attempt over a byte window. */
+enum class Decode
+{
+    Ok,        ///< one frame decoded; @p consumed bytes were used
+    NeedMore,  ///< the window holds only a frame prefix; read more
+    Malformed, ///< protocol violation; close the connection
+};
+
+/** Append the encoded frame for @p r to @p out. */
+void encodeRequest(const Request &r, std::vector<std::uint8_t> &out);
+
+/** Append the encoded frame for @p r to @p out. */
+void encodeResponse(const Response &r, std::vector<std::uint8_t> &out);
+
+/**
+ * Try to decode one request frame from [@p buf, @p buf + @p n).
+ * On Ok, @p out is filled and @p consumed is the frame's total size.
+ */
+Decode decodeRequest(const std::uint8_t *buf, std::size_t n,
+                     std::size_t &consumed, Request &out);
+
+/** Response-side decoder, same contract as decodeRequest. */
+Decode decodeResponse(const std::uint8_t *buf, std::size_t n,
+                      std::size_t &consumed, Response &out);
+
+/** Human-readable status name (diagnostics). */
+std::string statusName(Status s);
+
+} // namespace lp::server
+
+#endif // LP_SERVER_PROTOCOL_HH

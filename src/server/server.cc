@@ -1,0 +1,1024 @@
+#include "server/server.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.hh"
+#include "kernels/env.hh"
+#include "pmem/arena.hh"
+#include "server/protocol.hh"
+#include "stats/json.hh"
+#include "store/kv_store.hh"
+
+namespace lp::server
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Server-level key router: the same mixer KvStore uses internally, so
+ * the distribution matches the store's own sharding. Each worker's
+ * store is configured with shards = 1, so inside a worker every key
+ * maps to the single shard that worker owns.
+ */
+int
+routeShard(std::uint64_t key, int shards)
+{
+    std::uint64_t h = key;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return static_cast<int>(h % std::uint64_t(shards));
+}
+
+/**
+ * One BATCH request in flight: its sub-ops scatter across workers;
+ * the worker that releases the last acknowledgement emits the single
+ * reply.
+ */
+struct BatchCtx
+{
+    BatchCtx(std::uint32_t n, std::uint64_t conn, std::uint64_t req)
+        : remaining(n), connId(conn), reqId(req)
+    {
+    }
+
+    std::atomic<std::uint32_t> remaining;
+    std::uint64_t connId;
+    std::uint64_t reqId;
+};
+
+/** One operation handed from the acceptor to a worker. */
+struct OpItem
+{
+    enum class Kind : std::uint8_t { Get, Put, Del };
+
+    Kind kind;
+    std::uint64_t connId;
+    std::uint64_t reqId;
+    std::uint64_t key;
+    std::uint64_t value;
+    std::shared_ptr<BatchCtx> batch;  ///< set for BATCH sub-ops
+};
+
+/** One response traveling worker -> acceptor. */
+struct ReplyMsg
+{
+    std::uint64_t connId;
+    Response resp;
+};
+
+/** Per-connection acceptor-side state. */
+struct Conn
+{
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> in;
+    std::vector<std::uint8_t> out;
+    std::size_t outAt = 0;         ///< bytes of out already written
+    std::uint32_t inflight = 0;    ///< worker-routed ops outstanding
+    bool wantWrite = false;        ///< EPOLLOUT currently armed
+};
+
+/** epoll user-data sentinels; connection ids start above these. */
+constexpr std::uint64_t udListen = 0;
+constexpr std::uint64_t udWake = 1;
+constexpr std::uint64_t udStop = 2;
+constexpr std::uint64_t firstConnId = 16;
+
+void
+setNonBlocking(int fd)
+{
+    const int fl = ::fcntl(fd, F_GETFL, 0);
+    LP_ASSERT(fl >= 0 && ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) == 0,
+              "fcntl(O_NONBLOCK) failed");
+}
+
+void
+eventfdSignal(int fd)
+{
+    const std::uint64_t one = 1;
+    // A full eventfd counter still wakes the reader; ignore EAGAIN.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
+}
+
+void
+eventfdDrain(int fd)
+{
+    std::uint64_t v;
+    while (::read(fd, &v, sizeof(v)) > 0) {
+    }
+}
+
+/** A payload-less response (Ok/NotFound/Retry/Err ack). */
+Response
+statusReply(Status s, std::uint64_t id)
+{
+    Response r;
+    r.status = s;
+    r.id = id;
+    return r;
+}
+
+std::atomic<int> signalStopFd{-1};
+
+void
+onStopSignal(int)
+{
+    const int fd = signalStopFd.load(std::memory_order_relaxed);
+    if (fd >= 0)
+        eventfdSignal(fd);  // the only async-signal-safe work we do
+}
+
+} // namespace
+
+struct Server::Impl
+{
+    explicit Impl(ServerConfig c) : cfg(std::move(c)) {}
+
+    ServerConfig cfg;
+    ServerRecovery recov;
+
+    /// @name One shared-nothing worker per shard
+    /// @{
+
+    struct Worker
+    {
+        int index = 0;
+        Impl *srv = nullptr;
+        std::thread th;
+
+        // Queue: acceptor -> worker (rule 2 of the env.hh contract:
+        // ownership handoff synchronizes through this mutex).
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<OpItem> q;
+        bool stopFlag = false;
+
+        // Stats mirrors the acceptor may read (contract rule 3).
+        std::atomic<std::uint64_t> statGets{0};
+        std::atomic<std::uint64_t> statMuts{0};
+        std::atomic<std::uint64_t> statAcks{0};
+        std::atomic<std::uint64_t> statCommittedEpoch{0};
+        std::atomic<std::uint64_t> statQueueDepth{0};
+
+        // Everything below is touched only by the worker thread.
+        kernels::NativeEnv env;
+        std::unique_ptr<pmem::PersistentArena> arena;
+        std::unique_ptr<store::KvStore<kernels::NativeEnv>> kv;
+        store::RecoveryReport report;
+        bool attached = false;
+
+        struct Pending
+        {
+            std::uint64_t connId;
+            std::uint64_t reqId;
+            std::uint64_t epoch;
+            std::shared_ptr<BatchCtx> batch;
+            Clock::time_point at;
+        };
+        std::deque<Pending> pending;  ///< acks awaiting epoch commit
+    };
+
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::atomic<int> workersExited{0};
+
+    // Startup latch: workers recover before the port binds.
+    std::mutex readyMu;
+    std::condition_variable readyCv;
+    int readyCount = 0;
+    /// @}
+
+    /// @name Acceptor state
+    /// @{
+    int listenFd = -1;
+    int epfd = -1;
+    int wakeFd = -1;  ///< workers ring this when replies are queued
+    int stopFd = -1;  ///< requestStop()/signals ring this
+    int port_ = 0;
+    std::thread acceptorTh;
+    bool started = false;
+    bool shutdownInformed = false;  ///< join() may run twice
+    std::atomic<bool> finished{false};
+
+    std::mutex replyMu;
+    std::vector<ReplyMsg> replies;
+
+    std::unordered_map<std::uint64_t, Conn> conns;  // acceptor-only
+    std::uint64_t nextConnId = firstConnId;
+
+    std::atomic<std::uint64_t> statConns{0};
+    std::atomic<std::uint64_t> statAccepted{0};
+    std::atomic<std::uint64_t> statRetries{0};
+    std::atomic<std::uint64_t> statErrs{0};
+    std::atomic<std::uint64_t> statMalformed{0};
+    /// @}
+
+    /// @name Worker side
+    /// @{
+
+    std::string
+    shardPath(int i) const
+    {
+        return cfg.dataDir + "/shard-" + std::to_string(i) + ".lpdb";
+    }
+
+    /**
+     * Open (or re-attach) this worker's single-shard store. Runs on
+     * the worker's own thread so the debug owner binding and all
+     * recovery table writes happen on the thread that will serve the
+     * shard.
+     */
+    void
+    openStore(Worker &w)
+    {
+        store::StoreConfig scfg;
+        scfg.capacity = cfg.capacityPerShard;
+        scfg.shards = 1;
+        scfg.batchOps = cfg.batchOps;
+        scfg.foldBatches = cfg.foldBatches;
+        scfg.checksum = cfg.checksum;
+        const std::string path = shardPath(w.index);
+        struct stat st{};
+        const bool attach = ::stat(path.c_str(), &st) == 0 &&
+                            st.st_size > 0;
+        w.arena = std::make_unique<pmem::PersistentArena>(
+            store::storeArenaBytes(scfg), path);
+        w.kv = std::make_unique<store::KvStore<kernels::NativeEnv>>(
+            *w.arena, scfg, cfg.backend, attach);
+        if (attach) {
+            w.report = w.kv->recover(w.env);
+            w.attached = true;
+        } else {
+            w.arena->persistAll();
+        }
+        w.statCommittedEpoch.store(w.kv->committedEpoch(0),
+                                   std::memory_order_relaxed);
+    }
+
+    void
+    postReply(std::uint64_t connId, Response r)
+    {
+        {
+            std::lock_guard<std::mutex> g(replyMu);
+            replies.push_back(ReplyMsg{connId, std::move(r)});
+        }
+        eventfdSignal(wakeFd);
+    }
+
+    /** Acknowledge one released mutation (direct op or BATCH part). */
+    void
+    releaseAck(Worker &w, const Worker::Pending &p)
+    {
+        w.statAcks.fetch_add(1, std::memory_order_relaxed);
+        if (p.batch) {
+            if (p.batch->remaining.fetch_sub(
+                    1, std::memory_order_acq_rel) != 1)
+                return;  // not the last sub-op yet
+            Response r;
+            r.status = Status::Ok;
+            r.id = p.batch->reqId;
+            postReply(p.batch->connId, std::move(r));
+            return;
+        }
+        Response r;
+        r.status = Status::Ok;
+        r.id = p.reqId;
+        postReply(p.connId, std::move(r));
+    }
+
+    /** Release every pending ack whose epoch has committed. */
+    void
+    releaseCommitted(Worker &w)
+    {
+        const std::uint64_t ce = w.kv->committedEpoch(0);
+        while (!w.pending.empty() && w.pending.front().epoch <= ce) {
+            releaseAck(w, w.pending.front());
+            w.pending.pop_front();
+        }
+        w.statCommittedEpoch.store(ce, std::memory_order_relaxed);
+    }
+
+    void
+    processOp(Worker &w, OpItem &op)
+    {
+        switch (op.kind) {
+          case OpItem::Kind::Get: {
+            const auto v = w.kv->get(w.env, op.key);
+            w.statGets.fetch_add(1, std::memory_order_relaxed);
+            Response r;
+            r.status = v ? Status::Ok : Status::NotFound;
+            r.id = op.reqId;
+            r.hasValue = v.has_value();
+            r.value = v.value_or(0);
+            postReply(op.connId, std::move(r));
+            return;
+          }
+          case OpItem::Kind::Put:
+          case OpItem::Kind::Del: {
+            const std::uint64_t epoch =
+                op.kind == OpItem::Kind::Put
+                    ? w.kv->put(w.env, op.key, op.value)
+                    : w.kv->del(w.env, op.key);
+            w.statMuts.fetch_add(1, std::memory_order_relaxed);
+            if (cfg.backend == store::Backend::EagerPerOp) {
+                // Eager persists in place: acknowledged already means
+                // durable, no epoch to wait for.
+                releaseAck(w, Worker::Pending{op.connId, op.reqId, 0,
+                                              op.batch, Clock::now()});
+                return;
+            }
+            w.pending.push_back(Worker::Pending{
+                op.connId, op.reqId, epoch, op.batch, Clock::now()});
+            return;
+          }
+        }
+    }
+
+    void
+    workerMain(Worker &w)
+    {
+        openStore(w);
+        {
+            std::lock_guard<std::mutex> g(readyMu);
+            ++readyCount;
+        }
+        readyCv.notify_all();
+
+        const auto deadline =
+            std::chrono::microseconds(cfg.flushDeadlineUs);
+        std::vector<OpItem> local;
+        for (;;) {
+            bool stopping = false;
+            local.clear();
+            {
+                std::unique_lock<std::mutex> lk(w.mu);
+                const auto woken = [&] {
+                    return w.stopFlag || !w.q.empty();
+                };
+                if (w.q.empty() && !w.stopFlag) {
+                    if (w.pending.empty())
+                        w.cv.wait(lk, woken);
+                    else
+                        w.cv.wait_until(lk, w.pending.front().at +
+                                                deadline, woken);
+                }
+                while (!w.q.empty() && local.size() < 128) {
+                    local.push_back(std::move(w.q.front()));
+                    w.q.pop_front();
+                }
+                stopping = w.stopFlag && w.q.empty();
+                w.statQueueDepth.store(w.q.size(),
+                                       std::memory_order_relaxed);
+            }
+
+            for (OpItem &op : local)
+                processOp(w, op);
+
+            // Deadline flush: commit an underfilled batch rather than
+            // keep its acks hostage to future traffic.
+            if (!w.pending.empty() &&
+                (stopping ||
+                 Clock::now() >= w.pending.front().at + deadline)) {
+                w.kv->commitBatches(w.env);
+            }
+            releaseCommitted(w);
+
+            if (stopping) {
+                // Graceful drain: everything committed and folded, so
+                // a restart recovers instantly.
+                w.kv->checkpoint(w.env);
+                w.arena->persistAll();
+                releaseCommitted(w);
+                LP_ASSERT(w.pending.empty(),
+                          "worker drained with unreleased acks");
+                break;
+            }
+        }
+        workersExited.fetch_add(1, std::memory_order_release);
+        eventfdSignal(wakeFd);  // let the acceptor notice the exit
+    }
+
+    void
+    enqueue(int shard, OpItem &&op)
+    {
+        Worker &w = *workers[shard];
+        {
+            std::lock_guard<std::mutex> g(w.mu);
+            w.q.push_back(std::move(op));
+        }
+        w.cv.notify_one();
+    }
+    /// @}
+
+    /// @name Acceptor side
+    /// @{
+
+    void
+    epollAdd(int fd, std::uint64_t ud, std::uint32_t events)
+    {
+        epoll_event ev{};
+        ev.events = events;
+        ev.data.u64 = ud;
+        LP_ASSERT(::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev) == 0,
+                  "epoll_ctl(ADD) failed");
+    }
+
+    void
+    connUpdateEvents(Conn &c, bool wantWrite)
+    {
+        if (c.wantWrite == wantWrite)
+            return;
+        epoll_event ev{};
+        ev.events = EPOLLIN | (wantWrite ? EPOLLOUT : 0u);
+        ev.data.u64 = c.id;
+        if (::epoll_ctl(epfd, EPOLL_CTL_MOD, c.fd, &ev) == 0)
+            c.wantWrite = wantWrite;
+    }
+
+    void
+    closeConn(std::uint64_t id)
+    {
+        auto it = conns.find(id);
+        if (it == conns.end())
+            return;
+        ::epoll_ctl(epfd, EPOLL_CTL_DEL, it->second.fd, nullptr);
+        ::close(it->second.fd);
+        conns.erase(it);
+        statConns.store(conns.size(), std::memory_order_relaxed);
+    }
+
+    /** Write as much of c.out as the socket accepts. */
+    bool
+    flushConn(Conn &c)
+    {
+        while (c.outAt < c.out.size()) {
+            const ssize_t n = ::write(c.fd, c.out.data() + c.outAt,
+                                      c.out.size() - c.outAt);
+            if (n > 0) {
+                c.outAt += std::size_t(n);
+                continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                connUpdateEvents(c, true);
+                return true;
+            }
+            return false;  // peer gone
+        }
+        c.out.clear();
+        c.outAt = 0;
+        connUpdateEvents(c, false);
+        return true;
+    }
+
+    void
+    localReply(Conn &c, Response r)
+    {
+        encodeResponse(r, c.out);
+        if (!flushConn(c))
+            closeConn(c.id);
+    }
+
+    std::string
+    statsJsonNow() const
+    {
+        using stats::JsonValue;
+        JsonValue::Object o;
+        o["backend"] = store::backendName(cfg.backend);
+        o["shards"] = std::uint64_t(cfg.shards);
+        o["connections"] = statConns.load(std::memory_order_relaxed);
+        o["accepted"] = statAccepted.load(std::memory_order_relaxed);
+        o["retries"] = statRetries.load(std::memory_order_relaxed);
+        o["errors"] = statErrs.load(std::memory_order_relaxed);
+        std::uint64_t gets = 0, muts = 0, acks = 0;
+        JsonValue::Object shards;
+        for (const auto &wp : workers) {
+            const auto &w = *wp;
+            JsonValue::Object s;
+            const std::uint64_t g =
+                w.statGets.load(std::memory_order_relaxed);
+            const std::uint64_t m =
+                w.statMuts.load(std::memory_order_relaxed);
+            const std::uint64_t a =
+                w.statAcks.load(std::memory_order_relaxed);
+            s["gets"] = g;
+            s["mutations"] = m;
+            s["acks_released"] = a;
+            s["committed_epoch"] =
+                w.statCommittedEpoch.load(std::memory_order_relaxed);
+            s["queue_depth"] =
+                w.statQueueDepth.load(std::memory_order_relaxed);
+            shards[std::to_string(w.index)] = std::move(s);
+            gets += g;
+            muts += m;
+            acks += a;
+        }
+        o["gets"] = gets;
+        o["mutations"] = muts;
+        o["acks_released"] = acks;
+        o["shard"] = std::move(shards);
+        return JsonValue(std::move(o)).render();
+    }
+
+    /** Dispatch one decoded request (may close the connection). */
+    void
+    handleRequest(Conn &c, Request &req, bool &wantShutdown)
+    {
+        switch (req.op) {
+          case Op::Get:
+          case Op::Put:
+          case Op::Del: {
+            if (req.key > store::maxUserKey) {
+                statErrs.fetch_add(1, std::memory_order_relaxed);
+                localReply(c, statusReply(Status::Err, req.id));
+                return;
+            }
+            if (c.inflight >= cfg.maxInflightPerConn) {
+                statRetries.fetch_add(1, std::memory_order_relaxed);
+                localReply(c, statusReply(Status::Retry, req.id));
+                return;
+            }
+            ++c.inflight;
+            OpItem it;
+            it.kind = req.op == Op::Get   ? OpItem::Kind::Get
+                      : req.op == Op::Put ? OpItem::Kind::Put
+                                          : OpItem::Kind::Del;
+            it.connId = c.id;
+            it.reqId = req.id;
+            it.key = req.key;
+            it.value = req.value;
+            enqueue(routeShard(req.key, cfg.shards), std::move(it));
+            return;
+          }
+          case Op::Batch: {
+            if (req.batch.empty()) {
+                localReply(c, statusReply(Status::Ok, req.id));
+                return;
+            }
+            for (const BatchOp &b : req.batch) {
+                if (b.key > store::maxUserKey) {
+                    statErrs.fetch_add(1, std::memory_order_relaxed);
+                    localReply(c, statusReply(Status::Err, req.id));
+                    return;
+                }
+            }
+            if (c.inflight >= cfg.maxInflightPerConn) {
+                statRetries.fetch_add(1, std::memory_order_relaxed);
+                localReply(c, statusReply(Status::Retry, req.id));
+                return;
+            }
+            ++c.inflight;
+            auto ctx = std::make_shared<BatchCtx>(
+                std::uint32_t(req.batch.size()), c.id, req.id);
+            for (const BatchOp &b : req.batch) {
+                OpItem it;
+                it.kind = b.isPut ? OpItem::Kind::Put
+                                  : OpItem::Kind::Del;
+                it.connId = c.id;
+                it.reqId = req.id;
+                it.key = b.key;
+                it.value = b.value;
+                it.batch = ctx;
+                enqueue(routeShard(b.key, cfg.shards), std::move(it));
+            }
+            return;
+          }
+          case Op::Stats: {
+            Response r;
+            r.status = Status::Ok;
+            r.id = req.id;
+            r.body = statsJsonNow();
+            localReply(c, std::move(r));
+            return;
+          }
+          case Op::Shutdown:
+            localReply(c, statusReply(Status::Ok, req.id));
+            wantShutdown = true;
+            return;
+        }
+        statMalformed.fetch_add(1, std::memory_order_relaxed);
+        closeConn(c.id);
+    }
+
+    /** Returns false if the connection was closed. */
+    void
+    readable(std::uint64_t connId, bool &wantShutdown)
+    {
+        auto it = conns.find(connId);
+        if (it == conns.end())
+            return;
+        Conn &c = it->second;
+        std::uint8_t buf[64 * 1024];
+        for (;;) {
+            const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+            if (n > 0) {
+                c.in.insert(c.in.end(), buf, buf + n);
+                if (n == ssize_t(sizeof(buf)))
+                    continue;
+                break;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                break;
+            closeConn(connId);  // EOF or hard error
+            return;
+        }
+        std::size_t at = 0;
+        while (conns.count(connId)) {
+            Request req;
+            std::size_t used = 0;
+            const Decode d = decodeRequest(c.in.data() + at,
+                                           c.in.size() - at, used, req);
+            if (d == Decode::NeedMore)
+                break;
+            if (d == Decode::Malformed) {
+                statMalformed.fetch_add(1, std::memory_order_relaxed);
+                closeConn(connId);
+                return;
+            }
+            at += used;
+            handleRequest(c, req, wantShutdown);
+        }
+        if (conns.count(connId) && at > 0)
+            c.in.erase(c.in.begin(),
+                       c.in.begin() + std::ptrdiff_t(at));
+    }
+
+    void
+    acceptPending()
+    {
+        for (;;) {
+            const int fd =
+                ::accept4(listenFd, nullptr, nullptr, SOCK_NONBLOCK);
+            if (fd < 0)
+                return;
+            if (int(conns.size()) >= cfg.maxConns) {
+                ::close(fd);
+                continue;
+            }
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            Conn c;
+            c.fd = fd;
+            c.id = nextConnId++;
+            epollAdd(fd, c.id, EPOLLIN);
+            conns.emplace(c.id, std::move(c));
+            statAccepted.fetch_add(1, std::memory_order_relaxed);
+            statConns.store(conns.size(), std::memory_order_relaxed);
+        }
+    }
+
+    void
+    drainReplies()
+    {
+        std::vector<ReplyMsg> local;
+        {
+            std::lock_guard<std::mutex> g(replyMu);
+            local.swap(replies);
+        }
+        std::vector<std::uint64_t> touched;
+        for (ReplyMsg &m : local) {
+            auto it = conns.find(m.connId);
+            if (it == conns.end())
+                continue;  // client left before its reply
+            Conn &c = it->second;
+            if (c.inflight > 0)
+                --c.inflight;
+            encodeResponse(m.resp, c.out);
+            touched.push_back(m.connId);
+        }
+        for (const std::uint64_t id : touched) {
+            auto it = conns.find(id);
+            if (it != conns.end() && !flushConn(it->second))
+                closeConn(id);
+        }
+    }
+
+    void
+    acceptorMain()
+    {
+        bool wantShutdown = false;
+        epoll_event evs[64];
+        while (!wantShutdown) {
+            const int n = ::epoll_wait(epfd, evs, 64, -1);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            for (int i = 0; i < n; ++i) {
+                const std::uint64_t ud = evs[i].data.u64;
+                if (ud == udListen) {
+                    acceptPending();
+                } else if (ud == udWake) {
+                    eventfdDrain(wakeFd);
+                    drainReplies();
+                } else if (ud == udStop) {
+                    eventfdDrain(stopFd);
+                    wantShutdown = true;
+                } else {
+                    if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+                        closeConn(ud);
+                        continue;
+                    }
+                    if (evs[i].events & EPOLLIN)
+                        readable(ud, wantShutdown);
+                    if (evs[i].events & EPOLLOUT) {
+                        auto it = conns.find(ud);
+                        if (it != conns.end() &&
+                            !flushConn(it->second))
+                            closeConn(ud);
+                    }
+                }
+            }
+        }
+        shutdownSequence();
+    }
+
+    /**
+     * Graceful shutdown: stop accepting, drain the workers (they
+     * checkpoint their shards), keep delivering replies until every
+     * worker exited and the reply queue is dry, then flush and close.
+     */
+    void
+    shutdownSequence()
+    {
+        ::epoll_ctl(epfd, EPOLL_CTL_DEL, listenFd, nullptr);
+        ::close(listenFd);
+        listenFd = -1;
+
+        for (auto &wp : workers) {
+            {
+                std::lock_guard<std::mutex> g(wp->mu);
+                wp->stopFlag = true;
+            }
+            wp->cv.notify_one();
+        }
+
+        // Bounded drain loop: replies may still arrive while workers
+        // commit their final batches.
+        const auto deadline = Clock::now() + std::chrono::seconds(10);
+        epoll_event evs[64];
+        for (;;) {
+            drainReplies();
+            const bool allOut =
+                workersExited.load(std::memory_order_acquire) ==
+                int(workers.size());
+            bool queued = false;
+            {
+                std::lock_guard<std::mutex> g(replyMu);
+                queued = !replies.empty();
+            }
+            bool unflushed = false;
+            for (auto &[id, c] : conns)
+                if (c.outAt < c.out.size())
+                    unflushed = true;
+            if ((allOut && !queued && !unflushed) ||
+                Clock::now() >= deadline)
+                break;
+            const int n = ::epoll_wait(epfd, evs, 64, 50);
+            for (int i = 0; i < n; ++i) {
+                const std::uint64_t ud = evs[i].data.u64;
+                if (ud == udWake) {
+                    eventfdDrain(wakeFd);
+                } else if (ud == udStop) {
+                    eventfdDrain(stopFd);
+                } else if (ud >= firstConnId) {
+                    auto it = conns.find(ud);
+                    if (it == conns.end())
+                        continue;
+                    if (evs[i].events & (EPOLLHUP | EPOLLERR))
+                        closeConn(ud);
+                    else if (evs[i].events & EPOLLOUT)
+                        if (!flushConn(it->second))
+                            closeConn(ud);
+                }
+            }
+        }
+
+        for (auto &wp : workers)
+            if (wp->th.joinable())
+                wp->th.join();
+        while (!conns.empty())
+            closeConn(conns.begin()->first);
+        finished.store(true, std::memory_order_release);
+    }
+    /// @}
+
+    void
+    writePortFile()
+    {
+        const std::string path = cfg.dataDir + "/PORT";
+        const std::string tmp = path + ".tmp";
+        FILE *f = std::fopen(tmp.c_str(), "w");
+        LP_ASSERT(f != nullptr, "cannot write PORT file");
+        std::fprintf(f, "%d\n", port_);
+        std::fclose(f);
+        LP_ASSERT(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "cannot publish PORT file");
+    }
+
+    void
+    start()
+    {
+        LP_ASSERT(!started, "Server::start() called twice");
+        LP_ASSERT(cfg.shards >= 1, "need at least one shard worker");
+        ::mkdir(cfg.dataDir.c_str(), 0755);  // EEXIST is fine
+
+        wakeFd = ::eventfd(0, EFD_NONBLOCK);
+        stopFd = ::eventfd(0, EFD_NONBLOCK);
+        epfd = ::epoll_create1(0);
+        LP_ASSERT(wakeFd >= 0 && stopFd >= 0 && epfd >= 0,
+                  "eventfd/epoll setup failed");
+
+        // Recovery happens on the worker threads, before the port
+        // binds: no request can ever observe pre-recovery state.
+        workers.reserve(std::size_t(cfg.shards));
+        for (int i = 0; i < cfg.shards; ++i) {
+            auto w = std::make_unique<Worker>();
+            w->index = i;
+            w->srv = this;
+            workers.push_back(std::move(w));
+        }
+        for (auto &wp : workers) {
+            Worker *w = wp.get();
+            w->th = std::thread([this, w] { workerMain(*w); });
+        }
+        {
+            std::unique_lock<std::mutex> lk(readyMu);
+            readyCv.wait(lk, [this] {
+                return readyCount == int(workers.size());
+            });
+        }
+        for (const auto &wp : workers) {
+            if (!wp->attached)
+                continue;
+            ++recov.shardsAttached;
+            recov.batchesReplayed += wp->report.batchesReplayed;
+            recov.entriesReplayed += wp->report.entriesReplayed;
+            recov.batchesDiscarded += wp->report.batchesDiscarded;
+            recov.walUndone += wp->report.walUndone ? 1 : 0;
+        }
+
+        listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        LP_ASSERT(listenFd >= 0, "socket() failed");
+        const int one = 1;
+        ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(std::uint16_t(cfg.port));
+        LP_ASSERT(::inet_pton(AF_INET, cfg.host.c_str(),
+                              &addr.sin_addr) == 1,
+                  "bad listen host " + cfg.host);
+        if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0)
+            fatal("lp::server cannot bind " + cfg.host + ":" +
+                  std::to_string(cfg.port) + ": " +
+                  std::strerror(errno));
+        LP_ASSERT(::listen(listenFd, 128) == 0, "listen() failed");
+        sockaddr_in bound{};
+        socklen_t blen = sizeof(bound);
+        LP_ASSERT(::getsockname(listenFd,
+                                reinterpret_cast<sockaddr *>(&bound),
+                                &blen) == 0,
+                  "getsockname() failed");
+        port_ = int(ntohs(bound.sin_port));
+        setNonBlocking(listenFd);
+        writePortFile();
+
+        epollAdd(listenFd, udListen, EPOLLIN);
+        epollAdd(wakeFd, udWake, EPOLLIN);
+        epollAdd(stopFd, udStop, EPOLLIN);
+
+        if (!cfg.quiet) {
+            inform("lp::server listening on " + cfg.host + ":" +
+                   std::to_string(port_) + " (" +
+                   store::backendName(cfg.backend) + ", " +
+                   std::to_string(cfg.shards) + " shards, " +
+                   std::to_string(recov.shardsAttached) +
+                   " attached, " +
+                   std::to_string(recov.batchesReplayed) +
+                   " batches replayed)");
+        }
+        acceptorTh = std::thread([this] { acceptorMain(); });
+        started = true;
+    }
+
+    void
+    join()
+    {
+        if (acceptorTh.joinable())
+            acceptorTh.join();
+        for (auto &wp : workers)
+            if (wp->th.joinable())
+                wp->th.join();
+        if (!cfg.quiet && started && !shutdownInformed) {
+            shutdownInformed = true;
+            inform("lp::server on port " + std::to_string(port_) +
+                   " shut down cleanly");
+        }
+    }
+
+    ~Impl()
+    {
+        if (started && !finished.load(std::memory_order_acquire))
+            eventfdSignal(stopFd);
+        join();
+        if (epfd >= 0)
+            ::close(epfd);
+        if (wakeFd >= 0)
+            ::close(wakeFd);
+        if (stopFd >= 0)
+            ::close(stopFd);
+        if (listenFd >= 0)
+            ::close(listenFd);
+    }
+};
+
+Server::Server(ServerConfig cfg)
+    : impl(std::make_unique<Impl>(std::move(cfg)))
+{
+}
+
+Server::~Server() = default;
+
+void
+Server::start()
+{
+    impl->start();
+}
+
+void
+Server::requestStop()
+{
+    eventfdSignal(impl->stopFd);
+}
+
+void
+Server::join()
+{
+    impl->join();
+}
+
+void
+Server::stop()
+{
+    requestStop();
+    join();
+}
+
+int
+Server::port() const
+{
+    return impl->port_;
+}
+
+const ServerRecovery &
+Server::recovery() const
+{
+    return impl->recov;
+}
+
+void
+Server::installSignalHandlers()
+{
+    signalStopFd.store(impl->stopFd, std::memory_order_relaxed);
+    struct sigaction sa{};
+    sa.sa_handler = onStopSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+std::string
+Server::statsJson() const
+{
+    return impl->statsJsonNow();
+}
+
+} // namespace lp::server

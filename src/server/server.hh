@@ -1,0 +1,162 @@
+/**
+ * @file
+ * lp::server -- a sharded multi-threaded TCP front-end over the
+ * lp::store key-value store (native build, NativeEnv).
+ *
+ * Architecture (docs/server_design.md has the full story):
+ *
+ *  - One acceptor thread owns the listen socket, an epoll set, and
+ *    every connection's read/write buffering. It decodes protocol
+ *    frames (server/protocol.hh) and routes each operation by key
+ *    hash to a worker.
+ *
+ *  - N shared-nothing worker threads. Each worker exclusively owns
+ *    one single-shard KvStore<NativeEnv> over its own file-backed
+ *    PersistentArena (dataDir/shard-<i>.lpdb), honoring the
+ *    single-writer-per-shard contract of src/kernels/env.hh. Workers
+ *    coalesce mutations into the store's LP batches and commit on
+ *    batch-full or when the oldest unacknowledged mutation exceeds
+ *    the flush deadline.
+ *
+ *  - Acknowledgement = recoverability. A mutation's reply is held
+ *    until its batch's epoch commits (LP/WAL); the eager backend
+ *    replies per-op since each op persists in place. The SIGKILL
+ *    integration test holds the server to exactly this promise.
+ *
+ *  - Backpressure: at most maxInflightPerConn operations may be
+ *    outstanding per connection; excess requests get Status::Retry.
+ *
+ * Startup runs shard recovery (journal replay / WAL undo) on each
+ * worker's own thread BEFORE the port is bound, so no request can
+ * observe pre-recovery state. The bound port (ephemeral when
+ * cfg.port == 0) is published to dataDir/PORT via atomic rename.
+ * Graceful shutdown (SIGTERM/SIGINT via installSignalHandlers(), the
+ * SHUTDOWN op, or stop()) stops accepting, drains worker queues,
+ * checkpoints every shard (eager fold), flushes pending replies, and
+ * closes.
+ */
+
+#ifndef LP_SERVER_SERVER_HH
+#define LP_SERVER_SERVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "lp/checksum.hh"
+#include "store/layout.hh"
+
+namespace lp::server
+{
+
+/** Tunables of one server instance. */
+struct ServerConfig
+{
+    std::string host = "127.0.0.1";
+
+    /** TCP port; 0 picks an ephemeral port (read it via port()). */
+    int port = 0;
+
+    /** Directory for shard backing files and the PORT file. */
+    std::string dataDir = ".";
+
+    /** Worker threads = store shards (each worker owns one). */
+    int shards = 4;
+
+    store::Backend backend = store::Backend::Lp;
+
+    /** Max live keys per shard (each shard is its own KvStore). */
+    std::size_t capacityPerShard = 1 << 14;
+
+    /** Mutations per LP batch / WAL transaction (per shard). */
+    int batchOps = 32;
+
+    /** LP: eager fold period, in committed batches (per shard). */
+    int foldBatches = 64;
+
+    core::ChecksumKind checksum = core::ChecksumKind::Modular;
+
+    /**
+     * Commit an underfilled batch once its oldest unacknowledged
+     * mutation has waited this long, bounding ack latency for slow
+     * or lone clients.
+     */
+    std::uint64_t flushDeadlineUs = 2000;
+
+    /** Backpressure: outstanding ops allowed per connection. */
+    std::uint32_t maxInflightPerConn = 256;
+
+    /** Connection cap; further accepts are closed immediately. */
+    int maxConns = 256;
+
+    /** Suppress the startup/shutdown log lines. */
+    bool quiet = false;
+};
+
+/** Aggregate of what startup recovery found across all shards. */
+struct ServerRecovery
+{
+    /** Shards that re-attached an existing backing file. */
+    int shardsAttached = 0;
+
+    std::uint64_t batchesReplayed = 0;
+    std::uint64_t entriesReplayed = 0;
+    std::uint64_t batchesDiscarded = 0;
+
+    /** WAL backend: shards that rolled back an armed transaction. */
+    int walUndone = 0;
+};
+
+/**
+ * The server. start() recovers + binds + spawns threads and returns;
+ * join() blocks until the server has shut down (signal, SHUTDOWN op,
+ * or requestStop()). stop() = requestStop() + join(). The destructor
+ * stops a still-running server.
+ */
+class Server
+{
+  public:
+    explicit Server(ServerConfig cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Recover all shards, bind, listen, and start serving. */
+    void start();
+
+    /**
+     * Ask the server to shut down gracefully. Async-signal-safe
+     * (a single eventfd write); returns immediately.
+     */
+    void requestStop();
+
+    /** Block until the server has fully shut down and drained. */
+    void join();
+
+    /** requestStop() + join(). */
+    void stop();
+
+    /** The bound TCP port (valid after start()). */
+    int port() const;
+
+    /** What startup recovery found (valid after start()). */
+    const ServerRecovery &recovery() const;
+
+    /**
+     * Route SIGINT/SIGTERM to requestStop(). Install after start();
+     * affects process-wide signal disposition.
+     */
+    void installSignalHandlers();
+
+    /** The STATS-op JSON document (callable from any thread). */
+    std::string statsJson() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace lp::server
+
+#endif // LP_SERVER_SERVER_HH

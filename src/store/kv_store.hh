@@ -55,16 +55,28 @@
  * holds exact pre-images. All three backends run the same probe and
  * layout code and are templated over Env: the identical source
  * instantiates against SimEnv (measured) and NativeEnv (native).
+ *
+ * Concurrency: single writer per shard. A KvStore instance and every
+ * shard inside it are single-threaded: all calls on one instance must
+ * come from the thread that owns it (see the contract block in
+ * src/kernels/env.hh). A concurrent service shards at the process
+ * level instead -- one single-shard KvStore per worker thread over
+ * its own arena, as lp::server does -- so no two threads ever touch
+ * the same table, journal, or checksum slot. Debug builds assert the
+ * owning-thread contract on every shard access; recover() rebinds
+ * ownership to the recovering thread.
  */
 
 #ifndef LP_STORE_KV_STORE_HH
 #define LP_STORE_KV_STORE_HH
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -114,8 +126,19 @@ class KvStore
   public:
     static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
 
+    /**
+     * Construct over @p arena. With @p attach false (the default) all
+     * persistent structures are formatted empty; the caller should
+     * arena.persistAll() afterwards. With @p attach true, nothing is
+     * initialized: the arena holds an existing durable image (a
+     * re-mapped backing file after a process restart) and the
+     * allocation sequence -- which is deterministic in @p cfg and
+     * @p backend -- re-derives the same offsets the previous
+     * incarnation used. An attached store MUST recover() before any
+     * other call.
+     */
     KvStore(pmem::PersistentArena &arena, const StoreConfig &cfg,
-            Backend backend)
+            Backend backend, bool attach = false)
         : arena_(&arena), cfg_(cfg), backend_(backend)
     {
         LP_ASSERT(cfg.shards >= 1, "need at least one shard");
@@ -124,9 +147,11 @@ class KvStore
         slots_ = std::bit_ceil(
             cfg.capacity * 2 < 64 ? std::size_t{64} : cfg.capacity * 2);
         table_ = arena.alloc<KvSlot>(slots_);
-        for (std::size_t i = 0; i < slots_; ++i) {
-            table_[i].key = slotEmptyKey;
-            table_[i].value = 0;
+        if (!attach) {
+            for (std::size_t i = 0; i < slots_; ++i) {
+                table_[i].key = slotEmptyKey;
+                table_[i].value = 0;
+            }
         }
         // Epoch keys wrap modulo epochWindow_ so the checksum table's
         // occupancy stays bounded; the window is 4x the fold period,
@@ -136,20 +161,22 @@ class KvStore
         jcap_ = std::size_t(cfg.foldBatches + 2) * (cfg.batchOps + 1);
         if (backend == Backend::Lp) {
             cktable_ = std::make_unique<core::KeyedChecksumTable>(
-                arena, std::size_t(cfg.shards) * epochWindow_ * 2);
+                arena, std::size_t(cfg.shards) * epochWindow_ * 2,
+                attach);
         }
         shards_.reserve(cfg.shards);
         for (int i = 0; i < cfg.shards; ++i) {
             Shard sh;
             sh.index = i;
             sh.meta = arena.alloc<ShardMeta>(1);
-            sh.meta->foldedEpoch = 0;
+            if (!attach)
+                sh.meta->foldedEpoch = 0;
             sh.acc = core::ChecksumAcc(cfg.checksum);
             if (backend == Backend::Lp)
                 sh.journal = arena.alloc<JEntry>(jcap_);
             if (backend == Backend::Wal) {
                 sh.wal = std::make_unique<ep::WalArea>(
-                    arena, 2 * std::size_t(cfg.batchOps) + 2);
+                    arena, 2 * std::size_t(cfg.batchOps) + 2, attach);
             }
             shards_.push_back(std::move(sh));
         }
@@ -202,7 +229,8 @@ class KvStore
             // Batched backends keep unfolded/unapplied ops out of the
             // table; the per-shard delta map provides
             // read-your-writes over them.
-            const Shard &sh = shards_[shardIndex(key)];
+            Shard &sh = shards_[shardIndex(key)];
+            checkShardOwner(sh);
             auto it = sh.delta.find(key);
             if (it != sh.delta.end()) {
                 env.tick(4);
@@ -344,6 +372,15 @@ class KvStore
         /** Coalesced last op per key since the last fold/commit. */
         std::unordered_map<std::uint64_t, DeltaVal> delta;
         std::vector<PendingOp> walPending;    // WAL: this batch's ops
+
+#ifndef NDEBUG
+        /**
+         * Single-writer-per-shard contract (debug): the first thread
+         * to touch the shard owns it; any other thread panics.
+         * recover() rebinds ownership to the recovering thread.
+         */
+        std::thread::id owner{};
+#endif
     };
 
     struct ApplyResult
@@ -351,6 +388,31 @@ class KvStore
         KvSlot *slot;       // touched slot, nullptr for a del miss
         bool claimedEmpty;  // op turned a never-used slot live
     };
+
+    /**
+     * Enforce (debug builds) the single-writer-per-shard contract
+     * documented in src/kernels/env.hh: every access to a shard must
+     * come from the one thread that owns it. Binding is lazy -- the
+     * first toucher owns the shard -- so single-threaded callers are
+     * unaffected and a service binds each shard to its worker thread
+     * on the worker's first operation.
+     */
+    void
+    checkShardOwner(Shard &sh)
+    {
+#ifndef NDEBUG
+        const std::thread::id self = std::this_thread::get_id();
+        if (sh.owner == std::thread::id{})
+            sh.owner = self;
+        LP_ASSERT(sh.owner == self,
+                  "lp::store single-writer-per-shard contract violated:"
+                  " shard " + std::to_string(sh.index) +
+                  " accessed by a second thread (see the concurrency "
+                  "contract in src/kernels/env.hh)");
+#else
+        (void)sh;
+#endif
+    }
 
     int
     shardIndex(std::uint64_t key) const
@@ -519,6 +581,7 @@ class KvStore
     lpAppend(Env &env, JOp op, std::uint64_t key, std::uint64_t value)
     {
         Shard &sh = shards_[shardIndex(key)];
+        checkShardOwner(sh);
         if (sh.batchStart == npos)
             openBatch(env, sh);
         const std::uint64_t epoch = sh.epoch;
@@ -584,6 +647,35 @@ class KvStore
         env.onRegionCommit();
     }
 
+    /** Host cache-block index of @p p (arena allocs are 64B-aligned). */
+    static std::uintptr_t
+    blockIndexOf(const void *p)
+    {
+        return reinterpret_cast<std::uintptr_t>(p) / blockBytes;
+    }
+
+    /**
+     * Flush every distinct cache block in @p blocks once (no fence)
+     * and clear the vector. Fold and replay touch many words that
+     * share blocks (4 table slots or checksum slots per block);
+     * interleaving store and flush per word re-dirties a block right
+     * after flushing it and pays a second NVMM write for the same
+     * line. Batching all of a phase's stores before one deduplicated
+     * flush pass is equally crash-safe -- the phase's trailing sfence
+     * is the only ordering point -- and strictly write-cheaper.
+     */
+    void
+    flushBlocksOnce(Env &env, std::vector<std::uintptr_t> &blocks)
+    {
+        std::sort(blocks.begin(), blocks.end());
+        blocks.erase(std::unique(blocks.begin(), blocks.end()),
+                     blocks.end());
+        for (const std::uintptr_t b : blocks)
+            env.clflushopt(reinterpret_cast<const void *>(
+                b * blockBytes));
+        blocks.clear();
+    }
+
     /**
      * Eager checkpoint of one shard (Section VI-A periodic flush):
      * (a) pin the journal and this window's digests in NVMM, so
@@ -591,7 +683,9 @@ class KvStore
      * (b) apply the coalesced last op per key to the table with
      *     Eager Persistency -- one table write per DISTINCT key in
      *     the window, which is where LP's write savings over per-op
-     *     flushing comes from on skewed workloads;
+     *     flushing comes from on skewed workloads. All of the window's
+     *     table stores execute first, then each distinct dirty block
+     *     is flushed once (see flushBlocksOnce);
      * (c) advance the durable watermark.
      * A crash anywhere in between leaves a state recover() handles:
      * before (c) the watermark is old and every applied batch is
@@ -604,21 +698,24 @@ class KvStore
         if (sh.tail == 0)
             return;
         ep::flushRange(env, sh.journal, sh.tail * sizeof(JEntry));
+        std::vector<std::uintptr_t> blocks;
         for (std::uint64_t e = sh.foldedEpoch + 1; e <= sh.lastCommitted;
              ++e) {
             const std::size_t s =
                 cktable_->findSlot(checksumKeyOf(sh.index, e));
             LP_ASSERT(s != core::KeyedChecksumTable::npos,
                       "committed digest missing");
-            env.clflushopt(cktable_->keyPtr(s));
+            blocks.push_back(blockIndexOf(cktable_->keyPtr(s)));
         }
+        flushBlocksOnce(env, blocks);
         env.sfence();
         for (const auto &[key, dv] : sh.delta) {
             KvSlot *slot = applyOp(env, dv.isPut ? JOp::Put : JOp::Del,
                                    key, dv.value);
             if (slot)
-                env.clflushopt(slot);
+                blocks.push_back(blockIndexOf(slot));
         }
+        flushBlocksOnce(env, blocks);
         env.sfence();
         env.st(&sh.meta->foldedEpoch, sh.lastCommitted);
         env.clflushopt(sh.meta);
@@ -670,15 +767,18 @@ class KvStore
                 break;
             }
             // Committed: repair with Eager Persistency (Section III-E)
-            // so recovery always makes forward progress.
+            // so recovery always makes forward progress. Like the
+            // fold, stores first, then one flush per distinct block.
+            std::vector<std::uintptr_t> blocks;
             for (std::uint64_t i = 1; i <= count; ++i) {
                 JEntry &je = sh.journal[pos + i];
                 KvSlot *slot = applyOp(env, je.op(), env.ld(&je.key),
                                        env.ld(&je.value));
                 if (slot)
-                    env.clflushopt(slot);
+                    blocks.push_back(blockIndexOf(slot));
                 ++rep.entriesReplayed;
             }
+            flushBlocksOnce(env, blocks);
             env.sfence();
             ++rep.batchesReplayed;
             pos += 1 + count;
@@ -702,6 +802,7 @@ class KvStore
     eagerApply(Env &env, JOp op, std::uint64_t key, std::uint64_t value)
     {
         Shard &sh = shards_[shardIndex(key)];
+        checkShardOwner(sh);
         KvSlot *slot = applyOp(env, op, key, value);
         if (slot) {
             env.clflushopt(slot);
@@ -719,6 +820,7 @@ class KvStore
     walAppend(Env &env, JOp op, std::uint64_t key, std::uint64_t value)
     {
         Shard &sh = shards_[shardIndex(key)];
+        checkShardOwner(sh);
         if (sh.walPending.empty())
             sh.epoch = sh.nextEpoch;
         sh.walPending.push_back(PendingOp{op, key, value});
@@ -806,6 +908,10 @@ class KvStore
     void
     resetShardVolatile(Shard &sh, std::uint64_t committed)
     {
+#ifndef NDEBUG
+        // Recovery hands the shard to whichever thread recovered it.
+        sh.owner = std::this_thread::get_id();
+#endif
         sh.tail = 0;
         sh.batchStart = npos;
         sh.batchCount = 0;

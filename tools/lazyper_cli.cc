@@ -16,6 +16,11 @@
  *   lazyper_cli store --backend lp --mix a --records 4096 --ops 16384
  *   lazyper_cli store --backend wal --mix b --uniform --json
  *   lazyper_cli store --backend lp --crash-at 2000
+ *
+ * The `serve` subcommand runs the lp::server network front-end over
+ * file-backed shards (see docs/server_design.md):
+ *   lazyper_cli serve --data-dir /tmp/lpdb --port 7070 --shards 4
+ *   lazyper_cli serve --data-dir /tmp/lpdb --backend wal
  */
 
 #include <cstdio>
@@ -25,6 +30,7 @@
 
 #include "base/logging.hh"
 #include "kernels/harness.hh"
+#include "server/server.hh"
 #include "stats/json.hh"
 #include "store/driver.hh"
 
@@ -129,6 +135,86 @@ storeUsage(const char *argv0)
         "  --json          emit the result as JSON\n",
         argv0);
     std::exit(2);
+}
+
+[[noreturn]] void
+serveUsage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s serve [options]\n"
+        "  --data-dir D    shard files + PORT file   (default ./lpdb)\n"
+        "  --host H        listen address            (default 127.0.0.1)\n"
+        "  --port P        TCP port, 0 = ephemeral   (default 0)\n"
+        "  --shards S      worker threads = shards   (default 4)\n"
+        "  --backend lp|eager|wal                    (default lp)\n"
+        "  --capacity C    max live keys per shard   (default 16384)\n"
+        "  --batch-ops B / --fold-batches F\n"
+        "  --checksum parity|modular|adler32|combined|crc32\n"
+        "  --flush-deadline-us U  partial-batch commit deadline "
+        "(default 2000)\n"
+        "  --max-inflight N   per-connection backpressure "
+        "(default 256)\n"
+        "  --max-conns N      connection cap         (default 256)\n"
+        "  --quiet\n"
+        "Runs until SIGINT/SIGTERM or a SHUTDOWN op; on shutdown every\n"
+        "shard is checkpointed (eager fold) before the process exits.\n",
+        argv0);
+    std::exit(2);
+}
+
+int
+runServeCommand(int argc, char **argv)
+{
+    server::ServerConfig cfg;
+    cfg.dataDir = "./lpdb";
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                serveUsage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--data-dir") {
+            cfg.dataDir = next();
+        } else if (arg == "--host") {
+            cfg.host = next();
+        } else if (arg == "--port") {
+            cfg.port = std::atoi(next().c_str());
+        } else if (arg == "--shards") {
+            cfg.shards = std::atoi(next().c_str());
+        } else if (arg == "--backend") {
+            cfg.backend = store::parseBackend(next());
+        } else if (arg == "--capacity") {
+            cfg.capacityPerShard =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--batch-ops") {
+            cfg.batchOps = std::atoi(next().c_str());
+        } else if (arg == "--fold-batches") {
+            cfg.foldBatches = std::atoi(next().c_str());
+        } else if (arg == "--checksum") {
+            cfg.checksum = parseChecksum(next());
+        } else if (arg == "--flush-deadline-us") {
+            cfg.flushDeadlineUs =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--max-inflight") {
+            cfg.maxInflightPerConn =
+                std::uint32_t(std::atoi(next().c_str()));
+        } else if (arg == "--max-conns") {
+            cfg.maxConns = std::atoi(next().c_str());
+        } else if (arg == "--quiet") {
+            cfg.quiet = true;
+        } else {
+            serveUsage(argv[0]);
+        }
+    }
+
+    server::Server srv(cfg);
+    srv.start();
+    srv.installSignalHandlers();
+    srv.join();
+    return 0;
 }
 
 int
@@ -266,6 +352,8 @@ main(int argc, char **argv)
 {
     if (argc >= 2 && std::strcmp(argv[1], "store") == 0)
         return runStoreCommand(argc, argv);
+    if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
+        return runServeCommand(argc, argv);
 
     KernelId kernel = KernelId::Tmm;
     Scheme scheme = Scheme::Lp;
