@@ -180,10 +180,6 @@ main(int argc, char **argv)
         "end-to-end LP vs. eager vs. WAL: recoverable-ack "
         "throughput and latency");
 
-    const Backend backends[] = {Backend::Lp, Backend::EagerPerOp,
-                                Backend::Wal};
-    const YcsbMix mixes[] = {YcsbMix::A, YcsbMix::B, YcsbMix::C};
-
     stats::JsonValue::Object root;
     root.emplace("records", double(kRecords));
     root.emplace("ops_per_client", double(kOpsPerClient));
@@ -193,7 +189,7 @@ main(int argc, char **argv)
     root.emplace("zipfian", true);
 
     bool clean = true;
-    for (Backend b : backends) {
+    for (Backend b : bench::kStoreBackends) {
         const std::string dir = makeDataDir();
         ServerConfig cfg;
         cfg.dataDir = dir;
@@ -214,7 +210,7 @@ main(int argc, char **argv)
                             "ops", "Kops/s", "p50 us", "p99 us",
                             "p999 us", "retries"});
         stats::JsonValue::Object perMix;
-        for (YcsbMix mix : mixes) {
+        for (YcsbMix mix : bench::kYcsbMixes) {
             YcsbParams p;
             p.records = kRecords;
             p.mix = mix;
@@ -284,22 +280,26 @@ main(int argc, char **argv)
         }
         table.print();
         std::printf("\n");
+
+        // Embed the server's own stats report (rendered with the
+        // canonical engine/stat_names.hh keys) next to the
+        // client-side numbers.
+        {
+            Client sc;
+            if (sc.connectTo(cfg.host, srv.port())) {
+                if (const auto r = sc.stats(); r && !r->body.empty())
+                    perMix.emplace("server_stats",
+                                   stats::JsonValue::raw(r->body));
+                sc.close();
+            }
+        }
         root.emplace(backendName(b), std::move(perMix));
 
         srv.stop();
         std::filesystem::remove_all(dir);
     }
 
-    const char *path = argc > 1 ? argv[1] : "BENCH_server.json";
-    if (std::FILE *f = std::fopen(path, "w")) {
-        const std::string text = stats::JsonValue(root).render();
-        std::fwrite(text.data(), 1, text.size(), f);
-        std::fputc('\n', f);
-        std::fclose(f);
-        std::printf("wrote %s\n", path);
-    } else {
-        std::fprintf(stderr, "cannot write %s\n", path);
+    if (!bench::writeJsonReport(argc, argv, "BENCH_server.json", root))
         return 1;
-    }
     return clean ? 0 : 1;
 }

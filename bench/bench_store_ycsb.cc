@@ -23,6 +23,7 @@
 #include <string>
 
 #include "bench/common.hh"
+#include "engine/stat_names.hh"
 #include "stats/json.hh"
 #include "store/driver.hh"
 
@@ -56,9 +57,6 @@ main(int argc, char **argv)
     };
     const StoreConfig scfg = cfgFor(base);
 
-    const Backend backends[] = {Backend::Lp, Backend::EagerPerOp,
-                                Backend::Wal};
-    const YcsbMix mixes[] = {YcsbMix::A, YcsbMix::B, YcsbMix::C};
     const bool dists[] = {true, false};
 
     stats::JsonValue::Object root;
@@ -70,7 +68,7 @@ main(int argc, char **argv)
 
     bool all_verified = true;
     for (bool zipf : dists) {
-        for (YcsbMix mix : mixes) {
+        for (YcsbMix mix : bench::kYcsbMixes) {
             YcsbParams p = base;
             p.mix = mix;
             p.zipfian = zipf;
@@ -83,7 +81,7 @@ main(int argc, char **argv)
 
             double eagerWrites = 0.0;
             stats::JsonValue::Object grid;
-            for (Backend b : backends) {
+            for (Backend b : bench::kStoreBackends) {
                 const auto out = runStoreYcsb(b, scfg, p, mcfg);
                 all_verified = all_verified && out.verified;
                 if (b == Backend::EagerPerOp)
@@ -108,7 +106,13 @@ main(int argc, char **argv)
                 entry.emplace("writes_per_mutation",
                               out.writesPerMutation);
                 entry.emplace("ops_per_sec", out.opsPerSec);
-                entry.emplace("mutations", out.mutations);
+                entry.emplace(engine::statname::mutations,
+                              out.mutations);
+                entry.emplace(engine::statname::opsStaged,
+                              out.opsStaged);
+                entry.emplace(engine::statname::epochsCommitted,
+                              out.epochsCommitted);
+                entry.emplace(engine::statname::folds, out.folds);
                 entry.emplace("verified", out.verified);
                 grid.emplace(backendName(b), std::move(entry));
             }
@@ -170,16 +174,7 @@ main(int argc, char **argv)
         root.emplace("unif_B_scaling", std::move(study));
     }
 
-    const char *path = argc > 1 ? argv[1] : "BENCH_store.json";
-    if (std::FILE *f = std::fopen(path, "w")) {
-        const std::string text = stats::JsonValue(root).render();
-        std::fwrite(text.data(), 1, text.size(), f);
-        std::fputc('\n', f);
-        std::fclose(f);
-        std::printf("wrote %s\n", path);
-    } else {
-        std::fprintf(stderr, "cannot write %s\n", path);
+    if (!bench::writeJsonReport(argc, argv, "BENCH_store.json", root))
         return 1;
-    }
     return all_verified ? 0 : 1;
 }

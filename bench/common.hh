@@ -13,15 +13,32 @@
 #ifndef LP_BENCH_COMMON_HH
 #define LP_BENCH_COMMON_HH
 
+#include <cstdio>
 #include <string>
 
 #include "kernels/harness.hh"
 #include "kernels/workload.hh"
 #include "sim/config.hh"
+#include "stats/json.hh"
 #include "stats/table.hh"
+#include "store/layout.hh"
+#include "store/ycsb.hh"
 
 namespace lp::bench
 {
+
+/**
+ * The backend and mix grids every store-facing bench sweeps, in
+ * report order: the paper's scheme (LP) first, then the two
+ * baselines it is judged against.
+ */
+inline constexpr store::Backend kStoreBackends[] = {
+    store::Backend::Lp, store::Backend::EagerPerOp,
+    store::Backend::Wal};
+
+/** YCSB mixes A (50/50), B (95/5), C (read-only). */
+inline constexpr store::YcsbMix kYcsbMixes[] = {
+    store::YcsbMix::A, store::YcsbMix::B, store::YcsbMix::C};
 
 /**
  * The scaled Table II machine: 8 worker cores, 16KB L1s, 128KB
@@ -76,6 +93,30 @@ banner(const std::string &title, const std::string &paper_ref)
 {
     std::printf("\n=== %s ===\n", title.c_str());
     std::printf("reproduces: %s\n\n", paper_ref.c_str());
+}
+
+/**
+ * Write a bench's JSON report to argv[1] (or @p defaultPath), the
+ * shared tail of every bench main(). Returns false (after printing
+ * to stderr) when the file cannot be written, so callers can
+ * `return ok ? 0 : 1`.
+ */
+inline bool
+writeJsonReport(int argc, char **argv, const char *defaultPath,
+                const stats::JsonValue::Object &root)
+{
+    const char *path = argc > 1 ? argv[1] : defaultPath;
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return false;
+    }
+    const std::string text = stats::JsonValue(root).render();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+    return true;
 }
 
 } // namespace lp::bench

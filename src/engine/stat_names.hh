@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Canonical stat key names for epoch/commit accounting.
+ *
+ * The store shards, the server's per-worker mirrors, and both JSON
+ * benches report the same pipeline counters; before the engine layer
+ * existed each site invented its own spelling ("folds" here,
+ * "fold_count" there). Every emitter now names counters through these
+ * constants so the JSON artifacts stay greppable and diffable across
+ * subsystems.
+ */
+
+#ifndef LP_ENGINE_STAT_NAMES_HH
+#define LP_ENGINE_STAT_NAMES_HH
+
+namespace lp::engine::statname
+{
+
+/** Mutations staged into open epochs. */
+inline constexpr const char *opsStaged = "ops_staged";
+
+/** Epochs (batches) closed and committed. */
+inline constexpr const char *epochsCommitted = "epochs_committed";
+
+/** Eager checkpoints (LP journal folds) performed. */
+inline constexpr const char *folds = "folds";
+
+/** Commits forced by the flush deadline, not a full batch. */
+inline constexpr const char *deadlineCommits = "deadline_commits";
+
+/** Acknowledgements released by epoch commit. */
+inline constexpr const char *acksReleased = "acks_released";
+
+/** Last committed epoch (volatile watermark). */
+inline constexpr const char *committedEpoch = "committed_epoch";
+
+/** Operations queued but not yet processed (server workers). */
+inline constexpr const char *queueDepth = "queue_depth";
+
+/** Read operations served. */
+inline constexpr const char *gets = "gets";
+
+/** Mutations (put/del) applied. */
+inline constexpr const char *mutations = "mutations";
+
+} // namespace lp::engine::statname
+
+#endif // LP_ENGINE_STAT_NAMES_HH

@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "engine/commit_pipeline.hh"
+#include "engine/stat_names.hh"
 #include "kernels/env.hh"
 #include "pmem/arena.hh"
 #include "server/protocol.hh"
@@ -39,19 +41,16 @@ namespace
 using Clock = std::chrono::steady_clock;
 
 /**
- * Server-level key router: the same mixer KvStore uses internally, so
- * the distribution matches the store's own sharding. Each worker's
- * store is configured with shards = 1, so inside a worker every key
- * maps to the single shard that worker owns.
+ * Server-level key router: store::shardOfKey, the exact function
+ * KvStore routes with, so the distribution matches the store's own
+ * sharding. Each worker's store is configured with shards = 1, so
+ * inside a worker every key maps to the single shard that worker
+ * owns.
  */
 int
 routeShard(std::uint64_t key, int shards)
 {
-    std::uint64_t h = key;
-    h ^= h >> 33;
-    h *= 0xff51afd7ed558ccdull;
-    h ^= h >> 33;
-    return static_cast<int>(h % std::uint64_t(shards));
+    return store::shardOfKey(key, shards);
 }
 
 /**
@@ -178,12 +177,17 @@ struct Server::Impl
         std::deque<OpItem> q;
         bool stopFlag = false;
 
-        // Stats mirrors the acceptor may read (contract rule 3).
+        // Stats mirrors the acceptor may read (contract rule 3);
+        // the pipeline-derived ones are refreshed from the shard's
+        // CommitPipeline counters after every worker round.
         std::atomic<std::uint64_t> statGets{0};
         std::atomic<std::uint64_t> statMuts{0};
         std::atomic<std::uint64_t> statAcks{0};
         std::atomic<std::uint64_t> statCommittedEpoch{0};
         std::atomic<std::uint64_t> statQueueDepth{0};
+        std::atomic<std::uint64_t> statEpochs{0};
+        std::atomic<std::uint64_t> statFolds{0};
+        std::atomic<std::uint64_t> statDeadlineCommits{0};
 
         // Everything below is touched only by the worker thread.
         kernels::NativeEnv env;
@@ -192,15 +196,20 @@ struct Server::Impl
         store::RecoveryReport report;
         bool attached = false;
 
+        /**
+         * Reply payloads awaiting epoch commit. Runs in lockstep
+         * with the shard CommitPipeline's pending-ack queue, which
+         * owns the epochs and deadlines; this deque only carries
+         * what the pipeline doesn't know (who to reply to).
+         */
         struct Pending
         {
             std::uint64_t connId;
             std::uint64_t reqId;
             std::uint64_t epoch;
             std::shared_ptr<BatchCtx> batch;
-            Clock::time_point at;
         };
-        std::deque<Pending> pending;  ///< acks awaiting epoch commit
+        std::deque<Pending> pending;
     };
 
     std::vector<std::unique_ptr<Worker>> workers;
@@ -261,6 +270,7 @@ struct Server::Impl
         scfg.batchOps = cfg.batchOps;
         scfg.foldBatches = cfg.foldBatches;
         scfg.checksum = cfg.checksum;
+        scfg.flushDeadlineUs = cfg.flushDeadlineUs;
         const std::string path = shardPath(w.index);
         struct stat st{};
         const bool attach = ::stat(path.c_str(), &st) == 0 &&
@@ -293,7 +303,7 @@ struct Server::Impl
     void
     releaseAck(Worker &w, const Worker::Pending &p)
     {
-        w.statAcks.fetch_add(1, std::memory_order_relaxed);
+        (void)w;
         if (p.batch) {
             if (p.batch->remaining.fetch_sub(
                     1, std::memory_order_acq_rel) != 1)
@@ -310,15 +320,31 @@ struct Server::Impl
         postReply(p.connId, std::move(r));
     }
 
-    /** Release every pending ack whose epoch has committed. */
+    /**
+     * Release every pending ack whose epoch has committed, and
+     * refresh this worker's stat mirrors from the shard pipeline's
+     * counters (the single source of truth for epoch accounting).
+     */
     void
     releaseCommitted(Worker &w)
     {
+        engine::CommitPipeline &pl = w.kv->pipeline(0);
         const std::uint64_t ce = w.kv->committedEpoch(0);
-        while (!w.pending.empty() && w.pending.front().epoch <= ce) {
+        const std::size_t n = pl.releaseUpTo(ce);
+        for (std::size_t i = 0; i < n; ++i) {
+            LP_ASSERT(!w.pending.empty() &&
+                          w.pending.front().epoch <= ce,
+                      "reply queue out of sync with pipeline acks");
             releaseAck(w, w.pending.front());
             w.pending.pop_front();
         }
+        const engine::PipelineCounters &c = pl.counters();
+        w.statAcks.store(c.acksReleased, std::memory_order_relaxed);
+        w.statEpochs.store(c.epochsCommitted,
+                           std::memory_order_relaxed);
+        w.statFolds.store(c.folds, std::memory_order_relaxed);
+        w.statDeadlineCommits.store(c.deadlineCommits,
+                                    std::memory_order_relaxed);
         w.statCommittedEpoch.store(ce, std::memory_order_relaxed);
     }
 
@@ -344,15 +370,13 @@ struct Server::Impl
                     ? w.kv->put(w.env, op.key, op.value)
                     : w.kv->del(w.env, op.key);
             w.statMuts.fetch_add(1, std::memory_order_relaxed);
-            if (cfg.backend == store::Backend::EagerPerOp) {
-                // Eager persists in place: acknowledged already means
-                // durable, no epoch to wait for.
-                releaseAck(w, Worker::Pending{op.connId, op.reqId, 0,
-                                              op.batch, Clock::now()});
-                return;
-            }
-            w.pending.push_back(Worker::Pending{
-                op.connId, op.reqId, epoch, op.batch, Clock::now()});
+            // Every mutation waits for its epoch to commit; the
+            // following releaseCommitted() releases it the same round
+            // for backends that commit per op (eager, and WAL when the
+            // op filled its batch).
+            w.pending.push_back(Worker::Pending{op.connId, op.reqId,
+                                                epoch, op.batch});
+            w.kv->pipeline(0).notePending(epoch, Clock::now());
             return;
           }
         }
@@ -368,8 +392,6 @@ struct Server::Impl
         }
         readyCv.notify_all();
 
-        const auto deadline =
-            std::chrono::microseconds(cfg.flushDeadlineUs);
         std::vector<OpItem> local;
         for (;;) {
             bool stopping = false;
@@ -380,11 +402,11 @@ struct Server::Impl
                     return w.stopFlag || !w.q.empty();
                 };
                 if (w.q.empty() && !w.stopFlag) {
-                    if (w.pending.empty())
+                    engine::CommitPipeline &pl = w.kv->pipeline(0);
+                    if (!pl.hasPending())
                         w.cv.wait(lk, woken);
                     else
-                        w.cv.wait_until(lk, w.pending.front().at +
-                                                deadline, woken);
+                        w.cv.wait_until(lk, pl.ackDeadline(), woken);
                 }
                 while (!w.q.empty() && local.size() < 128) {
                     local.push_back(std::move(w.q.front()));
@@ -399,11 +421,16 @@ struct Server::Impl
                 processOp(w, op);
 
             // Deadline flush: commit an underfilled batch rather than
-            // keep its acks hostage to future traffic.
-            if (!w.pending.empty() &&
-                (stopping ||
-                 Clock::now() >= w.pending.front().at + deadline)) {
-                w.kv->commitBatches(w.env);
+            // keep its acks hostage to future traffic. The pipeline
+            // owns the deadline bookkeeping (engine/commit_pipeline.hh).
+            {
+                engine::CommitPipeline &pl = w.kv->pipeline(0);
+                const bool due = pl.commitDue(Clock::now());
+                if (pl.hasPending() && (stopping || due)) {
+                    if (due)
+                        pl.noteDeadlineCommit();
+                    w.kv->commitBatches(w.env);
+                }
             }
             releaseCommitted(w);
 
@@ -513,7 +540,9 @@ struct Server::Impl
         o["accepted"] = statAccepted.load(std::memory_order_relaxed);
         o["retries"] = statRetries.load(std::memory_order_relaxed);
         o["errors"] = statErrs.load(std::memory_order_relaxed);
+        namespace sn = engine::statname;
         std::uint64_t gets = 0, muts = 0, acks = 0;
+        std::uint64_t epochs = 0, folds = 0, deadlines = 0;
         JsonValue::Object shards;
         for (const auto &wp : workers) {
             const auto &w = *wp;
@@ -524,21 +553,36 @@ struct Server::Impl
                 w.statMuts.load(std::memory_order_relaxed);
             const std::uint64_t a =
                 w.statAcks.load(std::memory_order_relaxed);
-            s["gets"] = g;
-            s["mutations"] = m;
-            s["acks_released"] = a;
-            s["committed_epoch"] =
+            const std::uint64_t e =
+                w.statEpochs.load(std::memory_order_relaxed);
+            const std::uint64_t f =
+                w.statFolds.load(std::memory_order_relaxed);
+            const std::uint64_t d =
+                w.statDeadlineCommits.load(std::memory_order_relaxed);
+            s[sn::gets] = g;
+            s[sn::mutations] = m;
+            s[sn::acksReleased] = a;
+            s[sn::epochsCommitted] = e;
+            s[sn::folds] = f;
+            s[sn::deadlineCommits] = d;
+            s[sn::committedEpoch] =
                 w.statCommittedEpoch.load(std::memory_order_relaxed);
-            s["queue_depth"] =
+            s[sn::queueDepth] =
                 w.statQueueDepth.load(std::memory_order_relaxed);
             shards[std::to_string(w.index)] = std::move(s);
             gets += g;
             muts += m;
             acks += a;
+            epochs += e;
+            folds += f;
+            deadlines += d;
         }
-        o["gets"] = gets;
-        o["mutations"] = muts;
-        o["acks_released"] = acks;
+        o[sn::gets] = gets;
+        o[sn::mutations] = muts;
+        o[sn::acksReleased] = acks;
+        o[sn::epochsCommitted] = epochs;
+        o[sn::folds] = folds;
+        o[sn::deadlineCommits] = deadlines;
         o["shard"] = std::move(shards);
         return JsonValue(std::move(o)).render();
     }

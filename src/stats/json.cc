@@ -70,6 +70,12 @@ JsonValue::render() const
         }
 
         std::string
+        operator()(const Raw &r) const
+        {
+            return r.text;
+        }
+
+        std::string
         operator()(const Object &obj) const
         {
             std::ostringstream os;

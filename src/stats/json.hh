@@ -37,6 +37,20 @@ class JsonValue
     JsonValue(std::string v) : value(std::move(v)) {}
     JsonValue(Object v) : value(std::move(v)) {}
 
+    /**
+     * Wrap already-rendered JSON text so it splices into the output
+     * verbatim instead of being escaped as a string. The caller
+     * vouches that @p text is well-formed JSON (e.g. another
+     * component's rendered stats report).
+     */
+    static JsonValue
+    raw(std::string text)
+    {
+        JsonValue v;
+        v.value = Raw{std::move(text)};
+        return v;
+    }
+
     /** Render to compact JSON text. */
     std::string render() const;
 
@@ -47,7 +61,12 @@ class JsonValue
     static std::string number(double v);
 
   private:
-    std::variant<double, std::string, Object> value;
+    struct Raw
+    {
+        std::string text;
+    };
+
+    std::variant<double, std::string, Object, Raw> value;
 };
 
 /** Convert a stats snapshot into a JSON object value. */

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The persistency-backend contract of the `lp::store` key-value
+ * store (docs/engine_design.md is the narrative version).
+ *
+ * A backend is the policy that makes mutations durable. It owns the
+ * per-shard persistent structures its discipline needs (journal,
+ * checksum digests, WAL, metadata blocks) and mutates the shared
+ * SlotTable through the StoreContext; epoch numbering and
+ * batch/fold/deadline accounting are delegated to the per-shard
+ * engine::CommitPipeline so the same scheduling drives the store and
+ * lp::server.
+ *
+ * Hook contract (all per shard; see each backend for its story):
+ *
+ *  - stage(op): admit one mutation into the open epoch, committing
+ *    (and folding) when the pipeline says the period elapsed; returns
+ *    the epoch the op landed in.
+ *  - commitEpoch(): close and commit the open epoch even if
+ *    underfilled (group-commit deadline, checkpoint).
+ *  - fold(): eager checkpoint -- make every committed epoch durable
+ *    in the table. No-op for backends whose commit is already
+ *    durable (eager, WAL).
+ *  - recover(): rebuild from the durable image after a crash; must
+ *    leave the shard ready for new mutations and the pipeline
+ *    rebased to the committed watermark.
+ *  - verify(): non-mutating audit of the backend's own invariants
+ *    (committed digests still validate; no armed WAL). A debugging /
+ *    test aid: it reads through the Env and thus perturbs the
+ *    simulated caches like any other access.
+ *  - staged()/mergeStaged(): read-your-writes over mutations that
+ *    are staged but not yet applied to the table.
+ *
+ * Allocation-order determinism: a backend's constructor must
+ * allocate its arena structures in a fixed order (globals first,
+ * then per shard), because attach mode re-derives offsets purely by
+ * re-running the same allocation sequence over the existing image.
+ */
+
+#ifndef LP_STORE_BACKEND_HH
+#define LP_STORE_BACKEND_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "engine/commit_pipeline.hh"
+#include "pmem/arena.hh"
+#include "store/journal.hh"
+#include "store/layout.hh"
+
+namespace lp::store
+{
+
+/** Coalesced effect of one staged-but-unapplied mutation. */
+struct DeltaVal
+{
+    bool isPut;
+    std::uint64_t value;
+};
+
+/** What a backend borrows from the KvStore that owns it. */
+template <typename Env>
+struct StoreContext
+{
+    pmem::PersistentArena *arena;
+    const StoreConfig *cfg;
+    SlotTable<Env> *table;
+    std::vector<engine::CommitPipeline> *pipelines;
+};
+
+/** CommitPolicy a store pipeline runs under @p backend and @p cfg. */
+engine::CommitPolicy commitPolicyFor(Backend backend,
+                                     const StoreConfig &cfg);
+
+/**
+ * One persistency policy; see the file comment for the hook
+ * contract. A backend instance serves every shard of its store (the
+ * per-shard state lives in its own vectors), and is driven only by
+ * the owning KvStore.
+ */
+template <typename Env>
+class PersistencyBackend
+{
+  public:
+    explicit PersistencyBackend(const StoreContext<Env> &ctx)
+        : ctx_(ctx)
+    {
+    }
+
+    virtual ~PersistencyBackend() = default;
+
+    PersistencyBackend(const PersistencyBackend &) = delete;
+    PersistencyBackend &operator=(const PersistencyBackend &) = delete;
+
+    /** Admit one mutation; returns the epoch it landed in. */
+    virtual std::uint64_t stage(Env &env, int shard, JOp op,
+                                std::uint64_t key,
+                                std::uint64_t value) = 0;
+
+    /** Commit the shard's open epoch, if any (may be underfilled). */
+    virtual void commitEpoch(Env &env, int shard) = 0;
+
+    /** Eager checkpoint; default no-op for durable-on-commit backends. */
+    virtual void
+    fold(Env &env, int shard)
+    {
+        (void)env;
+        (void)shard;
+    }
+
+    /** Crash recovery of one shard (see the hook contract). */
+    virtual void recover(Env &env, int shard,
+                         RecoveryReport &rep) = 0;
+
+    /** Non-mutating audit of the backend's durability invariants. */
+    virtual bool verify(Env &env, int shard) = 0;
+
+    /**
+     * Read-your-writes lookup over staged-but-unapplied mutations;
+     * std::nullopt (and no Env effect) when the key is not staged or
+     * the backend applies in place.
+     */
+    virtual std::optional<DeltaVal>
+    staged(Env &env, int shard, std::uint64_t key)
+    {
+        (void)env;
+        (void)shard;
+        (void)key;
+        return std::nullopt;
+    }
+
+    /** Overlay staged mutations onto a host-side snapshot. */
+    virtual void
+    mergeStaged(int shard,
+                std::map<std::uint64_t, std::uint64_t> &out) const
+    {
+        (void)shard;
+        (void)out;
+    }
+
+    /** Durable (shadow) epoch watermark of one shard. */
+    std::uint64_t
+    durableEpoch(int shard) const
+    {
+        return ctx_.arena->peekDurable(&metas_[shard]->foldedEpoch);
+    }
+
+  protected:
+    /** Allocate one shard's metadata block in arena order. */
+    ShardMeta *
+    allocMeta(bool attach)
+    {
+        pmem::PersistentArena &arena = *ctx_.arena;
+        ShardMeta *m = arena.alloc<ShardMeta>(1);
+        if (!attach)
+            m->foldedEpoch = 0;
+        metas_.push_back(m);
+        return m;
+    }
+
+    const StoreConfig &cfg() const { return *ctx_.cfg; }
+    SlotTable<Env> &table() { return *ctx_.table; }
+
+    engine::CommitPipeline &
+    pipeline(int shard)
+    {
+        return (*ctx_.pipelines)[std::size_t(shard)];
+    }
+
+    StoreContext<Env> ctx_;
+    std::vector<ShardMeta *> metas_;
+};
+
+} // namespace lp::store
+
+#endif // LP_STORE_BACKEND_HH

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * The Lazy Persistency backend of `lp::store`.
+ *
+ * Mutations append journal records and update a running checksum
+ * with PLAIN STORES -- no flush, no fence. Every batchOps mutations
+ * close an epoch: the batch's digest is stored (again lazily) into
+ * the shared KeyedChecksumTable, exactly the Figure 8 region-commit
+ * idiom. Dirty journal and digest lines drain to NVMM by natural
+ * cache evictions. Every foldBatches committed batches the shard
+ * FOLDS: journal and digests are pinned with flushes + one fence,
+ * the coalesced last-op-per-key effects are applied to the table
+ * with Eager Persistency, and the shard's durable watermark
+ * (ShardMeta::foldedEpoch) advances. The fold is the Section VI-A
+ * periodic flush: it bounds journal space and recovery replay
+ * length.
+ *
+ * Why a journal at all? In-place lazy mutation of live table slots
+ * is unsound: a plain store from an UNCOMMITTED batch may drain over
+ * the only copy of committed data, and recovery -- which discards
+ * the failed batch -- would have nothing to restore the slot from.
+ * Lazy Persistency therefore only ever lazily writes APPEND-ONLY
+ * bytes (journal records, digest slots) whose corruption is detected
+ * by the checksum and repaired by replay; the table itself is
+ * written solely inside eager phases (fold, recovery), so a
+ * committed table byte can never be clobbered by an uncommitted lazy
+ * store.
+ *
+ * Recovery. Per shard, read the durable foldedEpoch W and walk the
+ * journal from offset 0 expecting epochs W+1, W+2, ... (the
+ * BatchJournal::replay walk): check the header tag, recompute the
+ * digest over the records that actually reached NVMM, and compare
+ * against the checksum table. Accepted batches are replayed into the
+ * table with Eager Persistency (Section III-E: recovery uses EP so
+ * it always makes forward progress); the walk stops at the first
+ * batch that fails validation -- journal appends are sequential, so
+ * durability is prefix-shaped and later batches cannot have
+ * committed either. Replay is idempotent and convergent even across
+ * crashes *during* fold or recovery because (a) table writers only
+ * apply committed ops, (b) deletes tombstone rather than empty
+ * slots, and (c) the insert probe scans the whole chain up to the
+ * first never-used slot before reusing a tombstone, so a
+ * half-drained earlier apply of the same key is always found and
+ * reused, never duplicated.
+ */
+
+#ifndef LP_STORE_BACKEND_LP_HH
+#define LP_STORE_BACKEND_LP_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ep/pmem_ops.hh"
+#include "lp/keyed_table.hh"
+#include "store/backend.hh"
+
+namespace lp::store
+{
+
+template <typename Env>
+class LpBackend : public PersistencyBackend<Env>
+{
+    using Base = PersistencyBackend<Env>;
+    using Base::cfg;
+    using Base::pipeline;
+    using Base::table;
+
+  public:
+    LpBackend(const StoreContext<Env> &ctx, bool attach) : Base(ctx)
+    {
+        window_ = epochWindowFor(cfg());
+        cktable_ = std::make_unique<core::KeyedChecksumTable>(
+            *ctx.arena, std::size_t(cfg().shards) * window_ * 2,
+            attach);
+        const std::size_t jcap = journalCapacity(cfg());
+        shards_.reserve(std::size_t(cfg().shards));
+        for (int i = 0; i < cfg().shards; ++i) {
+            Shard sh;
+            sh.meta = this->allocMeta(attach);
+            sh.acc = core::ChecksumAcc(cfg().checksum);
+            sh.journal =
+                std::make_unique<BatchJournal<Env>>(*ctx.arena, jcap);
+            shards_.push_back(std::move(sh));
+        }
+    }
+
+    std::uint64_t
+    stage(Env &env, int shard, JOp op, std::uint64_t key,
+          std::uint64_t value) override
+    {
+        Shard &sh = shards_[std::size_t(shard)];
+        auto &pl = pipeline(shard);
+        if (!pl.epochOpen()) {
+            // Fold first if the journal lacks room for a full batch.
+            if (!sh.journal->roomFor(cfg().batchOps))
+                fold(env, shard);
+            sh.journal->open(env, pl.beginEpoch(), sh.acc);
+        }
+        const std::uint64_t epoch = pl.openEpoch();
+        sh.journal->append(env, op, key, value, epoch, sh.acc,
+                           ckCost());
+        sh.delta[key] = DeltaVal{op == JOp::Put, value};
+        if (pl.stageOp()) {
+            commitEpoch(env, shard);
+            if (pl.foldDue())
+                fold(env, shard);
+        }
+        return epoch;
+    }
+
+    /**
+     * Close the open batch: seal the journal header into the digest
+     * and store the digest into the checksum table -- all with plain
+     * stores (the Figure 8 commit). No flush, no fence.
+     */
+    void
+    commitEpoch(Env &env, int shard) override
+    {
+        Shard &sh = shards_[std::size_t(shard)];
+        auto &pl = pipeline(shard);
+        if (!pl.epochOpen())
+            return;
+        const std::uint64_t epoch = pl.openEpoch();
+        sh.journal->seal(env, std::uint64_t(pl.stagedOps()), epoch,
+                         sh.acc, ckCost());
+        const std::uint64_t ckey =
+            checksumEpochKey(shard, epoch, window_);
+        const std::size_t s = cktable_->claimSlot(ckey);
+        env.st(cktable_->keyPtr(s), ckey);
+        env.st(cktable_->digestPtr(s), sh.acc.value());
+        pl.commitEpoch();
+        env.onRegionCommit();
+    }
+
+    /**
+     * Eager checkpoint of one shard (Section VI-A periodic flush):
+     * (a) pin the journal and this window's digests in NVMM, so
+     *     every batch the fold applies is one recovery would accept;
+     * (b) apply the coalesced last op per key to the table with
+     *     Eager Persistency -- one table write per DISTINCT key in
+     *     the window, which is where LP's write savings over per-op
+     *     flushing comes from on skewed workloads. All of the
+     *     window's table stores execute first, then each distinct
+     *     dirty block is flushed once (ep::flushBlocksOnce);
+     * (c) advance the durable watermark.
+     * A crash anywhere in between leaves a state recover() handles:
+     * before (c) the watermark is old and every applied batch is
+     * durably committed, so replay just re-applies them.
+     */
+    void
+    fold(Env &env, int shard) override
+    {
+        Shard &sh = shards_[std::size_t(shard)];
+        auto &pl = pipeline(shard);
+        LP_ASSERT(!pl.epochOpen(), "fold with an open batch");
+        if (sh.journal->tail() == 0)
+            return;
+        sh.journal->flushAll(env);
+        std::vector<std::uintptr_t> blocks;
+        for (std::uint64_t e = pl.foldedEpoch() + 1;
+             e <= pl.lastCommitted(); ++e) {
+            const std::size_t s = cktable_->findSlot(
+                checksumEpochKey(shard, e, window_));
+            LP_ASSERT(s != core::KeyedChecksumTable::npos,
+                      "committed digest missing");
+            blocks.push_back(ep::blockIndexOf(cktable_->keyPtr(s)));
+        }
+        ep::flushBlocksOnce(env, blocks);
+        env.sfence();
+        for (const auto &[key, dv] : sh.delta) {
+            KvSlot *slot =
+                table().applyOp(env, dv.isPut, key, dv.value);
+            if (slot)
+                blocks.push_back(ep::blockIndexOf(slot));
+        }
+        ep::flushBlocksOnce(env, blocks);
+        env.sfence();
+        env.st(&sh.meta->foldedEpoch, pl.lastCommitted());
+        env.clflushopt(sh.meta);
+        env.sfence();
+        pl.noteFold();
+        sh.journal->reset();
+        sh.delta.clear();
+    }
+
+    void
+    recover(Env &env, int shard, RecoveryReport &rep) override
+    {
+        Shard &sh = shards_[std::size_t(shard)];
+        const std::uint64_t base = env.ld(&sh.meta->foldedEpoch);
+        // Committed batches repair the table with Eager Persistency
+        // (Section III-E); like the fold, all of a batch's stores
+        // execute first, then one flush per distinct block.
+        std::vector<std::uintptr_t> blocks;
+        const std::uint64_t committed = sh.journal->replay(
+            env, cfg(), base,
+            [&](std::uint64_t e, std::uint64_t digest) {
+                return cktable_->matches(
+                    checksumEpochKey(shard, e, window_), digest);
+            },
+            [&](JEntry &je) {
+                KvSlot *slot =
+                    table().applyOp(env, je.op() == JOp::Put,
+                                    env.ld(&je.key),
+                                    env.ld(&je.value));
+                if (slot)
+                    blocks.push_back(ep::blockIndexOf(slot));
+            },
+            [&]() {
+                ep::flushBlocksOnce(env, blocks);
+                env.sfence();
+            },
+            rep);
+        if (committed != base) {
+            env.st(&sh.meta->foldedEpoch, committed);
+            env.clflushopt(sh.meta);
+            env.sfence();
+        }
+        sh.journal->reset();
+        sh.acc.reset();
+        sh.delta.clear();
+        pipeline(shard).rebase(committed);
+        rep.committedEpochs[std::size_t(shard)] = committed;
+    }
+
+    bool
+    verify(Env &env, int shard) override
+    {
+        Shard &sh = shards_[std::size_t(shard)];
+        auto &pl = pipeline(shard);
+        if (pl.epochOpen())
+            return false;  // commit or checkpoint before auditing
+        return sh.journal->auditCommitted(
+            env, cfg(), pl.foldedEpoch(), pl.lastCommitted(),
+            [&](std::uint64_t e, std::uint64_t digest) {
+                return cktable_->matches(
+                    checksumEpochKey(shard, e, window_), digest);
+            });
+    }
+
+    std::optional<DeltaVal>
+    staged(Env &env, int shard, std::uint64_t key) override
+    {
+        const Shard &sh = shards_[std::size_t(shard)];
+        const auto it = sh.delta.find(key);
+        if (it == sh.delta.end())
+            return std::nullopt;
+        env.tick(4);
+        return it->second;
+    }
+
+    void
+    mergeStaged(int shard,
+                std::map<std::uint64_t, std::uint64_t> &out)
+        const override
+    {
+        for (const auto &[k, dv] : shards_[std::size_t(shard)].delta) {
+            if (dv.isPut)
+                out[k] = dv.value;
+            else
+                out.erase(k);
+        }
+    }
+
+  private:
+    struct Shard
+    {
+        ShardMeta *meta = nullptr;
+        std::unique_ptr<BatchJournal<Env>> journal;
+        core::ChecksumAcc acc;
+
+        /** Coalesced last op per key since the last fold. */
+        std::unordered_map<std::uint64_t, DeltaVal> delta;
+    };
+
+    std::uint64_t
+    ckCost() const
+    {
+        return core::ChecksumAcc::updateCost(cfg().checksum);
+    }
+
+    std::uint64_t window_ = 0;
+    std::unique_ptr<core::KeyedChecksumTable> cktable_;
+    std::vector<Shard> shards_;
+};
+
+} // namespace lp::store
+
+#endif // LP_STORE_BACKEND_LP_HH

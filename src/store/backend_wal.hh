@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The write-ahead-logging baseline backend of `lp::store`: the same
+ * batches the LP backend journals are instead grouped into
+ * undo-logged durable transactions (Figure 2) over the table.
+ *
+ * Probe targets depend on earlier ops in the same batch, so a batch
+ * is first PLANNED: each op is resolved against a scratch view of
+ * the table (raw host writes, recording pre- and post-images), then
+ * the scratch writes are reverted and the real mutation runs under a
+ * WalTx. The shard's durable epoch watermark joins the transaction,
+ * making "which batches committed" exact for recovery verification.
+ */
+
+#ifndef LP_STORE_BACKEND_WAL_HH
+#define LP_STORE_BACKEND_WAL_HH
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ep/wal.hh"
+#include "store/backend.hh"
+
+namespace lp::store
+{
+
+template <typename Env>
+class WalBackend : public PersistencyBackend<Env>
+{
+    using Base = PersistencyBackend<Env>;
+    using Base::cfg;
+    using Base::pipeline;
+    using Base::table;
+
+  public:
+    WalBackend(const StoreContext<Env> &ctx, bool attach) : Base(ctx)
+    {
+        shards_.reserve(std::size_t(cfg().shards));
+        for (int i = 0; i < cfg().shards; ++i) {
+            Shard sh;
+            sh.meta = this->allocMeta(attach);
+            sh.wal = std::make_unique<ep::WalArea>(
+                *ctx.arena, 2 * std::size_t(cfg().batchOps) + 2,
+                attach);
+            shards_.push_back(std::move(sh));
+        }
+    }
+
+    std::uint64_t
+    stage(Env &env, int shard, JOp op, std::uint64_t key,
+          std::uint64_t value) override
+    {
+        Shard &sh = shards_[std::size_t(shard)];
+        auto &pl = pipeline(shard);
+        if (!pl.epochOpen())
+            pl.beginEpoch();
+        const std::uint64_t epoch = pl.openEpoch();
+        sh.pending.push_back(PendingOp{op, key, value});
+        sh.delta[key] = DeltaVal{op == JOp::Put, value};
+        env.tick(4);
+        if (pl.stageOp())
+            commitEpoch(env, shard);
+        return epoch;
+    }
+
+    /** Commit one batch as an undo-logged durable transaction. */
+    void
+    commitEpoch(Env &env, int shard) override
+    {
+        Shard &sh = shards_[std::size_t(shard)];
+        auto &pl = pipeline(shard);
+        if (sh.pending.empty())
+            return;
+        const std::uint64_t epoch = pl.openEpoch();
+        struct PlanWrite
+        {
+            std::uint64_t *ptr;
+            std::uint64_t old;
+            std::uint64_t neu;
+        };
+        std::vector<PlanWrite> plan;
+        std::size_t claims = 0;
+        auto planStore = [&plan](std::uint64_t *p, std::uint64_t v) {
+            plan.push_back(PlanWrite{p, *p, v});
+            *p = v;
+        };
+        for (const PendingOp &op : sh.pending) {
+            const auto r = table().applyOpWith(
+                env, op.op == JOp::Put, op.key, op.value, planStore);
+            if (r.claimedEmpty)
+                ++claims;
+        }
+        planStore(&sh.meta->foldedEpoch, epoch);
+        for (auto it = plan.rbegin(); it != plan.rend(); ++it)
+            *(it->ptr) = it->old;
+
+        ep::WalTx<Env> tx(env, *sh.wal);
+        // Log only the first pre-image of each word: applyUndo()
+        // replays the log forward, so a later duplicate would win and
+        // restore an intra-batch intermediate value.
+        std::unordered_set<std::uint64_t *> logged;
+        for (const PlanWrite &w : plan)
+            if (logged.insert(w.ptr).second)
+                tx.logKnown(w.ptr, w.old);
+        tx.seal();
+        for (const PlanWrite &w : plan)
+            env.st(w.ptr, w.neu);
+        tx.commit();
+
+        for (std::size_t c = 0; c < claims; ++c)
+            table().noteClaim();
+        pl.commitEpoch();
+        pl.syncDurable();
+        sh.pending.clear();
+        sh.delta.clear();
+        env.onRegionCommit();
+    }
+
+    void
+    recover(Env &env, int shard, RecoveryReport &rep) override
+    {
+        Shard &sh = shards_[std::size_t(shard)];
+        if (ep::applyUndo(env, *sh.wal)) {
+            rep.walUndone = true;
+            ++rep.batchesDiscarded;
+        }
+        const std::uint64_t committed =
+            env.ld(&sh.meta->foldedEpoch);
+        sh.pending.clear();
+        sh.delta.clear();
+        pipeline(shard).rebase(committed);
+        rep.committedEpochs[std::size_t(shard)] = committed;
+    }
+
+    /** No armed (sealed-but-uncommitted) transaction may survive. */
+    bool
+    verify(Env &env, int shard) override
+    {
+        (void)env;
+        return !shards_[std::size_t(shard)].wal->interrupted();
+    }
+
+    std::optional<DeltaVal>
+    staged(Env &env, int shard, std::uint64_t key) override
+    {
+        const Shard &sh = shards_[std::size_t(shard)];
+        const auto it = sh.delta.find(key);
+        if (it == sh.delta.end())
+            return std::nullopt;
+        env.tick(4);
+        return it->second;
+    }
+
+    void
+    mergeStaged(int shard,
+                std::map<std::uint64_t, std::uint64_t> &out)
+        const override
+    {
+        for (const auto &[k, dv] : shards_[std::size_t(shard)].delta) {
+            if (dv.isPut)
+                out[k] = dv.value;
+            else
+                out.erase(k);
+        }
+    }
+
+  private:
+    struct PendingOp
+    {
+        JOp op;
+        std::uint64_t key;
+        std::uint64_t value;
+    };
+
+    struct Shard
+    {
+        ShardMeta *meta = nullptr;
+        std::unique_ptr<ep::WalArea> wal;
+
+        /** This batch's ops, in arrival order (for the plan phase). */
+        std::vector<PendingOp> pending;
+
+        /** Coalesced last op per key in the open batch. */
+        std::unordered_map<std::uint64_t, DeltaVal> delta;
+    };
+
+    std::vector<Shard> shards_;
+};
+
+} // namespace lp::store
+
+#endif // LP_STORE_BACKEND_WAL_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The one place that maps the Backend enum to a policy class. All
+ * runtime backend dispatch in the store happens through the virtual
+ * PersistencyBackend interface; this factory is the single
+ * enum-switch that picks the implementation at construction time.
+ */
+
+#ifndef LP_STORE_BACKENDS_HH
+#define LP_STORE_BACKENDS_HH
+
+#include <memory>
+
+#include "store/backend_eager.hh"
+#include "store/backend_lp.hh"
+#include "store/backend_wal.hh"
+
+namespace lp::store
+{
+
+template <typename Env>
+std::unique_ptr<PersistencyBackend<Env>>
+makeBackend(Backend b, const StoreContext<Env> &ctx, bool attach)
+{
+    switch (b) {
+      case Backend::Lp:
+        return std::make_unique<LpBackend<Env>>(ctx, attach);
+      case Backend::EagerPerOp:
+        return std::make_unique<EagerBackend<Env>>(ctx, attach);
+      case Backend::Wal:
+        return std::make_unique<WalBackend<Env>>(ctx, attach);
+    }
+    fatal("unknown store backend");
+}
+
+} // namespace lp::store
+
+#endif // LP_STORE_BACKENDS_HH

@@ -30,6 +30,24 @@ mapsEqual(const std::map<std::uint64_t, std::uint64_t> &snap,
     return true;
 }
 
+/** Commit-pipeline counters summed over every shard (host-side). */
+template <typename Env>
+engine::PipelineCounters
+sumPipelineCounters(const KvStore<Env> &store)
+{
+    engine::PipelineCounters sum;
+    for (int s = 0; s < store.config().shards; ++s) {
+        const engine::PipelineCounters &c =
+            store.pipeline(s).counters();
+        sum.opsStaged += c.opsStaged;
+        sum.epochsCommitted += c.epochsCommitted;
+        sum.folds += c.folds;
+        sum.deadlineCommits += c.deadlineCommits;
+        sum.acksReleased += c.acksReleased;
+    }
+    return sum;
+}
+
 } // namespace
 
 StoreRunResult
@@ -51,8 +69,16 @@ runStoreYcsb(Backend b, const StoreConfig &scfg, const YcsbParams &p,
                        : out.loadStats.at("nvmm_writes") /
                              double(p.records);
     ctx.machine.resetStats();
+    const engine::PipelineCounters loadCtrs =
+        sumPipelineCounters(store);
 
     const MixCounts c = ycsbMix(env, store, p, &golden);
+
+    const engine::PipelineCounters mixCtrs = sumPipelineCounters(store);
+    out.opsStaged = mixCtrs.opsStaged - loadCtrs.opsStaged;
+    out.epochsCommitted =
+        mixCtrs.epochsCommitted - loadCtrs.epochsCommitted;
+    out.folds = mixCtrs.folds - loadCtrs.folds;
 
     out.stats = ctx.machine.snapshot();
     out.execCycles = out.stats.at("exec_cycles");

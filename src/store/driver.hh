@@ -99,6 +99,15 @@ struct StoreRunResult
     /** Mix operations per simulated second. */
     double opsPerSec = 0.0;
 
+    /**
+     * Mix-phase commit-pipeline counters, summed over shards
+     * (canonical names in engine/stat_names.hh). Host-side
+     * bookkeeping only -- reading them costs no simulated work.
+     */
+    std::uint64_t opsStaged = 0;
+    std::uint64_t epochsCommitted = 0;
+    std::uint64_t folds = 0;
+
     /** Final persistent map equals the golden host-side replay. */
     bool verified = false;
 };

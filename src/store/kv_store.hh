@@ -3,66 +3,34 @@
  * lp::store -- a crash-recoverable persistent key-value store built
  * on Lazy Persistency.
  *
- * Structure. Keys are partitioned across shards; each shard owns a
- * persistent batch journal, a persistent metadata block, and (under
- * the WAL backend) an undo log. All shards share one open-addressing
- * persistent table of 16B slots and, under the LP backend, one
- * KeyedChecksumTable of per-batch digests keyed by (shard, epoch).
+ * This header is the thin facade over the store's layers:
  *
- * The Lazy Persistency backend. Mutations append journal records and
- * update a running checksum with PLAIN STORES -- no flush, no fence.
- * Every batchOps mutations close an epoch: the batch's digest is
- * stored (again lazily) into the checksum table, exactly the Figure 8
- * region-commit idiom. Dirty journal and digest lines drain to NVMM
- * by natural cache evictions. Every foldBatches committed batches the
- * shard FOLDS: journal and digests are pinned with flushes + one
- * fence, the coalesced last-op-per-key effects are applied to the
- * table with Eager Persistency, and the shard's durable watermark
- * (ShardMeta::foldedEpoch) advances. The fold is the Section VI-A
- * periodic flush: it bounds journal space and recovery replay length.
+ *  - layout.hh     -- persistent structures + the shared SlotTable
+ *  - journal.hh    -- per-shard batch journal (append/seal/replay)
+ *  - backend_*.hh  -- the three persistency policies (Lazy
+ *                     Persistency, eager per-op, WAL) behind the
+ *                     PersistencyBackend interface of backend.hh
+ *  - engine/commit_pipeline.hh -- per-shard epoch/batch/fold
+ *                     scheduling, shared with lp::server
  *
- * Why a journal at all? In-place lazy mutation of live table slots is
- * unsound: a plain store from an UNCOMMITTED batch may drain over the
- * only copy of committed data, and recovery -- which discards the
- * failed batch -- would have nothing to restore the slot from. Lazy
- * Persistency therefore only ever lazily writes APPEND-ONLY bytes
- * (journal records, digest slots) whose corruption is detected by the
- * checksum and repaired by replay; the table itself is written solely
- * inside eager phases (fold, recovery, and the two eager baselines),
- * so a committed table byte can never be clobbered by an uncommitted
- * lazy store.
+ * Keys are partitioned across shards; each shard owns its own epoch
+ * sequence (a CommitPipeline) and whatever persistent structures its
+ * backend needs. All shards share one open-addressing persistent
+ * table. The KvStore routes, enforces the single-writer-per-shard
+ * contract, and delegates durability entirely to the backend; the
+ * full persistency story lives in backend_lp.hh and
+ * docs/engine_design.md.
  *
- * Recovery (LP). Per shard, read the durable foldedEpoch W and walk
- * the journal from offset 0 expecting epochs W+1, W+2, ...: check the
- * header tag, recompute the digest over the records that actually
- * reached NVMM, and compare against the checksum table. Accepted
- * batches are replayed into the table with Eager Persistency
- * (Section III-E: recovery uses EP so it always makes forward
- * progress); the walk stops at the first batch that fails validation
- * -- journal appends are sequential, so durability is prefix-shaped
- * and later batches cannot have committed either. Replay is
- * idempotent and convergent even across crashes *during* fold or
- * recovery because (a) table writers only apply committed ops, (b)
- * deletes tombstone rather than empty slots, and (c) the insert probe
- * scans the whole chain up to the first never-used slot before
- * reusing a tombstone, so a half-drained earlier apply of the same
- * key is always found and reused, never duplicated.
- *
- * Baselines. EagerPerOp persists every mutation in place
- * (clflushopt + sfence per op, the PMEM idiom); Wal groups the same
- * batches into undo-logged durable transactions (Figure 2) over the
- * table, planning probe targets on a scratch view first so the log
- * holds exact pre-images. All three backends run the same probe and
- * layout code and are templated over Env: the identical source
- * instantiates against SimEnv (measured) and NativeEnv (native).
+ * All backends run the same probe and layout code and are templated
+ * over Env: the identical source instantiates against SimEnv
+ * (measured) and NativeEnv (native).
  *
  * Concurrency: single writer per shard. A KvStore instance and every
- * shard inside it are single-threaded: all calls on one instance must
- * come from the thread that owns it (see the contract block in
+ * shard inside it are single-threaded: all calls on one instance
+ * must come from the thread that owns it (see the contract block in
  * src/kernels/env.hh). A concurrent service shards at the process
  * level instead -- one single-shard KvStore per worker thread over
- * its own arena, as lp::server does -- so no two threads ever touch
- * the same table, journal, or checksum slot. Debug builds assert the
+ * its own arena, as lp::server does. Debug builds assert the
  * owning-thread contract on every shard access; recover() rebinds
  * ownership to the recovering thread.
  */
@@ -70,50 +38,20 @@
 #ifndef LP_STORE_KV_STORE_HH
 #define LP_STORE_KV_STORE_HH
 
-#include <algorithm>
-#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <thread>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "base/logging.hh"
-#include "ep/pmem_ops.hh"
-#include "ep/wal.hh"
-#include "lp/checksum.hh"
-#include "lp/keyed_table.hh"
+#include "engine/commit_pipeline.hh"
 #include "pmem/arena.hh"
-#include "store/layout.hh"
+#include "store/backends.hh"
 
 namespace lp::store
 {
-
-/** What recover() found and repaired. */
-struct RecoveryReport
-{
-    /** Committed-but-unfolded batches replayed into the table. */
-    std::uint64_t batchesReplayed = 0;
-
-    /** Journal records replayed (with Eager Persistency). */
-    std::uint64_t entriesReplayed = 0;
-
-    /**
-     * Batches whose header reached NVMM but whose body or digest
-     * failed validation -- the torn/incomplete work LP detects and
-     * discards.
-     */
-    std::uint64_t batchesDiscarded = 0;
-
-    /** WAL backend: true iff an armed transaction was rolled back. */
-    bool walUndone = false;
-
-    /** Per shard: the epoch watermark after recovery. */
-    std::vector<std::uint64_t> committedEpochs;
-};
 
 /**
  * The persistent KV store. One instance owns its arena allocations;
@@ -124,7 +62,7 @@ template <typename Env>
 class KvStore
 {
   public:
-    static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
+    static constexpr std::size_t npos = SlotTable<Env>::npos;
 
     /**
      * Construct over @p arena. With @p attach false (the default) all
@@ -139,73 +77,63 @@ class KvStore
      */
     KvStore(pmem::PersistentArena &arena, const StoreConfig &cfg,
             Backend backend, bool attach = false)
-        : arena_(&arena), cfg_(cfg), backend_(backend)
+        : cfg_(cfg), backendKind_(backend),
+          table_(arena, cfg.capacity, attach)
     {
         LP_ASSERT(cfg.shards >= 1, "need at least one shard");
-        LP_ASSERT(cfg.batchOps >= 1, "need at least one op per batch");
-        LP_ASSERT(cfg.foldBatches >= 1, "need at least one batch per fold");
-        slots_ = std::bit_ceil(
-            cfg.capacity * 2 < 64 ? std::size_t{64} : cfg.capacity * 2);
-        table_ = arena.alloc<KvSlot>(slots_);
-        if (!attach) {
-            for (std::size_t i = 0; i < slots_; ++i) {
-                table_[i].key = slotEmptyKey;
-                table_[i].value = 0;
-            }
-        }
-        // Epoch keys wrap modulo epochWindow_ so the checksum table's
-        // occupancy stays bounded; the window is 4x the fold period,
-        // far wider than the <= foldBatches+2 epochs ever live at
-        // once, so no two live epochs share a slot.
-        epochWindow_ = std::bit_ceil(4ull * cfg.foldBatches);
-        jcap_ = std::size_t(cfg.foldBatches + 2) * (cfg.batchOps + 1);
-        if (backend == Backend::Lp) {
-            cktable_ = std::make_unique<core::KeyedChecksumTable>(
-                arena, std::size_t(cfg.shards) * epochWindow_ * 2,
-                attach);
-        }
-        shards_.reserve(cfg.shards);
-        for (int i = 0; i < cfg.shards; ++i) {
-            Shard sh;
-            sh.index = i;
-            sh.meta = arena.alloc<ShardMeta>(1);
-            if (!attach)
-                sh.meta->foldedEpoch = 0;
-            sh.acc = core::ChecksumAcc(cfg.checksum);
-            if (backend == Backend::Lp)
-                sh.journal = arena.alloc<JEntry>(jcap_);
-            if (backend == Backend::Wal) {
-                sh.wal = std::make_unique<ep::WalArea>(
-                    arena, 2 * std::size_t(cfg.batchOps) + 2, attach);
-            }
-            shards_.push_back(std::move(sh));
-        }
+        LP_ASSERT(cfg.batchOps >= 1,
+                  "need at least one op per batch");
+        LP_ASSERT(cfg.foldBatches >= 1,
+                  "need at least one batch per fold");
+        pipelines_.reserve(std::size_t(cfg.shards));
+        for (int i = 0; i < cfg.shards; ++i)
+            pipelines_.emplace_back(commitPolicyFor(backend, cfg));
+        owners_.resize(std::size_t(cfg.shards));
+        const StoreContext<Env> ctx{&arena, &cfg_, &table_,
+                                    &pipelines_};
+        backend_ = makeBackend<Env>(backend, ctx, attach);
     }
 
-    Backend backend() const { return backend_; }
+    KvStore(const KvStore &) = delete;
+    KvStore &operator=(const KvStore &) = delete;
+
+    Backend backend() const { return backendKind_; }
     const StoreConfig &config() const { return cfg_; }
-    std::size_t tableSlots() const { return slots_; }
+    std::size_t tableSlots() const { return table_.slotCount(); }
     int shardOf(std::uint64_t key) const { return shardIndex(key); }
+
+    /** One shard's commit scheduling state (and stat counters). */
+    engine::CommitPipeline &
+    pipeline(int shard)
+    {
+        return pipelines_[std::size_t(shard)];
+    }
+
+    const engine::CommitPipeline &
+    pipeline(int shard) const
+    {
+        return pipelines_[std::size_t(shard)];
+    }
 
     /** Durable (shadow) epoch watermark of one shard. */
     std::uint64_t
     durableEpoch(int shard) const
     {
-        return arena_->peekDurable(&shards_[shard].meta->foldedEpoch);
+        return backend_->durableEpoch(shard);
     }
 
     /** Volatile epoch watermark (last committed batch) of one shard. */
     std::uint64_t
     committedEpoch(int shard) const
     {
-        return shards_[shard].lastCommitted;
+        return pipelines_[std::size_t(shard)].lastCommitted();
     }
 
     /**
      * Insert or update @p key. Returns the epoch (batch) the op
      * landed in, which drivers use to tag ops for committed-replay
-     * verification; the eager backend returns a per-shard op
-     * sequence number instead.
+     * verification; under the eager backend every op is its own
+     * epoch, so this doubles as a per-shard op sequence number.
      */
     std::uint64_t
     put(Env &env, std::uint64_t key, std::uint64_t value)
@@ -225,45 +153,30 @@ class KvStore
     get(Env &env, std::uint64_t key)
     {
         LP_ASSERT(key <= maxUserKey, "key in reserved sentinel range");
-        if (backend_ != Backend::EagerPerOp) {
-            // Batched backends keep unfolded/unapplied ops out of the
-            // table; the per-shard delta map provides
-            // read-your-writes over them.
-            Shard &sh = shards_[shardIndex(key)];
-            checkShardOwner(sh);
-            auto it = sh.delta.find(key);
-            if (it != sh.delta.end()) {
-                env.tick(4);
-                if (!it->second.isPut)
-                    return std::nullopt;
-                return it->second.value;
-            }
+        const int sh = shardIndex(key);
+        checkShardOwner(sh);
+        // Batched backends keep unfolded/unapplied ops out of the
+        // table; the staged lookup provides read-your-writes over
+        // them (and is a free no-op for the eager backend).
+        if (const auto d = backend_->staged(env, sh, key)) {
+            if (!d->isPut)
+                return std::nullopt;
+            return d->value;
         }
-        const std::size_t i = probeFind(env, key);
+        const std::size_t i = table_.probeFind(env, key);
         if (i == npos)
             return std::nullopt;
-        return env.ld(&table_[i].value);
+        return env.ld(&table_.slot(i).value);
     }
 
     /** Close and commit every shard's open batch (partial batches). */
     void
     commitBatches(Env &env)
     {
-        for (Shard &sh : shards_) {
-            switch (backend_) {
-              case Backend::Lp:
-                if (sh.batchStart != npos) {
-                    commitLpBatch(env, sh);
-                    if (sh.committedSinceFold >= cfg_.foldBatches)
-                        foldShard(env, sh);
-                }
-                break;
-              case Backend::Wal:
-                commitWalBatch(env, sh);
-                break;
-              case Backend::EagerPerOp:
-                break;
-            }
+        for (int s = 0; s < cfg_.shards; ++s) {
+            backend_->commitEpoch(env, s);
+            if (pipelines_[std::size_t(s)].foldDue())
+                backend_->fold(env, s);
         }
     }
 
@@ -276,9 +189,8 @@ class KvStore
     checkpoint(Env &env)
     {
         commitBatches(env);
-        if (backend_ == Backend::Lp)
-            for (Shard &sh : shards_)
-                foldShard(env, sh);
+        for (int s = 0; s < cfg_.shards; ++s)
+            backend_->fold(env, s);
     }
 
     /**
@@ -292,24 +204,28 @@ class KvStore
     recover(Env &env)
     {
         RecoveryReport rep;
-        rep.committedEpochs.assign(shards_.size(), 0);
-        for (Shard &sh : shards_) {
-            switch (backend_) {
-              case Backend::Lp:
-                recoverLpShard(env, sh, rep);
-                break;
-              case Backend::Wal:
-                recoverWalShard(env, sh, rep);
-                break;
-              case Backend::EagerPerOp:
-                // Every op was persisted in place; the table is
-                // already consistent.
-                resetShardVolatile(sh, 0);
-                break;
-            }
+        rep.committedEpochs.assign(std::size_t(cfg_.shards), 0);
+        for (int s = 0; s < cfg_.shards; ++s) {
+            rebindShardOwner(s);
+            backend_->recover(env, s, rep);
         }
-        tableUsed_ = scanUsed();
+        table_.resyncUsed();
         return rep;
+    }
+
+    /**
+     * Audit the backend's durability invariants (committed LP digests
+     * still validate, no armed WAL transaction). A test/debug aid: it
+     * reads through the Env, so it perturbs simulated caches like any
+     * other access; do not call inside a measured phase.
+     */
+    bool
+    verify(Env &env)
+    {
+        for (int s = 0; s < cfg_.shards; ++s)
+            if (!backend_->verify(env, s))
+                return false;
+        return true;
     }
 
     /**
@@ -320,17 +236,13 @@ class KvStore
     snapshot() const
     {
         std::map<std::uint64_t, std::uint64_t> out;
-        for (std::size_t i = 0; i < slots_; ++i)
-            if (table_[i].key <= maxUserKey)
-                out[table_[i].key] = table_[i].value;
-        for (const Shard &sh : shards_) {
-            for (const auto &[k, dv] : sh.delta) {
-                if (dv.isPut)
-                    out[k] = dv.value;
-                else
-                    out.erase(k);
-            }
+        for (std::size_t i = 0; i < table_.slotCount(); ++i) {
+            const KvSlot &s = table_.slot(i);
+            if (s.key <= maxUserKey)
+                out[s.key] = s.value;
         }
+        for (int s = 0; s < cfg_.shards; ++s)
+            backend_->mergeStaged(s, out);
         return out;
     }
 
@@ -338,56 +250,11 @@ class KvStore
     std::size_t liveKeys() const { return snapshot().size(); }
 
   private:
-    struct DeltaVal
+    int
+    shardIndex(std::uint64_t key) const
     {
-        bool isPut;
-        std::uint64_t value;
-    };
-
-    struct PendingOp
-    {
-        JOp op;
-        std::uint64_t key;
-        std::uint64_t value;
-    };
-
-    struct Shard
-    {
-        int index = 0;
-        ShardMeta *meta = nullptr;
-        JEntry *journal = nullptr;            // LP only
-        std::unique_ptr<ep::WalArea> wal;     // WAL only
-
-        std::size_t tail = 0;                 // journal append cursor
-        std::size_t batchStart = npos;        // header index, npos if closed
-        int batchCount = 0;                   // ops in the open batch
-        std::uint64_t epoch = 0;              // open batch's epoch
-        std::uint64_t nextEpoch = 1;
-        std::uint64_t lastCommitted = 0;
-        std::uint64_t foldedEpoch = 0;        // volatile copy of meta
-        std::uint64_t opSeq = 0;              // eager pseudo-epoch
-        int committedSinceFold = 0;
-        core::ChecksumAcc acc;
-
-        /** Coalesced last op per key since the last fold/commit. */
-        std::unordered_map<std::uint64_t, DeltaVal> delta;
-        std::vector<PendingOp> walPending;    // WAL: this batch's ops
-
-#ifndef NDEBUG
-        /**
-         * Single-writer-per-shard contract (debug): the first thread
-         * to touch the shard owns it; any other thread panics.
-         * recover() rebinds ownership to the recovering thread.
-         */
-        std::thread::id owner{};
-#endif
-    };
-
-    struct ApplyResult
-    {
-        KvSlot *slot;       // touched slot, nullptr for a del miss
-        bool claimedEmpty;  // op turned a never-used slot live
-    };
+        return shardOfKey(key, cfg_.shards);
+    }
 
     /**
      * Enforce (debug builds) the single-writer-per-shard contract
@@ -398,544 +265,49 @@ class KvStore
      * on the worker's first operation.
      */
     void
-    checkShardOwner(Shard &sh)
+    checkShardOwner(int shard)
     {
 #ifndef NDEBUG
         const std::thread::id self = std::this_thread::get_id();
-        if (sh.owner == std::thread::id{})
-            sh.owner = self;
-        LP_ASSERT(sh.owner == self,
+        std::thread::id &owner = owners_[std::size_t(shard)];
+        if (owner == std::thread::id{})
+            owner = self;
+        LP_ASSERT(owner == self,
                   "lp::store single-writer-per-shard contract violated:"
-                  " shard " + std::to_string(sh.index) +
+                  " shard " + std::to_string(shard) +
                   " accessed by a second thread (see the concurrency "
                   "contract in src/kernels/env.hh)");
 #else
-        (void)sh;
+        (void)shard;
 #endif
     }
 
-    int
-    shardIndex(std::uint64_t key) const
-    {
-        // Mix before reducing so dense keys spread; a different mixer
-        // than bucketOf() so shard choice and bucket are independent.
-        std::uint64_t h = key;
-        h ^= h >> 33;
-        h *= 0xff51afd7ed558ccdull;
-        h ^= h >> 33;
-        return static_cast<int>(h % std::uint64_t(cfg_.shards));
-    }
-
-    std::size_t
-    bucketOf(std::uint64_t key) const
-    {
-        return static_cast<std::size_t>(
-                   (key * 0x9e3779b97f4a7c15ull) >> 32) &
-               (slots_ - 1);
-    }
-
-    std::uint64_t
-    checksumKeyOf(int shard, std::uint64_t epoch) const
-    {
-        return (std::uint64_t(shard + 1) << 40) |
-               (epoch & (epochWindow_ - 1));
-    }
-
-    /** Slot holding @p key, or npos. Probes stop at never-used slots. */
-    std::size_t
-    probeFind(Env &env, std::uint64_t key)
-    {
-        std::size_t i = bucketOf(key);
-        for (std::size_t probes = 0; probes < slots_; ++probes) {
-            const std::uint64_t k = env.ld(&table_[i].key);
-            if (k == key)
-                return i;
-            if (k == slotEmptyKey)
-                return npos;
-            i = (i + 1) & (slots_ - 1);
-        }
-        return npos;
-    }
-
-    /**
-     * Slot to write @p key into. Scans the WHOLE chain up to the
-     * first never-used slot before reusing a tombstone: recovery
-     * replay depends on an existing (possibly half-drained) copy of
-     * the key always being found and reused, so a key can never
-     * occupy two slots.
-     */
-    std::size_t
-    probeForInsert(Env &env, std::uint64_t key)
-    {
-        std::size_t i = bucketOf(key);
-        std::size_t firstTomb = npos;
-        for (std::size_t probes = 0; probes < slots_; ++probes) {
-            const std::uint64_t k = env.ld(&table_[i].key);
-            if (k == key)
-                return i;
-            if (k == slotEmptyKey)
-                return firstTomb != npos ? firstTomb : i;
-            if (k == slotTombstoneKey && firstTomb == npos)
-                firstTomb = i;
-            i = (i + 1) & (slots_ - 1);
-        }
-        if (firstTomb != npos)
-            return firstTomb;
-        fatal("lp::store table has no free slot; raise "
-              "StoreConfig::capacity");
-    }
-
-    /**
-     * Resolve one op against the table, emitting its writes through
-     * @p write (the normal path passes env.st; the WAL plan phase
-     * passes a recording writer). A put stores value before key so a
-     * torn insert is invisible (slots never straddle blocks).
-     */
-    template <typename Writer>
-    ApplyResult
-    applyOpWith(Env &env, JOp op, std::uint64_t key, std::uint64_t value,
-                Writer &&write)
-    {
-        if (op == JOp::Put) {
-            const std::size_t i = probeForInsert(env, key);
-            KvSlot &s = table_[i];
-            const std::uint64_t cur = env.ld(&s.key);
-            const bool claimedEmpty = cur == slotEmptyKey;
-            write(&s.value, value);
-            if (cur != key)
-                write(&s.key, key);
-            return {&s, claimedEmpty};
-        }
-        const std::size_t i = probeFind(env, key);
-        if (i == npos)
-            return {nullptr, false};
-        write(&table_[i].key, slotTombstoneKey);
-        return {&table_[i], false};
-    }
-
-    /** applyOpWith through env.st, maintaining the occupancy guard. */
-    KvSlot *
-    applyOp(Env &env, JOp op, std::uint64_t key, std::uint64_t value)
-    {
-        const ApplyResult r = applyOpWith(
-            env, op, key, value,
-            [&env](std::uint64_t *p, std::uint64_t v) { env.st(p, v); });
-        if (r.claimedEmpty)
-            noteClaim();
-        return r.slot;
-    }
-
-    std::size_t
-    scanUsed() const
-    {
-        std::size_t n = 0;
-        for (std::size_t i = 0; i < slots_; ++i)
-            if (table_[i].key != slotEmptyKey)
-                ++n;
-        return n;
-    }
-
-    /**
-     * Occupancy guard, mirroring KeyedChecksumTable's: tombstones and
-     * live keys both lengthen probe chains, so refuse past 7/8 with a
-     * sizing hint rather than degrade toward full-table probes. The
-     * counter can drift across crash restores; resync before refusing.
-     */
+    /** Recovery hands the shard to whichever thread recovered it. */
     void
-    noteClaim()
+    rebindShardOwner(int shard)
     {
-        const std::size_t limit =
-            slots_ * core::KeyedChecksumTable::maxLoadNum /
-            core::KeyedChecksumTable::maxLoadDen;
-        if (++tableUsed_ > limit) {
-            tableUsed_ = scanUsed();
-            if (tableUsed_ > limit) {
-                fatal("lp::store table over load-factor limit: " +
-                      std::to_string(tableUsed_) + "/" +
-                      std::to_string(slots_) +
-                      " slots used (max 7/8); raise "
-                      "StoreConfig::capacity");
-            }
-        }
+#ifndef NDEBUG
+        owners_[std::size_t(shard)] = std::this_thread::get_id();
+#else
+        (void)shard;
+#endif
     }
 
     std::uint64_t
     mutate(Env &env, JOp op, std::uint64_t key, std::uint64_t value)
     {
         LP_ASSERT(key <= maxUserKey, "key in reserved sentinel range");
-        switch (backend_) {
-          case Backend::Lp:
-            return lpAppend(env, op, key, value);
-          case Backend::EagerPerOp:
-            return eagerApply(env, op, key, value);
-          case Backend::Wal:
-          default:
-            return walAppend(env, op, key, value);
-        }
-    }
-
-    /// @name Lazy Persistency backend
-    /// @{
-
-    std::uint64_t
-    lpAppend(Env &env, JOp op, std::uint64_t key, std::uint64_t value)
-    {
-        Shard &sh = shards_[shardIndex(key)];
+        const int sh = shardIndex(key);
         checkShardOwner(sh);
-        if (sh.batchStart == npos)
-            openBatch(env, sh);
-        const std::uint64_t epoch = sh.epoch;
-        JEntry &e = sh.journal[sh.tail];
-        const std::uint64_t tag = JEntry::makeTag(op, epoch);
-        env.st(&e.tag, tag);
-        env.st(&e.key, key);
-        env.st(&e.value, value);
-        sh.acc.addWord(tag);
-        sh.acc.addWord(key);
-        sh.acc.addWord(value);
-        env.tick(3 * core::ChecksumAcc::updateCost(cfg_.checksum));
-        ++sh.tail;
-        ++sh.batchCount;
-        sh.delta[key] = DeltaVal{op == JOp::Put, value};
-        if (sh.batchCount >= cfg_.batchOps) {
-            commitLpBatch(env, sh);
-            if (sh.committedSinceFold >= cfg_.foldBatches)
-                foldShard(env, sh);
-        }
-        return epoch;
+        return backend_->stage(env, sh, op, key, value);
     }
 
-    void
-    openBatch(Env &env, Shard &sh)
-    {
-        if (sh.tail + std::size_t(cfg_.batchOps) + 1 > jcap_)
-            foldShard(env, sh);
-        sh.epoch = sh.nextEpoch;
-        sh.batchStart = sh.tail++;
-        JEntry &h = sh.journal[sh.batchStart];
-        env.st(&h.tag, JEntry::makeTag(JOp::Header, sh.epoch));
-        env.st(&h.key, std::uint64_t{0});  // op count, filled at commit
-        env.st(&h.value, sh.epoch);
-        sh.acc.reset();
-        sh.batchCount = 0;
-        env.tick(4);
-    }
-
-    /**
-     * Close the open batch: finalize the header, fold the header into
-     * the digest, and store the digest into the checksum table -- all
-     * with plain stores (the Figure 8 commit). No flush, no fence.
-     */
-    void
-    commitLpBatch(Env &env, Shard &sh)
-    {
-        LP_ASSERT(sh.batchStart != npos, "no open batch");
-        JEntry &h = sh.journal[sh.batchStart];
-        env.st(&h.key, std::uint64_t(sh.batchCount));
-        sh.acc.addWord(JEntry::makeTag(JOp::Header, sh.epoch));
-        sh.acc.addWord(std::uint64_t(sh.batchCount));
-        env.tick(2 * core::ChecksumAcc::updateCost(cfg_.checksum));
-        const std::uint64_t ckey = checksumKeyOf(sh.index, sh.epoch);
-        const std::size_t s = cktable_->claimSlot(ckey);
-        env.st(cktable_->keyPtr(s), ckey);
-        env.st(cktable_->digestPtr(s), sh.acc.value());
-        sh.lastCommitted = sh.epoch;
-        sh.nextEpoch = sh.epoch + 1;
-        sh.batchStart = npos;
-        sh.batchCount = 0;
-        ++sh.committedSinceFold;
-        env.onRegionCommit();
-    }
-
-    /** Host cache-block index of @p p (arena allocs are 64B-aligned). */
-    static std::uintptr_t
-    blockIndexOf(const void *p)
-    {
-        return reinterpret_cast<std::uintptr_t>(p) / blockBytes;
-    }
-
-    /**
-     * Flush every distinct cache block in @p blocks once (no fence)
-     * and clear the vector. Fold and replay touch many words that
-     * share blocks (4 table slots or checksum slots per block);
-     * interleaving store and flush per word re-dirties a block right
-     * after flushing it and pays a second NVMM write for the same
-     * line. Batching all of a phase's stores before one deduplicated
-     * flush pass is equally crash-safe -- the phase's trailing sfence
-     * is the only ordering point -- and strictly write-cheaper.
-     */
-    void
-    flushBlocksOnce(Env &env, std::vector<std::uintptr_t> &blocks)
-    {
-        std::sort(blocks.begin(), blocks.end());
-        blocks.erase(std::unique(blocks.begin(), blocks.end()),
-                     blocks.end());
-        for (const std::uintptr_t b : blocks)
-            env.clflushopt(reinterpret_cast<const void *>(
-                b * blockBytes));
-        blocks.clear();
-    }
-
-    /**
-     * Eager checkpoint of one shard (Section VI-A periodic flush):
-     * (a) pin the journal and this window's digests in NVMM, so
-     *     every batch the fold applies is one recovery would accept;
-     * (b) apply the coalesced last op per key to the table with
-     *     Eager Persistency -- one table write per DISTINCT key in
-     *     the window, which is where LP's write savings over per-op
-     *     flushing comes from on skewed workloads. All of the window's
-     *     table stores execute first, then each distinct dirty block
-     *     is flushed once (see flushBlocksOnce);
-     * (c) advance the durable watermark.
-     * A crash anywhere in between leaves a state recover() handles:
-     * before (c) the watermark is old and every applied batch is
-     * durably committed, so replay just re-applies them.
-     */
-    void
-    foldShard(Env &env, Shard &sh)
-    {
-        LP_ASSERT(sh.batchStart == npos, "fold with an open batch");
-        if (sh.tail == 0)
-            return;
-        ep::flushRange(env, sh.journal, sh.tail * sizeof(JEntry));
-        std::vector<std::uintptr_t> blocks;
-        for (std::uint64_t e = sh.foldedEpoch + 1; e <= sh.lastCommitted;
-             ++e) {
-            const std::size_t s =
-                cktable_->findSlot(checksumKeyOf(sh.index, e));
-            LP_ASSERT(s != core::KeyedChecksumTable::npos,
-                      "committed digest missing");
-            blocks.push_back(blockIndexOf(cktable_->keyPtr(s)));
-        }
-        flushBlocksOnce(env, blocks);
-        env.sfence();
-        for (const auto &[key, dv] : sh.delta) {
-            KvSlot *slot = applyOp(env, dv.isPut ? JOp::Put : JOp::Del,
-                                   key, dv.value);
-            if (slot)
-                blocks.push_back(blockIndexOf(slot));
-        }
-        flushBlocksOnce(env, blocks);
-        env.sfence();
-        env.st(&sh.meta->foldedEpoch, sh.lastCommitted);
-        env.clflushopt(sh.meta);
-        env.sfence();
-        sh.foldedEpoch = sh.lastCommitted;
-        sh.tail = 0;
-        sh.committedSinceFold = 0;
-        sh.delta.clear();
-    }
-
-    void
-    recoverLpShard(Env &env, Shard &sh, RecoveryReport &rep)
-    {
-        const std::uint64_t base = env.ld(&sh.meta->foldedEpoch);
-        const std::uint64_t cost =
-            core::ChecksumAcc::updateCost(cfg_.checksum);
-        std::uint64_t e = base + 1;
-        std::size_t pos = 0;
-        while (pos < jcap_) {
-            JEntry &h = sh.journal[pos];
-            if (env.ld(&h.tag) != JEntry::makeTag(JOp::Header, e))
-                break;
-            const std::uint64_t count = env.ld(&h.key);
-            if (count > std::uint64_t(cfg_.batchOps) ||
-                pos + 1 + count > jcap_) {
-                ++rep.batchesDiscarded;
-                break;
-            }
-            core::ChecksumAcc acc(cfg_.checksum);
-            bool shapeOk = true;
-            for (std::uint64_t i = 1; i <= count; ++i) {
-                JEntry &je = sh.journal[pos + i];
-                const std::uint64_t t = env.ld(&je.tag);
-                acc.addWord(t);
-                acc.addWord(env.ld(&je.key));
-                acc.addWord(env.ld(&je.value));
-                env.tick(3 * cost);
-                if (t != JEntry::makeTag(JOp::Put, e) &&
-                    t != JEntry::makeTag(JOp::Del, e))
-                    shapeOk = false;
-            }
-            acc.addWord(JEntry::makeTag(JOp::Header, e));
-            acc.addWord(count);
-            env.tick(2 * cost);
-            if (!shapeOk ||
-                !cktable_->matches(checksumKeyOf(sh.index, e),
-                                   acc.value())) {
-                ++rep.batchesDiscarded;
-                break;
-            }
-            // Committed: repair with Eager Persistency (Section III-E)
-            // so recovery always makes forward progress. Like the
-            // fold, stores first, then one flush per distinct block.
-            std::vector<std::uintptr_t> blocks;
-            for (std::uint64_t i = 1; i <= count; ++i) {
-                JEntry &je = sh.journal[pos + i];
-                KvSlot *slot = applyOp(env, je.op(), env.ld(&je.key),
-                                       env.ld(&je.value));
-                if (slot)
-                    blocks.push_back(blockIndexOf(slot));
-                ++rep.entriesReplayed;
-            }
-            flushBlocksOnce(env, blocks);
-            env.sfence();
-            ++rep.batchesReplayed;
-            pos += 1 + count;
-            ++e;
-        }
-        const std::uint64_t committed = e - 1;
-        if (committed != base) {
-            env.st(&sh.meta->foldedEpoch, committed);
-            env.clflushopt(sh.meta);
-            env.sfence();
-        }
-        resetShardVolatile(sh, committed);
-        rep.committedEpochs[sh.index] = committed;
-    }
-    /// @}
-
-    /// @name Eager per-op backend
-    /// @{
-
-    std::uint64_t
-    eagerApply(Env &env, JOp op, std::uint64_t key, std::uint64_t value)
-    {
-        Shard &sh = shards_[shardIndex(key)];
-        checkShardOwner(sh);
-        KvSlot *slot = applyOp(env, op, key, value);
-        if (slot) {
-            env.clflushopt(slot);
-            env.sfence();
-        }
-        env.onRegionCommit();
-        return ++sh.opSeq;
-    }
-    /// @}
-
-    /// @name WAL backend
-    /// @{
-
-    std::uint64_t
-    walAppend(Env &env, JOp op, std::uint64_t key, std::uint64_t value)
-    {
-        Shard &sh = shards_[shardIndex(key)];
-        checkShardOwner(sh);
-        if (sh.walPending.empty())
-            sh.epoch = sh.nextEpoch;
-        sh.walPending.push_back(PendingOp{op, key, value});
-        sh.delta[key] = DeltaVal{op == JOp::Put, value};
-        env.tick(4);
-        const std::uint64_t epoch = sh.epoch;
-        if (int(sh.walPending.size()) >= cfg_.batchOps)
-            commitWalBatch(env, sh);
-        return epoch;
-    }
-
-    /**
-     * Commit one batch as an undo-logged durable transaction. Probe
-     * targets depend on earlier ops in the same batch, so the batch
-     * is first PLANNED: each op is resolved against a scratch view of
-     * the table (raw host writes, recording pre- and post-images),
-     * then the scratch writes are reverted and the real mutation runs
-     * under a WalTx. The shard's durable epoch watermark joins the
-     * transaction, making "which batches committed" exact for
-     * recovery verification.
-     */
-    void
-    commitWalBatch(Env &env, Shard &sh)
-    {
-        if (sh.walPending.empty())
-            return;
-        struct PlanWrite
-        {
-            std::uint64_t *ptr;
-            std::uint64_t old;
-            std::uint64_t neu;
-        };
-        std::vector<PlanWrite> plan;
-        std::size_t claims = 0;
-        auto planStore = [&plan](std::uint64_t *p, std::uint64_t v) {
-            plan.push_back(PlanWrite{p, *p, v});
-            *p = v;
-        };
-        for (const PendingOp &op : sh.walPending) {
-            const ApplyResult r =
-                applyOpWith(env, op.op, op.key, op.value, planStore);
-            if (r.claimedEmpty)
-                ++claims;
-        }
-        planStore(&sh.meta->foldedEpoch, sh.epoch);
-        for (auto it = plan.rbegin(); it != plan.rend(); ++it)
-            *(it->ptr) = it->old;
-
-        ep::WalTx<Env> tx(env, *sh.wal);
-        // Log only the first pre-image of each word: applyUndo()
-        // replays the log forward, so a later duplicate would win and
-        // restore an intra-batch intermediate value.
-        std::unordered_set<std::uint64_t *> logged;
-        for (const PlanWrite &w : plan)
-            if (logged.insert(w.ptr).second)
-                tx.logKnown(w.ptr, w.old);
-        tx.seal();
-        for (const PlanWrite &w : plan)
-            env.st(w.ptr, w.neu);
-        tx.commit();
-
-        for (std::size_t c = 0; c < claims; ++c)
-            noteClaim();
-        sh.lastCommitted = sh.epoch;
-        sh.foldedEpoch = sh.epoch;
-        sh.nextEpoch = sh.epoch + 1;
-        sh.walPending.clear();
-        sh.delta.clear();
-        env.onRegionCommit();
-    }
-
-    void
-    recoverWalShard(Env &env, Shard &sh, RecoveryReport &rep)
-    {
-        if (ep::applyUndo(env, *sh.wal)) {
-            rep.walUndone = true;
-            ++rep.batchesDiscarded;
-        }
-        const std::uint64_t committed = env.ld(&sh.meta->foldedEpoch);
-        resetShardVolatile(sh, committed);
-        rep.committedEpochs[sh.index] = committed;
-    }
-    /// @}
-
-    void
-    resetShardVolatile(Shard &sh, std::uint64_t committed)
-    {
-#ifndef NDEBUG
-        // Recovery hands the shard to whichever thread recovered it.
-        sh.owner = std::this_thread::get_id();
-#endif
-        sh.tail = 0;
-        sh.batchStart = npos;
-        sh.batchCount = 0;
-        sh.epoch = committed;
-        sh.nextEpoch = committed + 1;
-        sh.lastCommitted = committed;
-        sh.foldedEpoch = committed;
-        sh.committedSinceFold = 0;
-        sh.acc.reset();
-        sh.delta.clear();
-        sh.walPending.clear();
-    }
-
-    pmem::PersistentArena *arena_;
     StoreConfig cfg_;
-    Backend backend_;
-
-    KvSlot *table_ = nullptr;
-    std::size_t slots_ = 0;
-    std::size_t tableUsed_ = 0;
-    std::uint64_t epochWindow_ = 0;
-    std::size_t jcap_ = 0;
-    std::unique_ptr<core::KeyedChecksumTable> cktable_;
-    std::vector<Shard> shards_;
+    Backend backendKind_;
+    SlotTable<Env> table_;
+    std::vector<engine::CommitPipeline> pipelines_;
+    std::unique_ptr<PersistencyBackend<Env>> backend_;
+    std::vector<std::thread::id> owners_;  // debug owner binding
 };
 
 } // namespace lp::store

@@ -1,35 +1,37 @@
 /**
  * @file
- * Persistent layout and configuration of the `lp::store` key-value
- * store.
+ * Persistent layout, configuration, and slot-table logic of the
+ * `lp::store` key-value store.
  *
  * The store is an open-addressing persistent hash map (16-byte
  * slots: key + value, linear probing with tombstones) fronted, per
- * shard, by a persistent batch journal. How those two structures are
- * made durable is the backend's choice (see kv_store.hh): the Lazy
- * Persistency backend lets journal lines drain by natural eviction
- * and folds them into the table at periodic eager checkpoints; the
- * eager backend persists every mutation in place; the WAL backend
- * wraps each batch in an undo-logged durable transaction.
+ * shard, by a persistent batch journal (journal.hh). How those two
+ * structures are made durable is the backend's choice (backend.hh):
+ * the Lazy Persistency backend lets journal lines drain by natural
+ * eviction and folds them into the table at periodic eager
+ * checkpoints; the eager backend persists every mutation in place;
+ * the WAL backend wraps each batch in an undo-logged durable
+ * transaction.
  *
  * Table slots are 16B (4 per 64B block) so a slot never spans a
  * cache block; the simulated NVMM persists whole blocks atomically,
  * so one slot is either entirely old or entirely new in the durable
- * image. Journal entries are packed at 24B for write density and MAY
- * straddle blocks: a torn (half-persisted) entry is precisely what
- * the per-batch checksum detects, so density costs nothing in
- * safety. Shard metadata owns a full block so its eager updates
+ * image. Shard metadata owns a full block so its eager updates
  * never share a line with lazily-drained data.
  */
 
 #ifndef LP_STORE_LAYOUT_HH
 #define LP_STORE_LAYOUT_HH
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "base/logging.hh"
 #include "lp/checksum.hh"
+#include "pmem/arena.hh"
 
 namespace lp::store
 {
@@ -73,6 +75,13 @@ struct StoreConfig
 
     /** Checksum kind protecting LP batches. */
     core::ChecksumKind checksum = core::ChecksumKind::Modular;
+
+    /**
+     * Commit an underfilled batch once its oldest pending
+     * acknowledgement has waited this long (engine CommitPolicy;
+     * consulted only by callers that schedule acks, like lp::server).
+     */
+    std::uint64_t flushDeadlineUs = 2000;
 };
 
 /**
@@ -81,12 +90,30 @@ struct StoreConfig
  */
 std::size_t storeArenaBytes(const StoreConfig &cfg);
 
+/**
+ * Shard a key routes to under @p shards shards. A different mixer
+ * than the table's bucket hash so shard choice and bucket are
+ * independent; lp::server uses the same function to route ops to its
+ * per-shard workers.
+ */
+inline int
+shardOfKey(std::uint64_t key, int shards)
+{
+    std::uint64_t h = key;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return static_cast<int>(h % std::uint64_t(shards));
+}
+
 /** One open-addressing table slot. 16B: 4 slots per cache block. */
 struct KvSlot
 {
     std::uint64_t key;
     std::uint64_t value;
 };
+
+static_assert(sizeof(KvSlot) == 16);
 
 /** Key sentinel: never-used slot (arena is zero..., set explicitly). */
 inline constexpr std::uint64_t slotEmptyKey = ~0ull;
@@ -96,41 +123,6 @@ inline constexpr std::uint64_t slotTombstoneKey = ~0ull - 1;
 
 /** Largest key a user may store. */
 inline constexpr std::uint64_t maxUserKey = slotTombstoneKey - 1;
-
-/** Journal record type, held in the low byte of JEntry::tag. */
-enum class JOp : std::uint8_t
-{
-    Header = 0,  ///< batch header: key = op count, value = epoch
-    Put = 1,
-    Del = 2,
-};
-
-/**
- * One journal record, packed to 24B (2.67 records per block) for
- * write density; records may straddle blocks because the per-batch
- * checksum catches torn records. The batch's epoch rides in every
- * record's tag, so a stale record from an earlier journal generation
- * (the journal array restarts at offset 0 after each fold) can never
- * be mistaken for part of a newer batch.
- */
-struct JEntry
-{
-    std::uint64_t tag;  ///< (epoch << 8) | JOp
-    std::uint64_t key;  ///< user key; for Header: op count of batch
-    std::uint64_t value;
-
-    static std::uint64_t
-    makeTag(JOp op, std::uint64_t epoch)
-    {
-        return (epoch << 8) | static_cast<std::uint64_t>(op);
-    }
-
-    std::uint64_t epoch() const { return tag >> 8; }
-    JOp op() const { return static_cast<JOp>(tag & 0xff); }
-};
-
-static_assert(sizeof(JEntry) == 24);
-static_assert(sizeof(KvSlot) == 16);
 
 /**
  * Per-shard persistent metadata; owns a full block so its eager
@@ -145,6 +137,214 @@ struct ShardMeta
 };
 
 static_assert(sizeof(ShardMeta) == 64);
+
+/** What recover() found and repaired. */
+struct RecoveryReport
+{
+    /** Committed-but-unfolded batches replayed into the table. */
+    std::uint64_t batchesReplayed = 0;
+
+    /** Journal records replayed (with Eager Persistency). */
+    std::uint64_t entriesReplayed = 0;
+
+    /**
+     * Batches whose header reached NVMM but whose body or digest
+     * failed validation -- the torn/incomplete work LP detects and
+     * discards.
+     */
+    std::uint64_t batchesDiscarded = 0;
+
+    /** WAL backend: true iff an armed transaction was rolled back. */
+    bool walUndone = false;
+
+    /** Per shard: the epoch watermark after recovery. */
+    std::vector<std::uint64_t> committedEpochs;
+};
+
+/**
+ * The shared open-addressing slot table: probe sequences, op
+ * application, and the occupancy guard. Every backend mutates the
+ * logical map exclusively through this class, so the probe invariants
+ * recovery depends on live in exactly one place.
+ *
+ * Writes go through the Env (or a caller-supplied recording writer
+ * for the WAL plan phase); the table itself decides nothing about
+ * durability.
+ */
+template <typename Env>
+class SlotTable
+{
+  public:
+    static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
+
+    /** Occupancy bound, mirroring KeyedChecksumTable's 7/8 guard. */
+    static constexpr std::size_t maxLoadNum = 7;
+    static constexpr std::size_t maxLoadDen = 8;
+
+    /** What applying one op touched. */
+    struct ApplyResult
+    {
+        KvSlot *slot;       // touched slot, nullptr for a del miss
+        bool claimedEmpty;  // op turned a never-used slot live
+    };
+
+    /**
+     * Allocate (or, with @p attach, re-derive) the table over
+     * @p arena: the slot count is the power of two covering twice
+     * @p capacity keys.
+     */
+    SlotTable(pmem::PersistentArena &arena, std::size_t capacity,
+              bool attach)
+    {
+        slots_ = std::bit_ceil(
+            capacity * 2 < 64 ? std::size_t{64} : capacity * 2);
+        table_ = arena.alloc<KvSlot>(slots_);
+        if (!attach) {
+            for (std::size_t i = 0; i < slots_; ++i) {
+                table_[i].key = slotEmptyKey;
+                table_[i].value = 0;
+            }
+        }
+    }
+
+    std::size_t slotCount() const { return slots_; }
+    KvSlot &slot(std::size_t i) { return table_[i]; }
+    const KvSlot &slot(std::size_t i) const { return table_[i]; }
+
+    /** Slot holding @p key, or npos. Probes stop at never-used slots. */
+    std::size_t
+    probeFind(Env &env, std::uint64_t key)
+    {
+        std::size_t i = bucketOf(key);
+        for (std::size_t probes = 0; probes < slots_; ++probes) {
+            const std::uint64_t k = env.ld(&table_[i].key);
+            if (k == key)
+                return i;
+            if (k == slotEmptyKey)
+                return npos;
+            i = (i + 1) & (slots_ - 1);
+        }
+        return npos;
+    }
+
+    /**
+     * Slot to write @p key into. Scans the WHOLE chain up to the
+     * first never-used slot before reusing a tombstone: recovery
+     * replay depends on an existing (possibly half-drained) copy of
+     * the key always being found and reused, so a key can never
+     * occupy two slots.
+     */
+    std::size_t
+    probeForInsert(Env &env, std::uint64_t key)
+    {
+        std::size_t i = bucketOf(key);
+        std::size_t firstTomb = npos;
+        for (std::size_t probes = 0; probes < slots_; ++probes) {
+            const std::uint64_t k = env.ld(&table_[i].key);
+            if (k == key)
+                return i;
+            if (k == slotEmptyKey)
+                return firstTomb != npos ? firstTomb : i;
+            if (k == slotTombstoneKey && firstTomb == npos)
+                firstTomb = i;
+            i = (i + 1) & (slots_ - 1);
+        }
+        if (firstTomb != npos)
+            return firstTomb;
+        fatal("lp::store table has no free slot; raise "
+              "StoreConfig::capacity");
+    }
+
+    /**
+     * Resolve one op against the table, emitting its writes through
+     * @p write (the normal path passes env.st; the WAL plan phase
+     * passes a recording writer). A put stores value before key so a
+     * torn insert is invisible (slots never straddle blocks). @p put
+     * selects put vs. del.
+     */
+    template <typename Writer>
+    ApplyResult
+    applyOpWith(Env &env, bool put, std::uint64_t key,
+                std::uint64_t value, Writer &&write)
+    {
+        if (put) {
+            const std::size_t i = probeForInsert(env, key);
+            KvSlot &s = table_[i];
+            const std::uint64_t cur = env.ld(&s.key);
+            const bool claimedEmpty = cur == slotEmptyKey;
+            write(&s.value, value);
+            if (cur != key)
+                write(&s.key, key);
+            return {&s, claimedEmpty};
+        }
+        const std::size_t i = probeFind(env, key);
+        if (i == npos)
+            return {nullptr, false};
+        write(&table_[i].key, slotTombstoneKey);
+        return {&table_[i], false};
+    }
+
+    /** applyOpWith through env.st, maintaining the occupancy guard. */
+    KvSlot *
+    applyOp(Env &env, bool put, std::uint64_t key, std::uint64_t value)
+    {
+        const ApplyResult r = applyOpWith(
+            env, put, key, value,
+            [&env](std::uint64_t *p, std::uint64_t v) { env.st(p, v); });
+        if (r.claimedEmpty)
+            noteClaim();
+        return r.slot;
+    }
+
+    /** Host-side count of non-empty (live or tombstoned) slots. */
+    std::size_t
+    scanUsed() const
+    {
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < slots_; ++i)
+            if (table_[i].key != slotEmptyKey)
+                ++n;
+        return n;
+    }
+
+    /** Re-derive the occupancy counter (after a crash restore). */
+    void resyncUsed() { used_ = scanUsed(); }
+
+    /**
+     * Occupancy guard, mirroring KeyedChecksumTable's: tombstones and
+     * live keys both lengthen probe chains, so refuse past 7/8 with a
+     * sizing hint rather than degrade toward full-table probes. The
+     * counter can drift across crash restores; resync before refusing.
+     */
+    void
+    noteClaim()
+    {
+        const std::size_t limit = slots_ * maxLoadNum / maxLoadDen;
+        if (++used_ > limit) {
+            used_ = scanUsed();
+            if (used_ > limit) {
+                fatal("lp::store table over load-factor limit: " +
+                      std::to_string(used_) + "/" +
+                      std::to_string(slots_) +
+                      " slots used (max 7/8); raise "
+                      "StoreConfig::capacity");
+            }
+        }
+    }
+
+  private:
+    std::size_t
+    bucketOf(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(
+                   (key * 0x9e3779b97f4a7c15ull) >> 32) &
+               (slots_ - 1);
+    }
+
+    KvSlot *table_ = nullptr;
+    std::size_t slots_ = 0;
+    std::size_t used_ = 0;
+};
 
 } // namespace lp::store
 

@@ -4,6 +4,8 @@
 
 #include "base/logging.hh"
 #include "base/types.hh"
+#include "store/backend.hh"
+#include "store/journal.hh"
 
 namespace lp::store
 {
@@ -31,25 +33,38 @@ parseBackend(const std::string &s)
     fatal("unknown store backend '" + s + "' (lp | eager | wal)");
 }
 
+engine::CommitPolicy
+commitPolicyFor(Backend backend, const StoreConfig &cfg)
+{
+    engine::CommitPolicy pol;
+    // The eager backend persists each op in place: every mutation is
+    // its own durably-committed epoch, so its pipeline runs with
+    // one-op batches and the epoch number doubles as an op sequence.
+    pol.batchOps = backend == Backend::EagerPerOp ? 1 : cfg.batchOps;
+    pol.foldBatches = cfg.foldBatches;
+    pol.flushDeadline = std::chrono::microseconds(cfg.flushDeadlineUs);
+    return pol;
+}
+
 std::size_t
 storeArenaBytes(const StoreConfig &cfg)
 {
-    // Mirrors KvStore's allocation math, over-approximated: charge
-    // the union of every backend's structures so one budget fits all
-    // three, then pad per-allocation block alignment and arena slack.
+    // Mirrors the backends' allocation geometry (journal.cc helpers),
+    // over-approximated: charge the union of every backend's
+    // structures so one budget fits all three, then pad
+    // per-allocation block alignment and arena slack.
     const std::size_t slots = std::bit_ceil(
         cfg.capacity * 2 < 64 ? std::size_t{64} : cfg.capacity * 2);
-    const std::size_t window = std::bit_ceil(4ull * cfg.foldBatches);
+    const std::size_t window = epochWindowFor(cfg);
     const std::size_t ckslots =
         std::bit_ceil(std::size_t(cfg.shards) * window * 2);
-    const std::size_t jcap =
-        std::size_t(cfg.foldBatches + 2) * (cfg.batchOps + 1);
+    const std::size_t jcap = journalCapacity(cfg);
     const std::size_t walEntries = 2 * std::size_t(cfg.batchOps) + 2;
 
     std::size_t bytes = slots * 16 + ckslots * 16;
     bytes += std::size_t(cfg.shards) *
              (sizeof(std::uint64_t) * 8 +   // ShardMeta block
-              jcap * 24 +                   // journal
+              jcap * sizeof(JEntry) +       // journal
               walEntries * 16 + 2 * 64);    // WAL log + count + status
     // ~6 allocations per shard plus 3 global, each padded to a block.
     bytes += (std::size_t(cfg.shards) * 6 + 8) * blockBytes;
