@@ -11,7 +11,13 @@
  * mutation is *recoverable* (its batch epoch committed), so the mix-A
  * tail directly exposes each backend's ack-deferral story: eager acks
  * per-op, LP/WAL acks ride on batch commits bounded by the flush
- * deadline.
+ * deadline. Each client records into its own obs::Histogram (no
+ * allocation per op); the main thread merges them for percentiles,
+ * exercising the same mergeable-histogram path the server's METRICS
+ * op exposes.
+ *
+ * With --trace-out=BASE, each backend's server writes a Chrome
+ * trace-event JSON to BASE.<backend>.json at shutdown.
  *
  * Writes the full grid to BENCH_server.json (or argv[1]) via the
  * stats JSON exporter.
@@ -31,6 +37,7 @@
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "bench/common.hh"
+#include "obs/histogram.hh"
 #include "server/client.hh"
 #include "server/server.hh"
 #include "stats/json.hh"
@@ -56,7 +63,7 @@ using Clock = std::chrono::steady_clock;
 /** What one client connection observed during a mix. */
 struct ClientResult
 {
-    std::vector<double> latUs;
+    obs::Histogram latNs;  ///< send-to-reply, completed ops only
     std::uint64_t reads = 0;
     std::uint64_t updates = 0;
     std::uint64_t retries = 0;
@@ -75,7 +82,6 @@ runClient(Client &c, const YcsbParams &p, std::uint64_t rngSeed,
     Rng rng(rngSeed * 0x9e3779b97f4a7c15ull + 1);
     ZipfianGen zipf(p.records < 2 ? 2 : p.records, p.theta);
     std::unordered_map<std::uint64_t, Clock::time_point> inflight;
-    out.latUs.reserve(kOpsPerClient);
 
     auto recvOne = [&]() -> bool {
         const auto r = c.recvResponse(30000);
@@ -93,7 +99,7 @@ runClient(Client &c, const YcsbParams &p, std::uint64_t rngSeed,
         } else {
             const auto ns = std::chrono::duration_cast<
                 std::chrono::nanoseconds>(Clock::now() - it->second);
-            out.latUs.push_back(double(ns.count()) / 1e3);
+            out.latNs.record(std::uint64_t(ns.count()));
         }
         inflight.erase(it);
         return true;
@@ -149,17 +155,6 @@ loadRecords(Client &c)
     return true;
 }
 
-/** Percentile of a sorted sample (nearest-rank). */
-double
-pct(const std::vector<double> &sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    const auto idx = std::min(
-        sorted.size() - 1, std::size_t(p * double(sorted.size())));
-    return sorted[idx];
-}
-
 std::string
 makeDataDir()
 {
@@ -188,6 +183,9 @@ main(int argc, char **argv)
     root.emplace("window", double(kWindow));
     root.emplace("zipfian", true);
 
+    const std::string traceBase =
+        bench::argFlag(argc, argv, "trace-out");
+
     bool clean = true;
     for (Backend b : bench::kStoreBackends) {
         const std::string dir = makeDataDir();
@@ -196,6 +194,9 @@ main(int argc, char **argv)
         cfg.shards = kShards;
         cfg.backend = b;
         cfg.quiet = true;
+        if (!traceBase.empty())
+            cfg.traceOut =
+                traceBase + "." + backendName(b) + ".json";
         Server srv(cfg);
         srv.start();
 
@@ -238,43 +239,44 @@ main(int argc, char **argv)
             for (auto &c : conns)
                 c->close();
 
-            std::vector<double> lat;
+            obs::Histogram lat;
             std::uint64_t reads = 0, updates = 0, retries = 0,
                           errors = 0;
             for (const ClientResult &r : results) {
-                lat.insert(lat.end(), r.latUs.begin(), r.latUs.end());
+                lat.merge(r.latNs);
                 reads += r.reads;
                 updates += r.updates;
                 retries += r.retries;
                 errors += r.errors;
             }
-            std::sort(lat.begin(), lat.end());
+            const obs::Histogram::Summary sm = lat.summary();
             const double secs =
                 std::chrono::duration<double>(t1 - t0).count();
             const double opsPerSec =
-                secs > 0.0 ? double(lat.size()) / secs : 0.0;
+                secs > 0.0 ? double(sm.count) / secs : 0.0;
             clean = clean && errors == 0 &&
-                    lat.size() + retries ==
+                    sm.count + retries ==
                         std::uint64_t(kClients) * kOpsPerClient;
 
             table.addRow({"mix " + mixName(mix),
-                          stats::Table::num(double(lat.size()), 0),
+                          stats::Table::num(double(sm.count), 0),
                           stats::Table::num(opsPerSec / 1e3, 1),
-                          stats::Table::num(pct(lat, 0.50), 1),
-                          stats::Table::num(pct(lat, 0.99), 1),
-                          stats::Table::num(pct(lat, 0.999), 1),
+                          stats::Table::num(sm.p50Ns / 1e3, 1),
+                          stats::Table::num(sm.p99Ns / 1e3, 1),
+                          stats::Table::num(sm.p999Ns / 1e3, 1),
                           stats::Table::num(double(retries), 0)});
 
             stats::JsonValue::Object entry;
-            entry.emplace("ops_completed", double(lat.size()));
+            entry.emplace("ops_completed", double(sm.count));
             entry.emplace("reads", double(reads));
             entry.emplace("updates", double(updates));
             entry.emplace("retries", double(retries));
             entry.emplace("errors", double(errors));
             entry.emplace("throughput_ops_per_sec", opsPerSec);
-            entry.emplace("p50_us", pct(lat, 0.50));
-            entry.emplace("p99_us", pct(lat, 0.99));
-            entry.emplace("p999_us", pct(lat, 0.999));
+            entry.emplace("mean_us", sm.meanNs / 1e3);
+            entry.emplace("p50_us", sm.p50Ns / 1e3);
+            entry.emplace("p99_us", sm.p99Ns / 1e3);
+            entry.emplace("p999_us", sm.p999Ns / 1e3);
             entry.emplace("wall_seconds", secs);
             perMix.emplace(mixName(mix), std::move(entry));
         }

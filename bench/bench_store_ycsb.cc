@@ -14,16 +14,24 @@
  * for log entries on top of the data. Every run is verified against
  * a golden host-side map before its numbers are reported.
  *
+ * A native-run section reports wall-clock latency percentiles per
+ * backend from the always-on obs::Histogram instrumentation: stage
+ * p99 is the client-visible tail (a mutation that triggers a commit
+ * or fold pays for it inline), the fold-pause story of the paper's
+ * Section 6 in latency form.
+ *
  * Writes the full result grid to BENCH_store.json (or argv[1]) via
  * the stats JSON exporter for external tooling.
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "bench/common.hh"
 #include "engine/stat_names.hh"
+#include "obs/trace.hh"
 #include "stats/json.hh"
 #include "store/driver.hh"
 
@@ -172,6 +180,63 @@ main(int argc, char **argv)
         table.print();
         std::printf("\n");
         root.emplace("unif_B_scaling", std::move(study));
+    }
+
+    // Native wall-clock latency per backend: the same templated store
+    // code under NativeEnv (simulated timestamps would be meaningless
+    // for latency claims). Values in microseconds; JSON keys carry
+    // the canonical "_ns" bases with percentile suffixes.
+    {
+        stats::Table table({"native lat (a/zipf)", "mutations",
+                            "stage p50", "stage p99", "stage p999",
+                            "commit p99", "fold p99"});
+        const auto us = [](double ns) {
+            return stats::Table::num(ns / 1e3, 2) + "us";
+        };
+        stats::JsonValue::Object lat;
+        YcsbParams p = base;
+        p.mix = YcsbMix::A;
+        const std::string traceBase =
+            bench::argFlag(argc, argv, "trace-out");
+        for (Backend b : bench::kStoreBackends) {
+            std::unique_ptr<obs::TraceCollector> tc;
+            if (!traceBase.empty())
+                tc = std::make_unique<obs::TraceCollector>();
+            const auto out = runStoreNative(b, scfg, p, tc.get());
+            if (tc)
+                tc->writeChromeTrace(traceBase + "." +
+                                     backendName(b) + ".json");
+            all_verified = all_verified && out.verified;
+            table.addRow({backendName(b),
+                          stats::Table::num(double(out.mutations), 0),
+                          us(out.stageLat.p50Ns),
+                          us(out.stageLat.p99Ns),
+                          us(out.stageLat.p999Ns),
+                          us(out.commitLat.p99Ns),
+                          us(out.foldLat.p99Ns)});
+
+            stats::JsonValue::Object entry;
+            entry.emplace("seconds", out.seconds);
+            entry.emplace("mutations", out.mutations);
+            entry.emplace("verified", out.verified);
+            const auto putLat =
+                [&entry](const char *key,
+                         const obs::Histogram::Summary &s) {
+                    const std::string k(key);
+                    entry.emplace(k + "_count", double(s.count));
+                    entry.emplace(k + "_p50", s.p50Ns);
+                    entry.emplace(k + "_p90", s.p90Ns);
+                    entry.emplace(k + "_p99", s.p99Ns);
+                    entry.emplace(k + "_p999", s.p999Ns);
+                };
+            putLat(engine::statname::stageLatNs, out.stageLat);
+            putLat(engine::statname::commitLatNs, out.commitLat);
+            putLat(engine::statname::foldLatNs, out.foldLat);
+            lat.emplace(backendName(b), std::move(entry));
+        }
+        table.print();
+        std::printf("\n");
+        root.emplace("native_latency", std::move(lat));
     }
 
     if (!bench::writeJsonReport(argc, argv, "BENCH_store.json", root))

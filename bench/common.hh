@@ -95,17 +95,36 @@ banner(const std::string &title, const std::string &paper_ref)
     std::printf("reproduces: %s\n\n", paper_ref.c_str());
 }
 
+/** Value of a `--name=value` flag anywhere in argv, or "". */
+inline std::string
+argFlag(int argc, char **argv, const std::string &name)
+{
+    const std::string prefix = "--" + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.compare(0, prefix.size(), prefix) == 0)
+            return a.substr(prefix.size());
+    }
+    return "";
+}
+
 /**
- * Write a bench's JSON report to argv[1] (or @p defaultPath), the
- * shared tail of every bench main(). Returns false (after printing
- * to stderr) when the file cannot be written, so callers can
- * `return ok ? 0 : 1`.
+ * Write a bench's JSON report to the first non-flag argument (or
+ * @p defaultPath), the shared tail of every bench main(). Returns
+ * false (after printing to stderr) when the file cannot be written,
+ * so callers can `return ok ? 0 : 1`.
  */
 inline bool
 writeJsonReport(int argc, char **argv, const char *defaultPath,
                 const stats::JsonValue::Object &root)
 {
-    const char *path = argc > 1 ? argv[1] : defaultPath;
+    const char *path = defaultPath;
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i][0] != '-') {
+            path = argv[i];
+            break;
+        }
+    }
     std::FILE *f = std::fopen(path, "w");
     if (f == nullptr) {
         std::fprintf(stderr, "cannot write %s\n", path);

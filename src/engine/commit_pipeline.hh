@@ -33,6 +33,11 @@
 #include <cstdint>
 #include <deque>
 
+namespace lp::obs
+{
+struct ShardObs;
+} // namespace lp::obs
+
 namespace lp::engine
 {
 
@@ -158,6 +163,22 @@ class CommitPipeline
 
     const PipelineCounters &counters() const { return counters_; }
 
+    /// @name Observability
+    /// @{
+
+    /**
+     * Attach this shard's observability bundle (obs/shard_obs.hh).
+     * The pipeline only carries the pointer: the shard owner records
+     * into the histograms, and the persistency backends reach the
+     * bundle through the pipeline they already hold. @p o must
+     * outlive the pipeline (or be detached by attaching nullptr).
+     */
+    void attachObs(obs::ShardObs *o) { obs_ = o; }
+
+    /** The attached bundle, or nullptr when observability is off. */
+    obs::ShardObs *obs() const { return obs_; }
+    /// @}
+
   private:
     struct PendingAck
     {
@@ -173,6 +194,7 @@ class CommitPipeline
     std::uint64_t foldedEpoch_ = 0;
     std::deque<PendingAck> pending_;
     PipelineCounters counters_;
+    obs::ShardObs *obs_ = nullptr;
 };
 
 } // namespace lp::engine

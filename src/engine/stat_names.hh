@@ -43,6 +43,55 @@ inline constexpr const char *gets = "gets";
 /** Mutations (put/del) applied. */
 inline constexpr const char *mutations = "mutations";
 
+/// @name Latency histogram base keys (obs::Histogram, nanoseconds).
+/// Emitters append percentile suffixes ("_p50".."_p999") in JSON and
+/// rewrite the "_ns" tail to "_seconds" for Prometheus exposition.
+/// @{
+
+/** Backend stage(): one mutation staged into the open epoch. */
+inline constexpr const char *stageLatNs = "stage_lat_ns";
+
+/** Backend commitEpoch(): sealing one epoch. */
+inline constexpr const char *commitLatNs = "commit_lat_ns";
+
+/** Backend fold / eager checkpoint duration. */
+inline constexpr const char *foldLatNs = "fold_lat_ns";
+
+/** Backend recover(): one shard's recovery replay. */
+inline constexpr const char *recoverLatNs = "recover_lat_ns";
+
+/** Server: decoding one request frame off the socket. */
+inline constexpr const char *reqParseNs = "req_parse_ns";
+
+/** Server: request sat in a worker queue before processing. */
+inline constexpr const char *reqQueueNs = "req_queue_ns";
+
+/** Server: mutation processed until its epoch committed (ack release). */
+inline constexpr const char *reqCommitWaitNs = "req_commit_wait_ns";
+
+/** Server: reply posted by a worker until encoded for the socket. */
+inline constexpr const char *reqAckNs = "req_ack_ns";
+/// @}
+
+/// @name Per-shard recovery counters (store::RecoveryReport).
+/// @{
+
+/** Journal batches replayed during recovery. */
+inline constexpr const char *batchesReplayed = "batches_replayed";
+
+/** Individual entries re-applied during recovery. */
+inline constexpr const char *entriesReplayed = "entries_replayed";
+
+/** Batches discarded for checksum mismatch / torn writes. */
+inline constexpr const char *batchesDiscarded = "batches_discarded";
+
+/** WAL transactions rolled back during recovery. */
+inline constexpr const char *walUndone = "wal_undone";
+
+/** 1 when the shard attached to an existing image, else 0. */
+inline constexpr const char *recoveryAttached = "recovery_attached";
+/// @}
+
 } // namespace lp::engine::statname
 
 #endif // LP_ENGINE_STAT_NAMES_HH

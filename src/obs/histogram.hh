@@ -1,0 +1,246 @@
+/**
+ * @file
+ * obs::Histogram -- a log-linear latency histogram (HdrHistogram
+ * style) sized for nanosecond samples.
+ *
+ * Bucket layout: values below 64 get one exact bucket each (the
+ * linear region); above that, every power-of-two octave is split into
+ * 32 equal sub-buckets. Reconstructing a sample as its bucket
+ * midpoint is therefore off by at most half a sub-bucket width,
+ * i.e. a relative error of at most 1/64 = 1.5625%, comfortably inside
+ * the 2.5% budget the benches quote percentiles under. Values at or
+ * above 2^48 ns (~3.2 days) land in a single overflow bucket.
+ *
+ * The record path is two relaxed fetch_adds into fixed-size atomic
+ * arrays -- no allocation, no locks, no branches beyond the bucket
+ * index math -- so histograms stay on in production builds (FliT
+ * makes the same always-on argument for persistency instrumentation).
+ *
+ * Concurrency: writers use relaxed atomic increments, so a single
+ * writer is race-free and any other thread may concurrently read
+ * (merge(), percentile(), the server's METRICS scrape) and observe a
+ * consistent-enough snapshot: counts never tear, though a reader
+ * racing a writer may see a sample in count() before its bucket.
+ * Histograms are fixed-size and non-copyable; owners that need N of
+ * them use a std::deque or construct-in-place container.
+ */
+
+#ifndef LP_OBS_HISTOGRAM_HH
+#define LP_OBS_HISTOGRAM_HH
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/time.hh"
+
+namespace lp::obs
+{
+
+class Histogram
+{
+  public:
+    /** Sub-buckets per octave: 2^5 = 32 -> <=1.5625% midpoint error. */
+    static constexpr int kSubBits = 5;
+    static constexpr std::size_t kSub = std::size_t(1) << kSubBits;
+
+    /** Highest tracked bit: values >= 2^48 ns go to the overflow. */
+    static constexpr int kMaxBit = 47;
+
+    /** Exact buckets 0..63, then 32 per octave for bits 6..47. */
+    static constexpr std::size_t kBuckets =
+        2 * kSub + std::size_t(kMaxBit - kSubBits) * kSub;
+
+    static constexpr std::uint64_t
+    maxTrackable()
+    {
+        return (std::uint64_t(1) << (kMaxBit + 1)) - 1;
+    }
+
+    Histogram() = default;
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    /** Record one sample (nanoseconds). Never allocates. */
+    void
+    record(std::uint64_t v)
+    {
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        if (v > maxTrackable()) {
+            overflow_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        buckets_[indexOf(v)].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Add @p other's counts into this histogram. */
+    void
+    merge(const Histogram &other)
+    {
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            const auto n =
+                other.buckets_[i].load(std::memory_order_relaxed);
+            if (n)
+                buckets_[i].fetch_add(n, std::memory_order_relaxed);
+        }
+        sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+        count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        overflow_.fetch_add(
+            other.overflow_.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    overflow() const
+    {
+        return overflow_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    bucketCount(std::size_t i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    /** Inclusive lower bound of bucket @p i. */
+    static std::uint64_t
+    bucketLower(std::size_t i)
+    {
+        if (i < 2 * kSub)
+            return i;
+        const int bit = int((i - 2 * kSub) / kSub) + kSubBits + 1;
+        const std::uint64_t sub = (i - 2 * kSub) % kSub;
+        return (std::uint64_t(1) << bit) +
+               (sub << (bit - kSubBits));
+    }
+
+    /** Width of bucket @p i (its value range covers [lower, lower+width)). */
+    static std::uint64_t
+    bucketWidth(std::size_t i)
+    {
+        if (i < 2 * kSub)
+            return 1;
+        const int bit = int((i - 2 * kSub) / kSub) + kSubBits + 1;
+        return std::uint64_t(1) << (bit - kSubBits);
+    }
+
+    /**
+     * The value below which a fraction @p p of samples fall,
+     * reconstructed as the containing bucket's midpoint (overflow
+     * samples report maxTrackable()). @p p in [0, 1].
+     */
+    double
+    percentile(double p) const
+    {
+        const std::uint64_t total = count();
+        if (total == 0)
+            return 0.0;
+        std::uint64_t target =
+            static_cast<std::uint64_t>(p * double(total) + 0.5);
+        if (target < 1)
+            target = 1;
+        if (target > total)
+            target = total;
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            cum += buckets_[i].load(std::memory_order_relaxed);
+            if (cum >= target)
+                return double(bucketLower(i)) +
+                       double(bucketWidth(i)) / 2.0;
+        }
+        return double(maxTrackable());
+    }
+
+    /** Percentile digest for reports (all values in nanoseconds). */
+    struct Summary
+    {
+        std::uint64_t count = 0;
+        double meanNs = 0.0;
+        double p50Ns = 0.0;
+        double p90Ns = 0.0;
+        double p99Ns = 0.0;
+        double p999Ns = 0.0;
+    };
+
+    Summary
+    summary() const
+    {
+        Summary s;
+        s.count = count();
+        s.meanNs = s.count ? double(sum()) / double(s.count) : 0.0;
+        s.p50Ns = percentile(0.50);
+        s.p90Ns = percentile(0.90);
+        s.p99Ns = percentile(0.99);
+        s.p999Ns = percentile(0.999);
+        return s;
+    }
+
+  private:
+    /** Bucket index of a trackable value. */
+    static std::size_t
+    indexOf(std::uint64_t v)
+    {
+        if (v < 2 * kSub)
+            return std::size_t(v);
+        const int bit = std::bit_width(v) - 1;
+        const std::uint64_t sub =
+            (v >> (bit - kSubBits)) & (kSub - 1);
+        return 2 * kSub +
+               std::size_t(bit - kSubBits - 1) * kSub +
+               std::size_t(sub);
+    }
+
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> overflow_{0};
+};
+
+/**
+ * RAII timer: records nowNs() elapsed into a histogram on scope
+ * exit. Null-safe so call sites whose obs bundle may be absent pay
+ * one branch instead of needing their own guard.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram *h) : h_(h), t0_(h ? nowNs() : 0)
+    {
+    }
+
+    explicit ScopedTimer(Histogram &h) : ScopedTimer(&h) {}
+
+    ~ScopedTimer()
+    {
+        if (h_)
+            h_->record(nowNs() - t0_);
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Histogram *h_;
+    std::uint64_t t0_;
+};
+
+} // namespace lp::obs
+
+#endif // LP_OBS_HISTOGRAM_HH

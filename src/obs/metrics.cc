@@ -1,0 +1,156 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace lp::obs
+{
+
+namespace
+{
+
+/** Integers print exactly; everything else gets shortest-round-trip. */
+std::string
+formatValue(double v)
+{
+    char buf[40];
+    if (v == std::floor(v) && std::fabs(v) < 9.2e18) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+    }
+    return buf;
+}
+
+std::string
+joinLabels(const std::string &labels, const std::string &extra)
+{
+    if (labels.empty())
+        return extra;
+    if (extra.empty())
+        return labels;
+    return labels + "," + extra;
+}
+
+} // namespace
+
+void
+MetricsText::typeLine(const std::string &name, const char *type)
+{
+    if (typed_.insert(name).second)
+        out_ += "# TYPE " + name + " " + type + "\n";
+}
+
+void
+MetricsText::sample(const std::string &name, const std::string &labels,
+                    double v)
+{
+    out_ += name;
+    if (!labels.empty())
+        out_ += "{" + labels + "}";
+    out_ += " " + formatValue(v) + "\n";
+}
+
+void
+MetricsText::counter(const std::string &name,
+                     const std::string &labels, double v)
+{
+    typeLine(name, "counter");
+    sample(name, labels, v);
+}
+
+void
+MetricsText::gauge(const std::string &name, const std::string &labels,
+                   double v)
+{
+    typeLine(name, "gauge");
+    sample(name, labels, v);
+}
+
+void
+MetricsText::histogramNs(const std::string &name,
+                         const std::string &labels,
+                         const Histogram &h)
+{
+    typeLine(name, "histogram");
+    const std::uint64_t total = h.count();
+    const std::uint64_t tracked = total - h.overflow();
+
+    std::uint64_t cum = 0;
+    std::size_t i = 0;
+    for (int k = Histogram::kSubBits + 1; k <= Histogram::kMaxBit + 1;
+         ++k) {
+        // Buckets below this index hold values < 2^k exactly.
+        const std::size_t boundIdx =
+            2 * Histogram::kSub +
+            std::size_t(k - Histogram::kSubBits - 1) * Histogram::kSub;
+        while (i < boundIdx)
+            cum += h.bucketCount(i++);
+        char le[48];
+        std::snprintf(le, sizeof(le), "le=\"%.10g\"",
+                      double(std::uint64_t(1) << k) / 1e9);
+        sample(name + "_bucket", joinLabels(labels, le), double(cum));
+        if (cum >= tracked)
+            break;
+    }
+    sample(name + "_bucket", joinLabels(labels, "le=\"+Inf\""),
+           double(total));
+    sample(name + "_sum", labels, double(h.sum()) / 1e9);
+    sample(name + "_count", labels, double(total));
+}
+
+bool
+parseExposition(const std::string &text, stats::Snapshot &out)
+{
+    std::istringstream in(text);
+    std::string line;
+    bool ok = true;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t sp = line.find_last_of(' ');
+        if (sp == std::string::npos || sp == 0 ||
+            sp + 1 >= line.size()) {
+            ok = false;
+            continue;
+        }
+        const std::string key = line.substr(0, sp);
+        const std::string val = line.substr(sp + 1);
+        char *end = nullptr;
+        const double v = std::strtod(val.c_str(), &end);
+        if (end == val.c_str() || *end != '\0') {
+            ok = false;
+            continue;
+        }
+        out[key] = v;
+    }
+    return ok;
+}
+
+double
+quantileFromBuckets(const std::map<double, double> &lesToCum, double p)
+{
+    if (lesToCum.empty())
+        return 0.0;
+    const double total = lesToCum.rbegin()->second;
+    if (total <= 0.0)
+        return 0.0;
+    const double target = p * total;
+    double lastFinite = 0.0;
+    for (const auto &[le, cum] : lesToCum) {
+        if (std::isinf(le))
+            break;
+        lastFinite = le;
+        if (cum >= target)
+            return le;
+    }
+    return lastFinite;
+}
+
+} // namespace lp::obs

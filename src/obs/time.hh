@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Process-relative monotonic clock for the observability layer.
+ *
+ * Every timestamp obs records -- histogram samples, trace-span
+ * begin/end, server request stage marks -- comes from this one
+ * function so that values from different threads land on a shared
+ * timeline. The epoch is the first call in the process (a magic
+ * static), which keeps the numbers small enough that a trace file's
+ * microsecond doubles never lose nanosecond precision.
+ */
+
+#ifndef LP_OBS_TIME_HH
+#define LP_OBS_TIME_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace lp::obs
+{
+
+/** Monotonic nanoseconds since the first call in this process. */
+inline std::uint64_t
+nowNs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - epoch)
+            .count());
+}
+
+} // namespace lp::obs
+
+#endif // LP_OBS_TIME_HH

@@ -1,0 +1,102 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lp::obs
+{
+
+TraceCollector::TraceCollector()
+{
+    nowNs(); // pin the process clock epoch before any producer runs
+}
+
+TraceRing *
+TraceCollector::ring(const std::string &threadName, std::uint32_t tid,
+                     std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    tracks_.push_back({threadName, std::make_unique<TraceRing>(capacity)});
+    tracks_.back().ring->setTid(tid);
+    return tracks_.back().ring.get();
+}
+
+std::uint64_t
+TraceCollector::totalDropped() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::uint64_t n = 0;
+    for (const Track &t : tracks_)
+        n += t.ring->dropped();
+    return n;
+}
+
+bool
+TraceCollector::writeChromeTrace(const std::string &path)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+
+    std::vector<TraceEvent> events;
+    for (Track &t : tracks_) {
+        TraceEvent e;
+        while (t.ring->pop(e))
+            events.push_back(e);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.tsNs < b.tsNs;
+              });
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+
+    std::fputs("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [",
+               f);
+    bool first = true;
+    const auto sep = [&] {
+        std::fputs(first ? "\n" : ",\n", f);
+        first = false;
+    };
+    for (const Track &t : tracks_) {
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                     "\"name\":\"thread_name\","
+                     "\"args\":{\"name\":\"%s\"}}",
+                     t.ring->tid(), t.name.c_str());
+    }
+    for (const TraceEvent &e : events) {
+        sep();
+        // Chrome trace timestamps are microseconds; three decimals
+        // keep the original nanosecond resolution.
+        if (e.durNs == 0) {
+            std::fprintf(f,
+                         "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,"
+                         "\"ts\":%.3f,\"s\":\"t\",\"name\":\"%s\","
+                         "\"args\":{\"v\":%llu}}",
+                         e.tid, double(e.tsNs) / 1e3, e.name,
+                         static_cast<unsigned long long>(e.arg));
+        } else {
+            std::fprintf(f,
+                         "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                         "\"ts\":%.3f,\"dur\":%.3f,\"name\":\"%s\","
+                         "\"args\":{\"v\":%llu}}",
+                         e.tid, double(e.tsNs) / 1e3,
+                         double(e.durNs) / 1e3, e.name,
+                         static_cast<unsigned long long>(e.arg));
+        }
+    }
+    std::fputs("\n],\n\"otherData\": {", f);
+    first = true;
+    for (const Track &t : tracks_) {
+        sep();
+        std::fprintf(f, "\"dropped_%s\": %llu", t.name.c_str(),
+                     static_cast<unsigned long long>(
+                         t.ring->dropped()));
+    }
+    std::fputs("\n}\n}\n", f);
+    return std::fclose(f) == 0;
+}
+
+} // namespace lp::obs

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * obs::TraceRing / obs::TraceCollector -- bounded lock-free event
+ * tracing with Chrome trace-event JSON output.
+ *
+ * Each traced thread owns one SPSC ring: the owner pushes fixed-size
+ * TraceEvents (static-string name, timestamps from obs::nowNs()) with
+ * two relaxed/release atomic ops and no allocation; when the ring is
+ * full the event is dropped and counted rather than blocking the hot
+ * path. The collector registers rings under a mutex (setup/teardown
+ * only), drains them from the consumer side, and writes a single
+ * Chrome trace-event JSON file -- loadable in Perfetto or
+ * chrome://tracing -- with one named track per ring plus the drop
+ * counts in otherData.
+ *
+ * Tracing is opt-in per shard/thread by handing out a ring pointer;
+ * every emit helper is null-safe, so "tracing off" costs one branch.
+ */
+
+#ifndef LP_OBS_TRACE_HH
+#define LP_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/time.hh"
+
+namespace lp::obs
+{
+
+/**
+ * One trace record. @c name must be a string literal (or otherwise
+ * outlive the collector); events are fixed-size so the ring never
+ * allocates after construction.
+ */
+struct TraceEvent
+{
+    const char *name = nullptr;
+    std::uint32_t tid = 0;   ///< track id (shard index, acceptor...)
+    std::uint64_t tsNs = 0;  ///< span start, from obs::nowNs()
+    std::uint64_t durNs = 0; ///< span length; 0 = instant event
+    std::uint64_t arg = 0;   ///< payload (epoch number, conn id...)
+};
+
+/**
+ * Single-producer single-consumer bounded ring. The producer is the
+ * traced thread; the consumer is whoever drains (the collector at
+ * write time, after producers have quiesced, or a live drainer).
+ */
+class TraceRing
+{
+  public:
+    /** @p capacity is rounded up to a power of two, minimum 8. */
+    explicit TraceRing(std::size_t capacity = 4096)
+    {
+        std::size_t cap = 8;
+        while (cap < capacity)
+            cap <<= 1;
+        buf_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** Track id stamped by the emit helpers below. */
+    std::uint32_t tid() const { return tid_; }
+    void setTid(std::uint32_t tid) { tid_ = tid; }
+
+    /**
+     * Producer side: enqueue @p e; false (and a drop is counted)
+     * when the ring is full. Never allocates.
+     */
+    bool
+    push(const TraceEvent &e)
+    {
+        const auto head = head_.load(std::memory_order_relaxed);
+        const auto tail = tail_.load(std::memory_order_acquire);
+        if (head - tail >= buf_.size()) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        buf_[head & mask_] = e;
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: dequeue the oldest event; false when empty. */
+    bool
+    pop(TraceEvent &e)
+    {
+        const auto tail = tail_.load(std::memory_order_relaxed);
+        const auto head = head_.load(std::memory_order_acquire);
+        if (tail == head)
+            return false;
+        e = buf_[tail & mask_];
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Events discarded because the ring was full. */
+    std::uint64_t
+    dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<TraceEvent> buf_;
+    std::size_t mask_ = 0;
+    std::uint32_t tid_ = 0;
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+/** Emit an instant event; no-op when @p ring is null. */
+inline void
+traceInstant(TraceRing *ring, const char *name, std::uint64_t arg = 0)
+{
+    if (ring)
+        ring->push({name, ring->tid(), nowNs(), 0, arg});
+}
+
+/**
+ * RAII span: records [construction, destruction) as a complete event
+ * on @p ring; no-op (one branch) when @p ring is null.
+ */
+class Span
+{
+  public:
+    Span(TraceRing *ring, const char *name, std::uint64_t arg = 0)
+        : ring_(ring), name_(name), arg_(arg),
+          t0_(ring ? nowNs() : 0)
+    {
+    }
+
+    ~Span()
+    {
+        if (ring_)
+            ring_->push(
+                {name_, ring_->tid(), t0_, nowNs() - t0_, arg_});
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    TraceRing *ring_;
+    const char *name_;
+    std::uint64_t arg_;
+    std::uint64_t t0_;
+};
+
+/**
+ * Owns the rings of all traced threads and serializes their events
+ * into one Chrome trace-event JSON file.
+ */
+class TraceCollector
+{
+  public:
+    TraceCollector();
+
+    /**
+     * Register (and own) a new ring rendered as track @p tid named
+     * @p threadName. The returned pointer stays valid for the
+     * collector's lifetime. Thread-safe.
+     */
+    TraceRing *ring(const std::string &threadName, std::uint32_t tid,
+                    std::size_t capacity = 4096);
+
+    /**
+     * Drain every ring and write the Chrome trace JSON to @p path.
+     * Call after producers have quiesced (or accept losing events
+     * pushed mid-write). False on I/O failure.
+     */
+    bool writeChromeTrace(const std::string &path);
+
+    /** Total events dropped across all rings. */
+    std::uint64_t totalDropped() const;
+
+  private:
+    struct Track
+    {
+        std::string name;
+        std::unique_ptr<TraceRing> ring;
+    };
+
+    mutable std::mutex mu_;
+    std::vector<Track> tracks_;
+};
+
+} // namespace lp::obs
+
+#endif // LP_OBS_TRACE_HH

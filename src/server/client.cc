@@ -189,6 +189,15 @@ Client::stats(int timeoutMs)
 }
 
 std::optional<Response>
+Client::metrics(int timeoutMs)
+{
+    Request r;
+    r.op = Op::Metrics;
+    r.id = nextId();
+    return roundTrip(r, timeoutMs);
+}
+
+std::optional<Response>
 Client::shutdownServer(int timeoutMs)
 {
     Request r;

@@ -65,6 +65,7 @@ class Client
                                 int timeoutMs = -1);
     std::optional<Response> del(std::uint64_t key, int timeoutMs = -1);
     std::optional<Response> stats(int timeoutMs = -1);
+    std::optional<Response> metrics(int timeoutMs = -1);
     std::optional<Response> shutdownServer(int timeoutMs = -1);
     /// @}
 

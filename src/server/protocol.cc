@@ -106,6 +106,7 @@ encodeRequest(const Request &r, std::vector<std::uint8_t> &out)
         break;
       case Op::Stats:
       case Op::Shutdown:
+      case Op::Metrics:
         break;
     }
     fixupLen(out, lenAt);
@@ -185,6 +186,7 @@ decodeRequest(const std::uint8_t *buf, std::size_t n,
       }
       case Op::Stats:
       case Op::Shutdown:
+      case Op::Metrics:
         if (len != 9)
             return Decode::Malformed;
         return Decode::Ok;

@@ -21,10 +21,13 @@
  *                  where sub is 2 (put, with value) or 3 (del)
  *   STATS    op=5  --                               (len 9)
  *   SHUTDOWN op=6  --                               (len 9)
+ *   METRICS  op=7  --                               (len 9)
  *
  * Responses:
  *   status=0 Ok        GET carries u64 value; STATS carries a JSON
- *                      text body; PUT/DEL/BATCH/SHUTDOWN carry nothing
+ *                      text body; METRICS carries a Prometheus text
+ *                      exposition body; PUT/DEL/BATCH/SHUTDOWN carry
+ *                      nothing
  *   status=1 NotFound  GET miss (no value)
  *   status=2 Retry     connection over its in-flight budget; resend
  *                      later (backpressure, not an error)
@@ -59,6 +62,7 @@ enum class Op : std::uint8_t
     Batch = 4,
     Stats = 5,
     Shutdown = 6,
+    Metrics = 7,
 };
 
 /** Response status codes. */
@@ -101,7 +105,7 @@ struct Response
     std::uint64_t id = 0;
     bool hasValue = false;       ///< GET hit: value is meaningful
     std::uint64_t value = 0;
-    std::string body;            ///< STATS: JSON text
+    std::string body;            ///< STATS: JSON; METRICS: exposition
 };
 
 /** Outcome of one decode attempt over a byte window. */

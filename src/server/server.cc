@@ -27,6 +27,9 @@
 #include "engine/commit_pipeline.hh"
 #include "engine/stat_names.hh"
 #include "kernels/env.hh"
+#include "obs/histogram.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "pmem/arena.hh"
 #include "server/protocol.hh"
 #include "stats/json.hh"
@@ -80,6 +83,7 @@ struct OpItem
     std::uint64_t reqId;
     std::uint64_t key;
     std::uint64_t value;
+    std::uint64_t tEnqNs = 0;  ///< enqueue time (queue-wait latency)
     std::shared_ptr<BatchCtx> batch;  ///< set for BATCH sub-ops
 };
 
@@ -87,6 +91,7 @@ struct OpItem
 struct ReplyMsg
 {
     std::uint64_t connId;
+    std::uint64_t tPostNs = 0;  ///< post time (ack-path latency)
     Response resp;
 };
 
@@ -95,6 +100,7 @@ struct Conn
 {
     int fd = -1;
     std::uint64_t id = 0;
+    std::uint64_t tOpenNs = 0;     ///< accept time (lifecycle span)
     std::vector<std::uint8_t> in;
     std::vector<std::uint8_t> out;
     std::size_t outAt = 0;         ///< bytes of out already written
@@ -189,6 +195,17 @@ struct Server::Impl
         std::atomic<std::uint64_t> statFolds{0};
         std::atomic<std::uint64_t> statDeadlineCommits{0};
 
+        // Request-lifecycle histograms, recorded by this worker;
+        // the acceptor reads them for STATS/METRICS under the
+        // obs::Histogram single-writer/any-reader contract (the
+        // store-side stage/commit/fold/recover histograms live in
+        // kv->shardObs(0)).
+        obs::Histogram queueNs;       ///< enqueue -> worker dequeue
+        obs::Histogram commitWaitNs;  ///< staged -> ack released
+
+        /** This worker's trace ring; null when tracing is off. */
+        obs::TraceRing *ring = nullptr;
+
         // Everything below is touched only by the worker thread.
         kernels::NativeEnv env;
         std::unique_ptr<pmem::PersistentArena> arena;
@@ -207,6 +224,7 @@ struct Server::Impl
             std::uint64_t connId;
             std::uint64_t reqId;
             std::uint64_t epoch;
+            std::uint64_t tStagedNs;  ///< commit-wait latency start
             std::shared_ptr<BatchCtx> batch;
         };
         std::deque<Pending> pending;
@@ -244,6 +262,16 @@ struct Server::Impl
     std::atomic<std::uint64_t> statRetries{0};
     std::atomic<std::uint64_t> statErrs{0};
     std::atomic<std::uint64_t> statMalformed{0};
+
+    // Acceptor-recorded request-lifecycle histograms (single writer:
+    // the acceptor thread; STATS/METRICS render on the same thread).
+    obs::Histogram parseNs;  ///< bytes on the wire -> decoded request
+    obs::Histogram ackNs;    ///< worker posted reply -> encoded
+
+    // Tracing (cfg.traceOut non-empty): the collector owns every
+    // ring; workers and the acceptor hold borrowed pointers.
+    std::unique_ptr<obs::TraceCollector> trace;
+    obs::TraceRing *acceptRing = nullptr;
     /// @}
 
     /// @name Worker side
@@ -279,6 +307,10 @@ struct Server::Impl
             store::storeArenaBytes(scfg), path);
         w.kv = std::make_unique<store::KvStore<kernels::NativeEnv>>(
             *w.arena, scfg, cfg.backend, attach);
+        // Attach the trace ring before recovery so the replay's
+        // "recover_shard" span lands in the collector.
+        if (w.ring)
+            w.kv->attachTraceRing(0, w.ring);
         if (attach) {
             w.report = w.kv->recover(w.env);
             w.attached = true;
@@ -294,7 +326,8 @@ struct Server::Impl
     {
         {
             std::lock_guard<std::mutex> g(replyMu);
-            replies.push_back(ReplyMsg{connId, std::move(r)});
+            replies.push_back(
+                ReplyMsg{connId, obs::nowNs(), std::move(r)});
         }
         eventfdSignal(wakeFd);
     }
@@ -303,7 +336,7 @@ struct Server::Impl
     void
     releaseAck(Worker &w, const Worker::Pending &p)
     {
-        (void)w;
+        w.commitWaitNs.record(obs::nowNs() - p.tStagedNs);
         if (p.batch) {
             if (p.batch->remaining.fetch_sub(
                     1, std::memory_order_acq_rel) != 1)
@@ -351,6 +384,7 @@ struct Server::Impl
     void
     processOp(Worker &w, OpItem &op)
     {
+        w.queueNs.record(obs::nowNs() - op.tEnqNs);
         switch (op.kind) {
           case OpItem::Kind::Get: {
             const auto v = w.kv->get(w.env, op.key);
@@ -374,8 +408,8 @@ struct Server::Impl
             // following releaseCommitted() releases it the same round
             // for backends that commit per op (eager, and WAL when the
             // op filled its batch).
-            w.pending.push_back(Worker::Pending{op.connId, op.reqId,
-                                                epoch, op.batch});
+            w.pending.push_back(Worker::Pending{
+                op.connId, op.reqId, epoch, obs::nowNs(), op.batch});
             w.kv->pipeline(0).notePending(epoch, Clock::now());
             return;
           }
@@ -427,8 +461,11 @@ struct Server::Impl
                 engine::CommitPipeline &pl = w.kv->pipeline(0);
                 const bool due = pl.commitDue(Clock::now());
                 if (pl.hasPending() && (stopping || due)) {
-                    if (due)
+                    if (due) {
                         pl.noteDeadlineCommit();
+                        obs::traceInstant(w.ring, "deadline_commit",
+                                          pl.lastCommitted() + 1);
+                    }
                     w.kv->commitBatches(w.env);
                 }
             }
@@ -492,6 +529,10 @@ struct Server::Impl
         auto it = conns.find(id);
         if (it == conns.end())
             return;
+        if (acceptRing && it->second.tOpenNs)
+            acceptRing->push({"conn", acceptRing->tid(),
+                              it->second.tOpenNs,
+                              obs::nowNs() - it->second.tOpenNs, id});
         ::epoll_ctl(epfd, EPOLL_CTL_DEL, it->second.fd, nullptr);
         ::close(it->second.fd);
         conns.erase(it);
@@ -541,6 +582,18 @@ struct Server::Impl
         o["retries"] = statRetries.load(std::memory_order_relaxed);
         o["errors"] = statErrs.load(std::memory_order_relaxed);
         namespace sn = engine::statname;
+        // Latency keys carry the canonical "_ns" base plus percentile
+        // suffixes; values are nanoseconds (bucket midpoints).
+        const auto addLat = [](JsonValue::Object &dst, const char *base,
+                               const obs::Histogram &h) {
+            const obs::Histogram::Summary m = h.summary();
+            const std::string b(base);
+            dst[b + "_count"] = m.count;
+            dst[b + "_p50"] = m.p50Ns;
+            dst[b + "_p90"] = m.p90Ns;
+            dst[b + "_p99"] = m.p99Ns;
+            dst[b + "_p999"] = m.p999Ns;
+        };
         std::uint64_t gets = 0, muts = 0, acks = 0;
         std::uint64_t epochs = 0, folds = 0, deadlines = 0;
         JsonValue::Object shards;
@@ -569,6 +622,23 @@ struct Server::Impl
                 w.statCommittedEpoch.load(std::memory_order_relaxed);
             s[sn::queueDepth] =
                 w.statQueueDepth.load(std::memory_order_relaxed);
+            // Recovery counters: written once by the worker before
+            // the readiness latch, so the acceptor's reads are
+            // ordered-after by start()'s latch acquire.
+            s[sn::recoveryAttached] =
+                std::uint64_t(w.attached ? 1 : 0);
+            s[sn::batchesReplayed] = w.report.batchesReplayed;
+            s[sn::entriesReplayed] = w.report.entriesReplayed;
+            s[sn::batchesDiscarded] = w.report.batchesDiscarded;
+            s[sn::walUndone] =
+                std::uint64_t(w.report.walUndone ? 1 : 0);
+            const obs::ShardObs &ob = w.kv->shardObs(0);
+            addLat(s, sn::stageLatNs, ob.stageNs);
+            addLat(s, sn::commitLatNs, ob.commitNs);
+            addLat(s, sn::foldLatNs, ob.foldNs);
+            addLat(s, sn::recoverLatNs, ob.recoverNs);
+            addLat(s, sn::reqQueueNs, w.queueNs);
+            addLat(s, sn::reqCommitWaitNs, w.commitWaitNs);
             shards[std::to_string(w.index)] = std::move(s);
             gets += g;
             muts += m;
@@ -583,8 +653,78 @@ struct Server::Impl
         o[sn::epochsCommitted] = epochs;
         o[sn::folds] = folds;
         o[sn::deadlineCommits] = deadlines;
+        addLat(o, sn::reqParseNs, parseNs);
+        addLat(o, sn::reqAckNs, ackNs);
         o["shard"] = std::move(shards);
         return JsonValue(std::move(o)).render();
+    }
+
+    /**
+     * The METRICS-op body: Prometheus text exposition of the same
+     * counters plus full latency histogram bucket series, labelled
+     * shard="i". Latency metric names rewrite the canonical "_ns"
+     * tail to "_seconds" (Prometheus base units).
+     */
+    std::string
+    metricsTextNow() const
+    {
+        namespace sn = engine::statname;
+        const auto rel = [](const std::atomic<std::uint64_t> &a) {
+            return double(a.load(std::memory_order_relaxed));
+        };
+        const auto promName = [](const char *base) {
+            std::string n = std::string("lp_") + base;
+            if (n.size() >= 3 && n.compare(n.size() - 3, 3, "_ns") == 0)
+                n.replace(n.size() - 3, 3, "_seconds");
+            return n;
+        };
+        obs::MetricsText mt;
+        mt.gauge("lp_connections", "", rel(statConns));
+        mt.counter("lp_accepted", "", rel(statAccepted));
+        mt.counter("lp_retries", "", rel(statRetries));
+        mt.counter("lp_errors", "", rel(statErrs));
+        mt.counter("lp_malformed", "", rel(statMalformed));
+        for (const auto &wp : workers) {
+            const auto &w = *wp;
+            const std::string lab =
+                "shard=\"" + std::to_string(w.index) + "\"";
+            mt.counter(promName(sn::gets), lab, rel(w.statGets));
+            mt.counter(promName(sn::mutations), lab, rel(w.statMuts));
+            mt.counter(promName(sn::acksReleased), lab,
+                       rel(w.statAcks));
+            mt.counter(promName(sn::epochsCommitted), lab,
+                       rel(w.statEpochs));
+            mt.counter(promName(sn::folds), lab, rel(w.statFolds));
+            mt.counter(promName(sn::deadlineCommits), lab,
+                       rel(w.statDeadlineCommits));
+            mt.gauge(promName(sn::committedEpoch), lab,
+                     rel(w.statCommittedEpoch));
+            mt.gauge(promName(sn::queueDepth), lab,
+                     rel(w.statQueueDepth));
+            mt.counter(promName(sn::recoveryAttached), lab,
+                       w.attached ? 1.0 : 0.0);
+            mt.counter(promName(sn::batchesReplayed), lab,
+                       double(w.report.batchesReplayed));
+            mt.counter(promName(sn::entriesReplayed), lab,
+                       double(w.report.entriesReplayed));
+            mt.counter(promName(sn::batchesDiscarded), lab,
+                       double(w.report.batchesDiscarded));
+            mt.counter(promName(sn::walUndone), lab,
+                       w.report.walUndone ? 1.0 : 0.0);
+            const obs::ShardObs &ob = w.kv->shardObs(0);
+            mt.histogramNs(promName(sn::stageLatNs), lab, ob.stageNs);
+            mt.histogramNs(promName(sn::commitLatNs), lab,
+                           ob.commitNs);
+            mt.histogramNs(promName(sn::foldLatNs), lab, ob.foldNs);
+            mt.histogramNs(promName(sn::recoverLatNs), lab,
+                           ob.recoverNs);
+            mt.histogramNs(promName(sn::reqQueueNs), lab, w.queueNs);
+            mt.histogramNs(promName(sn::reqCommitWaitNs), lab,
+                           w.commitWaitNs);
+        }
+        mt.histogramNs(promName(sn::reqParseNs), "", parseNs);
+        mt.histogramNs(promName(sn::reqAckNs), "", ackNs);
+        return mt.str();
     }
 
     /** Dispatch one decoded request (may close the connection). */
@@ -614,6 +754,7 @@ struct Server::Impl
             it.reqId = req.id;
             it.key = req.key;
             it.value = req.value;
+            it.tEnqNs = obs::nowNs();
             enqueue(routeShard(req.key, cfg.shards), std::move(it));
             return;
           }
@@ -637,6 +778,7 @@ struct Server::Impl
             ++c.inflight;
             auto ctx = std::make_shared<BatchCtx>(
                 std::uint32_t(req.batch.size()), c.id, req.id);
+            const std::uint64_t tEnq = obs::nowNs();
             for (const BatchOp &b : req.batch) {
                 OpItem it;
                 it.kind = b.isPut ? OpItem::Kind::Put
@@ -645,6 +787,7 @@ struct Server::Impl
                 it.reqId = req.id;
                 it.key = b.key;
                 it.value = b.value;
+                it.tEnqNs = tEnq;
                 it.batch = ctx;
                 enqueue(routeShard(b.key, cfg.shards), std::move(it));
             }
@@ -655,6 +798,14 @@ struct Server::Impl
             r.status = Status::Ok;
             r.id = req.id;
             r.body = statsJsonNow();
+            localReply(c, std::move(r));
+            return;
+          }
+          case Op::Metrics: {
+            Response r;
+            r.status = Status::Ok;
+            r.id = req.id;
+            r.body = metricsTextNow();
             localReply(c, std::move(r));
             return;
           }
@@ -693,6 +844,7 @@ struct Server::Impl
         while (conns.count(connId)) {
             Request req;
             std::size_t used = 0;
+            const std::uint64_t t0 = obs::nowNs();
             const Decode d = decodeRequest(c.in.data() + at,
                                            c.in.size() - at, used, req);
             if (d == Decode::NeedMore)
@@ -702,6 +854,7 @@ struct Server::Impl
                 closeConn(connId);
                 return;
             }
+            parseNs.record(obs::nowNs() - t0);
             at += used;
             handleRequest(c, req, wantShutdown);
         }
@@ -728,6 +881,7 @@ struct Server::Impl
             Conn c;
             c.fd = fd;
             c.id = nextConnId++;
+            c.tOpenNs = obs::nowNs();
             epollAdd(fd, c.id, EPOLLIN);
             conns.emplace(c.id, std::move(c));
             statAccepted.fetch_add(1, std::memory_order_relaxed);
@@ -752,6 +906,7 @@ struct Server::Impl
             if (c.inflight > 0)
                 --c.inflight;
             encodeResponse(m.resp, c.out);
+            ackNs.record(obs::nowNs() - m.tPostNs);
             touched.push_back(m.connId);
         }
         for (const std::uint64_t id : touched) {
@@ -868,6 +1023,17 @@ struct Server::Impl
                 wp->th.join();
         while (!conns.empty())
             closeConn(conns.begin()->first);
+        // Producers have quiesced (workers joined, acceptor is this
+        // thread): safe to drain the rings and write the trace.
+        if (trace) {
+            if (!trace->writeChromeTrace(cfg.traceOut))
+                warn("lp::server could not write trace file " +
+                     cfg.traceOut);
+            else if (!cfg.quiet)
+                inform("lp::server wrote trace " + cfg.traceOut +
+                       " (" + std::to_string(trace->totalDropped()) +
+                       " events dropped)");
+        }
         finished.store(true, std::memory_order_release);
     }
     /// @}
@@ -898,6 +1064,14 @@ struct Server::Impl
         LP_ASSERT(wakeFd >= 0 && stopFd >= 0 && epfd >= 0,
                   "eventfd/epoll setup failed");
 
+        // Trace rings must exist before worker threads spawn so the
+        // pointers are published by the thread-creation fence.
+        if (!cfg.traceOut.empty()) {
+            trace = std::make_unique<obs::TraceCollector>();
+            acceptRing = trace->ring("acceptor", 1000,
+                                     cfg.traceRingCapacity);
+        }
+
         // Recovery happens on the worker threads, before the port
         // binds: no request can ever observe pre-recovery state.
         workers.reserve(std::size_t(cfg.shards));
@@ -905,6 +1079,10 @@ struct Server::Impl
             auto w = std::make_unique<Worker>();
             w->index = i;
             w->srv = this;
+            if (trace)
+                w->ring = trace->ring("shard-" + std::to_string(i),
+                                      std::uint32_t(i),
+                                      cfg.traceRingCapacity);
             workers.push_back(std::move(w));
         }
         for (auto &wp : workers) {
@@ -1063,6 +1241,12 @@ std::string
 Server::statsJson() const
 {
     return impl->statsJsonNow();
+}
+
+std::string
+Server::metricsText() const
+{
+    return impl->metricsTextNow();
 }
 
 } // namespace lp::server

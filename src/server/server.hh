@@ -91,6 +91,16 @@ struct ServerConfig
 
     /** Suppress the startup/shutdown log lines. */
     bool quiet = false;
+
+    /**
+     * When non-empty, collect trace spans (epoch commits, folds,
+     * recovery, deadline commits, connection lifecycles) and write a
+     * Chrome trace-event JSON file here during shutdown.
+     */
+    std::string traceOut;
+
+    /** Trace ring capacity per traced thread (events; power of 2). */
+    std::size_t traceRingCapacity = 1 << 14;
 };
 
 /** Aggregate of what startup recovery found across all shards. */
@@ -151,6 +161,13 @@ class Server
 
     /** The STATS-op JSON document (callable from any thread). */
     std::string statsJson() const;
+
+    /**
+     * The METRICS-op Prometheus text exposition (callable from any
+     * thread): counters, gauges, recovery counters, and latency
+     * histogram buckets, labelled per shard.
+     */
+    std::string metricsText() const;
 
   private:
     struct Impl;

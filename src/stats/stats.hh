@@ -85,6 +85,30 @@ class Average
 /** A named bag of scalar values, used to diff runs in benches/tests. */
 using Snapshot = std::map<std::string, double>;
 
+/**
+ * Per-key difference @p after - @p before for delta printing.
+ *
+ * Keys that went BACKWARDS are skipped entirely: the emitters only
+ * ever diff monotonic counters, so a negative delta means the source
+ * was reset between snapshots (server restart, stats reset) and any
+ * "delta" would be the nonsense difference of two unrelated epochs --
+ * the unsigned-arithmetic version of this bug printed 2^64-ish
+ * values. Keys new in @p after diff against zero.
+ */
+inline Snapshot
+snapshotDelta(const Snapshot &before, const Snapshot &after)
+{
+    Snapshot delta;
+    for (const auto &[key, now] : after) {
+        const auto it = before.find(key);
+        const double prev = it == before.end() ? 0.0 : it->second;
+        if (now < prev)
+            continue; // counter reset between snapshots
+        delta[key] = now - prev;
+    }
+    return delta;
+}
+
 } // namespace lp::stats
 
 #endif // LP_STATS_STATS_HH

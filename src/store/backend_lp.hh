@@ -53,6 +53,7 @@
 
 #include "ep/pmem_ops.hh"
 #include "lp/keyed_table.hh"
+#include "obs/shard_obs.hh"
 #include "store/backend.hh"
 
 namespace lp::store
@@ -122,6 +123,9 @@ class LpBackend : public PersistencyBackend<Env>
         if (!pl.epochOpen())
             return;
         const std::uint64_t epoch = pl.openEpoch();
+        obs::ShardObs *ob = pl.obs();
+        obs::Span span(obs::ringOf(ob), "epoch_commit", epoch);
+        obs::ScopedTimer timer(ob ? &ob->commitNs : nullptr);
         sh.journal->seal(env, std::uint64_t(pl.stagedOps()), epoch,
                          sh.acc, ckCost());
         const std::uint64_t ckey =
@@ -156,6 +160,9 @@ class LpBackend : public PersistencyBackend<Env>
         LP_ASSERT(!pl.epochOpen(), "fold with an open batch");
         if (sh.journal->tail() == 0)
             return;
+        obs::ShardObs *ob = pl.obs();
+        obs::Span span(obs::ringOf(ob), "fold", pl.lastCommitted());
+        obs::ScopedTimer timer(ob ? &ob->foldNs : nullptr);
         sh.journal->flushAll(env);
         std::vector<std::uintptr_t> blocks;
         for (std::uint64_t e = pl.foldedEpoch() + 1;

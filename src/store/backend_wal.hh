@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ep/wal.hh"
+#include "obs/shard_obs.hh"
 #include "store/backend.hh"
 
 namespace lp::store
@@ -74,6 +75,9 @@ class WalBackend : public PersistencyBackend<Env>
         if (sh.pending.empty())
             return;
         const std::uint64_t epoch = pl.openEpoch();
+        obs::ShardObs *ob = pl.obs();
+        obs::Span span(obs::ringOf(ob), "wal_commit", epoch);
+        obs::ScopedTimer timer(ob ? &ob->commitNs : nullptr);
         struct PlanWrite
         {
             std::uint64_t *ptr;

@@ -52,10 +52,12 @@ sumPipelineCounters(const KvStore<Env> &store)
 
 StoreRunResult
 runStoreYcsb(Backend b, const StoreConfig &scfg, const YcsbParams &p,
-             const sim::MachineConfig &mcfg)
+             const sim::MachineConfig &mcfg,
+             obs::TraceCollector *trace)
 {
     kernels::SimContext ctx(mcfg, storeArenaBytes(scfg));
     KvStore<kernels::SimEnv> store(ctx.arena, scfg, b);
+    attachStoreTrace(store, trace);
     ctx.arena.persistAll();
     kernels::SimEnv env(ctx.machine, ctx.arena, 0);
 
@@ -98,10 +100,12 @@ runStoreYcsb(Backend b, const StoreConfig &scfg, const YcsbParams &p,
 }
 
 NativeRunResult
-runStoreNative(Backend b, const StoreConfig &scfg, const YcsbParams &p)
+runStoreNative(Backend b, const StoreConfig &scfg, const YcsbParams &p,
+               obs::TraceCollector *trace)
 {
     pmem::PersistentArena arena(storeArenaBytes(scfg));
     KvStore<kernels::NativeEnv> store(arena, scfg, b);
+    attachStoreTrace(store, trace);
     arena.persistAll();
     kernels::NativeEnv env;
 
@@ -116,18 +120,30 @@ runStoreNative(Backend b, const StoreConfig &scfg, const YcsbParams &p)
     out.reads = c.reads;
     out.mutations = c.mutations;
     out.verified = mapsEqual(store.snapshot(), golden);
+
+    obs::Histogram stage, commit, fold;
+    for (int s = 0; s < scfg.shards; ++s) {
+        stage.merge(store.shardObs(s).stageNs);
+        commit.merge(store.shardObs(s).commitNs);
+        fold.merge(store.shardObs(s).foldNs);
+    }
+    out.stageLat = stage.summary();
+    out.commitLat = commit.summary();
+    out.foldLat = fold.summary();
     return out;
 }
 
 StoreCrashOutcome
 runStoreWithCrash(Backend b, const StoreConfig &scfg,
                   const StoreCrashSpec &spec,
-                  const sim::MachineConfig &mcfg)
+                  const sim::MachineConfig &mcfg,
+                  obs::TraceCollector *trace)
 {
     using kernels::SimEnv;
 
     kernels::SimContext ctx(mcfg, storeArenaBytes(scfg));
     KvStore<SimEnv> store(ctx.arena, scfg, b);
+    attachStoreTrace(store, trace);
     ctx.arena.persistAll();
     SimEnv env(ctx.machine, ctx.arena, 0, &ctx.crash);
 
@@ -199,6 +215,8 @@ runStoreWithCrash(Backend b, const StoreConfig &scfg,
         ctx.sched.clear();
         ctx.machine.loseVolatileState();
         ctx.arena.crashRestore();
+        obs::traceInstant(store.shardObs(0).ring, "crash",
+                          spec.point);
         out.report = store.recover(env);
 
         if (b == Backend::EagerPerOp) {

@@ -11,8 +11,10 @@
 #define LP_STORE_DRIVER_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
+#include "obs/trace.hh"
 #include "sim/config.hh"
 #include "stats/stats.hh"
 #include "store/kv_store.hh"
@@ -112,10 +114,34 @@ struct StoreRunResult
     bool verified = false;
 };
 
-/** Load + mix on the simulated machine. */
+/**
+ * Give every shard of @p store a trace ring registered on @p tc
+ * (tracks "shard-0"...), so epoch commits, folds, and recovery emit
+ * spans. No-op when @p tc is null.
+ */
+template <typename Env>
+void
+attachStoreTrace(KvStore<Env> &store, obs::TraceCollector *tc,
+                 std::size_t ringCapacity = 16384)
+{
+    if (tc == nullptr)
+        return;
+    for (int s = 0; s < store.config().shards; ++s)
+        store.attachTraceRing(
+            s, tc->ring("shard-" + std::to_string(s),
+                        std::uint32_t(s), ringCapacity));
+}
+
+/**
+ * Load + mix on the simulated machine. With @p trace, every shard
+ * emits spans into the collector (timestamps are host wall-clock:
+ * structure and ordering are faithful, durations include simulation
+ * overhead).
+ */
 StoreRunResult runStoreYcsb(Backend b, const StoreConfig &scfg,
                             const YcsbParams &p,
-                            const sim::MachineConfig &mcfg);
+                            const sim::MachineConfig &mcfg,
+                            obs::TraceCollector *trace = nullptr);
 
 /** Result of the native (NativeEnv) run of the same phases. */
 struct NativeRunResult
@@ -124,11 +150,22 @@ struct NativeRunResult
     std::uint64_t reads = 0;
     std::uint64_t mutations = 0;
     bool verified = false;
+
+    /**
+     * Wall-clock latency percentiles merged over shards, from the
+     * always-on obs::Histogram instrumentation (load + mix phases).
+     * stageLat is per-mutation and includes any commit/fold the
+     * mutation triggered, so its tail is the fold-pause story.
+     */
+    obs::Histogram::Summary stageLat;
+    obs::Histogram::Summary commitLat;
+    obs::Histogram::Summary foldLat;
 };
 
-/** Load + mix natively: same templated code, no instrumentation. */
+/** Load + mix natively: same templated code, native wall-clock. */
 NativeRunResult runStoreNative(Backend b, const StoreConfig &scfg,
-                               const YcsbParams &p);
+                               const YcsbParams &p,
+                               obs::TraceCollector *trace = nullptr);
 
 /** One crash-injection run. */
 struct StoreCrashSpec
@@ -163,10 +200,14 @@ struct StoreCrashOutcome
  * verify the committed prefix, then keep going and verify again.
  * If the crash point lies beyond the run, the run just completes
  * (outcome.crashed == false) and the final check still applies.
+ * With @p trace, the pre-crash epochs/folds and the recovery-phase
+ * spans ("recover_shard") land in the collector.
  */
 StoreCrashOutcome runStoreWithCrash(Backend b, const StoreConfig &scfg,
                                     const StoreCrashSpec &spec,
-                                    const sim::MachineConfig &mcfg);
+                                    const sim::MachineConfig &mcfg,
+                                    obs::TraceCollector *trace =
+                                        nullptr);
 
 } // namespace lp::store
 

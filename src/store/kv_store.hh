@@ -39,6 +39,7 @@
 #define LP_STORE_KV_STORE_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -47,6 +48,7 @@
 
 #include "base/logging.hh"
 #include "engine/commit_pipeline.hh"
+#include "obs/shard_obs.hh"
 #include "pmem/arena.hh"
 #include "store/backends.hh"
 
@@ -88,6 +90,13 @@ class KvStore
         pipelines_.reserve(std::size_t(cfg.shards));
         for (int i = 0; i < cfg.shards; ++i)
             pipelines_.emplace_back(commitPolicyFor(backend, cfg));
+        // Per-shard observability bundles (deque: histograms are
+        // fixed-size non-copyable blocks that must never relocate).
+        for (int i = 0; i < cfg.shards; ++i) {
+            obs_.emplace_back();
+            pipelines_[std::size_t(i)].attachObs(
+                &obs_[std::size_t(i)]);
+        }
         owners_.resize(std::size_t(cfg.shards));
         const StoreContext<Env> ctx{&arena, &cfg_, &table_,
                                     &pipelines_};
@@ -113,6 +122,35 @@ class KvStore
     pipeline(int shard) const
     {
         return pipelines_[std::size_t(shard)];
+    }
+
+    /**
+     * One shard's latency histograms (always recording) and trace
+     * ring. Histograms follow the obs::Histogram concurrency
+     * contract: any thread may read them while the shard's owner
+     * records (the server's acceptor does, for STATS/METRICS).
+     */
+    obs::ShardObs &
+    shardObs(int shard)
+    {
+        return obs_[std::size_t(shard)];
+    }
+
+    const obs::ShardObs &
+    shardObs(int shard) const
+    {
+        return obs_[std::size_t(shard)];
+    }
+
+    /**
+     * Route shard @p shard's trace spans (epoch commits, folds,
+     * recovery) to @p ring; null detaches. The ring must outlive
+     * this store.
+     */
+    void
+    attachTraceRing(int shard, obs::TraceRing *ring)
+    {
+        obs_[std::size_t(shard)].ring = ring;
     }
 
     /** Durable (shadow) epoch watermark of one shard. */
@@ -207,6 +245,10 @@ class KvStore
         rep.committedEpochs.assign(std::size_t(cfg_.shards), 0);
         for (int s = 0; s < cfg_.shards; ++s) {
             rebindShardOwner(s);
+            obs::ShardObs &ob = obs_[std::size_t(s)];
+            obs::Span span(ob.ring, "recover_shard",
+                           std::uint64_t(s));
+            obs::ScopedTimer timer(ob.recoverNs);
             backend_->recover(env, s, rep);
         }
         table_.resyncUsed();
@@ -299,6 +341,10 @@ class KvStore
         LP_ASSERT(key <= maxUserKey, "key in reserved sentinel range");
         const int sh = shardIndex(key);
         checkShardOwner(sh);
+        // Per-mutation latency: includes any epoch commit or fold
+        // stage() triggers, so the histogram tail is exactly the
+        // fold-pause story the paper's Figure 10 argues about.
+        obs::ScopedTimer timer(obs_[std::size_t(sh)].stageNs);
         return backend_->stage(env, sh, op, key, value);
     }
 
@@ -306,6 +352,7 @@ class KvStore
     Backend backendKind_;
     SlotTable<Env> table_;
     std::vector<engine::CommitPipeline> pipelines_;
+    std::deque<obs::ShardObs> obs_;  // stable addresses (attached)
     std::unique_ptr<PersistencyBackend<Env>> backend_;
     std::vector<std::thread::id> owners_;  // debug owner binding
 };

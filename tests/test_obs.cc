@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Unit tests for the lp::obs observability primitives: the log-linear
+ * latency histogram (record/merge/percentile error bound, overflow
+ * bucket, allocation-free record path), the SPSC trace ring
+ * (wraparound drop accounting, concurrent producer/drainer), the
+ * Chrome trace-event writer, and the Prometheus exposition
+ * builder/parser round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+// ---------------------------------------------------------------------
+// Counting global allocator: the spec for the histogram/trace record
+// paths is "no allocation"; these overrides let tests assert that
+// directly instead of trusting the implementation comments.
+// ---------------------------------------------------------------------
+
+namespace
+{
+std::atomic<std::size_t> g_allocCount{0};
+}
+
+// GCC pattern-matches free() inside replacement deletes against the
+// replacement new and reports a mismatch it can't actually see into.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void *
+operator new(std::size_t n)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+#pragma GCC diagnostic pop
+
+namespace lp::obs
+{
+namespace
+{
+
+/** Deterministic 64-bit mix (splitmix64) for reproducible samples. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+TEST(Histogram, ExactInLinearRegion)
+{
+    Histogram h;
+    for (std::uint64_t v = 0; v < 64; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 64u);
+    for (std::uint64_t v = 0; v < 64; ++v)
+        EXPECT_EQ(h.bucketCount(std::size_t(v)), 1u);
+    // Midpoint reconstruction in the linear region is v + 0.5.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.5);
+}
+
+TEST(Histogram, BucketBoundsTileTheRange)
+{
+    // Every bucket's range must start exactly where the previous one
+    // ended, the last bucket must end at maxTrackable()+1, and a value
+    // recorded at a bucket's lower edge must land in that bucket.
+    for (std::size_t i = 1; i < Histogram::kBuckets; ++i) {
+        ASSERT_EQ(Histogram::bucketLower(i),
+                  Histogram::bucketLower(i - 1) +
+                      Histogram::bucketWidth(i - 1))
+            << "gap/overlap at bucket " << i;
+    }
+    const std::size_t last = Histogram::kBuckets - 1;
+    EXPECT_EQ(Histogram::bucketLower(last) + Histogram::bucketWidth(last),
+              Histogram::maxTrackable() + 1);
+    for (std::size_t i = 0; i < Histogram::kBuckets; i += 37) {
+        Histogram h;
+        h.record(Histogram::bucketLower(i));
+        EXPECT_EQ(h.bucketCount(i), 1u) << "bucket " << i;
+    }
+}
+
+TEST(Histogram, PercentileWithinRelativeErrorBound)
+{
+    // Property test: log-uniform samples over [2^7, 2^41); every
+    // reported percentile must reconstruct the exact nearest-rank
+    // sample within the documented 2.5% relative error budget (the
+    // octave layout's worst case is 1/64 = 1.5625%). Samples stay
+    // above the linear region, where "relative" error is the claim;
+    // sub-64ns values are exact-bucketed instead.
+    Histogram h;
+    std::vector<std::uint64_t> samples;
+    const std::size_t n = 20000;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t r = mix64(i);
+        const int bits = 7 + int(r % 34);
+        const std::uint64_t v =
+            (std::uint64_t(1) << bits) | (mix64(r) >> (64 - bits));
+        samples.push_back(v);
+        h.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double p :
+         {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999}) {
+        // Same nearest-rank formula percentile() uses.
+        std::uint64_t target =
+            static_cast<std::uint64_t>(p * double(n) + 0.5);
+        target =
+            std::max<std::uint64_t>(1, std::min<std::uint64_t>(target, n));
+        const double exact = double(samples[target - 1]);
+        const double est = h.percentile(p);
+        EXPECT_LE(std::abs(est - exact) / exact, 0.025)
+            << "p=" << p << " exact=" << exact << " est=" << est;
+    }
+}
+
+TEST(Histogram, MergeEqualsRecordingEverythingInOne)
+{
+    Histogram a, b, all;
+    for (std::size_t i = 0; i < 5000; ++i) {
+        const std::uint64_t v = mix64(i) % (1u << 20);
+        (i % 2 ? a : b).record(v);
+        all.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.sum(), all.sum());
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+        ASSERT_EQ(a.bucketCount(i), all.bucketCount(i)) << "bucket " << i;
+    EXPECT_DOUBLE_EQ(a.percentile(0.99), all.percentile(0.99));
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h;
+    h.record(Histogram::maxTrackable());     // still tracked
+    h.record(Histogram::maxTrackable() + 1); // overflow
+    h.record(~std::uint64_t(0));             // overflow
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.overflow(), 2u);
+    // A percentile that lands in the overflow saturates at the
+    // trackable maximum rather than inventing a value.
+    EXPECT_DOUBLE_EQ(h.percentile(0.999),
+                     double(Histogram::maxTrackable()));
+}
+
+TEST(Histogram, RecordPathDoesNotAllocate)
+{
+    Histogram h;
+    const std::size_t before = g_allocCount.load(std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        h.record(i * 1337);
+    {
+        ScopedTimer t(h);
+    }
+    {
+        ScopedTimer t(static_cast<Histogram *>(nullptr));
+    }
+    const std::size_t after = g_allocCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before);
+    EXPECT_EQ(h.count(), 10001u);
+}
+
+TEST(TraceRing, CapacityRoundsUpAndWraparoundCountsDrops)
+{
+    TraceRing ring(10); // rounds up to 16
+    EXPECT_EQ(ring.capacity(), 16u);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        ring.push(TraceEvent{"e", 0, i, 0, i});
+    EXPECT_EQ(ring.dropped(), 4u);
+    TraceEvent e;
+    std::uint64_t popped = 0;
+    while (ring.pop(e)) {
+        EXPECT_EQ(e.arg, popped); // oldest events survive, in order
+        ++popped;
+    }
+    EXPECT_EQ(popped, 16u);
+    // Space freed by the drain is usable again.
+    EXPECT_TRUE(ring.push(TraceEvent{"e", 0, 99, 0, 99}));
+    EXPECT_EQ(ring.dropped(), 4u);
+}
+
+TEST(TraceRing, PushPathDoesNotAllocate)
+{
+    TraceRing ring(64);
+    const std::size_t before = g_allocCount.load(std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        TraceEvent e;
+        ring.pop(e);
+        ring.push(TraceEvent{"hot", 1, i, 2, i});
+        traceInstant(&ring, "instant", i);
+        Span span(&ring, "span", i);
+    }
+    const std::size_t after = g_allocCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before);
+}
+
+TEST(TraceRing, ConcurrentProducerDrainerConservesEvents)
+{
+    TraceRing ring(128);
+    constexpr std::uint64_t kPushes = 200000;
+    std::atomic<bool> done{false};
+    std::uint64_t drained = 0;
+    std::uint64_t lastArg = 0;
+    bool ordered = true;
+
+    std::thread consumer([&] {
+        TraceEvent e;
+        for (;;) {
+            if (ring.pop(e)) {
+                ++drained;
+                if (e.arg <= lastArg)
+                    ordered = false; // FIFO must never reorder
+                lastArg = e.arg;
+            } else if (done.load(std::memory_order_acquire)) {
+                while (ring.pop(e)) {
+                    ++drained;
+                    if (e.arg <= lastArg)
+                        ordered = false;
+                    lastArg = e.arg;
+                }
+                break;
+            }
+        }
+    });
+    for (std::uint64_t i = 1; i <= kPushes; ++i)
+        ring.push(TraceEvent{"p", 0, i, 0, i});
+    done.store(true, std::memory_order_release);
+    consumer.join();
+
+    EXPECT_TRUE(ordered);
+    EXPECT_EQ(drained + ring.dropped(), kPushes);
+    EXPECT_GT(drained, 0u);
+}
+
+TEST(TraceCollector, WritesChromeTraceJson)
+{
+    TraceCollector tc;
+    TraceRing *r0 = tc.ring("shard-0", 0, 64);
+    TraceRing *r1 = tc.ring("acceptor", 1000, 64);
+    // Explicit durations: a Span around trivial work can legally
+    // round to 0ns and degrade to an instant event.
+    r0->push(TraceEvent{"epoch_commit", r0->tid(), nowNs(), 5000, 7});
+    traceInstant(r1, "crash", 42);
+
+    char path[] = "/tmp/lp-obs-trace-XXXXXX";
+    const int fd = mkstemp(path);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+    ASSERT_TRUE(tc.writeChromeTrace(path));
+
+    std::FILE *f = std::fopen(path, "r");
+    ASSERT_NE(f, nullptr);
+    std::string text(1 << 16, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), f));
+    std::fclose(f);
+    std::remove(path);
+
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("thread_name"), std::string::npos);
+    EXPECT_NE(text.find("shard-0"), std::string::npos);
+    EXPECT_NE(text.find("acceptor"), std::string::npos);
+    EXPECT_NE(text.find("\"epoch_commit\""), std::string::npos);
+    EXPECT_NE(text.find("\"crash\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(text.find("\"dropped_shard-0\": 0"), std::string::npos);
+    EXPECT_EQ(tc.totalDropped(), 0u);
+}
+
+/** Pull the `le` series of one `_bucket` metric out of a snapshot. */
+std::map<double, double>
+bucketSeries(const stats::Snapshot &snap, const std::string &prefix)
+{
+    std::map<double, double> out;
+    for (const auto &[key, v] : snap) {
+        if (key.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        const std::string le =
+            key.substr(prefix.size(),
+                       key.size() - prefix.size() - 2); // strip `"}`
+        out[le == "+Inf" ? std::numeric_limits<double>::infinity()
+                         : std::strtod(le.c_str(), nullptr)] = v;
+    }
+    return out;
+}
+
+TEST(Metrics, HistogramExpositionInvariants)
+{
+    Histogram h;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        h.record(100 + (mix64(i) % 100000));
+    MetricsText mt;
+    mt.histogramNs("lp_commit_lat_seconds", "shard=\"0\"", h);
+    const std::string &text = mt.str();
+    EXPECT_NE(text.find("# TYPE lp_commit_lat_seconds histogram"),
+              std::string::npos);
+
+    stats::Snapshot snap;
+    ASSERT_TRUE(parseExposition(text, snap));
+    // +Inf bucket == _count == what we recorded.
+    EXPECT_DOUBLE_EQ(
+        snap.at(
+            "lp_commit_lat_seconds_bucket{shard=\"0\",le=\"+Inf\"}"),
+        1000.0);
+    EXPECT_DOUBLE_EQ(snap.at("lp_commit_lat_seconds_count{shard=\"0\"}"),
+                     1000.0);
+    // Cumulative buckets are nondecreasing in le order (numeric
+    // order -- the snapshot's string order interleaves exponents).
+    const auto buckets = bucketSeries(
+        snap, "lp_commit_lat_seconds_bucket{shard=\"0\",le=\"");
+    ASSERT_GE(buckets.size(), 2u);
+    double prev = 0.0;
+    for (const auto &[le, cum] : buckets) {
+        EXPECT_GE(cum, prev) << "le=" << le;
+        prev = cum;
+    }
+    EXPECT_DOUBLE_EQ(prev, 1000.0);
+    // The sum is in seconds: the recorded ns total scaled by 1e-9.
+    EXPECT_NEAR(snap.at("lp_commit_lat_seconds_sum{shard=\"0\"}"),
+                double(h.sum()) / 1e9, 1e-12 * double(h.sum()));
+    // The bucket series reproduces the histogram's own percentile
+    // within one octave (le bounds are powers of two in seconds).
+    const double q99 = quantileFromBuckets(buckets, 0.99);
+    const double direct = h.percentile(0.99) / 1e9;
+    EXPECT_GE(q99, direct / 2.0);
+    EXPECT_LE(q99, direct * 2.0);
+}
+
+TEST(Metrics, CountersGaugesRoundTripAndTypeOnce)
+{
+    MetricsText mt;
+    mt.counter("lp_gets", "shard=\"0\"", 5);
+    mt.counter("lp_gets", "shard=\"1\"", 7);
+    mt.gauge("lp_queue_depth", "", 3);
+    const std::string &text = mt.str();
+    // One # TYPE line per metric name, not per sample.
+    EXPECT_EQ(text.find("# TYPE lp_gets counter"),
+              text.rfind("# TYPE lp_gets counter"));
+
+    stats::Snapshot snap;
+    ASSERT_TRUE(parseExposition(text, snap));
+    EXPECT_DOUBLE_EQ(snap.at("lp_gets{shard=\"0\"}"), 5.0);
+    EXPECT_DOUBLE_EQ(snap.at("lp_gets{shard=\"1\"}"), 7.0);
+    EXPECT_DOUBLE_EQ(snap.at("lp_queue_depth"), 3.0);
+}
+
+TEST(Metrics, ParseRejectsMalformedLinesButKeepsGoing)
+{
+    stats::Snapshot snap;
+    EXPECT_FALSE(parseExposition("ok 1\nnot-a-sample\nalso 2\n", snap));
+    EXPECT_DOUBLE_EQ(snap.at("ok"), 1.0);
+    EXPECT_DOUBLE_EQ(snap.at("also"), 2.0);
+    EXPECT_FALSE(parseExposition("name notanumber\n", snap));
+}
+
+TEST(Metrics, QuantileFromBuckets)
+{
+    // 100 samples: 50 at <=0.001, 40 more at <=0.01, 10 in +Inf.
+    std::map<double, double> b;
+    b[0.001] = 50;
+    b[0.01] = 90;
+    b[std::numeric_limits<double>::infinity()] = 100;
+    EXPECT_DOUBLE_EQ(quantileFromBuckets(b, 0.50), 0.001);
+    EXPECT_DOUBLE_EQ(quantileFromBuckets(b, 0.90), 0.01);
+    // Quantiles past the last finite bound clamp to it.
+    EXPECT_DOUBLE_EQ(quantileFromBuckets(b, 0.99), 0.01);
+    EXPECT_DOUBLE_EQ(quantileFromBuckets({}, 0.5), 0.0);
+}
+
+} // namespace
+} // namespace lp::obs

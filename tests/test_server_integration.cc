@@ -38,8 +38,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "server/client.hh"
 #include "server/server.hh"
+#include "stats/stats.hh"
 #include "store/layout.hh"
 
 using namespace lp;
@@ -327,6 +329,12 @@ TEST_P(ServerCrash, AckedMutationsSurviveSigkill)
     const auto sr = c3.stats(20000);
     ASSERT_TRUE(sr && sr->status == Status::Ok);
     EXPECT_NE(sr->body.find("\"backend\""), std::string::npos);
+    // This incarnation recovered from an image, and says so: the
+    // per-shard recovery counters ride along in the stats report.
+    EXPECT_NE(sr->body.find("\"recovery_attached\":1"),
+              std::string::npos);
+    EXPECT_NE(sr->body.find("\"batches_replayed\""),
+              std::string::npos);
 
     // ...and shut down gracefully on the SHUTDOWN op.
     const auto down = c3.shutdownServer(20000);
@@ -459,6 +467,102 @@ TEST(ServerBasic, BackpressureRepliesRetry)
     // so at least total-4 requests must have been pushed back.
     EXPECT_GE(retry, total - 4);
     EXPECT_EQ(ok, total - retry);
+
+    c.close();
+    srv.stop();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServerBasic, MetricsScrapeUnderLoad)
+{
+    const std::string dir = makeTempDir();
+    ASSERT_FALSE(dir.empty());
+    ServerConfig cfg;
+    cfg.dataDir = dir;
+    cfg.shards = 2;
+    cfg.quiet = true;
+    Server srv(cfg);
+    srv.start();
+
+    Client c;
+    ASSERT_TRUE(c.connectTo("127.0.0.1", srv.port()));
+
+    // Known op mix, every op acked before the scrape, so the counters
+    // are exact: 100 mutations, 50 reads.
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        const auto r = c.put(k, k * 3, 10000);
+        ASSERT_TRUE(r && r->status == Status::Ok);
+    }
+    for (std::uint64_t k = 0; k < 50; ++k) {
+        const auto r = c.get(k, 10000);
+        ASSERT_TRUE(r && r->status == Status::Ok);
+    }
+
+    const auto scrape = [&](stats::Snapshot &snap) {
+        const auto r = c.metrics(10000);
+        ASSERT_TRUE(r.has_value());
+        ASSERT_EQ(r->status, Status::Ok);
+        ASSERT_FALSE(r->body.empty());
+        EXPECT_TRUE(obs::parseExposition(r->body, snap))
+            << "exposition did not parse:\n"
+            << r->body;
+    };
+
+    stats::Snapshot s1;
+    scrape(s1);
+
+    const auto shardSum = [](const stats::Snapshot &snap,
+                             const std::string &name) {
+        double sum = 0.0;
+        for (int shard = 0;; ++shard) {
+            const auto it = snap.find(name + "{shard=\"" +
+                                      std::to_string(shard) + "\"}");
+            if (it == snap.end())
+                return sum;
+            sum += it->second;
+        }
+    };
+    EXPECT_DOUBLE_EQ(shardSum(s1, "lp_mutations"), 100.0);
+    EXPECT_DOUBLE_EQ(shardSum(s1, "lp_gets"), 50.0);
+    EXPECT_GE(s1.at("lp_connections"), 1.0);
+
+    // Histogram integrity: every mutation waited for its commit, so
+    // the commit-wait histograms across shards account for exactly
+    // the 100 acks, and each +Inf bucket equals its _count.
+    double waitCount = 0.0;
+    for (int shard = 0; shard < cfg.shards; ++shard) {
+        const std::string lab =
+            "{shard=\"" + std::to_string(shard) + "\"}";
+        const std::string inf = "lp_req_commit_wait_seconds_bucket"
+                                "{shard=\"" +
+                                std::to_string(shard) +
+                                "\",le=\"+Inf\"}";
+        const double cnt =
+            s1.at("lp_req_commit_wait_seconds_count" + lab);
+        EXPECT_DOUBLE_EQ(s1.at(inf), cnt) << "shard " << shard;
+        waitCount += cnt;
+    }
+    EXPECT_DOUBLE_EQ(waitCount, 100.0);
+
+    // More load, then a second scrape: every counter-like series
+    // (everything except the point-in-time gauges) must be monotonic,
+    // and the mutation delta must equal the ops issued in between.
+    for (std::uint64_t k = 0; k < 40; ++k) {
+        const auto r = c.put(200 + k, k, 10000);
+        ASSERT_TRUE(r && r->status == Status::Ok);
+    }
+    stats::Snapshot s2;
+    scrape(s2);
+    for (const auto &[key, v1] : s1) {
+        if (key.find("lp_connections") == 0 ||
+            key.find("lp_queue_depth") == 0 ||
+            key.find("lp_committed_epoch") == 0)
+            continue;
+        const auto it = s2.find(key);
+        ASSERT_NE(it, s2.end()) << key << " vanished between scrapes";
+        EXPECT_GE(it->second, v1) << key << " went backwards";
+    }
+    EXPECT_DOUBLE_EQ(shardSum(s2, "lp_mutations"), 140.0);
 
     c.close();
     srv.stop();

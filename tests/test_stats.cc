@@ -48,6 +48,35 @@ TEST(Average, MeanOfSamples)
     EXPECT_DOUBLE_EQ(a.sum(), 12.0);
 }
 
+TEST(SnapshotDelta, DiffsAndNewKeysAgainstZero)
+{
+    Snapshot before{{"a", 10.0}, {"b", 5.0}};
+    Snapshot after{{"a", 12.0}, {"b", 5.0}, {"c", 3.0}};
+    const Snapshot d = snapshotDelta(before, after);
+    EXPECT_DOUBLE_EQ(d.at("a"), 2.0);
+    EXPECT_DOUBLE_EQ(d.at("b"), 0.0);
+    EXPECT_DOUBLE_EQ(d.at("c"), 3.0);  // new key diffs against zero
+}
+
+TEST(SnapshotDelta, SkipsCountersThatWentBackwards)
+{
+    // A counter lower than before means the source was reset between
+    // snapshots (server restart); any "delta" would be nonsense, and
+    // the unsigned version of this bug printed 2^64-ish values.
+    Snapshot before{{"reset", 100.0}, {"alive", 7.0}};
+    Snapshot after{{"reset", 2.0}, {"alive", 9.0}};
+    const Snapshot d = snapshotDelta(before, after);
+    EXPECT_EQ(d.count("reset"), 0u);
+    EXPECT_DOUBLE_EQ(d.at("alive"), 2.0);
+}
+
+TEST(SnapshotDelta, KeysOnlyInBeforeAreDropped)
+{
+    Snapshot before{{"gone", 4.0}};
+    Snapshot after{};
+    EXPECT_TRUE(snapshotDelta(before, after).empty());
+}
+
 TEST(Table, Formatters)
 {
     EXPECT_EQ(Table::num(1.23456, 2), "1.23");

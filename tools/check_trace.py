@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file written by obs::TraceCollector.
+
+Checks that the file is well-formed JSON in the trace-event "JSON
+object format" (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+i.e. loadable by Perfetto / chrome://tracing:
+
+  * top level is an object with a "traceEvents" list
+  * every event has string "ph" and "name", integer "pid"/"tid"
+  * complete ("X") events carry numeric "ts" and "dur" >= 0
+  * instant ("i") events carry numeric "ts"
+  * metadata ("M") thread_name records exist for every tid that emits
+    events (the collector writes one per registered ring)
+
+With --require NAME (repeatable), additionally asserts that at least
+one non-metadata event with that exact name is present -- CI uses this
+to prove e.g. that a recovery run actually produced recovery-phase
+spans.
+
+Exit status: 0 on success, 1 on any violation (with a message on
+stderr).
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require at least one event with this name (repeatable)",
+    )
+    ap.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="minimum number of non-metadata events (default 1)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+
+    named_tids = set()
+    emitting_tids = set()
+    seen_names = set()
+    n_real = 0
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"event {i} is not an object")
+        ph = e.get("ph")
+        name = e.get("name")
+        if not isinstance(ph, str) or not isinstance(name, str):
+            fail(f"event {i} lacks string ph/name: {e}")
+        if not isinstance(e.get("pid"), int) or not isinstance(
+            e.get("tid"), int
+        ):
+            fail(f"event {i} lacks integer pid/tid: {e}")
+        if ph == "M":
+            if name == "thread_name":
+                named_tids.add(e["tid"])
+            continue
+        n_real += 1
+        emitting_tids.add(e["tid"])
+        seen_names.add(name)
+        if not isinstance(e.get("ts"), (int, float)):
+            fail(f"event {i} ({name}) lacks numeric ts")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event {i} ({name}) lacks numeric dur >= 0")
+        elif ph != "i":
+            fail(f"event {i} has unexpected phase {ph!r}")
+
+    unnamed = emitting_tids - named_tids
+    if unnamed:
+        fail(f"tids {sorted(unnamed)} emit events but have no "
+             "thread_name metadata")
+    if n_real < args.min_events:
+        fail(f"only {n_real} events, expected >= {args.min_events}")
+    missing = [r for r in args.require if r not in seen_names]
+    if missing:
+        fail(f"required event names missing: {missing} "
+             f"(present: {sorted(seen_names)})")
+
+    print(
+        f"check_trace: OK: {args.trace}: {n_real} events on "
+        f"{len(emitting_tids)} tracks, "
+        f"{len(seen_names)} distinct names"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -21,17 +21,31 @@
  * file-backed shards (see docs/server_design.md):
  *   lazyper_cli serve --data-dir /tmp/lpdb --port 7070 --shards 4
  *   lazyper_cli serve --data-dir /tmp/lpdb --backend wal
+ *
+ * The `top` subcommand polls a live server's METRICS op and renders a
+ * refreshing per-shard table (docs/observability.md):
+ *   lazyper_cli top --data-dir /tmp/lpdb
+ *   lazyper_cli top --port 7070 --interval-ms 500
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "base/logging.hh"
 #include "kernels/harness.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "server/client.hh"
 #include "server/server.hh"
 #include "stats/json.hh"
+#include "stats/table.hh"
 #include "store/driver.hh"
 
 using namespace lp;
@@ -61,8 +75,10 @@ usage(const char *argv0)
         "  --crash-at P      crash at P%% of the LP store stream,\n"
         "                    recover, resume, verify (default off)\n"
         "  --json            emit the full stats snapshot as JSON\n"
-        "or: %s store ...   (persistent KV store; see `%s store -h`)\n",
-        argv0, argv0, argv0);
+        "or: %s store ...   (persistent KV store; see `%s store -h`)\n"
+        "or: %s serve ...   (network front-end; see `%s serve -h`)\n"
+        "or: %s top ...     (live server metrics; see `%s top -h`)\n",
+        argv0, argv0, argv0, argv0, argv0, argv0, argv0);
     std::exit(2);
 }
 
@@ -132,6 +148,8 @@ storeUsage(const char *argv0)
         "  --crash-at N    crash after N persistent stores, recover,\n"
         "                  verify against the committed-batch replay\n"
         "  --crash-regions N   same, but after N region commits\n"
+        "  --trace-out F   write a Chrome trace-event JSON (epoch\n"
+        "                  commits, folds, recovery spans) to F\n"
         "  --json          emit the result as JSON\n",
         argv0);
     std::exit(2);
@@ -156,6 +174,9 @@ serveUsage(const char *argv0)
         "  --max-inflight N   per-connection backpressure "
         "(default 256)\n"
         "  --max-conns N      connection cap         (default 256)\n"
+        "  --trace-out F   write a Chrome trace-event JSON (epoch\n"
+        "                  commits, folds, recovery, connection\n"
+        "                  lifecycles) to F at shutdown\n"
         "  --quiet\n"
         "Runs until SIGINT/SIGTERM or a SHUTDOWN op; on shutdown every\n"
         "shard is checkpointed (eager fold) before the process exits.\n",
@@ -203,6 +224,8 @@ runServeCommand(int argc, char **argv)
                 std::uint32_t(std::atoi(next().c_str()));
         } else if (arg == "--max-conns") {
             cfg.maxConns = std::atoi(next().c_str());
+        } else if (arg == "--trace-out") {
+            cfg.traceOut = next();
         } else if (arg == "--quiet") {
             cfg.quiet = true;
         } else {
@@ -228,6 +251,7 @@ runStoreCommand(int argc, char **argv)
     std::int64_t crash_at = -1;
     bool crash_regions = false;
     bool json = false;
+    std::string traceOut;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -266,6 +290,8 @@ runStoreCommand(int argc, char **argv)
         } else if (arg == "--crash-regions") {
             crash_at = std::atoll(next().c_str());
             crash_regions = true;
+        } else if (arg == "--trace-out") {
+            traceOut = next();
         } else if (arg == "--json") {
             json = true;
         } else {
@@ -286,6 +312,18 @@ runStoreCommand(int argc, char **argv)
                 scfg.batchOps, scfg.foldBatches,
                 core::checksumKindName(scfg.checksum).c_str());
 
+    std::unique_ptr<obs::TraceCollector> trace;
+    if (!traceOut.empty())
+        trace = std::make_unique<obs::TraceCollector>();
+    const auto writeTrace = [&] {
+        if (!trace)
+            return;
+        if (trace->writeChromeTrace(traceOut))
+            inform("wrote trace " + traceOut);
+        else
+            warn("could not write trace file " + traceOut);
+    };
+
     if (crash_at >= 0) {
         StoreCrashSpec spec;
         spec.records = p.records;
@@ -294,7 +332,7 @@ runStoreCommand(int argc, char **argv)
         spec.point = static_cast<std::uint64_t>(crash_at);
         spec.seed = p.seed;
         const auto out =
-            runStoreWithCrash(backend, scfg, spec, mcfg);
+            runStoreWithCrash(backend, scfg, spec, mcfg, trace.get());
         std::printf(
             "crash after %lld %s: %s\n",
             static_cast<long long>(crash_at),
@@ -315,10 +353,12 @@ runStoreCommand(int argc, char **argv)
         std::printf("committed state: %s   final state: %s\n",
                     out.committedStateVerified ? "verified" : "WRONG",
                     out.finalStateVerified ? "verified" : "WRONG");
+        writeTrace();
         return ok ? 0 : 1;
     }
 
-    const auto out = runStoreYcsb(backend, scfg, p, mcfg);
+    const auto out = runStoreYcsb(backend, scfg, p, mcfg, trace.get());
+    writeTrace();
     if (json) {
         stats::JsonValue::Object obj = stats::toJson(out.stats);
         obj.emplace("backend", backendName(backend));
@@ -345,6 +385,184 @@ runStoreCommand(int argc, char **argv)
     return out.verified ? 0 : 1;
 }
 
+[[noreturn]] void
+topUsage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s top [options]\n"
+        "  --host H        server address          (default 127.0.0.1)\n"
+        "  --port P        server port; when 0, read --data-dir/PORT\n"
+        "  --data-dir D    directory with the PORT file (default ./lpdb)\n"
+        "  --interval-ms M refresh period          (default 1000)\n"
+        "  --count N       frames to render, 0 = until the server\n"
+        "                  goes away               (default 0)\n"
+        "  --no-clear      append frames instead of clearing the screen\n"
+        "Scrapes the METRICS op each interval and shows per-shard op\n"
+        "rates plus latency percentiles computed from the interval's\n"
+        "histogram bucket deltas. The first frame shows totals since\n"
+        "server start.\n",
+        argv0);
+    std::exit(2);
+}
+
+/**
+ * Collect the `<name>_bucket{...}` series of one histogram from a
+ * parsed exposition: le bound -> cumulative count. @p shard empty
+ * selects the unlabelled series.
+ */
+std::map<double, double>
+bucketSeries(const stats::Snapshot &snap, const std::string &name,
+             const std::string &shard)
+{
+    const std::string prefix =
+        shard.empty()
+            ? name + "_bucket{le=\""
+            : name + "_bucket{shard=\"" + shard + "\",le=\"";
+    std::map<double, double> out;
+    for (auto it = snap.lower_bound(prefix);
+         it != snap.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+        const char *s = it->first.c_str() + prefix.size();
+        const double le =
+            std::strncmp(s, "+Inf", 4) == 0
+                ? std::numeric_limits<double>::infinity()
+                : std::strtod(s, nullptr);
+        out[le] = it->second;
+    }
+    return out;
+}
+
+int
+runTopCommand(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    std::string dataDir = "./lpdb";
+    int port = 0;
+    int intervalMs = 1000;
+    int count = 0;
+    bool noClear = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                topUsage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            host = next();
+        } else if (arg == "--port") {
+            port = std::atoi(next().c_str());
+        } else if (arg == "--data-dir") {
+            dataDir = next();
+        } else if (arg == "--interval-ms") {
+            intervalMs = std::atoi(next().c_str());
+        } else if (arg == "--count") {
+            count = std::atoi(next().c_str());
+        } else if (arg == "--no-clear") {
+            noClear = true;
+        } else {
+            topUsage(argv[0]);
+        }
+    }
+
+    if (port == 0) {
+        port = server::waitForPortFile(dataDir, 2000);
+        if (port == 0)
+            fatal("no PORT file in " + dataDir +
+                  "; pass --port or --data-dir");
+    }
+    server::Client cli;
+    if (!cli.connectTo(host, port))
+        fatal("cannot connect to " + host + ":" +
+              std::to_string(port));
+
+    const auto scalar = [](const stats::Snapshot &s,
+                           const std::string &key) {
+        const auto it = s.find(key);
+        return it == s.end() ? 0.0 : it->second;
+    };
+
+    stats::Snapshot prev;
+    for (int frame = 0; count == 0 || frame < count; ++frame) {
+        if (frame > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(intervalMs));
+        const auto resp = cli.metrics(5000);
+        if (!resp || resp->status != server::Status::Ok) {
+            std::fprintf(stderr, "lp top: server went away\n");
+            return frame > 0 ? 0 : 1;
+        }
+        stats::Snapshot snap;
+        if (!obs::parseExposition(resp->body, snap))
+            fatal("unparseable METRICS exposition");
+
+        // Interval deltas of the monotonic counters (and histogram
+        // buckets); the first frame diffs against empty = totals.
+        const stats::Snapshot d = stats::snapshotDelta(prev, snap);
+        const double secs =
+            frame == 0 ? 1.0 : double(intervalMs) / 1000.0;
+
+        if (!noClear)
+            std::printf("\033[H\033[2J");
+        std::printf("lp top -- %s:%d   conns=%g accepted=%g "
+                    "retries=%g errors=%g   (%s)\n",
+                    host.c_str(), port,
+                    scalar(snap, "lp_connections"),
+                    scalar(snap, "lp_accepted"),
+                    scalar(snap, "lp_retries"),
+                    scalar(snap, "lp_errors"),
+                    frame == 0 ? "totals since start"
+                               : "per-second rates");
+        stats::Table t({"shard", "get/s", "mut/s", "epoch/s",
+                        "fold/s", "dlc/s", "qdepth", "epoch",
+                        "commit p99", "qwait p99", "cwait p99"});
+        const auto us = [](double seconds) {
+            return stats::Table::num(seconds * 1e6, 1) + "us";
+        };
+        for (int sIdx = 0;; ++sIdx) {
+            const std::string sh = std::to_string(sIdx);
+            const std::string lab = "{shard=\"" + sh + "\"}";
+            if (snap.find("lp_gets" + lab) == snap.end())
+                break;
+            t.addRow(
+                {sh,
+                 stats::Table::num(scalar(d, "lp_gets" + lab) / secs,
+                                   0),
+                 stats::Table::num(
+                     scalar(d, "lp_mutations" + lab) / secs, 0),
+                 stats::Table::num(
+                     scalar(d, "lp_epochs_committed" + lab) / secs,
+                     0),
+                 stats::Table::num(scalar(d, "lp_folds" + lab) / secs,
+                                   0),
+                 stats::Table::num(
+                     scalar(d, "lp_deadline_commits" + lab) / secs,
+                     0),
+                 stats::Table::num(
+                     scalar(snap, "lp_queue_depth" + lab), 0),
+                 stats::Table::num(
+                     scalar(snap, "lp_committed_epoch" + lab), 0),
+                 us(obs::quantileFromBuckets(
+                     bucketSeries(d, "lp_commit_lat_seconds", sh),
+                     0.99)),
+                 us(obs::quantileFromBuckets(
+                     bucketSeries(d, "lp_req_queue_seconds", sh),
+                     0.99)),
+                 us(obs::quantileFromBuckets(
+                     bucketSeries(d, "lp_req_commit_wait_seconds",
+                                  sh),
+                     0.99))});
+        }
+        t.print();
+        std::fflush(stdout);
+        prev = std::move(snap);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -354,6 +572,8 @@ main(int argc, char **argv)
         return runStoreCommand(argc, argv);
     if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
         return runServeCommand(argc, argv);
+    if (argc >= 2 && std::strcmp(argv[1], "top") == 0)
+        return runTopCommand(argc, argv);
 
     KernelId kernel = KernelId::Tmm;
     Scheme scheme = Scheme::Lp;

@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Protocol-level smoke load for a running lp::server, used by CI.
+
+Speaks the binary wire protocol directly (little-endian u32 frame
+length, then u8 op + u64 id + op payload) from plain Python, so the
+server is exercised by an independent implementation rather than its
+own client library.
+
+What it does:
+
+  1. PUTs --records keys, then GETs them back and checks the values.
+  2. Scrapes METRICS, validating the Prometheus exposition shape.
+  3. Runs another round of PUTs.
+  4. Scrapes METRICS again and checks that every counter/bucket/sum
+     series is monotonically nondecreasing across the two scrapes,
+     that the per-shard lp_mutations delta equals the second-round op
+     count, and that each histogram's +Inf bucket equals its _count.
+  5. With --shutdown, sends SHUTDOWN and expects an Ok reply.
+
+The port is read from --port, or from the DATA_DIR/PORT file the
+server publishes (--data-dir).
+
+Exit status: 0 on success, 1 on any protocol or invariant violation.
+"""
+
+import argparse
+import socket
+import struct
+import sys
+import time
+
+OP_GET = 1
+OP_PUT = 2
+OP_DEL = 3
+OP_STATS = 5
+OP_SHUTDOWN = 6
+OP_METRICS = 7
+
+ST_OK = 0
+ST_RETRY = 2
+
+_next_id = 0
+
+
+def fail(msg: str) -> None:
+    print(f"smoke_load: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fresh_id() -> int:
+    global _next_id
+    _next_id += 1
+    return _next_id
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(struct.pack("<I", len(payload)) + payload)
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            fail("server closed the connection mid-frame")
+        buf += chunk
+    return buf
+
+
+def recv_response(sock: socket.socket):
+    """Returns (status, id, value_or_None, body_bytes)."""
+    (length,) = struct.unpack("<I", recv_exact(sock, 4))
+    if length < 9 or length > 1 << 20:
+        fail(f"bad response frame length {length}")
+    payload = recv_exact(sock, length)
+    status = payload[0]
+    (rid,) = struct.unpack("<Q", payload[1:9])
+    if length == 17 and status == ST_OK:
+        (value,) = struct.unpack("<Q", payload[9:17])
+        return status, rid, value, b""
+    return status, rid, None, payload[9:]
+
+
+def rpc(sock: socket.socket, payload: bytes):
+    send_frame(sock, payload)
+    return recv_response(sock)
+
+
+def op_put(sock, key: int, value: int) -> None:
+    rid = fresh_id()
+    st, got, _, _ = rpc(
+        sock, struct.pack("<BQQQ", OP_PUT, rid, key, value)
+    )
+    while st == ST_RETRY:  # backpressure: retry the same op
+        time.sleep(0.005)
+        st, got, _, _ = rpc(
+            sock, struct.pack("<BQQQ", OP_PUT, rid, key, value)
+        )
+    if st != ST_OK or got != rid:
+        fail(f"PUT({key}) -> status {st}, id {got} (want {rid})")
+
+
+def op_get(sock, key: int) -> int:
+    rid = fresh_id()
+    st, got, value, _ = rpc(sock, struct.pack("<BQQ", OP_GET, rid, key))
+    if st != ST_OK or got != rid or value is None:
+        fail(f"GET({key}) -> status {st}, value {value}")
+    return value
+
+
+def scrape(sock) -> dict:
+    rid = fresh_id()
+    st, got, _, body = rpc(sock, struct.pack("<BQ", OP_METRICS, rid))
+    if st != ST_OK or got != rid or not body:
+        fail(f"METRICS -> status {st}, {len(body)} body bytes")
+    snap = {}
+    for line in body.decode("utf-8").splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, val = line.rpartition(" ")
+        if not key:
+            fail(f"unparseable exposition line: {line!r}")
+        try:
+            snap[key] = float(val)
+        except ValueError:
+            fail(f"non-numeric sample in line: {line!r}")
+    if not snap:
+        fail("METRICS exposition contained no samples")
+    return snap
+
+
+GAUGES = ("lp_connections", "lp_queue_depth", "lp_committed_epoch")
+
+
+def check_monotonic(s1: dict, s2: dict) -> None:
+    for key, v1 in s1.items():
+        if key.startswith(GAUGES):
+            continue
+        if key not in s2:
+            fail(f"{key} vanished between scrapes")
+        if s2[key] < v1:
+            fail(f"{key} went backwards: {v1} -> {s2[key]}")
+
+
+def shard_sum(snap: dict, name: str) -> float:
+    return sum(
+        v
+        for k, v in snap.items()
+        if k.startswith(name + "{shard=")
+    )
+
+
+def check_histograms(snap: dict) -> None:
+    n_checked = 0
+    for k, v in snap.items():
+        if 'le="+Inf"' not in k:
+            continue
+        # lp_x_bucket{labels,le="+Inf"} must equal lp_x_count{labels}.
+        base, _, labels = k.partition("{")
+        labels = labels.rstrip("}")
+        rest = ",".join(
+            p for p in labels.split(",") if not p.startswith("le=")
+        )
+        ckey = base[: -len("_bucket")] + "_count" + (
+            "{" + rest + "}" if rest else ""
+        )
+        if ckey not in snap:
+            fail(f"histogram {base} has +Inf bucket but no _count")
+        if v != snap[ckey]:
+            fail(f"{k} = {v} but {ckey} = {snap[ckey]}")
+        n_checked += 1
+    if n_checked == 0:
+        fail("no histogram series found in exposition")
+
+
+def read_port(data_dir: str, timeout_s: float) -> int:
+    deadline = time.time() + timeout_s
+    path = f"{data_dir}/PORT"
+    while time.time() < deadline:
+        try:
+            with open(path, "r", encoding="ascii") as f:
+                text = f.read().strip()
+            if text:
+                return int(text)
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.05)
+    fail(f"no port published at {path} within {timeout_s}s")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=0)
+    ap.add_argument("--data-dir", default="./lpdb")
+    ap.add_argument("--records", type=int, default=256)
+    ap.add_argument("--seconds", type=float, default=3.0,
+                    help="keep issuing load for this long (round 1)")
+    ap.add_argument("--shutdown", action="store_true",
+                    help="send SHUTDOWN after the checks")
+    args = ap.parse_args()
+
+    port = args.port or read_port(args.data_dir, 30.0)
+    sock = socket.create_connection((args.host, port), timeout=30.0)
+    sock.settimeout(30.0)
+
+    # Round 1: load + verify readback, for at least --seconds.
+    deadline = time.time() + args.seconds
+    rounds = 0
+    while rounds == 0 or time.time() < deadline:
+        for k in range(args.records):
+            op_put(sock, k, rounds * args.records + k * 7)
+        rounds += 1
+    for k in range(args.records):
+        got = op_get(sock, k)
+        want = (rounds - 1) * args.records + k * 7
+        if got != want:
+            fail(f"GET({k}) = {got}, want {want}")
+
+    s1 = scrape(sock)
+    check_histograms(s1)
+    muts1 = shard_sum(s1, "lp_mutations")
+    if muts1 < rounds * args.records:
+        fail(f"lp_mutations {muts1} < ops issued "
+             f"{rounds * args.records}")
+
+    # Round 2: fixed op count, then delta checks.
+    extra = 128
+    for k in range(extra):
+        op_put(sock, 1_000_000 + k, k)
+    s2 = scrape(sock)
+    check_monotonic(s1, s2)
+    check_histograms(s2)
+    muts2 = shard_sum(s2, "lp_mutations")
+    if muts2 - muts1 != extra:
+        fail(f"lp_mutations delta {muts2 - muts1}, want {extra}")
+
+    if args.shutdown:
+        rid = fresh_id()
+        st, got, _, _ = rpc(
+            sock, struct.pack("<BQ", OP_SHUTDOWN, rid)
+        )
+        if st != ST_OK or got != rid:
+            fail(f"SHUTDOWN -> status {st}")
+    sock.close()
+    print(
+        f"smoke_load: OK: {rounds * args.records + extra} mutations, "
+        f"{args.records} readbacks, 2 scrapes "
+        f"({len(s2)} series, monotonic)"
+    )
+
+
+if __name__ == "__main__":
+    main()
