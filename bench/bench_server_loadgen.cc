@@ -63,9 +63,13 @@ using Clock = std::chrono::steady_clock;
 /** What one client connection observed during a mix. */
 struct ClientResult
 {
-    obs::Histogram latNs;  ///< send-to-reply, completed ops only
+    obs::Histogram latNs;      ///< send-to-reply, completed ops only
+    obs::Histogram scanLatNs;  ///< SCAN subset of latNs (YCSB-E)
+    obs::Histogram scanLen;    ///< records per completed scan
     std::uint64_t reads = 0;
     std::uint64_t updates = 0;
+    std::uint64_t scans = 0;   ///< SCAN frames issued
+    std::uint64_t scanned = 0; ///< records returned across scans
     std::uint64_t retries = 0;
     std::uint64_t errors = 0;
 };
@@ -81,7 +85,13 @@ runClient(Client &c, const YcsbParams &p, std::uint64_t rngSeed,
 {
     Rng rng(rngSeed * 0x9e3779b97f4a7c15ull + 1);
     ZipfianGen zipf(p.records < 2 ? 2 : p.records, p.theta);
-    std::unordered_map<std::uint64_t, Clock::time_point> inflight;
+
+    struct Pending
+    {
+        Clock::time_point t0;
+        bool isScan;
+    };
+    std::unordered_map<std::uint64_t, Pending> inflight;
 
     auto recvOne = [&]() -> bool {
         const auto r = c.recvResponse(30000);
@@ -97,32 +107,73 @@ runClient(Client &c, const YcsbParams &p, std::uint64_t rngSeed,
         if (r->status == Status::Retry) {
             ++out.retries;
         } else {
-            const auto ns = std::chrono::duration_cast<
-                std::chrono::nanoseconds>(Clock::now() - it->second);
-            out.latNs.record(std::uint64_t(ns.count()));
+            const auto ns = std::uint64_t(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - it->second.t0)
+                    .count());
+            out.latNs.record(ns);
+            if (it->second.isScan) {
+                out.scanLatNs.record(ns);
+                std::vector<ScanRecord> recs;
+                if (r->status == Status::Ok &&
+                    decodeScanBody(r->body, recs)) {
+                    out.scanned += recs.size();
+                    out.scanLen.record(recs.size());
+                    for (std::size_t i = 1; i < recs.size(); ++i)
+                        if (recs[i].key <= recs[i - 1].key)
+                            ++out.errors;  // scan out of order
+                } else {
+                    ++out.errors;
+                }
+            }
         }
         inflight.erase(it);
         return true;
     };
 
+    // E inserts fresh keys; disjoint id ranges per client keep the
+    // growing key space collision-free across connections.
+    std::uint64_t insertSeq =
+        p.records + (rngSeed - 1) * kOpsPerClient;
+
     std::size_t sent = 0;
     while (sent < kOpsPerClient || !inflight.empty()) {
         if (sent < kOpsPerClient && inflight.size() < kWindow) {
-            const bool read = rng.chance(readFraction(p.mix));
-            const std::uint64_t rank =
-                p.zipfian ? zipf.next(rng) : rng.below(p.records);
             Request q;
             q.id = c.nextId();
-            q.key = keyOfRecord(rank % p.records, kKeySeed);
-            if (read) {
-                q.op = Op::Get;
-                ++out.reads;
+            bool isScan = false;
+            if (p.mix == YcsbMix::E) {
+                if (rng.chance(scanFraction(p.mix))) {
+                    const std::uint64_t rank =
+                        p.zipfian ? zipf.next(rng)
+                                  : rng.below(p.records);
+                    q.op = Op::Scan;
+                    q.key = keyOfRecord(rank % p.records, kKeySeed);
+                    q.limit = std::uint32_t(
+                        1 + rng.below(p.maxScanLen));
+                    isScan = true;
+                    ++out.scans;
+                } else {
+                    q.op = Op::Put;
+                    q.key = keyOfRecord(insertSeq++, kKeySeed);
+                    q.value = (rngSeed << 32) ^ sent;
+                    ++out.updates;
+                }
             } else {
-                q.op = Op::Put;
-                q.value = (rngSeed << 32) ^ sent;
-                ++out.updates;
+                const bool read = rng.chance(readFraction(p.mix));
+                const std::uint64_t rank =
+                    p.zipfian ? zipf.next(rng) : rng.below(p.records);
+                q.key = keyOfRecord(rank % p.records, kKeySeed);
+                if (read) {
+                    q.op = Op::Get;
+                    ++out.reads;
+                } else {
+                    q.op = Op::Put;
+                    q.value = (rngSeed << 32) ^ sent;
+                    ++out.updates;
+                }
             }
-            inflight.emplace(q.id, Clock::now());
+            inflight.emplace(q.id, Pending{Clock::now(), isScan});
             if (!c.sendRequest(q)) {
                 ++out.errors;
                 break;
@@ -209,9 +260,14 @@ main(int argc, char **argv)
 
         stats::Table table({std::string("backend ") + backendName(b),
                             "ops", "Kops/s", "p50 us", "p99 us",
-                            "p999 us", "retries"});
+                            "p999 us", "scan p99 us", "retries"});
         stats::JsonValue::Object perMix;
-        for (YcsbMix mix : bench::kYcsbMixes) {
+        // A/B/C plus E: the SCAN protocol op under the same pipelined
+        // closed loop (95% scans over the loaded set, 5% inserts of
+        // fresh keys).
+        const YcsbMix mixes[] = {YcsbMix::A, YcsbMix::B, YcsbMix::C,
+                                 YcsbMix::E};
+        for (YcsbMix mix : mixes) {
             YcsbParams p;
             p.records = kRecords;
             p.mix = mix;
@@ -239,17 +295,23 @@ main(int argc, char **argv)
             for (auto &c : conns)
                 c->close();
 
-            obs::Histogram lat;
-            std::uint64_t reads = 0, updates = 0, retries = 0,
-                          errors = 0;
+            obs::Histogram lat, scanLat, scanLen;
+            std::uint64_t reads = 0, updates = 0, scans = 0,
+                          scanned = 0, retries = 0, errors = 0;
             for (const ClientResult &r : results) {
                 lat.merge(r.latNs);
+                scanLat.merge(r.scanLatNs);
+                scanLen.merge(r.scanLen);
                 reads += r.reads;
                 updates += r.updates;
+                scans += r.scans;
+                scanned += r.scanned;
                 retries += r.retries;
                 errors += r.errors;
             }
             const obs::Histogram::Summary sm = lat.summary();
+            const obs::Histogram::Summary scanSm = scanLat.summary();
+            const obs::Histogram::Summary lenSm = scanLen.summary();
             const double secs =
                 std::chrono::duration<double>(t1 - t0).count();
             const double opsPerSec =
@@ -264,6 +326,10 @@ main(int argc, char **argv)
                           stats::Table::num(sm.p50Ns / 1e3, 1),
                           stats::Table::num(sm.p99Ns / 1e3, 1),
                           stats::Table::num(sm.p999Ns / 1e3, 1),
+                          mix == YcsbMix::E
+                              ? stats::Table::num(scanSm.p99Ns / 1e3,
+                                                  1)
+                              : std::string("-"),
                           stats::Table::num(double(retries), 0)});
 
             stats::JsonValue::Object entry;
@@ -278,6 +344,14 @@ main(int argc, char **argv)
             entry.emplace("p99_us", sm.p99Ns / 1e3);
             entry.emplace("p999_us", sm.p999Ns / 1e3);
             entry.emplace("wall_seconds", secs);
+            if (mix == YcsbMix::E) {
+                entry.emplace("scans", double(scans));
+                entry.emplace("scanned", double(scanned));
+                entry.emplace("scan_p50_us", scanSm.p50Ns / 1e3);
+                entry.emplace("scan_p99_us", scanSm.p99Ns / 1e3);
+                entry.emplace("scan_p999_us", scanSm.p999Ns / 1e3);
+                entry.emplace("scan_len_mean", lenSm.meanNs);
+            }
             perMix.emplace(mixName(mix), std::move(entry));
         }
         table.print();

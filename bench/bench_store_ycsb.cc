@@ -132,6 +132,61 @@ main(int argc, char **argv)
         }
     }
 
+    // YCSB-E: 95% short range scans / 5% inserts, served by the
+    // lp::index ordered skiplist over the journal backends. Scans
+    // resolve every key through get(), so the simulated cost scales
+    // with records touched; the op count is kept below the A/B/C
+    // grid's to bound run time. Every scan is verified inline against
+    // the golden map (ascending keys, matching values).
+    {
+        YcsbParams pe = base;
+        pe.mix = YcsbMix::E;
+        pe.ops = 4096;
+        pe.maxScanLen = 50;
+        const StoreConfig sce = cfgFor(pe);
+        for (bool zipf : dists) {
+            YcsbParams p = pe;
+            p.zipfian = zipf;
+            const std::string label =
+                std::string("E") + (zipf ? "/zipf" : "/unif");
+            stats::Table table({"mix " + label, "scans", "recs/scan",
+                                "exec cycles", "Kops/s",
+                                "writes/mut"});
+            stats::JsonValue::Object grid;
+            for (Backend b : bench::kStoreBackends) {
+                const auto out = runStoreYcsb(b, sce, p, mcfg);
+                all_verified = all_verified && out.verified;
+                table.addRow(
+                    {backendName(b),
+                     stats::Table::num(double(out.scans), 0),
+                     stats::Table::num(
+                         out.scans == 0 ? 0.0
+                                        : double(out.scanned) /
+                                              double(out.scans),
+                         1),
+                     stats::Table::num(out.execCycles, 0),
+                     stats::Table::num(out.opsPerSec / 1e3, 1),
+                     stats::Table::num(out.writesPerMutation, 3)});
+
+                stats::JsonValue::Object entry =
+                    stats::toJson(out.stats);
+                entry.emplace("ops_per_sec", out.opsPerSec);
+                entry.emplace("writes_per_mutation",
+                              out.writesPerMutation);
+                entry.emplace(engine::statname::mutations,
+                              out.mutations);
+                entry.emplace(engine::statname::scans, out.scans);
+                entry.emplace("scanned", out.scanned);
+                entry.emplace("verified", out.verified);
+                grid.emplace(backendName(b), std::move(entry));
+            }
+            table.print();
+            std::printf("\n");
+            root.emplace(std::string(zipf ? "zipf_E" : "unif_E"),
+                         std::move(grid));
+        }
+    }
+
     // Uniform mix B scaling study. At 16K ops the mix yields only
     // ~800 mutations over 4096 records, so no key repeats inside the
     // fold window and LP pays journal + table against eager's table
@@ -237,6 +292,96 @@ main(int argc, char **argv)
         table.print();
         std::printf("\n");
         root.emplace("native_latency", std::move(lat));
+    }
+
+    // Native YCSB-E scan latency per backend: whole-scan wall-clock
+    // percentiles from the always-on scanNs histogram, plus the
+    // realized scan-length distribution. The backend decides how much
+    // staged state get() must consult per key, so scan tails follow
+    // the same LP-vs-eager story as point ops.
+    {
+        stats::Table table({"native E (zipf)", "scans", "len mean",
+                            "scan p50", "scan p99", "scan p999"});
+        const auto us = [](double ns) {
+            return stats::Table::num(ns / 1e3, 2) + "us";
+        };
+        stats::JsonValue::Object lat;
+        YcsbParams p = base;
+        p.mix = YcsbMix::E;
+        for (Backend b : bench::kStoreBackends) {
+            const auto out = runStoreNative(b, scfg, p);
+            all_verified = all_verified && out.verified;
+            table.addRow({backendName(b),
+                          stats::Table::num(double(out.scans), 0),
+                          stats::Table::num(out.scanLen.meanNs, 1),
+                          us(out.scanLat.p50Ns),
+                          us(out.scanLat.p99Ns),
+                          us(out.scanLat.p999Ns)});
+
+            stats::JsonValue::Object entry;
+            entry.emplace("seconds", out.seconds);
+            entry.emplace(engine::statname::scans, out.scans);
+            entry.emplace("verified", out.verified);
+            const auto putLat =
+                [&entry](const char *key,
+                         const obs::Histogram::Summary &s) {
+                    const std::string k(key);
+                    entry.emplace(k + "_count", double(s.count));
+                    entry.emplace(k + "_mean", s.meanNs);
+                    entry.emplace(k + "_p50", s.p50Ns);
+                    entry.emplace(k + "_p90", s.p90Ns);
+                    entry.emplace(k + "_p99", s.p99Ns);
+                    entry.emplace(k + "_p999", s.p999Ns);
+                };
+            putLat(engine::statname::scanLatNs, out.scanLat);
+            putLat(engine::statname::scanLen, out.scanLen);
+            lat.emplace(backendName(b), std::move(entry));
+        }
+        table.print();
+        std::printf("\n");
+        root.emplace("native_latency_E", std::move(lat));
+    }
+
+    // Scan-length sensitivity (LP backend, native): scan latency is
+    // expected to grow linearly in the records resolved -- the
+    // skiplist walk is O(log n) to seek, then O(len) gets -- so p50
+    // should track maxScanLen/2 and p99 close to maxScanLen.
+    {
+        stats::Table table({"lp scan-len sweep", "len mean",
+                            "scan p50", "scan p99", "scans/s"});
+        const auto us = [](double ns) {
+            return stats::Table::num(ns / 1e3, 2) + "us";
+        };
+        stats::JsonValue::Object sweep;
+        for (std::size_t maxLen : {std::size_t(16), std::size_t(100),
+                                   std::size_t(400)}) {
+            YcsbParams p = base;
+            p.mix = YcsbMix::E;
+            p.maxScanLen = maxLen;
+            const auto out = runStoreNative(Backend::Lp, scfg, p);
+            all_verified = all_verified && out.verified;
+            table.addRow(
+                {"maxScanLen " + std::to_string(maxLen),
+                 stats::Table::num(out.scanLen.meanNs, 1),
+                 us(out.scanLat.p50Ns), us(out.scanLat.p99Ns),
+                 stats::Table::num(out.seconds == 0.0
+                                       ? 0.0
+                                       : double(out.scans) /
+                                             out.seconds,
+                                   0)});
+
+            stats::JsonValue::Object entry;
+            entry.emplace("max_scan_len", double(maxLen));
+            entry.emplace("scan_len_mean", out.scanLen.meanNs);
+            entry.emplace("scan_lat_ns_p50", out.scanLat.p50Ns);
+            entry.emplace("scan_lat_ns_p99", out.scanLat.p99Ns);
+            entry.emplace(engine::statname::scans, out.scans);
+            sweep.emplace("max_len_" + std::to_string(maxLen),
+                          std::move(entry));
+        }
+        table.print();
+        std::printf("\n");
+        root.emplace("scan_len_sensitivity", std::move(sweep));
     }
 
     if (!bench::writeJsonReport(argc, argv, "BENCH_store.json", root))

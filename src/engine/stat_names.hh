@@ -43,6 +43,15 @@ inline constexpr const char *gets = "gets";
 /** Mutations (put/del) applied. */
 inline constexpr const char *mutations = "mutations";
 
+/** Range scans served (SCAN protocol op / KvStore::scan). */
+inline constexpr const char *scans = "scans";
+
+/** Live keys in the shard's ordered index (gauge). */
+inline constexpr const char *indexEntries = "index_entries";
+
+/** Resident bytes of the shard's ordered index, limbo included. */
+inline constexpr const char *indexBytes = "index_bytes";
+
 /// @name Latency histogram base keys (obs::Histogram, nanoseconds).
 /// Emitters append percentile suffixes ("_p50".."_p999") in JSON and
 /// rewrite the "_ns" tail to "_seconds" for Prometheus exposition.
@@ -71,6 +80,16 @@ inline constexpr const char *reqCommitWaitNs = "req_commit_wait_ns";
 
 /** Server: reply posted by a worker until encoded for the socket. */
 inline constexpr const char *reqAckNs = "req_ack_ns";
+
+/** KvStore::scan(): whole-scan latency (index walk + value reads). */
+inline constexpr const char *scanLatNs = "scan_lat_ns";
+
+/**
+ * Records returned per scan. Same histogram machinery as the latency
+ * keys (count/percentile suffixes), but the samples are record
+ * counts, not nanoseconds -- hence no "_ns" tail.
+ */
+inline constexpr const char *scanLen = "scan_len";
 /// @}
 
 /// @name Per-shard recovery counters (store::RecoveryReport).

@@ -30,6 +30,8 @@ struct ShardObs
     Histogram commitNs;  ///< backend commitEpoch() duration
     Histogram foldNs;    ///< backend fold / checkpoint duration
     Histogram recoverNs; ///< backend recover() duration
+    Histogram scanNs;    ///< whole-scan latency (index + value reads)
+    Histogram scanLen;   ///< records returned per scan (a count, not ns)
 
     TraceRing *ring = nullptr; ///< null = tracing off for this shard
 };

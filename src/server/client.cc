@@ -197,6 +197,25 @@ Client::metrics(int timeoutMs)
     return roundTrip(r, timeoutMs);
 }
 
+std::optional<std::vector<ScanRecord>>
+Client::scan(std::uint64_t start, std::uint32_t limit, int timeoutMs)
+{
+    Request r;
+    r.op = Op::Scan;
+    r.id = nextId();
+    r.key = start;
+    r.limit = limit;
+    const auto resp = roundTrip(r, timeoutMs);
+    if (!resp || resp->status != Status::Ok)
+        return std::nullopt;
+    std::vector<ScanRecord> records;
+    if (!decodeScanBody(resp->body, records)) {
+        close();
+        return std::nullopt;
+    }
+    return records;
+}
+
 std::optional<Response>
 Client::shutdownServer(int timeoutMs)
 {

@@ -67,6 +67,16 @@ class Client
     std::optional<Response> stats(int timeoutMs = -1);
     std::optional<Response> metrics(int timeoutMs = -1);
     std::optional<Response> shutdownServer(int timeoutMs = -1);
+
+    /**
+     * SCAN: up to @p limit records with key >= @p start, ascending.
+     * nullopt on transport error, a non-Ok status (e.g. Retry under
+     * backpressure), or a malformed body -- the last also closes the
+     * connection, matching the malformed-frame contract.
+     */
+    std::optional<std::vector<ScanRecord>> scan(std::uint64_t start,
+                                                std::uint32_t limit,
+                                                int timeoutMs = -1);
     /// @}
 
   private:

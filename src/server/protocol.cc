@@ -104,6 +104,10 @@ encodeRequest(const Request &r, std::vector<std::uint8_t> &out)
                 put64(out, b.value);
         }
         break;
+      case Op::Scan:
+        put64(out, r.key);
+        put32(out, r.limit);
+        break;
       case Op::Stats:
       case Op::Shutdown:
       case Op::Metrics:
@@ -184,6 +188,17 @@ decodeRequest(const std::uint8_t *buf, std::size_t n,
             return Decode::Malformed;  // trailing garbage
         return Decode::Ok;
       }
+      case Op::Scan:
+        if (len != 21)
+            return Decode::Malformed;
+        out.key = get64(p + 9);
+        out.limit = get32(p + 17);
+        // A zero limit asks for nothing and a huge one asks for more
+        // than any response frame may carry: both are protocol
+        // violations, rejected here so the server never sees them.
+        if (out.limit == 0 || out.limit > maxScanRecords)
+            return Decode::Malformed;
+        return Decode::Ok;
       case Op::Stats:
       case Op::Shutdown:
       case Op::Metrics:
@@ -220,6 +235,41 @@ decodeResponse(const std::uint8_t *buf, std::size_t n,
         out.body.assign(reinterpret_cast<const char *>(p + 9), len - 9);
     }
     return Decode::Ok;
+}
+
+std::string
+encodeScanBody(const std::vector<ScanRecord> &records)
+{
+    std::vector<std::uint8_t> buf;
+    buf.reserve(4 + 16 * records.size());
+    put32(buf, static_cast<std::uint32_t>(records.size()));
+    for (const ScanRecord &r : records) {
+        put64(buf, r.key);
+        put64(buf, r.value);
+    }
+    return std::string(reinterpret_cast<const char *>(buf.data()),
+                       buf.size());
+}
+
+bool
+decodeScanBody(const std::string &body, std::vector<ScanRecord> &out)
+{
+    out.clear();
+    if (body.size() < 4)
+        return false;
+    const auto *p = reinterpret_cast<const std::uint8_t *>(body.data());
+    const std::uint32_t count = get32(p);
+    if (count > maxScanRecords ||
+        body.size() != 4 + std::size_t(count) * 16)
+        return false;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        ScanRecord r;
+        r.key = get64(p + 4 + std::size_t(i) * 16);
+        r.value = get64(p + 4 + std::size_t(i) * 16 + 8);
+        out.push_back(r);
+    }
+    return true;
 }
 
 std::string

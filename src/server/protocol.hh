@@ -22,11 +22,17 @@
  *   STATS    op=5  --                               (len 9)
  *   SHUTDOWN op=6  --                               (len 9)
  *   METRICS  op=7  --                               (len 9)
+ *   SCAN     op=8  u64 start_key, u32 limit         (len 21)
+ *                  limit must be in [1, maxScanRecords]; anything
+ *                  else is Malformed at decode time
  *
  * Responses:
  *   status=0 Ok        GET carries u64 value; STATS carries a JSON
  *                      text body; METRICS carries a Prometheus text
- *                      exposition body; PUT/DEL/BATCH/SHUTDOWN carry
+ *                      exposition body; SCAN carries a binary body of
+ *                      u32 count then count x {u64 key, u64 value}
+ *                      records in ascending key order (decode with
+ *                      decodeScanBody); PUT/DEL/BATCH/SHUTDOWN carry
  *                      nothing
  *   status=1 NotFound  GET miss (no value)
  *   status=2 Retry     connection over its in-flight budget; resend
@@ -63,6 +69,7 @@ enum class Op : std::uint8_t
     Stats = 5,
     Shutdown = 6,
     Metrics = 7,
+    Scan = 8,
 };
 
 /** Response status codes. */
@@ -80,6 +87,14 @@ inline constexpr std::size_t maxFrameBytes = 1u << 20;
 /** Largest accepted BATCH op count. */
 inline constexpr std::size_t maxBatchOps = 4096;
 
+/**
+ * Largest accepted SCAN limit (and largest record count a SCAN
+ * response body may carry). 4096 records = 64KiB of body, well under
+ * maxFrameBytes; a larger range is paged by re-issuing from the last
+ * key returned.
+ */
+inline constexpr std::size_t maxScanRecords = 4096;
+
 /** One mutation inside a BATCH request. */
 struct BatchOp
 {
@@ -88,13 +103,21 @@ struct BatchOp
     std::uint64_t value;  ///< meaningful only when isPut
 };
 
+/** One key/value record inside a SCAN response body. */
+struct ScanRecord
+{
+    std::uint64_t key;
+    std::uint64_t value;
+};
+
 /** A decoded request. */
 struct Request
 {
     Op op = Op::Get;
     std::uint64_t id = 0;
-    std::uint64_t key = 0;
+    std::uint64_t key = 0;       ///< GET/PUT/DEL key; SCAN start_key
     std::uint64_t value = 0;
+    std::uint32_t limit = 0;     ///< SCAN only
     std::vector<BatchOp> batch;  ///< BATCH only
 };
 
@@ -132,6 +155,18 @@ Decode decodeRequest(const std::uint8_t *buf, std::size_t n,
 /** Response-side decoder, same contract as decodeRequest. */
 Decode decodeResponse(const std::uint8_t *buf, std::size_t n,
                       std::size_t &consumed, Response &out);
+
+/** Render @p records as a SCAN response body (u32 count + records). */
+std::string encodeScanBody(const std::vector<ScanRecord> &records);
+
+/**
+ * Parse a SCAN response body into @p out. Strict: false (and @p out
+ * cleared) unless the count field is within maxScanRecords and the
+ * body is exactly 4 + 16 * count bytes. A false return means the
+ * peer violated the protocol; treat it like Decode::Malformed.
+ */
+bool decodeScanBody(const std::string &body,
+                    std::vector<ScanRecord> &out);
 
 /** Human-readable status name (diagnostics). */
 std::string statusName(Status s);

@@ -73,18 +73,43 @@ struct BatchCtx
     std::uint64_t reqId;
 };
 
+/**
+ * One SCAN request in flight: the acceptor fans one sub-scan out to
+ * every worker (each worker owns one shard of the key space), each
+ * worker fills only its own partial-result slot, and the last one to
+ * finish merges the sorted partials and posts the single reply. The
+ * release half of the fetch_sub publishes each worker's slot to the
+ * merging worker's acquire.
+ */
+struct ScanCtx
+{
+    ScanCtx(int shards, std::uint64_t conn, std::uint64_t req,
+            std::uint32_t lim)
+        : remaining(shards), connId(conn), reqId(req), limit(lim),
+          parts(std::size_t(shards))
+    {
+    }
+
+    std::atomic<int> remaining;
+    std::uint64_t connId;
+    std::uint64_t reqId;
+    std::uint32_t limit;
+    std::vector<std::vector<ScanRecord>> parts;  ///< slot per shard
+};
+
 /** One operation handed from the acceptor to a worker. */
 struct OpItem
 {
-    enum class Kind : std::uint8_t { Get, Put, Del };
+    enum class Kind : std::uint8_t { Get, Put, Del, Scan };
 
     Kind kind;
     std::uint64_t connId;
     std::uint64_t reqId;
-    std::uint64_t key;
-    std::uint64_t value;
+    std::uint64_t key;    ///< SCAN: start_key
+    std::uint64_t value;  ///< SCAN: limit
     std::uint64_t tEnqNs = 0;  ///< enqueue time (queue-wait latency)
     std::shared_ptr<BatchCtx> batch;  ///< set for BATCH sub-ops
+    std::shared_ptr<ScanCtx> scan;    ///< set for SCAN sub-scans
 };
 
 /** One response traveling worker -> acceptor. */
@@ -188,6 +213,7 @@ struct Server::Impl
         // CommitPipeline counters after every worker round.
         std::atomic<std::uint64_t> statGets{0};
         std::atomic<std::uint64_t> statMuts{0};
+        std::atomic<std::uint64_t> statScans{0};
         std::atomic<std::uint64_t> statAcks{0};
         std::atomic<std::uint64_t> statCommittedEpoch{0};
         std::atomic<std::uint64_t> statQueueDepth{0};
@@ -397,6 +423,51 @@ struct Server::Impl
             postReply(op.connId, std::move(r));
             return;
           }
+          case OpItem::Kind::Scan: {
+            // Sub-scan of this worker's shard. KvStore::scan records
+            // the per-shard scan latency/length histograms itself
+            // (single-shard store: shard 0 is exactly this shard).
+            const auto recs = w.kv->scan(w.env, op.key,
+                                         std::size_t(op.value));
+            w.statScans.fetch_add(1, std::memory_order_relaxed);
+            ScanCtx &ctx = *op.scan;
+            auto &slot = ctx.parts[std::size_t(w.index)];
+            slot.reserve(recs.size());
+            for (const auto &[k, v] : recs)
+                slot.push_back(ScanRecord{k, v});
+            if (ctx.remaining.fetch_sub(
+                    1, std::memory_order_acq_rel) != 1)
+                return;  // other shards still scanning
+            // Last sub-scan: k-way merge the sorted partials (shards
+            // partition the key space, so popping the minimum head
+            // yields global order) and post the single reply.
+            std::vector<ScanRecord> merged;
+            merged.reserve(ctx.limit);
+            std::vector<std::size_t> at(ctx.parts.size(), 0);
+            while (merged.size() < ctx.limit) {
+                int best = -1;
+                for (std::size_t s = 0; s < ctx.parts.size(); ++s) {
+                    if (at[s] >= ctx.parts[s].size())
+                        continue;
+                    if (best < 0 ||
+                        ctx.parts[s][at[s]].key <
+                            ctx.parts[std::size_t(best)]
+                                     [at[std::size_t(best)]].key)
+                        best = int(s);
+                }
+                if (best < 0)
+                    break;
+                merged.push_back(
+                    ctx.parts[std::size_t(best)]
+                             [at[std::size_t(best)]++]);
+            }
+            Response r;
+            r.status = Status::Ok;
+            r.id = ctx.reqId;
+            r.body = encodeScanBody(merged);
+            postReply(ctx.connId, std::move(r));
+            return;
+          }
           case OpItem::Kind::Put:
           case OpItem::Kind::Del: {
             const std::uint64_t epoch =
@@ -594,7 +665,7 @@ struct Server::Impl
             dst[b + "_p99"] = m.p99Ns;
             dst[b + "_p999"] = m.p999Ns;
         };
-        std::uint64_t gets = 0, muts = 0, acks = 0;
+        std::uint64_t gets = 0, muts = 0, acks = 0, scans = 0;
         std::uint64_t epochs = 0, folds = 0, deadlines = 0;
         JsonValue::Object shards;
         for (const auto &wp : workers) {
@@ -604,6 +675,8 @@ struct Server::Impl
                 w.statGets.load(std::memory_order_relaxed);
             const std::uint64_t m =
                 w.statMuts.load(std::memory_order_relaxed);
+            const std::uint64_t sc =
+                w.statScans.load(std::memory_order_relaxed);
             const std::uint64_t a =
                 w.statAcks.load(std::memory_order_relaxed);
             const std::uint64_t e =
@@ -614,6 +687,7 @@ struct Server::Impl
                 w.statDeadlineCommits.load(std::memory_order_relaxed);
             s[sn::gets] = g;
             s[sn::mutations] = m;
+            s[sn::scans] = sc;
             s[sn::acksReleased] = a;
             s[sn::epochsCommitted] = e;
             s[sn::folds] = f;
@@ -632,16 +706,23 @@ struct Server::Impl
             s[sn::batchesDiscarded] = w.report.batchesDiscarded;
             s[sn::walUndone] =
                 std::uint64_t(w.report.walUndone ? 1 : 0);
+            // Ordered-index gauges: the worker's kv atomics, safe to
+            // read cross-thread like the histogram mirrors.
+            s[sn::indexEntries] = w.kv->indexEntries(0);
+            s[sn::indexBytes] = w.kv->indexBytes(0);
             const obs::ShardObs &ob = w.kv->shardObs(0);
             addLat(s, sn::stageLatNs, ob.stageNs);
             addLat(s, sn::commitLatNs, ob.commitNs);
             addLat(s, sn::foldLatNs, ob.foldNs);
             addLat(s, sn::recoverLatNs, ob.recoverNs);
+            addLat(s, sn::scanLatNs, ob.scanNs);
+            addLat(s, sn::scanLen, ob.scanLen);
             addLat(s, sn::reqQueueNs, w.queueNs);
             addLat(s, sn::reqCommitWaitNs, w.commitWaitNs);
             shards[std::to_string(w.index)] = std::move(s);
             gets += g;
             muts += m;
+            scans += sc;
             acks += a;
             epochs += e;
             folds += f;
@@ -649,6 +730,7 @@ struct Server::Impl
         }
         o[sn::gets] = gets;
         o[sn::mutations] = muts;
+        o[sn::scans] = scans;
         o[sn::acksReleased] = acks;
         o[sn::epochsCommitted] = epochs;
         o[sn::folds] = folds;
@@ -690,6 +772,11 @@ struct Server::Impl
                 "shard=\"" + std::to_string(w.index) + "\"";
             mt.counter(promName(sn::gets), lab, rel(w.statGets));
             mt.counter(promName(sn::mutations), lab, rel(w.statMuts));
+            mt.counter(promName(sn::scans), lab, rel(w.statScans));
+            mt.gauge(promName(sn::indexEntries), lab,
+                     double(w.kv->indexEntries(0)));
+            mt.gauge(promName(sn::indexBytes), lab,
+                     double(w.kv->indexBytes(0)));
             mt.counter(promName(sn::acksReleased), lab,
                        rel(w.statAcks));
             mt.counter(promName(sn::epochsCommitted), lab,
@@ -718,6 +805,7 @@ struct Server::Impl
             mt.histogramNs(promName(sn::foldLatNs), lab, ob.foldNs);
             mt.histogramNs(promName(sn::recoverLatNs), lab,
                            ob.recoverNs);
+            mt.histogramNs(promName(sn::scanLatNs), lab, ob.scanNs);
             mt.histogramNs(promName(sn::reqQueueNs), lab, w.queueNs);
             mt.histogramNs(promName(sn::reqCommitWaitNs), lab,
                            w.commitWaitNs);
@@ -756,6 +844,32 @@ struct Server::Impl
             it.value = req.value;
             it.tEnqNs = obs::nowNs();
             enqueue(routeShard(req.key, cfg.shards), std::move(it));
+            return;
+          }
+          case Op::Scan: {
+            // A start key beyond maxUserKey is legal (empty result),
+            // unlike point ops: the range [start, ~0] simply holds no
+            // user keys. The decoder already enforced the limit range.
+            if (c.inflight >= cfg.maxInflightPerConn) {
+                statRetries.fetch_add(1, std::memory_order_relaxed);
+                localReply(c, statusReply(Status::Retry, req.id));
+                return;
+            }
+            ++c.inflight;
+            auto ctx = std::make_shared<ScanCtx>(cfg.shards, c.id,
+                                                 req.id, req.limit);
+            const std::uint64_t tEnq = obs::nowNs();
+            for (int s = 0; s < cfg.shards; ++s) {
+                OpItem it;
+                it.kind = OpItem::Kind::Scan;
+                it.connId = c.id;
+                it.reqId = req.id;
+                it.key = req.key;
+                it.value = req.limit;
+                it.tEnqNs = tEnq;
+                it.scan = ctx;
+                enqueue(s, std::move(it));
+            }
             return;
           }
           case Op::Batch: {

@@ -88,6 +88,8 @@ runStoreYcsb(Backend b, const StoreConfig &scfg, const YcsbParams &p,
         static_cast<std::uint64_t>(out.stats.at("nvmm_writes"));
     out.reads = c.reads;
     out.mutations = c.mutations;
+    out.scans = c.scans;
+    out.scanned = c.scanned;
     out.writesPerMutation =
         c.mutations == 0
             ? 0.0
@@ -95,7 +97,8 @@ runStoreYcsb(Backend b, const StoreConfig &scfg, const YcsbParams &p,
     const double seconds =
         out.execCycles / (mcfg.clockGhz * 1e9);
     out.opsPerSec = seconds == 0.0 ? 0.0 : double(p.ops) / seconds;
-    out.verified = mapsEqual(store.snapshot(), golden);
+    out.verified =
+        mapsEqual(store.snapshot(), golden) && c.scanErrors == 0;
     return out;
 }
 
@@ -119,17 +122,23 @@ runStoreNative(Backend b, const StoreConfig &scfg, const YcsbParams &p,
     out.seconds = std::chrono::duration<double>(t1 - t0).count();
     out.reads = c.reads;
     out.mutations = c.mutations;
-    out.verified = mapsEqual(store.snapshot(), golden);
+    out.scans = c.scans;
+    out.verified =
+        mapsEqual(store.snapshot(), golden) && c.scanErrors == 0;
 
-    obs::Histogram stage, commit, fold;
+    obs::Histogram stage, commit, fold, scan, scanLen;
     for (int s = 0; s < scfg.shards; ++s) {
         stage.merge(store.shardObs(s).stageNs);
         commit.merge(store.shardObs(s).commitNs);
         fold.merge(store.shardObs(s).foldNs);
+        scan.merge(store.shardObs(s).scanNs);
+        scanLen.merge(store.shardObs(s).scanLen);
     }
     out.stageLat = stage.summary();
     out.commitLat = commit.summary();
     out.foldLat = fold.summary();
+    out.scanLat = scan.summary();
+    out.scanLen = scanLen.summary();
     return out;
 }
 
@@ -198,6 +207,24 @@ runStoreWithCrash(Backend b, const StoreConfig &scfg,
         return m;
     };
 
+    // A full-range scan through the rebuilt index must agree
+    // byte-for-byte with the golden map: same keys, same values,
+    // ascending, nothing extra. The limit overshoots the expected
+    // size so truncation can never mask a surplus entry.
+    auto scanMatches =
+        [&](const std::map<std::uint64_t, std::uint64_t> &want) {
+            const auto got = store.scan(env, 0, want.size() + 16);
+            if (got.size() != want.size())
+                return false;
+            auto it = want.begin();
+            for (const auto &[k, v] : got) {
+                if (k != it->first || v != it->second)
+                    return false;
+                ++it;
+            }
+            return true;
+        };
+
     StoreCrashOutcome out;
     if (spec.byRegions)
         ctx.crash.armAfterRegions(spec.point);
@@ -251,15 +278,24 @@ runStoreWithCrash(Backend b, const StoreConfig &scfg,
                                std::uint64_t(scfg.batchOps);
             }
         }
+        // Right after recovery, a scan over the rebuilt index must
+        // observe exactly the committed prefix -- never a torn epoch.
+        // (issued has been trimmed to the committed ops above, so a
+        // plain replay is the committed map.)
+        out.scanStateVerified = scanMatches(replay(issued, nullptr));
     }
-    if (!out.crashed)
+    if (!out.crashed) {
         out.committedStateVerified = true;  // nothing to check
+        out.scanStateVerified = true;
+    }
 
     // Forward progress: the recovered store must keep working.
     for (std::size_t j = 0; j < spec.postOps; ++j)
         issueOne(spec.preOps + j);
     store.checkpoint(env);
     out.finalStateVerified = store.snapshot() == replay(issued, nullptr);
+    out.scanStateVerified =
+        out.scanStateVerified && scanMatches(replay(issued, nullptr));
     return out;
 }
 

@@ -29,6 +29,9 @@ struct MixCounts
     std::uint64_t reads = 0;
     std::uint64_t readHits = 0;
     std::uint64_t mutations = 0;
+    std::uint64_t scans = 0;
+    std::uint64_t scanned = 0;     ///< records returned by all scans
+    std::uint64_t scanErrors = 0;  ///< scans inconsistent with golden
 };
 
 /**
@@ -53,27 +56,57 @@ ycsbLoad(Env &env, KvStore<Env> &store, const YcsbParams &p,
 
 /**
  * Run the mix, ending with a checkpoint so every scheme pays its full
- * durability cost inside the measured window.
+ * durability cost inside the measured window. YCSB-E scans are
+ * cross-checked against @p golden inline (ascending keys, values
+ * matching the golden map); any disagreement counts in scanErrors and
+ * fails the run's verified flag.
  */
 template <typename Env>
 MixCounts
 ycsbMix(Env &env, KvStore<Env> &store, const YcsbParams &p,
         std::unordered_map<std::uint64_t, std::uint64_t> *golden)
 {
+    using Kind = typename YcsbStream::Op::Kind;
     YcsbStream stream(p);
     MixCounts c;
     for (std::size_t i = 0; i < p.ops; ++i) {
         const auto op = stream.next();
-        if (op.read) {
+        switch (op.kind) {
+          case Kind::Read:
             ++c.reads;
             if (store.get(env, op.key))
                 ++c.readHits;
-        } else {
+            break;
+          case Kind::Update:
+          case Kind::Insert: {
             ++c.mutations;
             const std::uint64_t val = 0x100000 + i;
             store.put(env, op.key, val);
             if (golden)
                 (*golden)[op.key] = val;
+            break;
+          }
+          case Kind::Scan: {
+            ++c.scans;
+            const auto out = store.scan(env, op.key, op.scanLen);
+            c.scanned += out.size();
+            std::uint64_t prev = 0;
+            bool ok = out.size() <= op.scanLen;
+            for (std::size_t r = 0; ok && r < out.size(); ++r) {
+                const auto &[k, v] = out[r];
+                if (k < op.key || (r > 0 && k <= prev))
+                    ok = false;
+                prev = k;
+                if (golden) {
+                    const auto it = golden->find(k);
+                    if (it == golden->end() || it->second != v)
+                        ok = false;
+                }
+            }
+            if (!ok)
+                ++c.scanErrors;
+            break;
+          }
         }
     }
     store.checkpoint(env);
@@ -88,6 +121,8 @@ struct StoreRunResult
     std::uint64_t nvmmWrites = 0;
     std::uint64_t reads = 0;
     std::uint64_t mutations = 0;
+    std::uint64_t scans = 0;    ///< YCSB-E: scan ops in the mix
+    std::uint64_t scanned = 0;  ///< YCSB-E: records returned
 
     /** Load-phase machine stats (records inserts + checkpoint). */
     stats::Snapshot loadStats;
@@ -149,6 +184,7 @@ struct NativeRunResult
     double seconds = 0.0;
     std::uint64_t reads = 0;
     std::uint64_t mutations = 0;
+    std::uint64_t scans = 0;
     bool verified = false;
 
     /**
@@ -160,6 +196,8 @@ struct NativeRunResult
     obs::Histogram::Summary stageLat;
     obs::Histogram::Summary commitLat;
     obs::Histogram::Summary foldLat;
+    obs::Histogram::Summary scanLat;  ///< whole-scan wall-clock
+    obs::Histogram::Summary scanLen;  ///< records per scan (counts)
 };
 
 /** Load + mix natively: same templated code, native wall-clock. */
@@ -193,6 +231,14 @@ struct StoreCrashOutcome
 
     /** After postOps more ops and a checkpoint, state still exact. */
     bool finalStateVerified = false;
+
+    /**
+     * Full-range scans through the rebuilt index agreed byte-for-byte
+     * with the golden replay -- checked right after recovery (a scan
+     * must never observe a torn epoch) and again at the end of the
+     * run. True when no crash fired and both checks passed.
+     */
+    bool scanStateVerified = false;
 };
 
 /**

@@ -44,10 +44,12 @@
 #include <memory>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
 #include "engine/commit_pipeline.hh"
+#include "index/ordered_index.hh"
 #include "obs/shard_obs.hh"
 #include "pmem/arena.hh"
 #include "store/backends.hh"
@@ -98,6 +100,12 @@ class KvStore
                 &obs_[std::size_t(i)]);
         }
         owners_.resize(std::size_t(cfg.shards));
+        // Per-shard ordered indexes (deque for the same stable-address
+        // reason as obs_: OrderedIndex is non-copyable). On attach the
+        // indexes start empty; recover() rebuilds them from the
+        // recovered table.
+        for (int i = 0; i < cfg.shards; ++i)
+            index_.emplace_back();
         const StoreContext<Env> ctx{&arena, &cfg_, &table_,
                                     &pipelines_};
         backend_ = makeBackend<Env>(backend, ctx, attach);
@@ -207,6 +215,68 @@ class KvStore
         return env.ld(&table_.slot(i).value);
     }
 
+    /**
+     * Ordered range read: up to @p limit records with key >= @p start,
+     * ascending, merged across every shard's ordered index. Each key
+     * is resolved through get(), so a scan observes exactly the state
+     * point reads observe -- staged (unfolded) puts and deletes
+     * included -- and crash consistency still comes entirely from the
+     * journal checksums, never from the index itself. Whole-scan
+     * latency and returned-record count land in shard 0's scanNs /
+     * scanLen histograms (exactly per-shard for the server's
+     * single-shard worker stores).
+     */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    scan(Env &env, std::uint64_t start, std::size_t limit)
+    {
+        obs::ScopedTimer timer(obs_[0].scanNs);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+        std::vector<index::OrderedIndex::Cursor> cur;
+        cur.reserve(std::size_t(cfg_.shards));
+        for (int s = 0; s < cfg_.shards; ++s)
+            cur.push_back(index_[std::size_t(s)].lowerBound(start));
+        // K-way merge over the per-shard cursors; shards partition
+        // the key space, so every key appears under exactly one
+        // cursor and popping the minimum yields global order.
+        while (out.size() < limit) {
+            int best = -1;
+            std::uint64_t bestKey = 0;
+            for (int s = 0; s < cfg_.shards; ++s) {
+                const auto &c = cur[std::size_t(s)];
+                if (!c.valid())
+                    continue;
+                if (best < 0 || c.key() < bestKey) {
+                    best = s;
+                    bestKey = c.key();
+                }
+            }
+            if (best < 0)
+                break;
+            cur[std::size_t(best)].advance();
+            // The index tracks staged deletes eagerly, so a key it
+            // yields should always resolve; skip defensively if the
+            // backend disagrees rather than emit a phantom.
+            if (const auto v = get(env, bestKey))
+                out.emplace_back(bestKey, *v);
+        }
+        obs_[0].scanLen.record(out.size());
+        return out;
+    }
+
+    /** Live keys in one shard's ordered index (any thread). */
+    std::uint64_t
+    indexEntries(int shard) const
+    {
+        return index_[std::size_t(shard)].entries();
+    }
+
+    /** Resident bytes of one shard's ordered index (any thread). */
+    std::uint64_t
+    indexBytes(int shard) const
+    {
+        return index_[std::size_t(shard)].residentBytes();
+    }
+
     /** Close and commit every shard's open batch (partial batches). */
     void
     commitBatches(Env &env)
@@ -227,8 +297,13 @@ class KvStore
     checkpoint(Env &env)
     {
         commitBatches(env);
-        for (int s = 0; s < cfg_.shards; ++s)
+        for (int s = 0; s < cfg_.shards; ++s) {
             backend_->fold(env, s);
+            // A checkpoint is a quiesce point for this handle (the
+            // owner is here, not mid-scan), so retired index nodes
+            // can finally be freed.
+            index_[std::size_t(s)].reclaim();
+        }
     }
 
     /**
@@ -252,6 +327,20 @@ class KvStore
             backend_->recover(env, s, rep);
         }
         table_.resyncUsed();
+        // Rebuild the ordered indexes from the recovered table. The
+        // table now holds exactly the checksum-validated committed
+        // prefix (staged volatile deltas died with the crash), so the
+        // rebuilt index agrees with point-GET recovery by
+        // construction. Host-side walk, like snapshot(): recovery
+        // already paid its simulated cost in the backend replay.
+        for (int s = 0; s < cfg_.shards; ++s)
+            index_[std::size_t(s)].clear();
+        for (std::size_t i = 0; i < table_.slotCount(); ++i) {
+            const KvSlot &slot = table_.slot(i);
+            if (slot.key <= maxUserKey)
+                index_[std::size_t(shardIndex(slot.key))].insert(
+                    slot.key);
+        }
         return rep;
     }
 
@@ -344,8 +433,20 @@ class KvStore
         // Per-mutation latency: includes any epoch commit or fold
         // stage() triggers, so the histogram tail is exactly the
         // fold-pause story the paper's Figure 10 argues about.
-        obs::ScopedTimer timer(obs_[std::size_t(sh)].stageNs);
-        return backend_->stage(env, sh, op, key, value);
+        const std::uint64_t epoch = [&] {
+            obs::ScopedTimer timer(obs_[std::size_t(sh)].stageNs);
+            return backend_->stage(env, sh, op, key, value);
+        }();
+        // Mirror the mutation into the shard's ordered index AFTER it
+        // is staged (a simulated crash inside stage() aborts before
+        // the index update; recover() rebuilds it regardless). Erase
+        // on delete keeps scans in lockstep with get()'s staged-delete
+        // visibility.
+        if (op == JOp::Put)
+            index_[std::size_t(sh)].insert(key);
+        else
+            index_[std::size_t(sh)].erase(key);
+        return epoch;
     }
 
     StoreConfig cfg_;
@@ -353,6 +454,7 @@ class KvStore
     SlotTable<Env> table_;
     std::vector<engine::CommitPipeline> pipelines_;
     std::deque<obs::ShardObs> obs_;  // stable addresses (attached)
+    std::deque<index::OrderedIndex> index_;  // per-shard, volatile
     std::unique_ptr<PersistencyBackend<Env>> backend_;
     std::vector<std::thread::id> owners_;  // debug owner binding
 };

@@ -29,6 +29,7 @@ enum class YcsbMix
     A,  ///< 50% read / 50% update
     B,  ///< 95% read /  5% update
     C,  ///< 100% read
+    E,  ///< 95% scan / 5% insert (short ranges, growing key space)
 };
 
 inline double
@@ -38,8 +39,16 @@ readFraction(YcsbMix m)
       case YcsbMix::A: return 0.50;
       case YcsbMix::B: return 0.95;
       case YcsbMix::C: return 1.00;
+      case YcsbMix::E: return 0.00;  // E has scans, not point reads
     }
     return 1.0;
+}
+
+/** Fraction of SCAN ops in a mix (only E has any). */
+inline double
+scanFraction(YcsbMix m)
+{
+    return m == YcsbMix::E ? 0.95 : 0.0;
 }
 
 inline std::string
@@ -49,6 +58,7 @@ mixName(YcsbMix m)
       case YcsbMix::A: return "A";
       case YcsbMix::B: return "B";
       case YcsbMix::C: return "C";
+      case YcsbMix::E: return "E";
     }
     return "?";
 }
@@ -62,7 +72,9 @@ parseMix(const std::string &s)
         return YcsbMix::B;
     if (s == "c" || s == "C")
         return YcsbMix::C;
-    fatal("unknown YCSB mix '" + s + "' (a | b | c)");
+    if (s == "e" || s == "E")
+        return YcsbMix::E;
+    fatal("unknown YCSB mix '" + s + "' (a | b | c | e)");
 }
 
 /**
@@ -140,6 +152,7 @@ struct YcsbParams
     YcsbMix mix = YcsbMix::A;
     bool zipfian = true;          ///< false: uniform key popularity
     double theta = 0.99;          ///< zipfian skew (YCSB default)
+    std::size_t maxScanLen = 100; ///< E: scan lengths uniform [1, this]
     std::uint64_t seed = 42;
 };
 
@@ -149,29 +162,61 @@ class YcsbStream
   public:
     struct Op
     {
-        bool read;
+        enum class Kind
+        {
+            Read,    ///< point GET of key
+            Update,  ///< PUT of key
+            Scan,    ///< range scan from key, scanLen records (E)
+            Insert,  ///< PUT of a fresh key beyond the loaded set (E)
+        };
+
+        Kind kind;
         std::uint64_t key;
+        std::size_t scanLen = 0;  ///< Scan only
+
+        bool read() const { return kind == Kind::Read; }
     };
 
     explicit YcsbStream(const YcsbParams &p)
         : p_(p), rng_(p.seed * 0x2545f4914f6cdd1dull + 1),
-          zipf_(p.records < 2 ? 2 : p.records, p.theta)
+          zipf_(p.records < 2 ? 2 : p.records, p.theta),
+          nextInsertId_(p.records)
     {
     }
 
     Op
     next()
     {
+        if (p_.mix == YcsbMix::E) {
+            if (!rng_.chance(scanFraction(p_.mix))) {
+                // Insert: a fresh record id, so the key space grows
+                // through the run like YCSB-E specifies.
+                return Op{Op::Kind::Insert,
+                          keyOfRecord(nextInsertId_++, p_.seed), 0};
+            }
+            const std::size_t len =
+                1 + std::size_t(rng_.below(p_.maxScanLen));
+            return Op{Op::Kind::Scan, pickKey(), len};
+        }
         const bool read = rng_.chance(readFraction(p_.mix));
-        const std::uint64_t rank =
-            p_.zipfian ? zipf_.next(rng_) : rng_.below(p_.records);
-        return Op{read, keyOfRecord(rank % p_.records, p_.seed)};
+        return Op{read ? Op::Kind::Read : Op::Kind::Update,
+                  pickKey(), 0};
     }
 
   private:
+    /** A loaded key under the configured popularity distribution. */
+    std::uint64_t
+    pickKey()
+    {
+        const std::uint64_t rank =
+            p_.zipfian ? zipf_.next(rng_) : rng_.below(p_.records);
+        return keyOfRecord(rank % p_.records, p_.seed);
+    }
+
     YcsbParams p_;
     Rng rng_;
     ZipfianGen zipf_;
+    std::uint64_t nextInsertId_;  ///< E: next fresh record id
 };
 
 } // namespace lp::store

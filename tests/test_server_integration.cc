@@ -370,6 +370,82 @@ INSTANTIATE_TEST_SUITE_P(
         return store::backendName(info.param);
     });
 
+TEST_P(ServerCrash, ScanIdenticalAfterSigkillRecovery)
+{
+    const std::string dir = makeTempDir();
+    ASSERT_FALSE(dir.empty());
+
+    ServerConfig cfg;
+    cfg.dataDir = dir;
+    cfg.shards = 2;
+    cfg.backend = GetParam();
+    cfg.batchOps = 8;
+    cfg.foldBatches = 4;
+    cfg.quiet = true;
+
+    // --- incarnation 1: acked writes, a pre-crash SCAN, then an
+    // unacked burst on a disjoint higher key range, then SIGKILL ----
+    const pid_t pid1 = spawnServer(cfg);
+    ASSERT_GT(pid1, 0);
+    Client c1;
+    connectToServer(c1, dir);
+
+    for (std::uint64_t k = 1000; k < 1100; ++k) {
+        const auto r = c1.put(k, k * 7, 20000);
+        ASSERT_TRUE(r && r->status == Status::Ok) << "put " << k;
+    }
+    const auto before = c1.scan(1000, 100, 20000);
+    ASSERT_TRUE(before.has_value());
+    ASSERT_EQ(before->size(), 100u);
+
+    // In-flight at the moment of death; keys strictly above the
+    // acked range, so the 100 smallest keys >= 1000 stay the same
+    // whether or not any of these committed.
+    for (std::uint64_t i = 0; i < 80; ++i) {
+        Request r;
+        r.op = Op::Put;
+        r.id = c1.nextId();
+        r.key = 5000 + i;
+        r.value = i;
+        ASSERT_TRUE(c1.sendRequest(r));
+    }
+    ASSERT_EQ(::kill(pid1, SIGKILL), 0);
+    int st = 0;
+    ASSERT_EQ(::waitpid(pid1, &st, 0), pid1);
+    ASSERT_TRUE(WIFSIGNALED(st) && WTERMSIG(st) == SIGKILL);
+    c1.close();
+
+    // --- incarnation 2: the rebuilt index must reproduce the
+    // pre-crash SCAN exactly, and agree with point GETs ------------
+    std::filesystem::remove(dir + "/PORT");
+    const pid_t pid2 = spawnServer(cfg);
+    ASSERT_GT(pid2, 0);
+    Client c2;
+    connectToServer(c2, dir);
+
+    const auto after = c2.scan(1000, 100, 20000);
+    ASSERT_TRUE(after.has_value());
+    ASSERT_EQ(after->size(), before->size());
+    for (std::size_t i = 0; i < before->size(); ++i) {
+        EXPECT_EQ((*after)[i].key, (*before)[i].key) << "slot " << i;
+        EXPECT_EQ((*after)[i].value, (*before)[i].value)
+            << "slot " << i;
+    }
+    for (const ScanRecord &rec : *after) {
+        const auto g = c2.get(rec.key, 20000);
+        ASSERT_TRUE(g && g->status == Status::Ok);
+        EXPECT_EQ(g->value, rec.value)
+            << "scan and point GET disagree on key " << rec.key;
+    }
+
+    const auto down = c2.shutdownServer(20000);
+    ASSERT_TRUE(down && down->status == Status::Ok);
+    c2.close();
+    ASSERT_EQ(::waitpid(pid2, &st, 0), pid2);
+    EXPECT_TRUE(WIFEXITED(st) && WEXITSTATUS(st) == 0);
+    std::filesystem::remove_all(dir);
+}
+
 TEST(ServerBasic, InProcessOpsAndStats)
 {
     const std::string dir = makeTempDir();
@@ -424,6 +500,60 @@ TEST(ServerBasic, InProcessOpsAndStats)
     ASSERT_TRUE(sr && sr->status == Status::Ok);
     EXPECT_NE(sr->body.find("\"mutations\""), std::string::npos);
     EXPECT_NE(sr->body.find("\"shard\""), std::string::npos);
+
+    c.close();
+    srv.stop();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServerBasic, ScanMergesShardsEndToEnd)
+{
+    const std::string dir = makeTempDir();
+    ASSERT_FALSE(dir.empty());
+    ServerConfig cfg;
+    cfg.dataDir = dir;
+    cfg.shards = 3;  // scans must gather across all workers
+    cfg.quiet = true;
+    Server srv(cfg);
+    srv.start();
+
+    Client c;
+    ASSERT_TRUE(c.connectTo("127.0.0.1", srv.port()));
+    for (std::uint64_t k = 10; k <= 60; k += 5) {
+        const auto r = c.put(k, k * 100, 10000);
+        ASSERT_TRUE(r && r->status == Status::Ok);
+    }
+
+    // Full range: every key, ascending, values intact.
+    const auto all = c.scan(0, 100, 10000);
+    ASSERT_TRUE(all.has_value());
+    ASSERT_EQ(all->size(), 11u);
+    for (std::size_t i = 0; i < all->size(); ++i) {
+        EXPECT_EQ((*all)[i].key, 10 + 5 * i);
+        EXPECT_EQ((*all)[i].value, (10 + 5 * i) * 100);
+    }
+
+    // Mid-range start + limit truncation.
+    const auto mid = c.scan(26, 3, 10000);
+    ASSERT_TRUE(mid.has_value());
+    ASSERT_EQ(mid->size(), 3u);
+    EXPECT_EQ((*mid)[0].key, 30u);
+    EXPECT_EQ((*mid)[1].key, 35u);
+    EXPECT_EQ((*mid)[2].key, 40u);
+
+    // Start past every key: Ok with an empty record set.
+    const auto past = c.scan(store::maxUserKey, 5, 10000);
+    ASSERT_TRUE(past.has_value());
+    EXPECT_TRUE(past->empty());
+
+    // The scan counters and index gauges ride the stats report.
+    const auto sr = c.stats(10000);
+    ASSERT_TRUE(sr && sr->status == Status::Ok);
+    EXPECT_NE(sr->body.find("\"scans\""), std::string::npos);
+    EXPECT_NE(sr->body.find("\"index_entries\""), std::string::npos);
+    EXPECT_NE(sr->body.find("\"index_bytes\""), std::string::npos);
+    EXPECT_NE(sr->body.find("\"scan_lat_ns_p99\""), std::string::npos);
+    EXPECT_NE(sr->body.find("\"scan_len_p50\""), std::string::npos);
 
     c.close();
     srv.stop();
@@ -625,6 +755,45 @@ TEST(ServerBasic, MalformedFrameClosesConnection)
         std::vector<std::uint8_t> frame;
         encodeRequest(probe, frame);
         frame[4] = std::uint8_t(Op::Get);
+        rawProbe(frame);
+    }
+
+    // SCAN with a zero limit inside an otherwise well-formed frame.
+    {
+        Request probe;
+        probe.op = Op::Scan;
+        probe.id = 3;
+        probe.key = 1;
+        probe.limit = 1;
+        std::vector<std::uint8_t> frame;
+        encodeRequest(probe, frame);
+        for (int i = 0; i < 4; ++i)  // limit field at offset 21
+            frame[std::size_t(21 + i)] = 0;
+        rawProbe(frame);
+    }
+    // SCAN with a limit past the response cap.
+    {
+        Request probe;
+        probe.op = Op::Scan;
+        probe.id = 4;
+        probe.key = 1;
+        probe.limit = 1;
+        std::vector<std::uint8_t> frame;
+        encodeRequest(probe, frame);
+        const auto big = std::uint32_t(maxScanRecords + 1);
+        for (int i = 0; i < 4; ++i)
+            frame[std::size_t(21 + i)] = std::uint8_t(big >> (8 * i));
+        rawProbe(frame);
+    }
+    // SCAN truncated to a GET-sized frame (start_key cut short).
+    {
+        Request probe;
+        probe.op = Op::Get;
+        probe.id = 5;
+        probe.key = 6;
+        std::vector<std::uint8_t> frame;
+        encodeRequest(probe, frame);
+        frame[4] = std::uint8_t(Op::Scan);  // 17-byte SCAN: malformed
         rawProbe(frame);
     }
 

@@ -282,6 +282,132 @@ TEST(ServerProtocol, BatchShapeViolationsAreMalformed)
     }
 }
 
+TEST(ServerProtocol, ScanRoundTripsAndTruncationsAreNeedMore)
+{
+    Request in;
+    in.op = Op::Scan;
+    in.id = 31;
+    in.key = 0xfeedfacec0ffee00ull;  // start_key
+    in.limit = 77;
+
+    const auto buf = enc(in);
+    ASSERT_EQ(buf.size(), 4u + 21u);  // len + (op,id,start,limit)
+    Request out;
+    std::size_t used = 0;
+    ASSERT_EQ(decodeRequest(buf.data(), buf.size(), used, out),
+              Decode::Ok);
+    EXPECT_EQ(used, buf.size());
+    EXPECT_EQ(out.op, Op::Scan);
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_EQ(out.key, in.key);
+    EXPECT_EQ(out.limit, in.limit);
+
+    // Every honest prefix (a "truncated start_key" among them) is
+    // NeedMore -- never Malformed, never Ok.
+    for (std::size_t n = 0; n < buf.size(); ++n) {
+        Request t;
+        used = 0;
+        EXPECT_EQ(decodeRequest(buf.data(), n, used, t),
+                  Decode::NeedMore)
+            << "prefix length " << n;
+    }
+}
+
+TEST(ServerProtocol, ScanLimitViolationsAreMalformed)
+{
+    Request r;
+    r.op = Op::Scan;
+    r.id = 1;
+    r.key = 5;
+    r.limit = 1;
+    const auto good = enc(r);
+
+    {
+        auto buf = good;
+        for (int i = 0; i < 4; ++i)  // limit = 0
+            buf[std::size_t(21 + i)] = 0;
+        Request out;
+        std::size_t used = 0;
+        EXPECT_EQ(decodeRequest(buf.data(), buf.size(), used, out),
+                  Decode::Malformed);
+    }
+    {
+        // limit just past the response cap -- the decoder rejects it
+        // up front instead of letting the server truncate silently.
+        auto buf = good;
+        const auto big = std::uint32_t(maxScanRecords + 1);
+        for (int i = 0; i < 4; ++i)
+            buf[std::size_t(21 + i)] = std::uint8_t(big >> (8 * i));
+        Request out;
+        std::size_t used = 0;
+        EXPECT_EQ(decodeRequest(buf.data(), buf.size(), used, out),
+                  Decode::Malformed);
+    }
+    {
+        auto buf = good;  // huge limit (all ones)
+        for (int i = 0; i < 4; ++i)
+            buf[std::size_t(21 + i)] = 0xff;
+        Request out;
+        std::size_t used = 0;
+        EXPECT_EQ(decodeRequest(buf.data(), buf.size(), used, out),
+                  Decode::Malformed);
+    }
+    {
+        auto buf = good;  // wrong length for SCAN (GET's 17)
+        setLen(buf, 17);
+        buf.resize(4 + 17);
+        Request out;
+        std::size_t used = 0;
+        EXPECT_EQ(decodeRequest(buf.data(), buf.size(), used, out),
+                  Decode::Malformed);
+    }
+    {
+        // Exactly the cap is legal.
+        Request capped = r;
+        capped.limit = std::uint32_t(maxScanRecords);
+        const auto buf = enc(capped);
+        Request out;
+        std::size_t used = 0;
+        EXPECT_EQ(decodeRequest(buf.data(), buf.size(), used, out),
+                  Decode::Ok);
+        EXPECT_EQ(out.limit, maxScanRecords);
+    }
+}
+
+TEST(ServerProtocol, ScanBodyCodecRoundTripsAndRejectsCorruption)
+{
+    std::vector<ScanRecord> in;
+    for (std::uint64_t i = 0; i < 37; ++i)
+        in.push_back(ScanRecord{i * 101, ~i});
+
+    const std::string body = encodeScanBody(in);
+    EXPECT_EQ(body.size(), 4 + 16 * in.size());
+    std::vector<ScanRecord> out;
+    ASSERT_TRUE(decodeScanBody(body, out));
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ(out[i].key, in[i].key);
+        EXPECT_EQ(out[i].value, in[i].value);
+    }
+
+    // Empty result is a valid body.
+    ASSERT_TRUE(decodeScanBody(encodeScanBody({}), out));
+    EXPECT_TRUE(out.empty());
+
+    // Corruptions: truncated header, count/size mismatch (both
+    // directions), trailing garbage, count beyond the cap.
+    EXPECT_FALSE(decodeScanBody("", out));
+    EXPECT_FALSE(decodeScanBody(body.substr(0, 3), out));
+    EXPECT_FALSE(decodeScanBody(body.substr(0, body.size() - 1), out));
+    EXPECT_FALSE(decodeScanBody(body + "x", out));
+    {
+        std::string big = body;
+        big[0] = char(0xff);  // count claims 0xff...25
+        big[1] = char(0xff);
+        EXPECT_FALSE(decodeScanBody(big, out));
+    }
+}
+
 TEST(ServerProtocol, UnknownResponseStatusIsMalformed)
 {
     Response r;
@@ -309,7 +435,7 @@ TEST(ServerProtocol, GarbageNeverCrashesOrOverReads)
         // Bias some trials toward near-valid frames.
         if (n >= 5 && trial % 3 == 0) {
             setLen(raw, std::uint32_t(rng() % 40));
-            raw[4] = std::uint8_t(rng() % 8);
+            raw[4] = std::uint8_t(rng() % 9);  // incl. Op::Scan
         }
         auto slice = std::make_unique<std::uint8_t[]>(n ? n : 1);
         if (n > 0)

@@ -516,9 +516,23 @@ runTopCommand(int argc, char **argv)
                     scalar(snap, "lp_errors"),
                     frame == 0 ? "totals since start"
                                : "per-second rates");
-        stats::Table t({"shard", "get/s", "mut/s", "epoch/s",
-                        "fold/s", "dlc/s", "qdepth", "epoch",
-                        "commit p99", "qwait p99", "cwait p99"});
+        // Scan/index columns only when the server exports them:
+        // against an older server without SCAN support the keys are
+        // simply absent and the table keeps its classic shape (no
+        // blank columns), so one `top` build monitors both vintages.
+        const bool hasScans =
+            snap.find("lp_scans{shard=\"0\"}") != snap.end();
+        std::vector<std::string> hdr = {
+            "shard", "get/s", "mut/s", "epoch/s", "fold/s", "dlc/s",
+            "qdepth", "epoch", "commit p99", "qwait p99",
+            "cwait p99"};
+        if (hasScans) {
+            hdr.push_back("scan/s");
+            hdr.push_back("scan p99");
+            hdr.push_back("idx keys");
+            hdr.push_back("idx KB");
+        }
+        stats::Table t(hdr);
         const auto us = [](double seconds) {
             return stats::Table::num(seconds * 1e6, 1) + "us";
         };
@@ -527,34 +541,47 @@ runTopCommand(int argc, char **argv)
             const std::string lab = "{shard=\"" + sh + "\"}";
             if (snap.find("lp_gets" + lab) == snap.end())
                 break;
-            t.addRow(
-                {sh,
-                 stats::Table::num(scalar(d, "lp_gets" + lab) / secs,
-                                   0),
-                 stats::Table::num(
-                     scalar(d, "lp_mutations" + lab) / secs, 0),
-                 stats::Table::num(
-                     scalar(d, "lp_epochs_committed" + lab) / secs,
-                     0),
-                 stats::Table::num(scalar(d, "lp_folds" + lab) / secs,
-                                   0),
-                 stats::Table::num(
-                     scalar(d, "lp_deadline_commits" + lab) / secs,
-                     0),
-                 stats::Table::num(
-                     scalar(snap, "lp_queue_depth" + lab), 0),
-                 stats::Table::num(
-                     scalar(snap, "lp_committed_epoch" + lab), 0),
-                 us(obs::quantileFromBuckets(
-                     bucketSeries(d, "lp_commit_lat_seconds", sh),
-                     0.99)),
-                 us(obs::quantileFromBuckets(
-                     bucketSeries(d, "lp_req_queue_seconds", sh),
-                     0.99)),
-                 us(obs::quantileFromBuckets(
-                     bucketSeries(d, "lp_req_commit_wait_seconds",
-                                  sh),
-                     0.99))});
+            std::vector<std::string> row = {
+                sh,
+                stats::Table::num(scalar(d, "lp_gets" + lab) / secs,
+                                  0),
+                stats::Table::num(
+                    scalar(d, "lp_mutations" + lab) / secs, 0),
+                stats::Table::num(
+                    scalar(d, "lp_epochs_committed" + lab) / secs,
+                    0),
+                stats::Table::num(scalar(d, "lp_folds" + lab) / secs,
+                                  0),
+                stats::Table::num(
+                    scalar(d, "lp_deadline_commits" + lab) / secs,
+                    0),
+                stats::Table::num(
+                    scalar(snap, "lp_queue_depth" + lab), 0),
+                stats::Table::num(
+                    scalar(snap, "lp_committed_epoch" + lab), 0),
+                us(obs::quantileFromBuckets(
+                    bucketSeries(d, "lp_commit_lat_seconds", sh),
+                    0.99)),
+                us(obs::quantileFromBuckets(
+                    bucketSeries(d, "lp_req_queue_seconds", sh),
+                    0.99)),
+                us(obs::quantileFromBuckets(
+                    bucketSeries(d, "lp_req_commit_wait_seconds",
+                                 sh),
+                    0.99))};
+            if (hasScans) {
+                row.push_back(stats::Table::num(
+                    scalar(d, "lp_scans" + lab) / secs, 0));
+                row.push_back(us(obs::quantileFromBuckets(
+                    bucketSeries(d, "lp_scan_lat_seconds", sh),
+                    0.99)));
+                row.push_back(stats::Table::num(
+                    scalar(snap, "lp_index_entries" + lab), 0));
+                row.push_back(stats::Table::num(
+                    scalar(snap, "lp_index_bytes" + lab) / 1024.0,
+                    1));
+            }
+            t.addRow(std::move(row));
         }
         t.print();
         std::fflush(stdout);
