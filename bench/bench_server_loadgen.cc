@@ -27,6 +27,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -70,14 +71,19 @@ struct ClientResult
     std::uint64_t updates = 0;
     std::uint64_t scans = 0;   ///< SCAN frames issued
     std::uint64_t scanned = 0; ///< records returned across scans
-    std::uint64_t retries = 0;
+    std::uint64_t retries = 0;  ///< Retry replies (each re-sent)
+    std::uint64_t dropped = 0;  ///< ops abandoned after maxAttempts
     std::uint64_t errors = 0;
 };
 
 /**
  * Closed-loop client: keeps up to kWindow requests in flight, matches
  * replies by echoed id (the server may reorder across shards), and
- * records send-to-reply latency per completed op.
+ * records send-to-reply latency per completed op. A Status::Retry
+ * reply re-enqueues the op after a full-jitter exponential backoff
+ * (server::RetryPolicy) instead of hammering the server back-to-back;
+ * latency still counts from the FIRST send, so backpressure stalls
+ * show up in the tail rather than vanishing.
  */
 void
 runClient(Client &c, const YcsbParams &p, std::uint64_t rngSeed,
@@ -86,12 +92,27 @@ runClient(Client &c, const YcsbParams &p, std::uint64_t rngSeed,
     Rng rng(rngSeed * 0x9e3779b97f4a7c15ull + 1);
     ZipfianGen zipf(p.records < 2 ? 2 : p.records, p.theta);
 
+    const RetryPolicy policy;
+    std::uint64_t jitterState = rngSeed * 0x2545f4914f6cdd1dull + 7;
+
     struct Pending
     {
         Clock::time_point t0;
         bool isScan;
+        Request q;     ///< kept so a Retry reply can re-send it
+        int attempt;   ///< 0 on first send
     };
     std::unordered_map<std::uint64_t, Pending> inflight;
+
+    struct Deferred
+    {
+        Request q;
+        Clock::time_point t0;        ///< original first-send time
+        Clock::time_point notBefore; ///< backoff gate
+        bool isScan;
+        int attempt;
+    };
+    std::deque<Deferred> deferred;
 
     auto recvOne = [&]() -> bool {
         const auto r = c.recvResponse(30000);
@@ -106,7 +127,21 @@ runClient(Client &c, const YcsbParams &p, std::uint64_t rngSeed,
         }
         if (r->status == Status::Retry) {
             ++out.retries;
-        } else {
+            Pending pend = std::move(it->second);
+            inflight.erase(it);
+            if (pend.attempt + 1 >= policy.maxAttempts) {
+                ++out.dropped;
+                return true;
+            }
+            const std::uint64_t delayUs =
+                retryDelayUs(policy, pend.attempt, jitterState);
+            deferred.push_back(Deferred{
+                std::move(pend.q), pend.t0,
+                Clock::now() + std::chrono::microseconds(delayUs),
+                pend.isScan, pend.attempt + 1});
+            return true;
+        }
+        {
             const auto ns = std::uint64_t(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     Clock::now() - it->second.t0)
@@ -137,7 +172,28 @@ runClient(Client &c, const YcsbParams &p, std::uint64_t rngSeed,
         p.records + (rngSeed - 1) * kOpsPerClient;
 
     std::size_t sent = 0;
-    while (sent < kOpsPerClient || !inflight.empty()) {
+    while (sent < kOpsPerClient || !inflight.empty() ||
+           !deferred.empty()) {
+        // Backed-off ops take priority over fresh ones once their
+        // gate has passed (they are the oldest work we owe).
+        if (!deferred.empty() && inflight.size() < kWindow &&
+            deferred.front().notBefore <= Clock::now()) {
+            Deferred d = std::move(deferred.front());
+            deferred.pop_front();
+            d.q.id = c.nextId();
+            inflight.emplace(d.q.id, Pending{d.t0, d.isScan, d.q,
+                                             d.attempt});
+            if (!c.sendRequest(d.q)) {
+                ++out.errors;
+                break;
+            }
+            continue;
+        }
+        if (inflight.empty() && sent >= kOpsPerClient) {
+            // Only gated re-sends remain: sleep out the backoff.
+            std::this_thread::sleep_until(deferred.front().notBefore);
+            continue;
+        }
         if (sent < kOpsPerClient && inflight.size() < kWindow) {
             Request q;
             q.id = c.nextId();
@@ -173,7 +229,8 @@ runClient(Client &c, const YcsbParams &p, std::uint64_t rngSeed,
                     ++out.updates;
                 }
             }
-            inflight.emplace(q.id, Pending{Clock::now(), isScan});
+            inflight.emplace(q.id,
+                             Pending{Clock::now(), isScan, q, 0});
             if (!c.sendRequest(q)) {
                 ++out.errors;
                 break;
@@ -297,7 +354,8 @@ main(int argc, char **argv)
 
             obs::Histogram lat, scanLat, scanLen;
             std::uint64_t reads = 0, updates = 0, scans = 0,
-                          scanned = 0, retries = 0, errors = 0;
+                          scanned = 0, retries = 0, dropped = 0,
+                          errors = 0;
             for (const ClientResult &r : results) {
                 lat.merge(r.latNs);
                 scanLat.merge(r.scanLatNs);
@@ -307,6 +365,7 @@ main(int argc, char **argv)
                 scans += r.scans;
                 scanned += r.scanned;
                 retries += r.retries;
+                dropped += r.dropped;
                 errors += r.errors;
             }
             const obs::Histogram::Summary sm = lat.summary();
@@ -316,8 +375,10 @@ main(int argc, char **argv)
                 std::chrono::duration<double>(t1 - t0).count();
             const double opsPerSec =
                 secs > 0.0 ? double(sm.count) / secs : 0.0;
+            // Retried ops complete after backoff, so only hard drops
+            // (maxAttempts exhausted) may be missing from the count.
             clean = clean && errors == 0 &&
-                    sm.count + retries ==
+                    sm.count + dropped ==
                         std::uint64_t(kClients) * kOpsPerClient;
 
             table.addRow({"mix " + mixName(mix),
@@ -337,6 +398,7 @@ main(int argc, char **argv)
             entry.emplace("reads", double(reads));
             entry.emplace("updates", double(updates));
             entry.emplace("retries", double(retries));
+            entry.emplace("retries_dropped", double(dropped));
             entry.emplace("errors", double(errors));
             entry.emplace("throughput_ops_per_sec", opsPerSec);
             entry.emplace("mean_us", sm.meanNs / 1e3);

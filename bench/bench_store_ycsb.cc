@@ -237,6 +237,51 @@ main(int argc, char **argv)
         root.emplace("unif_B_scaling", std::move(study));
     }
 
+    // Online scrub overhead on YCSB-A: the same run with the server's
+    // background media patrol interleaved (a 4-region scrub step
+    // every 256 mix ops -- far denser than the server's idle-gated
+    // default of 32 regions per 100ms, so this bounds it from above).
+    // Scrub verification reads are streaming (non-allocating) loads;
+    // an allocating sweep would cycle the small LLC and evict the
+    // dirty coalescing lines LP's write efficiency comes from, which
+    // costs ~11% at ANY patrol rate. With NT reads the cost is the
+    // honest per-region NVMM read latency and scales with the rate.
+    // Measured in simulated cycles, which are deterministic; the
+    // acceptance bar is <= 5%.
+    {
+        YcsbParams p = base;
+        p.mix = YcsbMix::A;
+        const auto plain = runStoreYcsb(Backend::Lp, scfg, p, mcfg);
+        p.scrubEveryOps = 256;
+        p.scrubRegions = 4;
+        const auto scrubbed = runStoreYcsb(Backend::Lp, scfg, p, mcfg);
+        all_verified =
+            all_verified && plain.verified && scrubbed.verified;
+        const double overhead =
+            plain.execCycles == 0.0
+                ? 0.0
+                : scrubbed.execCycles / plain.execCycles - 1.0;
+
+        stats::Table table({"scrub overhead (a/zipf)", "exec cycles",
+                            "vs no scrub"});
+        table.addRow({"lp", stats::Table::num(plain.execCycles, 0),
+                      "-"});
+        table.addRow({"lp + scrub/256ops",
+                      stats::Table::num(scrubbed.execCycles, 0),
+                      stats::Table::num(overhead * 100.0, 2) + "%"});
+        table.print();
+        std::printf("\n");
+
+        stats::JsonValue::Object entry;
+        entry.emplace("scrub_every_ops", double(p.scrubEveryOps));
+        entry.emplace("scrub_regions", double(p.scrubRegions));
+        entry.emplace("exec_cycles_plain", plain.execCycles);
+        entry.emplace("exec_cycles_scrubbed", scrubbed.execCycles);
+        entry.emplace("overhead_frac", overhead);
+        entry.emplace("within_5pct", overhead <= 0.05);
+        root.emplace("scrub_overhead_A", std::move(entry));
+    }
+
     // Native wall-clock latency per backend: the same templated store
     // code under NativeEnv (simulated timestamps would be meaningless
     // for latency claims). Values in microseconds; JSON keys carry

@@ -111,6 +111,31 @@ inline constexpr const char *walUndone = "wal_undone";
 inline constexpr const char *recoveryAttached = "recovery_attached";
 /// @}
 
+/// @name Media-fault counters (store::MediaCounters, lp::repair).
+/// Prometheus exposition spells the first two with a "_total" tail
+/// (lp_media_repaired_total / lp_media_unrepairable_total), the
+/// conventional counter suffix operators alert on.
+/// @{
+
+/** Corrupted structures detected and repaired (parity/replica). */
+inline constexpr const char *mediaRepaired = "media_repaired";
+
+/** Proven corruptions with no redundant copy left (quarantine). */
+inline constexpr const char *mediaUnrepairable = "media_unrepairable";
+
+/** Journal regions examined by the online scrubber. */
+inline constexpr const char *scrubRegions = "scrub_regions";
+
+/** Completed full scrub passes over a shard's covered prefix. */
+inline constexpr const char *scrubPasses = "scrub_passes";
+
+/** 1 when the shard is quarantined read-only, else 0 (gauge). */
+inline constexpr const char *quarantined = "quarantined";
+
+/** KvStore::scrubStep(): one bounded online-scrub step. */
+inline constexpr const char *scrubLatNs = "scrub_lat_ns";
+/// @}
+
 } // namespace lp::engine::statname
 
 #endif // LP_ENGINE_STAT_NAMES_HH

@@ -85,6 +85,21 @@ class SimEnv
         return *p;
     }
 
+    /**
+     * Non-allocating (streaming) load: a cached copy is used, but a
+     * miss does not install a line. For bulk verification sweeps
+     * (media scrub, recovery validation) that must not displace the
+     * workload's dirty coalescing lines. Only valid from the core
+     * that owns the data (single-writer-per-shard contract).
+     */
+    template <typename T>
+    T
+    ldStream(const T *p)
+    {
+        m->readStream(core_, a->addrOf(p), sizeof(T));
+        return *p;
+    }
+
     /** Store a T through the cache hierarchy. */
     template <typename T>
     void
@@ -141,6 +156,13 @@ class NativeEnv
     template <typename T>
     T
     ld(const T *p)
+    {
+        return *p;
+    }
+
+    template <typename T>
+    T
+    ldStream(const T *p)
     {
         return *p;
     }

@@ -32,6 +32,7 @@ struct ShardObs
     Histogram recoverNs; ///< backend recover() duration
     Histogram scanNs;    ///< whole-scan latency (index + value reads)
     Histogram scanLen;   ///< records returned per scan (a count, not ns)
+    Histogram scrubNs;   ///< online-scrub step duration
 
     TraceRing *ring = nullptr; ///< null = tracing off for this shard
 };

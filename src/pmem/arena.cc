@@ -108,6 +108,15 @@ PersistentArena::crashRestore()
 }
 
 void
+PersistentArena::injectFault(Addr a, std::uint8_t mask)
+{
+    LP_ASSERT(a < volatileView.size(), "fault outside the arena");
+    volatileView.data()[a] ^= mask;
+    if (shadow)
+        shadow->data()[a] ^= mask;
+}
+
+void
 PersistentArena::persistAll()
 {
     if (shadow) {

@@ -192,6 +192,17 @@ class PersistentArena : public sim::PersistBackend
 
     /** True iff this arena persists through a backing file. */
     bool fileBacked() const { return volatileView.fileBacked(); }
+
+    /**
+     * Inject a media fault: XOR the byte at @p a with @p mask in the
+     * volatile view AND the durable shadow (when one exists). Unlike
+     * a program store, the corruption is invisible to the cache
+     * simulation -- no dirty bit, no eventual persist -- exactly a
+     * bit rot / media error underneath the running program. In
+     * file-backed mode the single mapping is both view and medium.
+     * Testing/tooling only (pmem/fault.hh is the ergonomic wrapper).
+     */
+    void injectFault(Addr a, std::uint8_t mask);
     /// @}
 
     std::size_t bytesAllocated() const { return nextFree - baseOffset; }

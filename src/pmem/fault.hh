@@ -1,0 +1,78 @@
+/**
+ * @file
+ * pmem::FaultInjector -- deterministic media-fault injection over a
+ * PersistentArena.
+ *
+ * The arena's injectFault() flips bytes in both the volatile view and
+ * the durable shadow, modeling bit rot underneath the running program
+ * (no dirty bit, no cache interaction). This wrapper adds the
+ * ergonomics the corruption-matrix tests and `lazyper_cli inject`
+ * share: single-bit flips at a host pointer, multi-byte pseudo-random
+ * corruption seeded for reproducibility, and a flip count for
+ * reporting. It never repairs anything -- lp::repair is the other
+ * side of this coin.
+ */
+
+#ifndef LP_PMEM_FAULT_HH
+#define LP_PMEM_FAULT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pmem/arena.hh"
+
+namespace lp::pmem
+{
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(PersistentArena &arena) : arena_(arena) {}
+
+    /** Flip bit @p bit (0..7) of the byte at host pointer @p p. */
+    void
+    flipBit(const void *p, int bit)
+    {
+        arena_.injectFault(arena_.addrOf(p),
+                           std::uint8_t(1u << (bit & 7)));
+        ++flips_;
+    }
+
+    /** Flip bit @p bit of the byte at @p p + @p offset. */
+    void
+    flipBitAt(const void *p, std::size_t offset, int bit)
+    {
+        flipBit(static_cast<const std::uint8_t *>(p) + offset, bit);
+    }
+
+    /**
+     * Corrupt @p bytes bytes starting at @p p with non-zero
+     * pseudo-random XOR masks derived from @p seed (deterministic:
+     * the same seed corrupts the same way).
+     */
+    void
+    corruptRange(const void *p, std::size_t bytes, std::uint64_t seed)
+    {
+        const auto *base = static_cast<const std::uint8_t *>(p);
+        std::uint64_t s = seed | 1;
+        for (std::size_t i = 0; i < bytes; ++i) {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            const auto mask = std::uint8_t((s & 0xff) | 1);
+            arena_.injectFault(arena_.addrOf(base + i), mask);
+            ++flips_;
+        }
+    }
+
+    /** Total single-byte faults injected through this handle. */
+    std::uint64_t flips() const { return flips_; }
+
+  private:
+    PersistentArena &arena_;
+    std::uint64_t flips_ = 0;
+};
+
+} // namespace lp::pmem
+
+#endif // LP_PMEM_FAULT_HH

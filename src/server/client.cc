@@ -16,6 +16,26 @@
 namespace lp::server
 {
 
+std::uint64_t
+retryDelayUs(const RetryPolicy &p, int attempt,
+             std::uint64_t &rngState)
+{
+    // xorshift64*: tiny, stateless beyond the caller's word, and
+    // plenty for jitter (this is decorrelation, not cryptography).
+    std::uint64_t x = rngState ? rngState : 0x9e3779b97f4a7c15ull;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    rngState = x;
+    const std::uint64_t rnd = x * 0x2545f4914f6cdd1dull;
+    std::uint64_t ceil = p.baseDelayUs;
+    for (int i = 0; i < attempt && ceil < p.capDelayUs; ++i)
+        ceil <<= 1;
+    if (ceil > p.capDelayUs)
+        ceil = p.capDelayUs;
+    return ceil == 0 ? 0 : rnd % (ceil + 1);  // full jitter [0, ceil]
+}
+
 Client::~Client()
 {
     close();
@@ -177,6 +197,41 @@ Client::del(std::uint64_t key, int timeoutMs)
     r.id = nextId();
     r.key = key;
     return roundTrip(r, timeoutMs);
+}
+
+std::optional<Response>
+Client::retryLoop(Request r, const RetryPolicy &policy, int timeoutMs)
+{
+    for (int attempt = 0;; ++attempt) {
+        r.id = nextId();
+        auto resp = roundTrip(r, timeoutMs);
+        if (!resp || resp->status != Status::Retry ||
+            attempt + 1 >= policy.maxAttempts)
+            return resp;
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            retryDelayUs(policy, attempt, rng_)));
+    }
+}
+
+std::optional<Response>
+Client::putBackoff(std::uint64_t key, std::uint64_t value,
+                   const RetryPolicy &policy, int timeoutMs)
+{
+    Request r;
+    r.op = Op::Put;
+    r.key = key;
+    r.value = value;
+    return retryLoop(std::move(r), policy, timeoutMs);
+}
+
+std::optional<Response>
+Client::delBackoff(std::uint64_t key, const RetryPolicy &policy,
+                   int timeoutMs)
+{
+    Request r;
+    r.op = Op::Del;
+    r.key = key;
+    return retryLoop(std::move(r), policy, timeoutMs);
 }
 
 std::optional<Response>

@@ -27,6 +27,31 @@
 namespace lp::server
 {
 
+/**
+ * Bounded exponential backoff with full jitter for Status::Retry
+ * backpressure replies. Attempt k may sleep any duration in
+ * [0, min(capDelayUs, baseDelayUs * 2^k)] -- full jitter decorrelates
+ * a herd of clients that all got Retry at the same instant. After
+ * maxAttempts the last Retry response is returned to the caller.
+ * Status::Fault is never retried: it means a quarantined shard
+ * (operator action required), not transient load.
+ */
+struct RetryPolicy
+{
+    int maxAttempts = 8;
+    std::uint64_t baseDelayUs = 100;
+    std::uint64_t capDelayUs = 50000;
+};
+
+/**
+ * Full-jitter backoff delay for 0-based attempt @p attempt, advancing
+ * the caller's xorshift state @p rngState (seed it non-zero, e.g. per
+ * thread). Shared by the Client backoff helpers and the pipelined
+ * load generator, which schedules its own re-sends.
+ */
+std::uint64_t retryDelayUs(const RetryPolicy &p, int attempt,
+                           std::uint64_t &rngState);
+
 class Client
 {
   public:
@@ -79,11 +104,28 @@ class Client
                                                 int timeoutMs = -1);
     /// @}
 
+    /// @name Backoff variants: retry Status::Retry per @p policy
+    /// (sleeping between attempts) instead of bouncing it straight
+    /// back. Any other status -- including Fault -- returns at once.
+    /// @{
+    std::optional<Response> putBackoff(std::uint64_t key,
+                                       std::uint64_t value,
+                                       const RetryPolicy &policy = {},
+                                       int timeoutMs = -1);
+    std::optional<Response> delBackoff(std::uint64_t key,
+                                       const RetryPolicy &policy = {},
+                                       int timeoutMs = -1);
+    /// @}
+
   private:
     std::optional<Response> roundTrip(const Request &r, int timeoutMs);
+    std::optional<Response> retryLoop(Request r,
+                                      const RetryPolicy &policy,
+                                      int timeoutMs);
 
     int fd_ = -1;
     std::uint64_t lastId_ = 0;
+    std::uint64_t rng_ = 0x9e3779b97f4a7c15ull;  ///< backoff jitter
     std::vector<std::uint8_t> in_;
     std::size_t inAt_ = 0;  ///< consumed prefix of in_
 };

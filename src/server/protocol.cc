@@ -221,7 +221,7 @@ decodeResponse(const std::uint8_t *buf, std::size_t n,
 
     out = Response{};
     const std::uint8_t status = p[0];
-    if (status > static_cast<std::uint8_t>(Status::Err))
+    if (status > static_cast<std::uint8_t>(Status::Fault))
         return Decode::Malformed;
     out.status = static_cast<Status>(status);
     out.id = get64(p + 1);
@@ -280,6 +280,7 @@ statusName(Status s)
       case Status::NotFound: return "not-found";
       case Status::Retry:    return "retry";
       case Status::Err:      return "err";
+      case Status::Fault:    return "fault";
     }
     return "?";
 }

@@ -39,6 +39,12 @@
  *                      later (backpressure, not an error)
  *   status=3 Err       semantically invalid (e.g. a key in the
  *                      reserved sentinel range)
+ *   status=4 Fault     the key's shard hit unrepairable media
+ *                      corruption and is quarantined read-only:
+ *                      mutations (PUT/DEL/BATCH) are refused, GET and
+ *                      SCAN still work. Not retryable -- an operator
+ *                      must replace the backing media (see
+ *                      docs/recovery_cookbook.md, corruption triage)
  *
  * Robustness rules: a frame whose length field exceeds maxFrameBytes,
  * whose opcode/status is unknown, whose length disagrees with its
@@ -79,6 +85,7 @@ enum class Status : std::uint8_t
     NotFound = 1,
     Retry = 2,
     Err = 3,
+    Fault = 4,  ///< shard quarantined read-only (media fault)
 };
 
 /** Largest accepted payload (the u32 after the length field). */

@@ -71,6 +71,13 @@ struct BatchCtx
     std::atomic<std::uint32_t> remaining;
     std::uint64_t connId;
     std::uint64_t reqId;
+
+    /**
+     * Set by any worker that refused its sub-ops because its shard is
+     * quarantined; the final reply then reports Fault. The release
+     * half of the remaining fetch_sub publishes it to the replier.
+     */
+    std::atomic<bool> faulted{false};
 };
 
 /**
@@ -232,6 +239,10 @@ struct Server::Impl
         /** This worker's trace ring; null when tracing is off. */
         obs::TraceRing *ring = nullptr;
 
+        // Online-scrub throttle state (worker thread only).
+        Clock::time_point lastScrub{};
+        bool quarantineLogged = false;
+
         // Everything below is touched only by the worker thread.
         kernels::NativeEnv env;
         std::unique_ptr<pmem::PersistentArena> arena;
@@ -287,6 +298,7 @@ struct Server::Impl
     std::atomic<std::uint64_t> statAccepted{0};
     std::atomic<std::uint64_t> statRetries{0};
     std::atomic<std::uint64_t> statErrs{0};
+    std::atomic<std::uint64_t> statFaults{0};
     std::atomic<std::uint64_t> statMalformed{0};
 
     // Acceptor-recorded request-lifecycle histograms (single writer:
@@ -345,6 +357,13 @@ struct Server::Impl
         }
         w.statCommittedEpoch.store(w.kv->committedEpoch(0),
                                    std::memory_order_relaxed);
+        w.lastScrub = Clock::now();
+        if (w.kv->quarantined(0)) {
+            w.quarantineLogged = true;
+            warn("lp::server shard " + std::to_string(w.index) +
+                 " has unrepairable media corruption; serving "
+                 "read-only (mutations get Fault)");
+        }
     }
 
     void
@@ -368,7 +387,9 @@ struct Server::Impl
                     1, std::memory_order_acq_rel) != 1)
                 return;  // not the last sub-op yet
             Response r;
-            r.status = Status::Ok;
+            r.status = p.batch->faulted.load(std::memory_order_acquire)
+                           ? Status::Fault
+                           : Status::Ok;
             r.id = p.batch->reqId;
             postReply(p.batch->connId, std::move(r));
             return;
@@ -470,6 +491,25 @@ struct Server::Impl
           }
           case OpItem::Kind::Put:
           case OpItem::Kind::Del: {
+            // Worker-side quarantine backstop: the acceptor's
+            // fast-path check can race with a scrub discovering
+            // corruption, so the authoritative refusal lives here,
+            // on the thread that owns the shard.
+            if (w.kv->quarantined(0)) {
+                if (op.batch) {
+                    op.batch->faulted.store(
+                        true, std::memory_order_release);
+                    if (op.batch->remaining.fetch_sub(
+                            1, std::memory_order_acq_rel) == 1)
+                        postReply(op.batch->connId,
+                                  statusReply(Status::Fault,
+                                              op.batch->reqId));
+                    return;
+                }
+                postReply(op.connId,
+                          statusReply(Status::Fault, op.reqId));
+                return;
+            }
             const std::uint64_t epoch =
                 op.kind == OpItem::Kind::Put
                     ? w.kv->put(w.env, op.key, op.value)
@@ -508,10 +548,18 @@ struct Server::Impl
                 };
                 if (w.q.empty() && !w.stopFlag) {
                     engine::CommitPipeline &pl = w.kv->pipeline(0);
-                    if (!pl.hasPending())
-                        w.cv.wait(lk, woken);
-                    else
+                    if (pl.hasPending())
                         w.cv.wait_until(lk, pl.ackDeadline(), woken);
+                    else if (cfg.scrubIntervalMs > 0)
+                        // Wake for the next scrub step even with no
+                        // traffic: an idle server still patrols.
+                        w.cv.wait_until(
+                            lk,
+                            w.lastScrub + std::chrono::milliseconds(
+                                              cfg.scrubIntervalMs),
+                            woken);
+                    else
+                        w.cv.wait(lk, woken);
                 }
                 while (!w.q.empty() && local.size() < 128) {
                     local.push_back(std::move(w.q.front()));
@@ -542,10 +590,37 @@ struct Server::Impl
             }
             releaseCommitted(w);
 
+            // Online scrub: strictly off the request path (only on
+            // rounds whose queue drained empty) and rate-limited, so
+            // foreground latency never pays for media patrol.
+            if (!stopping && local.empty() &&
+                cfg.scrubIntervalMs > 0) {
+                const auto now = Clock::now();
+                if (now - w.lastScrub >=
+                    std::chrono::milliseconds(cfg.scrubIntervalMs)) {
+                    w.kv->scrubStep(w.env, 0, cfg.scrubRegions);
+                    w.lastScrub = now;
+                    if (!w.quarantineLogged && w.kv->quarantined(0)) {
+                        w.quarantineLogged = true;
+                        warn("lp::server shard " +
+                             std::to_string(w.index) +
+                             " quarantined by scrub: unrepairable "
+                             "media corruption; serving read-only");
+                    }
+                }
+            }
+
             if (stopping) {
                 // Graceful drain: everything committed and folded, so
-                // a restart recovers instantly.
-                w.kv->checkpoint(w.env);
+                // a restart recovers instantly. The clean-shutdown
+                // mark switches the next recovery into strict mode,
+                // where a validation failure is a media fault (repair
+                // or quarantine) rather than a crash tear. A
+                // quarantined shard keeps its pre-fault superblock
+                // untouched so the restart re-detects the quarantine.
+                if (!w.kv->quarantined(0))
+                    w.kv->checkpoint(w.env);
+                w.kv->markClean(w.env);
                 w.arena->persistAll();
                 releaseCommitted(w);
                 LP_ASSERT(w.pending.empty(),
@@ -652,6 +727,7 @@ struct Server::Impl
         o["accepted"] = statAccepted.load(std::memory_order_relaxed);
         o["retries"] = statRetries.load(std::memory_order_relaxed);
         o["errors"] = statErrs.load(std::memory_order_relaxed);
+        o["faults"] = statFaults.load(std::memory_order_relaxed);
         namespace sn = engine::statname;
         // Latency keys carry the canonical "_ns" base plus percentile
         // suffixes; values are nanoseconds (bucket midpoints).
@@ -667,6 +743,7 @@ struct Server::Impl
         };
         std::uint64_t gets = 0, muts = 0, acks = 0, scans = 0;
         std::uint64_t epochs = 0, folds = 0, deadlines = 0;
+        std::uint64_t mediaRepaired = 0, mediaUnrepairable = 0;
         JsonValue::Object shards;
         for (const auto &wp : workers) {
             const auto &w = *wp;
@@ -706,6 +783,23 @@ struct Server::Impl
             s[sn::batchesDiscarded] = w.report.batchesDiscarded;
             s[sn::walUndone] =
                 std::uint64_t(w.report.walUndone ? 1 : 0);
+            // Media-fault counters: the store's own atomics, safe to
+            // read cross-thread like the histogram mirrors.
+            const store::MediaCounters &mc = w.kv->mediaCounters(0);
+            const std::uint64_t mr =
+                mc.repaired.load(std::memory_order_relaxed);
+            const std::uint64_t mu =
+                mc.unrepairable.load(std::memory_order_relaxed);
+            s[sn::mediaRepaired] = mr;
+            s[sn::mediaUnrepairable] = mu;
+            s[sn::scrubRegions] =
+                mc.scrubRegions.load(std::memory_order_relaxed);
+            s[sn::scrubPasses] =
+                mc.scrubPasses.load(std::memory_order_relaxed);
+            s[sn::quarantined] =
+                std::uint64_t(w.kv->quarantined(0) ? 1 : 0);
+            mediaRepaired += mr;
+            mediaUnrepairable += mu;
             // Ordered-index gauges: the worker's kv atomics, safe to
             // read cross-thread like the histogram mirrors.
             s[sn::indexEntries] = w.kv->indexEntries(0);
@@ -717,6 +811,7 @@ struct Server::Impl
             addLat(s, sn::recoverLatNs, ob.recoverNs);
             addLat(s, sn::scanLatNs, ob.scanNs);
             addLat(s, sn::scanLen, ob.scanLen);
+            addLat(s, sn::scrubLatNs, ob.scrubNs);
             addLat(s, sn::reqQueueNs, w.queueNs);
             addLat(s, sn::reqCommitWaitNs, w.commitWaitNs);
             shards[std::to_string(w.index)] = std::move(s);
@@ -735,6 +830,8 @@ struct Server::Impl
         o[sn::epochsCommitted] = epochs;
         o[sn::folds] = folds;
         o[sn::deadlineCommits] = deadlines;
+        o[sn::mediaRepaired] = mediaRepaired;
+        o[sn::mediaUnrepairable] = mediaUnrepairable;
         addLat(o, sn::reqParseNs, parseNs);
         addLat(o, sn::reqAckNs, ackNs);
         o["shard"] = std::move(shards);
@@ -765,6 +862,7 @@ struct Server::Impl
         mt.counter("lp_accepted", "", rel(statAccepted));
         mt.counter("lp_retries", "", rel(statRetries));
         mt.counter("lp_errors", "", rel(statErrs));
+        mt.counter("lp_faults", "", rel(statFaults));
         mt.counter("lp_malformed", "", rel(statMalformed));
         for (const auto &wp : workers) {
             const auto &w = *wp;
@@ -798,6 +896,20 @@ struct Server::Impl
                        double(w.report.batchesDiscarded));
             mt.counter(promName(sn::walUndone), lab,
                        w.report.walUndone ? 1.0 : 0.0);
+            const store::MediaCounters &mc = w.kv->mediaCounters(0);
+            const auto mcrel = [](const std::atomic<std::uint64_t> &a) {
+                return double(a.load(std::memory_order_relaxed));
+            };
+            mt.counter("lp_media_repaired_total", lab,
+                       mcrel(mc.repaired));
+            mt.counter("lp_media_unrepairable_total", lab,
+                       mcrel(mc.unrepairable));
+            mt.counter(promName(sn::scrubRegions), lab,
+                       mcrel(mc.scrubRegions));
+            mt.counter(promName(sn::scrubPasses), lab,
+                       mcrel(mc.scrubPasses));
+            mt.gauge(promName(sn::quarantined), lab,
+                     w.kv->quarantined(0) ? 1.0 : 0.0);
             const obs::ShardObs &ob = w.kv->shardObs(0);
             mt.histogramNs(promName(sn::stageLatNs), lab, ob.stageNs);
             mt.histogramNs(promName(sn::commitLatNs), lab,
@@ -806,6 +918,7 @@ struct Server::Impl
             mt.histogramNs(promName(sn::recoverLatNs), lab,
                            ob.recoverNs);
             mt.histogramNs(promName(sn::scanLatNs), lab, ob.scanNs);
+            mt.histogramNs(promName(sn::scrubLatNs), lab, ob.scrubNs);
             mt.histogramNs(promName(sn::reqQueueNs), lab, w.queueNs);
             mt.histogramNs(promName(sn::reqCommitWaitNs), lab,
                            w.commitWaitNs);
@@ -826,6 +939,16 @@ struct Server::Impl
             if (req.key > store::maxUserKey) {
                 statErrs.fetch_add(1, std::memory_order_relaxed);
                 localReply(c, statusReply(Status::Err, req.id));
+                return;
+            }
+            // Quarantine fast path: refuse mutations to a read-only
+            // shard before they queue (the worker re-checks; this
+            // mirror read just saves the round trip). GETs pass.
+            if (req.op != Op::Get &&
+                workers[std::size_t(routeShard(
+                           req.key, cfg.shards))]->kv->quarantined(0)) {
+                statFaults.fetch_add(1, std::memory_order_relaxed);
+                localReply(c, statusReply(Status::Fault, req.id));
                 return;
             }
             if (c.inflight >= cfg.maxInflightPerConn) {
@@ -881,6 +1004,22 @@ struct Server::Impl
                 if (b.key > store::maxUserKey) {
                     statErrs.fetch_add(1, std::memory_order_relaxed);
                     localReply(c, statusReply(Status::Err, req.id));
+                    return;
+                }
+            }
+            // All-or-nothing quarantine check: refuse the whole
+            // BATCH before enqueueing anything if any target shard
+            // is read-only, so a Fault reply means no sub-op
+            // applied. (A scrub racing in after this check can still
+            // fault individual sub-ops; the reply is then Fault but
+            // sub-ops on healthy shards have applied -- BATCH is not
+            // transactional across shards.)
+            for (const BatchOp &b : req.batch) {
+                if (workers[std::size_t(routeShard(
+                               b.key, cfg.shards))]
+                        ->kv->quarantined(0)) {
+                    statFaults.fetch_add(1, std::memory_order_relaxed);
+                    localReply(c, statusReply(Status::Fault, req.id));
                     return;
                 }
             }
@@ -1217,6 +1356,8 @@ struct Server::Impl
             recov.entriesReplayed += wp->report.entriesReplayed;
             recov.batchesDiscarded += wp->report.batchesDiscarded;
             recov.walUndone += wp->report.walUndone ? 1 : 0;
+            recov.mediaRepaired += wp->report.mediaRepaired;
+            recov.mediaUnrepairable += wp->report.mediaUnrepairable;
         }
 
         listenFd = ::socket(AF_INET, SOCK_STREAM, 0);

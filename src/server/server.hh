@@ -89,6 +89,17 @@ struct ServerConfig
     /** Connection cap; further accepts are closed immediately. */
     int maxConns = 256;
 
+    /**
+     * Online-scrub throttle: a worker runs one bounded scrub step
+     * (scrubRegions journal regions) at most once per this many
+     * milliseconds, and only off the request path -- when its queue
+     * drained empty that round. 0 disables scrubbing.
+     */
+    std::uint64_t scrubIntervalMs = 100;
+
+    /** Regions validated per scrub step (the step's work bound). */
+    std::size_t scrubRegions = 32;
+
     /** Suppress the startup/shutdown log lines. */
     bool quiet = false;
 
@@ -115,6 +126,12 @@ struct ServerRecovery
 
     /** WAL backend: shards that rolled back an armed transaction. */
     int walUndone = 0;
+
+    /** Media faults repaired during recovery (parity/replica). */
+    std::uint64_t mediaRepaired = 0;
+
+    /** Proven-unrepairable faults; such shards start quarantined. */
+    std::uint64_t mediaUnrepairable = 0;
 };
 
 /**

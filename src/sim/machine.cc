@@ -17,6 +17,7 @@ Machine::Machine(const MachineConfig &config, PersistBackend *be)
     for (int i = 0; i < cfg.numCores; ++i)
         l1s.emplace_back(cfg.l1);
     clk.assign(cfg.numCores, 0);
+    streamBuf.resize(cfg.numCores);
     flushQ.resize(cfg.numCores);
     nextCleanAt = cfg.cleanerPeriodCycles;
 }
@@ -43,6 +44,49 @@ Machine::write(CoreId c, Addr addr, unsigned size)
     const Addr last = blockAlign(addr + size - 1);
     for (Addr blk = first; blk <= last; blk += blockBytes)
         accessBlock(c, blk, true);
+}
+
+void
+Machine::readStream(CoreId c, Addr addr, unsigned size)
+{
+    if (trace)
+        trace->read(c, addr, size);
+    ++s.loads;
+    ++s.streamLoads;
+    const Addr first = blockAlign(addr);
+    const Addr last = blockAlign(addr + size - 1);
+    for (Addr blk = first; blk <= last; blk += blockBytes) {
+        maybeClean(c);
+        ++s.l1Accesses;
+        Cycles cost = cfg.l1.latency;
+        if (Line *line = l1s[c].find(blk)) {
+            l1s[c].touch(*line);
+        } else {
+            ++s.l1Misses;
+            ++s.l2Accesses;
+            if (Line *l2l = l2.find(blk)) {
+                cost += cfg.l2.latency;
+                l2.touch(*l2l);
+            } else {
+                auto &buf = streamBuf[c];
+                const bool buffered =
+                    std::find(buf.begin(), buf.end(), blk) != buf.end();
+                if (!buffered) {
+                    // Read straight from NVMM; no install, no victim.
+                    // The block parks in the stream buffer so the
+                    // region's remaining words coalesce onto this one
+                    // NVMM read, as NT fill buffers do.
+                    ++s.l2Misses;
+                    ++s.nvmmReads;
+                    cost += cfg.l2.latency + cfg.nvmmReadCycles();
+                    if (buf.size() >= streamBufEntries)
+                        buf.erase(buf.begin());
+                    buf.push_back(blk);
+                }
+            }
+        }
+        clk[c] += cost;
+    }
 }
 
 void
@@ -459,6 +503,8 @@ Machine::loseVolatileState()
     dir.clear();
     for (auto &q : flushQ)
         q.clear();
+    for (auto &buf : streamBuf)
+        buf.clear();
     dirtySince.clear();
 }
 
@@ -521,6 +567,7 @@ Machine::snapshot() const
 {
     stats::Snapshot snap;
     snap["loads"] = static_cast<double>(s.loads.value());
+    snap["stream_loads"] = static_cast<double>(s.streamLoads.value());
     snap["stores"] = static_cast<double>(s.stores.value());
     snap["compute_ops"] = static_cast<double>(s.computeOps.value());
     snap["l1_accesses"] = static_cast<double>(s.l1Accesses.value());

@@ -64,6 +64,7 @@ enum class WritebackCause
 struct MachineStats
 {
     stats::Counter loads;
+    stats::Counter streamLoads;   ///< non-allocating loads (readStream)
     stats::Counter stores;
     stats::Counter computeOps;
 
@@ -144,6 +145,18 @@ class Machine
 
     /** A load of @p size bytes at @p addr executed by core @p c. */
     void read(CoreId c, Addr addr, unsigned size);
+
+    /**
+     * A non-allocating (streaming / non-temporal) load: a cached copy
+     * is used where one exists, but a miss reads NVMM without
+     * installing a line anywhere, so bulk verification sweeps (the
+     * media scrub) cannot evict the workload's dirty coalescing
+     * lines. Coherence caveat: a peer core's Modified copy is not
+     * transferred -- callers must issue streaming reads only from the
+     * core that owns the data (the single-writer-per-shard contract
+     * already guarantees this for every store structure).
+     */
+    void readStream(CoreId c, Addr addr, unsigned size);
 
     /** A store of @p size bytes at @p addr executed by core @p c. */
     void write(CoreId c, Addr addr, unsigned size);
@@ -272,6 +285,16 @@ class Machine
     std::vector<Cache> l1s;
     Cache l2;
     std::unordered_map<Addr, DirEntry> dir;
+
+    /**
+     * Per-core streaming-load buffers (the fill-buffer coalescing of
+     * real non-temporal loads): the last few blocks a core streamed
+     * pay the NVMM read once; subsequent word reads of the same block
+     * are buffer hits. Timing metadata only -- never holds data and
+     * is never a coherence participant.
+     */
+    static constexpr unsigned streamBufEntries = 12;
+    std::vector<std::vector<Addr>> streamBuf;
 
     std::vector<Cycles> clk;
     std::vector<std::vector<Cycles>> flushQ;  ///< per-core completions

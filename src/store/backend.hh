@@ -23,30 +23,49 @@
  *    durable (eager, WAL).
  *  - recover(): rebuild from the durable image after a crash; must
  *    leave the shard ready for new mutations and the pipeline
- *    rebased to the committed watermark.
+ *    rebased to the committed watermark. Attempts media-fault repair
+ *    (parity reconstruction, superblock replicas) before falling
+ *    back to epoch discard, and quarantines on provable-but-
+ *    unrepairable corruption (docs/repair_design.md).
  *  - verify(): non-mutating audit of the backend's own invariants
  *    (committed digests still validate; no armed WAL). A debugging /
  *    test aid: it reads through the Env and thus perturbs the
  *    simulated caches like any other access.
+ *  - scrub(): incremental online validate-and-repair walk over the
+ *    backend's sealed media-protected structures; bounded work per
+ *    call so the caller (the server's idle loop) can rate-limit it.
  *  - staged()/mergeStaged(): read-your-writes over mutations that
  *    are staged but not yet applied to the table.
+ *
+ * Media-fault tolerance plumbing shared by ALL backends lives here:
+ * every shard's superblock (ShardMeta) is kept in TWO copies sealed
+ * by a check word, so recovery can prove corruption (a crash leaves
+ * each block-atomic copy self-consistent) and repair from the twin.
+ * Per-shard MediaCounters record repairs/unrepairable faults for
+ * STATS/METRICS; unrepairable > 0 means the shard is QUARANTINED
+ * (callers must stop mutating it; lp::server serves it read-only).
  *
  * Allocation-order determinism: a backend's constructor must
  * allocate its arena structures in a fixed order (globals first,
  * then per shard), because attach mode re-derives offsets purely by
  * re-running the same allocation sequence over the existing image.
+ * allocMeta() allocates the superblock replica immediately after the
+ * primary, preserving that order for all three backends.
  */
 
 #ifndef LP_STORE_BACKEND_HH
 #define LP_STORE_BACKEND_HH
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <vector>
 
 #include "engine/commit_pipeline.hh"
 #include "pmem/arena.hh"
+#include "repair/repair.hh"
 #include "store/journal.hh"
 #include "store/layout.hh"
 
@@ -73,6 +92,43 @@ struct StoreContext
 /** CommitPolicy a store pipeline runs under @p backend and @p cfg. */
 engine::CommitPolicy commitPolicyFor(Backend backend,
                                      const StoreConfig &cfg);
+
+/**
+ * Cumulative media-fault counters of one shard. The shard's single
+ * writer updates them (recovery, scrub); any thread may read (the
+ * server's acceptor exports them in STATS/METRICS), hence atomics.
+ */
+struct MediaCounters
+{
+    std::atomic<std::uint64_t> repaired{0};
+    std::atomic<std::uint64_t> unrepairable{0};
+    std::atomic<std::uint64_t> scrubRegions{0};
+    std::atomic<std::uint64_t> scrubPasses{0};
+};
+
+/**
+ * Host-pointer map of one shard's media-protected structures, for
+ * fault injection (pmem/fault.hh, `lazyper_cli inject`) and the
+ * corruption-matrix tests. Null / zero fields simply do not exist
+ * for the backend (only LP has a journal and parity).
+ */
+struct FaultSurface
+{
+    const void *metaPrimary = nullptr;   ///< 64B shard superblock
+    const void *metaReplica = nullptr;   ///< its 64B replica
+    const void *journal = nullptr;       ///< journal record buffer
+    std::size_t journalBytes = 0;
+    std::size_t sealedBytes = 0;         ///< sealed journal prefix
+    const void *digests = nullptr;       ///< primary checksum table
+    std::size_t digestBytes = 0;
+    const void *digestReplica = nullptr; ///< replica checksum table
+    std::size_t digestReplicaBytes = 0;
+    const void *parity = nullptr;        ///< XOR parity blocks
+    std::size_t parityBytes = 0;
+    const void *parityHashes = nullptr;  ///< region fingerprints
+    std::size_t parityHashBytes = 0;
+    const void *parityHeader = nullptr;  ///< coverage header block
+};
 
 /**
  * One persistency policy; see the file comment for the hook
@@ -118,6 +174,27 @@ class PersistencyBackend
     virtual bool verify(Env &env, int shard) = 0;
 
     /**
+     * Online scrub step: validate (and repair) up to @p maxRegions
+     * regions of the shard's sealed media-protected structures.
+     * Returns regions actually examined (0 when there is nothing to
+     * scrub or the shard is quarantined). The base implementation
+     * audits the superblock pair -- the only media-protected
+     * structure the eager and WAL backends own -- and counts a scrub
+     * pass; the LP backend extends it over journal parity.
+     */
+    virtual std::size_t
+    scrub(Env &env, int shard, std::size_t maxRegions)
+    {
+        (void)maxRegions;
+        if (quarantined(shard))
+            return 0;
+        auditMeta(env, shard, nullptr);
+        media_[std::size_t(shard)].scrubPasses.fetch_add(
+            1, std::memory_order_relaxed);
+        return 0;
+    }
+
+    /**
      * Read-your-writes lookup over staged-but-unapplied mutations;
      * std::nullopt (and no Env effect) when the key is not staged or
      * the backend applies in place.
@@ -140,6 +217,30 @@ class PersistencyBackend
         (void)out;
     }
 
+    /**
+     * Address of the PRIMARY digest slot holding (@p shard,
+     * @p epoch)'s batch checksum, or null for backends without one.
+     * Fault-injection aid: lets the corruption matrix rot exactly
+     * one epoch's digest instead of spraying the table.
+     */
+    virtual const void *
+    digestSlotAddr(int shard, std::uint64_t epoch) const
+    {
+        (void)shard;
+        (void)epoch;
+        return nullptr;
+    }
+
+    /** Where this shard's media-protected structures live. */
+    virtual FaultSurface
+    faultSurface(int shard) const
+    {
+        FaultSurface fs;
+        fs.metaPrimary = metas_[std::size_t(shard)];
+        fs.metaReplica = replicas_[std::size_t(shard)];
+        return fs;
+    }
+
     /** Durable (shadow) epoch watermark of one shard. */
     std::uint64_t
     durableEpoch(int shard) const
@@ -147,17 +248,172 @@ class PersistencyBackend
         return ctx_.arena->peekDurable(&metas_[shard]->foldedEpoch);
     }
 
+    /** This shard's cumulative media-fault counters (any thread). */
+    const MediaCounters &
+    mediaCounters(int shard) const
+    {
+        return media_[std::size_t(shard)];
+    }
+
+    /**
+     * True when the shard hit provable-but-unrepairable corruption:
+     * callers must stop mutating it (reads over the recovered prefix
+     * stay safe -- nothing invalid was ever applied to the table).
+     */
+    bool
+    quarantined(int shard) const
+    {
+        return media_[std::size_t(shard)].unrepairable.load(
+                   std::memory_order_relaxed) > 0;
+    }
+
+    /**
+     * Durably mark the shard cleanly shut down. Call only when every
+     * committed byte has drained (after checkpoint + persistAll /
+     * msync): the flag switches the NEXT recovery into strict mode,
+     * where validation failures are media faults, not crash tears.
+     */
+    void
+    markClean(Env &env, int shard)
+    {
+        const std::uint64_t epoch =
+            env.ld(&metas_[std::size_t(shard)]->foldedEpoch);
+        persistMeta(env, shard, epoch, shardCleanShutdown);
+        env.sfence();
+    }
+
   protected:
-    /** Allocate one shard's metadata block in arena order. */
+    /**
+     * Allocate one shard's superblock pair in arena order (replica
+     * immediately after the primary -- part of the deterministic
+     * allocation sequence attach mode replays).
+     */
     ShardMeta *
     allocMeta(bool attach)
     {
         pmem::PersistentArena &arena = *ctx_.arena;
         ShardMeta *m = arena.alloc<ShardMeta>(1);
-        if (!attach)
-            m->foldedEpoch = 0;
+        ShardMeta *r = arena.alloc<ShardMeta>(1);
+        if (!attach) {
+            for (ShardMeta *c : {m, r}) {
+                c->foldedEpoch = 0;
+                c->flags = 0;
+                c->check = repair::shardMetaCheck(0, 0);
+            }
+        }
         metas_.push_back(m);
+        replicas_.push_back(r);
+        media_.emplace_back();
         return m;
+    }
+
+    /**
+     * Store (@p epoch, @p flags) + check word into both superblock
+     * copies and flush them; the caller's fence orders the pair.
+     */
+    void
+    persistMeta(Env &env, int shard, std::uint64_t epoch,
+                std::uint64_t flags)
+    {
+        const std::uint64_t check =
+            repair::shardMetaCheck(epoch, flags);
+        for (ShardMeta *c : {metas_[std::size_t(shard)],
+                             replicas_[std::size_t(shard)]}) {
+            env.st(&c->foldedEpoch, epoch);
+            env.st(&c->flags, flags);
+            env.st(&c->check, check);
+            env.clflushopt(c);
+        }
+        env.tick(6);
+    }
+
+    /** What auditMeta() concluded about a superblock pair. */
+    struct MetaState
+    {
+        std::uint64_t epoch = 0;
+        bool clean = false;  ///< strict recovery mode earned
+        bool ok = false;     ///< at least one copy validated
+    };
+
+    /**
+     * Validate the superblock pair, repairing a check-invalid copy
+     * from its valid twin (a media fault by the block-atomicity
+     * argument in layout.hh). Both copies valid but divergent is
+     * crash-normal (one drained, one did not): adopt the higher
+     * epoch, silently resync the other, count nothing. Both copies
+     * invalid is unrepairable: quarantine. Strict (clean-shutdown)
+     * mode is granted only when it is provable: both copies valid
+     * and flagged clean at the same epoch, or one copy rotted but
+     * the surviving valid copy is flagged clean.
+     */
+    MetaState
+    auditMeta(Env &env, int shard, RecoveryReport *rep)
+    {
+        ShardMeta *p = metas_[std::size_t(shard)];
+        ShardMeta *r = replicas_[std::size_t(shard)];
+        const std::uint64_t pe = env.ld(&p->foldedEpoch);
+        const std::uint64_t pf = env.ld(&p->flags);
+        const bool pOk =
+            env.ld(&p->check) == repair::shardMetaCheck(pe, pf);
+        const std::uint64_t re = env.ld(&r->foldedEpoch);
+        const std::uint64_t rf = env.ld(&r->flags);
+        const bool rOk =
+            env.ld(&r->check) == repair::shardMetaCheck(re, rf);
+        env.tick(8);
+        MetaState st;
+        if (pOk && rOk) {
+            st.ok = true;
+            if (pe == re) {
+                st.epoch = pe;
+                st.clean = (pf & rf & shardCleanShutdown) != 0;
+            } else {
+                // Crash between the copies' drains: the fold's data
+                // fence precedes the meta store, so the higher epoch
+                // is safe (and replaying from the lower would be,
+                // too -- replay is idempotent). Resync silently.
+                st.epoch = pe > re ? pe : re;
+                st.clean = false;
+                persistMeta(env, shard, st.epoch, 0);
+                env.sfence();
+            }
+            return st;
+        }
+        if (pOk != rOk) {
+            // One copy rotted (an invalid check cannot come from a
+            // crash): restore it from the valid twin.
+            const std::uint64_t e = pOk ? pe : re;
+            const std::uint64_t f = pOk ? pf : rf;
+            persistMeta(env, shard, e, f);
+            env.sfence();
+            noteRepaired(shard, rep, 1);
+            st.ok = true;
+            st.epoch = e;
+            st.clean = (f & shardCleanShutdown) != 0;
+            return st;
+        }
+        // Both copies rotted: nothing to trust.
+        noteUnrepairable(shard, rep, 1);
+        return st;
+    }
+
+    /** Count @p n repaired media faults (counters + report). */
+    void
+    noteRepaired(int shard, RecoveryReport *rep, std::uint64_t n)
+    {
+        media_[std::size_t(shard)].repaired.fetch_add(
+            n, std::memory_order_relaxed);
+        if (rep)
+            rep->mediaRepaired += n;
+    }
+
+    /** Count @p n unrepairable faults (quarantines the shard). */
+    void
+    noteUnrepairable(int shard, RecoveryReport *rep, std::uint64_t n)
+    {
+        media_[std::size_t(shard)].unrepairable.fetch_add(
+            n, std::memory_order_relaxed);
+        if (rep)
+            rep->mediaUnrepairable += n;
     }
 
     const StoreConfig &cfg() const { return *ctx_.cfg; }
@@ -171,6 +427,9 @@ class PersistencyBackend
 
     StoreContext<Env> ctx_;
     std::vector<ShardMeta *> metas_;
+    std::vector<ShardMeta *> replicas_;
+    /// Deque: atomics must never relocate (acceptor threads read).
+    std::deque<MediaCounters> media_;
 };
 
 } // namespace lp::store

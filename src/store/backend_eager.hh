@@ -63,8 +63,15 @@ class EagerBackend : public PersistencyBackend<Env>
     recover(Env &env, int shard, RecoveryReport &rep) override
     {
         // Every op was persisted in place; the table is already
-        // consistent. The op-sequence numbering restarts at zero.
-        (void)env;
+        // consistent. The superblock pair still carries the clean-
+        // shutdown flag and can rot, so it is audited (and repaired
+        // from its twin) like every backend's.
+        const auto ms = this->auditMeta(env, shard, &rep);
+        if (ms.ok) {
+            this->persistMeta(env, shard, 0, 0);
+            env.sfence();
+        }
+        // The op-sequence numbering restarts at zero.
         pipeline(shard).rebase(0);
         rep.committedEpochs[std::size_t(shard)] = 0;
     }

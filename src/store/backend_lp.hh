@@ -26,22 +26,38 @@
  * committed table byte can never be clobbered by an uncommitted lazy
  * store.
  *
- * Recovery. Per shard, read the durable foldedEpoch W and walk the
- * journal from offset 0 expecting epochs W+1, W+2, ... (the
- * BatchJournal::replay walk): check the header tag, recompute the
- * digest over the records that actually reached NVMM, and compare
- * against the checksum table. Accepted batches are replayed into the
- * table with Eager Persistency (Section III-E: recovery uses EP so
- * it always makes forward progress); the walk stops at the first
- * batch that fails validation -- journal appends are sequential, so
- * durability is prefix-shaped and later batches cannot have
- * committed either. Replay is idempotent and convergent even across
- * crashes *during* fold or recovery because (a) table writers only
- * apply committed ops, (b) deletes tombstone rather than empty
- * slots, and (c) the insert probe scans the whole chain up to the
- * first never-used slot before reusing a tombstone, so a
- * half-drained earlier apply of the same key is always found and
- * reused, never duplicated.
+ * Media-fault tolerance (docs/repair_design.md). The journal is the
+ * only structure whose loss silently loses committed data, so it
+ * gets the heaviest protection: a repair::RegionParity instance per
+ * shard fingerprints and XOR-folds every sealed 64B journal region
+ * at commit time (plain stores -- they drain with the lines they
+ * protect). Batch digests get a full REPLICA table written beside
+ * the primary; recovery accepts a batch if either copy validates.
+ * The shard superblock pair is the base class's. Crash tears and
+ * media faults are disambiguated by the clean-shutdown flag
+ * (store/layout.hh): recovery after a PROVEN clean shutdown runs
+ * STRICT -- a validation failure there is a media fault, repaired
+ * via parity or counted unrepairable (quarantine) -- while recovery
+ * after a crash keeps the historical discard semantics and only
+ * counts repairs the fingerprints prove.
+ *
+ * Recovery. Per shard, arbitrate the superblock pair for the durable
+ * foldedEpoch W and walk the journal from offset 0 expecting epochs
+ * W+1, W+2, ... (the BatchJournal::replay walk): check the header
+ * tag, recompute the digest over the records that actually reached
+ * NVMM, and compare against the checksum-table pair. On the first
+ * validation failure the parity sweep runs once and the position is
+ * retried. Accepted batches are replayed into the table with Eager
+ * Persistency (Section III-E: recovery uses EP so it always makes
+ * forward progress); the walk stops at the first batch that still
+ * fails validation -- journal appends are sequential, so durability
+ * is prefix-shaped and later batches cannot have committed either.
+ * Replay is idempotent and convergent even across crashes *during*
+ * fold or recovery because (a) table writers only apply committed
+ * ops, (b) deletes tombstone rather than empty slots, and (c) the
+ * insert probe scans the whole chain up to the first never-used slot
+ * before reusing a tombstone, so a half-drained earlier apply of the
+ * same key is always found and reused, never duplicated.
  */
 
 #ifndef LP_STORE_BACKEND_LP_HH
@@ -54,6 +70,7 @@
 #include "ep/pmem_ops.hh"
 #include "lp/keyed_table.hh"
 #include "obs/shard_obs.hh"
+#include "repair/parity.hh"
 #include "store/backend.hh"
 
 namespace lp::store
@@ -71,9 +88,12 @@ class LpBackend : public PersistencyBackend<Env>
     LpBackend(const StoreContext<Env> &ctx, bool attach) : Base(ctx)
     {
         window_ = epochWindowFor(cfg());
+        const std::size_t ckslots =
+            std::size_t(cfg().shards) * window_ * 2;
         cktable_ = std::make_unique<core::KeyedChecksumTable>(
-            *ctx.arena, std::size_t(cfg().shards) * window_ * 2,
-            attach);
+            *ctx.arena, ckslots, attach);
+        ckreplica_ = std::make_unique<core::KeyedChecksumTable>(
+            *ctx.arena, ckslots, attach);
         const std::size_t jcap = journalCapacity(cfg());
         shards_.reserve(std::size_t(cfg().shards));
         for (int i = 0; i < cfg().shards; ++i) {
@@ -82,6 +102,9 @@ class LpBackend : public PersistencyBackend<Env>
             sh.acc = core::ChecksumAcc(cfg().checksum);
             sh.journal =
                 std::make_unique<BatchJournal<Env>>(*ctx.arena, jcap);
+            sh.parity = std::make_unique<repair::RegionParity<Env>>(
+                *ctx.arena, sh.journal->data(),
+                sh.journal->dataBytes(), attach);
             shards_.push_back(std::move(sh));
         }
     }
@@ -112,8 +135,9 @@ class LpBackend : public PersistencyBackend<Env>
 
     /**
      * Close the open batch: seal the journal header into the digest
-     * and store the digest into the checksum table -- all with plain
-     * stores (the Figure 8 commit). No flush, no fence.
+     * and store the digest into BOTH checksum tables, then extend
+     * parity coverage over the newly sealed regions -- all with
+     * plain stores (the Figure 8 commit). No flush, no fence.
      */
     void
     commitEpoch(Env &env, int shard) override
@@ -133,21 +157,28 @@ class LpBackend : public PersistencyBackend<Env>
         const std::size_t s = cktable_->claimSlot(ckey);
         env.st(cktable_->keyPtr(s), ckey);
         env.st(cktable_->digestPtr(s), sh.acc.value());
+        const std::size_t s2 = ckreplica_->claimSlot(ckey);
+        env.st(ckreplica_->keyPtr(s2), ckey);
+        env.st(ckreplica_->digestPtr(s2), sh.acc.value());
+        sh.parity->cover(env, epoch, sh.journal->sealedBytes());
         pl.commitEpoch();
         env.onRegionCommit();
     }
 
     /**
      * Eager checkpoint of one shard (Section VI-A periodic flush):
-     * (a) pin the journal and this window's digests in NVMM, so
-     *     every batch the fold applies is one recovery would accept;
+     * (a) pin the journal and this window's digests (both copies) in
+     *     NVMM, so every batch the fold applies is one recovery
+     *     would accept;
      * (b) apply the coalesced last op per key to the table with
      *     Eager Persistency -- one table write per DISTINCT key in
      *     the window, which is where LP's write savings over per-op
      *     flushing comes from on skewed workloads. All of the
      *     window's table stores execute first, then each distinct
      *     dirty block is flushed once (ep::flushBlocksOnce);
-     * (c) advance the durable watermark.
+     * (c) restart the parity generation (the journal is about to
+     *     restart at offset 0) and advance the durable watermark in
+     *     both superblock copies.
      * A crash anywhere in between leaves a state recover() handles:
      * before (c) the watermark is old and every applied batch is
      * durably committed, so replay just re-applies them.
@@ -167,11 +198,16 @@ class LpBackend : public PersistencyBackend<Env>
         std::vector<std::uintptr_t> blocks;
         for (std::uint64_t e = pl.foldedEpoch() + 1;
              e <= pl.lastCommitted(); ++e) {
-            const std::size_t s = cktable_->findSlot(
-                checksumEpochKey(shard, e, window_));
+            const std::uint64_t ckey =
+                checksumEpochKey(shard, e, window_);
+            const std::size_t s = cktable_->findSlot(ckey);
             LP_ASSERT(s != core::KeyedChecksumTable::npos,
                       "committed digest missing");
             blocks.push_back(ep::blockIndexOf(cktable_->keyPtr(s)));
+            const std::size_t s2 = ckreplica_->findSlot(ckey);
+            if (s2 != core::KeyedChecksumTable::npos)
+                blocks.push_back(
+                    ep::blockIndexOf(ckreplica_->keyPtr(s2)));
         }
         ep::flushBlocksOnce(env, blocks);
         env.sfence();
@@ -183,29 +219,74 @@ class LpBackend : public PersistencyBackend<Env>
         }
         ep::flushBlocksOnce(env, blocks);
         env.sfence();
-        env.st(&sh.meta->foldedEpoch, pl.lastCommitted());
-        env.clflushopt(sh.meta);
+        sh.parity->resetGeneration(env, pl.lastCommitted());
+        this->persistMeta(env, shard, pl.lastCommitted(), 0);
         env.sfence();
         pl.noteFold();
         sh.journal->reset();
         sh.delta.clear();
+        sh.scrubCursor = 0;
+        sh.scrubGroupClean = true;
     }
 
     void
     recover(Env &env, int shard, RecoveryReport &rep) override
     {
         Shard &sh = shards_[std::size_t(shard)];
-        const std::uint64_t base = env.ld(&sh.meta->foldedEpoch);
+        const auto ms = this->auditMeta(env, shard, &rep);
+        if (!ms.ok) {
+            // Both superblock copies rotted: the fold watermark is
+            // gone, so nothing in the journal can be validated
+            // against a known base. The folded table image itself is
+            // intact; leave it, quarantine the shard (auditMeta
+            // already counted the unrepairable fault).
+            resetShard(env, sh, shard, 0, rep);
+            return;
+        }
+        const bool strict = ms.clean;
+        const std::uint64_t base = ms.epoch;
+        const bool hdrOk = sh.parity->loadDurable(env);
+        if (strict && !hdrOk) {
+            // No crash happened, so the parity header was rotted: a
+            // media fault. It self-heals (resetShard starts a fresh
+            // generation below) but costs us the sealed-epoch
+            // watermark, so the lost-batch check cannot run.
+            this->noteRepaired(shard, &rep, 1);
+        }
+        // Media-repair hook for the replay walk: sweep the covered
+        // journal prefix once, restoring every region whose parity
+        // reconstruction reproduces its fingerprint.
+        auto repairFn = [&]() {
+            const repair::SweepResult res =
+                sh.parity->repairCovered(env);
+            if (res.repaired) {
+                env.sfence();
+                this->noteRepaired(shard, &rep, res.repaired);
+            }
+            return res.repaired > 0;
+        };
+        // A batch is committed if EITHER digest copy validates; a
+        // primary miss with a replica hit is only provably a media
+        // fault in strict mode (after a crash it is just a line that
+        // had not drained yet).
+        auto matches = [&](std::uint64_t e, std::uint64_t digest) {
+            const std::uint64_t ckey =
+                checksumEpochKey(shard, e, window_);
+            if (cktable_->matches(ckey, digest))
+                return true;
+            if (ckreplica_->matches(ckey, digest)) {
+                if (strict)
+                    this->noteRepaired(shard, &rep, 1);
+                return true;
+            }
+            return false;
+        };
         // Committed batches repair the table with Eager Persistency
         // (Section III-E); like the fold, all of a batch's stores
         // execute first, then one flush per distinct block.
         std::vector<std::uintptr_t> blocks;
         const std::uint64_t committed = sh.journal->replay(
-            env, cfg(), base,
-            [&](std::uint64_t e, std::uint64_t digest) {
-                return cktable_->matches(
-                    checksumEpochKey(shard, e, window_), digest);
-            },
+            env, cfg(), base, matches,
             [&](JEntry &je) {
                 KvSlot *slot =
                     table().applyOp(env, je.op() == JOp::Put,
@@ -218,17 +299,16 @@ class LpBackend : public PersistencyBackend<Env>
                 ep::flushBlocksOnce(env, blocks);
                 env.sfence();
             },
-            rep);
-        if (committed != base) {
-            env.st(&sh.meta->foldedEpoch, committed);
-            env.clflushopt(sh.meta);
-            env.sfence();
+            repairFn, rep);
+        if (strict && hdrOk &&
+            committed < sh.parity->lastSealedEpoch()) {
+            // Clean shutdown proved every sealed epoch was durable,
+            // yet replay could not validate up to the sealed
+            // watermark: committed batches are LOST to media faults
+            // parity could not undo. Quarantine.
+            this->noteUnrepairable(shard, &rep, 1);
         }
-        sh.journal->reset();
-        sh.acc.reset();
-        sh.delta.clear();
-        pipeline(shard).rebase(committed);
-        rep.committedEpochs[std::size_t(shard)] = committed;
+        resetShard(env, sh, shard, committed, rep);
     }
 
     bool
@@ -241,9 +321,108 @@ class LpBackend : public PersistencyBackend<Env>
         return sh.journal->auditCommitted(
             env, cfg(), pl.foldedEpoch(), pl.lastCommitted(),
             [&](std::uint64_t e, std::uint64_t digest) {
-                return cktable_->matches(
-                    checksumEpochKey(shard, e, window_), digest);
+                const std::uint64_t ckey =
+                    checksumEpochKey(shard, e, window_);
+                return cktable_->matches(ckey, digest) ||
+                       ckreplica_->matches(ckey, digest);
             });
+    }
+
+    /**
+     * Online scrub: advance a region cursor over the covered journal
+     * prefix, validating fingerprints and repairing from parity.
+     * The store is LIVE here -- no crash ambiguity -- so every
+     * mismatch is a media fault: repairs and unrepairable regions
+     * both count. When a parity group's covered regions all verified
+     * clean, the group's parity block itself is recomputed and
+     * rewritten if it diverged (the "parity page is the corrupt one"
+     * case). Reaching the end of the covered prefix audits the
+     * superblock pair and completes a pass.
+     */
+    std::size_t
+    scrub(Env &env, int shard, std::size_t maxRegions) override
+    {
+        if (this->quarantined(shard))
+            return 0;
+        Shard &sh = shards_[std::size_t(shard)];
+        const std::size_t covered = sh.parity->coveredRegions();
+        if (sh.scrubCursor >= covered) {
+            // Pass complete (or a fold restarted the generation):
+            // close out with the superblock audit and wrap.
+            this->auditMeta(env, shard, nullptr);
+            this->media_[std::size_t(shard)].scrubPasses.fetch_add(
+                1, std::memory_order_relaxed);
+            sh.scrubCursor = 0;
+            sh.scrubGroupClean = true;
+            return 0;
+        }
+        std::size_t done = 0;
+        bool wrote = false;
+        while (done < maxRegions && sh.scrubCursor < covered) {
+            const std::size_t r = sh.scrubCursor++;
+            switch (sh.parity->repairRegion(env, r)) {
+              case repair::RegionState::Clean:
+                break;
+              case repair::RegionState::Repaired:
+                this->noteRepaired(shard, nullptr, 1);
+                wrote = true;
+                break;
+              case repair::RegionState::Unrepairable:
+                this->noteUnrepairable(shard, nullptr, 1);
+                sh.scrubGroupClean = false;
+                break;
+            }
+            ++done;
+            const bool groupEnd =
+                (r + 1) % repair::groupRegions == 0 ||
+                r + 1 == covered;
+            if (groupEnd) {
+                if (sh.scrubGroupClean &&
+                    sh.parity->scrubGroupParity(
+                        env, r / repair::groupRegions)) {
+                    this->noteRepaired(shard, nullptr, 1);
+                    wrote = true;
+                }
+                sh.scrubGroupClean = true;
+            }
+            if (this->quarantined(shard))
+                break;
+        }
+        if (wrote)
+            env.sfence();
+        this->media_[std::size_t(shard)].scrubRegions.fetch_add(
+            done, std::memory_order_relaxed);
+        return done;
+    }
+
+    const void *
+    digestSlotAddr(int shard, std::uint64_t epoch) const override
+    {
+        const std::size_t s = cktable_->findSlot(
+            checksumEpochKey(shard, epoch, window_));
+        if (s == core::KeyedChecksumTable::npos)
+            return nullptr;
+        return cktable_->keyPtr(s);
+    }
+
+    FaultSurface
+    faultSurface(int shard) const override
+    {
+        FaultSurface fs = Base::faultSurface(shard);
+        const Shard &sh = shards_[std::size_t(shard)];
+        fs.journal = sh.journal->data();
+        fs.journalBytes = sh.journal->dataBytes();
+        fs.sealedBytes = sh.journal->sealedBytes();
+        fs.digests = cktable_->keyPtr(0);
+        fs.digestBytes = cktable_->bytes();
+        fs.digestReplica = ckreplica_->keyPtr(0);
+        fs.digestReplicaBytes = ckreplica_->bytes();
+        fs.parity = sh.parity->parityBlocks();
+        fs.parityBytes = sh.parity->parityBytes();
+        fs.parityHashes = sh.parity->hashes();
+        fs.parityHashBytes = sh.parity->hashBytes();
+        fs.parityHeader = sh.parity->header();
+        return fs;
     }
 
     std::optional<DeltaVal>
@@ -275,11 +454,40 @@ class LpBackend : public PersistencyBackend<Env>
     {
         ShardMeta *meta = nullptr;
         std::unique_ptr<BatchJournal<Env>> journal;
+        std::unique_ptr<repair::RegionParity<Env>> parity;
         core::ChecksumAcc acc;
 
         /** Coalesced last op per key since the last fold. */
         std::unordered_map<std::uint64_t, DeltaVal> delta;
+
+        /// @name Online-scrub walk state (owner thread only).
+        /// @{
+        std::size_t scrubCursor = 0;
+        bool scrubGroupClean = true;
+        /// @}
     };
+
+    /**
+     * Recovery epilogue: restate the superblock pair at @p committed
+     * with the clean flag CLEARED (we are running again), restart
+     * the journal/parity generation, and rebase the pipeline.
+     */
+    void
+    resetShard(Env &env, Shard &sh, int shard,
+               std::uint64_t committed, RecoveryReport &rep)
+    {
+        if (!this->quarantined(shard))
+            this->persistMeta(env, shard, committed, 0);
+        sh.parity->resetGeneration(env, committed);
+        env.sfence();
+        sh.journal->reset();
+        sh.acc.reset();
+        sh.delta.clear();
+        sh.scrubCursor = 0;
+        sh.scrubGroupClean = true;
+        pipeline(shard).rebase(committed);
+        rep.committedEpochs[std::size_t(shard)] = committed;
+    }
 
     std::uint64_t
     ckCost() const
@@ -289,6 +497,7 @@ class LpBackend : public PersistencyBackend<Env>
 
     std::uint64_t window_ = 0;
     std::unique_ptr<core::KeyedChecksumTable> cktable_;
+    std::unique_ptr<core::KeyedChecksumTable> ckreplica_;
     std::vector<Shard> shards_;
 };
 

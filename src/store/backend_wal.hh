@@ -42,8 +42,10 @@ class WalBackend : public PersistencyBackend<Env>
         for (int i = 0; i < cfg().shards; ++i) {
             Shard sh;
             sh.meta = this->allocMeta(attach);
+            // Up to two table words per op, plus the six superblock
+            // words (epoch/flags/check on both copies) and slack.
             sh.wal = std::make_unique<ep::WalArea>(
-                *ctx.arena, 2 * std::size_t(cfg().batchOps) + 2,
+                *ctx.arena, 2 * std::size_t(cfg().batchOps) + 8,
                 attach);
             shards_.push_back(std::move(sh));
         }
@@ -96,7 +98,15 @@ class WalBackend : public PersistencyBackend<Env>
             if (r.claimedEmpty)
                 ++claims;
         }
-        planStore(&sh.meta->foldedEpoch, epoch);
+        // The watermark advance joins the transaction -- on BOTH
+        // superblock copies, check words restated so the pair stays
+        // valid at every durable point.
+        for (ShardMeta *c :
+             {sh.meta, this->replicas_[std::size_t(shard)]}) {
+            planStore(&c->foldedEpoch, epoch);
+            planStore(&c->flags, 0);
+            planStore(&c->check, repair::shardMetaCheck(epoch, 0));
+        }
         for (auto it = plan.rbegin(); it != plan.rend(); ++it)
             *(it->ptr) = it->old;
 
@@ -130,10 +140,20 @@ class WalBackend : public PersistencyBackend<Env>
             rep.walUndone = true;
             ++rep.batchesDiscarded;
         }
-        const std::uint64_t committed =
-            env.ld(&sh.meta->foldedEpoch);
+        // The undo pass has restored any torn transaction, so the
+        // superblock pair is back at a transaction boundary; an
+        // invalid check word now is a media fault.
+        const auto ms = this->auditMeta(env, shard, &rep);
         sh.pending.clear();
         sh.delta.clear();
+        if (!ms.ok) {
+            pipeline(shard).rebase(0);
+            rep.committedEpochs[std::size_t(shard)] = 0;
+            return;
+        }
+        const std::uint64_t committed = ms.epoch;
+        this->persistMeta(env, shard, committed, 0);
+        env.sfence();
         pipeline(shard).rebase(committed);
         rep.committedEpochs[std::size_t(shard)] = committed;
     }

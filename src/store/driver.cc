@@ -1,5 +1,6 @@
 #include "store/driver.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <vector>
@@ -8,6 +9,8 @@
 #include "kernels/env.hh"
 #include "kernels/workload.hh"
 #include "pmem/crash.hh"
+#include "pmem/fault.hh"
+#include "repair/repair.hh"
 
 namespace lp::store
 {
@@ -244,6 +247,23 @@ runStoreWithCrash(Backend b, const StoreConfig &scfg,
         ctx.arena.crashRestore();
         obs::traceInstant(store.shardObs(0).ring, "crash",
                           spec.point);
+        // Torn-write injection: the dying device shredded a partial
+        // page at the end of shard 0's sealed journal prefix.
+        // Recovery must parity-repair the tear or cleanly discard
+        // the affected epochs; the committed-prefix checks below
+        // hold either way because they trust the recovery report.
+        if (spec.tornBytes > 0) {
+            const FaultSurface fs = store.faultSurface(0);
+            if (fs.journal != nullptr && fs.sealedBytes > 0) {
+                pmem::FaultInjector inj(ctx.arena);
+                const std::size_t n =
+                    std::min(spec.tornBytes, fs.sealedBytes);
+                inj.corruptRange(
+                    static_cast<const std::uint8_t *>(fs.journal) +
+                        (fs.sealedBytes - n),
+                    n, spec.seed);
+            }
+        }
         out.report = store.recover(env);
 
         if (b == Backend::EagerPerOp) {
@@ -294,6 +314,234 @@ runStoreWithCrash(Backend b, const StoreConfig &scfg,
         issueOne(spec.preOps + j);
     store.checkpoint(env);
     out.finalStateVerified = store.snapshot() == replay(issued, nullptr);
+    out.scanStateVerified =
+        out.scanStateVerified && scanMatches(replay(issued, nullptr));
+    return out;
+}
+
+StoreFaultOutcome
+runStoreWithFault(Backend b, const StoreConfig &scfg,
+                  const StoreFaultSpec &spec,
+                  const sim::MachineConfig &mcfg)
+{
+    using kernels::SimEnv;
+
+    // The eager and WAL backends own no journal, digests, or parity;
+    // their media-protected structure is the superblock pair, so the
+    // LP-specific sites degrade onto it -- keeping the matrix total.
+    FaultSite site = spec.site;
+    if (b != Backend::Lp) {
+        switch (site) {
+          case FaultSite::JournalPayload:
+          case FaultSite::ChecksumSlot:
+            site = FaultSite::SuperblockPrimary;
+            break;
+          case FaultSite::JournalTail:
+          case FaultSite::ParityPage:
+            site = FaultSite::SuperblockReplica;
+            break;
+          case FaultSite::JournalMultiRegion:
+            site = FaultSite::SuperblockBoth;
+            break;
+          default:
+            break;
+        }
+    }
+
+    kernels::SimContext ctx(mcfg, storeArenaBytes(scfg));
+    KvStore<SimEnv> store(ctx.arena, scfg, b);
+    ctx.arena.persistAll();
+    SimEnv env(ctx.machine, ctx.arena, 0);
+
+    // Same op bookkeeping as runStoreWithCrash: every op is tagged
+    // with the (deterministic) epoch it lands in, so LP outcomes can
+    // be checked against exactly the committed prefix.
+    struct OpRec
+    {
+        int shard;
+        std::uint64_t epoch;
+        bool isPut;
+        std::uint64_t key;
+        std::uint64_t value;
+    };
+    std::vector<OpRec> issued;
+    std::vector<std::uint64_t> shardMuts(scfg.shards, 0);
+    Rng rng(spec.seed);
+
+    auto issueOne = [&](std::size_t i) {
+        const std::uint64_t key =
+            keyOfRecord(rng.below(spec.records), spec.seed);
+        const bool isPut = !rng.chance(spec.delFraction);
+        const std::uint64_t value = 0x2000 + i;
+        const int sh = store.shardOf(key);
+        const std::uint64_t epoch =
+            shardMuts[sh] / std::uint64_t(scfg.batchOps) + 1;
+        ++shardMuts[sh];
+        issued.push_back(OpRec{sh, epoch, isPut, key, value});
+        if (isPut)
+            store.put(env, key, value);
+        else
+            store.del(env, key);
+    };
+
+    auto replay = [](const std::vector<OpRec> &ops,
+                     const std::vector<std::uint64_t> *cut) {
+        std::map<std::uint64_t, std::uint64_t> m;
+        for (const OpRec &r : ops) {
+            if (cut && r.epoch > (*cut)[std::size_t(r.shard)])
+                continue;
+            if (r.isPut)
+                m[r.key] = r.value;
+            else
+                m.erase(r.key);
+        }
+        return m;
+    };
+
+    auto scanMatches =
+        [&](const std::map<std::uint64_t, std::uint64_t> &want) {
+            const auto got = store.scan(env, 0, want.size() + 16);
+            if (got.size() != want.size())
+                return false;
+            auto it = want.begin();
+            for (const auto &[k, v] : got) {
+                if (k != it->first || v != it->second)
+                    return false;
+                ++it;
+            }
+            return true;
+        };
+
+    for (std::size_t i = 0; i < spec.preOps; ++i)
+        issueOne(i);
+
+    // Clean shutdown WITHOUT a fold: commit every batch, durably mark
+    // the shards clean, drain everything. The journal still carries
+    // the whole stream, so journal-site faults have teeth, and the
+    // clean flag makes the coming recovery STRICT.
+    store.commitBatches(env);
+    store.markClean(env);
+    ctx.arena.persistAll();
+
+    StoreFaultOutcome out;
+    out.effectiveSite = site;
+    out.viaScrub = site == FaultSite::ParityPage;
+
+    pmem::FaultInjector inj(ctx.arena);
+    const FaultSurface fs = store.faultSurface(0);
+    const std::size_t coveredBytes =
+        fs.sealedBytes / repair::regionBytes * repair::regionBytes;
+    switch (site) {
+      case FaultSite::JournalPayload:
+        // Byte 9 of region 0: epoch 1's batch-header count word.
+        if (coveredBytes >= repair::regionBytes) {
+            inj.flipBitAt(fs.journal, 9, 3);
+            out.injected = true;
+        }
+        break;
+      case FaultSite::JournalTail:
+        // First sealed byte past parity coverage: detectable by the
+        // digest, unrepairable by parity -- the epoch is LOST, which
+        // strict recovery must refuse to paper over.
+        if (fs.sealedBytes > coveredBytes) {
+            inj.flipBitAt(fs.journal, coveredBytes, 4);
+            out.injected = true;
+        }
+        break;
+      case FaultSite::JournalMultiRegion:
+        // Two rotted regions in one 8-region parity group: XOR
+        // parity reconstructs at most one.
+        if (coveredBytes >= 2 * repair::regionBytes) {
+            inj.flipBitAt(fs.journal, 1, 2);
+            inj.flipBitAt(fs.journal, repair::regionBytes + 1, 2);
+            out.injected = true;
+        }
+        break;
+      case FaultSite::ChecksumSlot:
+        // Digest word of epoch 1's PRIMARY slot; the replica slot
+        // must carry the batch.
+        if (const void *slot = store.digestSlotAddr(0, 1)) {
+            inj.flipBitAt(slot, 8, 5);
+            out.injected = true;
+        }
+        break;
+      case FaultSite::ParityPage:
+        if (fs.parityBytes > 0 &&
+            coveredBytes >= repair::regionBytes) {
+            inj.flipBitAt(fs.parity, 3, 2);
+            out.injected = true;
+        }
+        break;
+      case FaultSite::SuperblockPrimary:
+        inj.flipBitAt(fs.metaPrimary, 0, 1);
+        out.injected = true;
+        break;
+      case FaultSite::SuperblockReplica:
+        inj.flipBitAt(fs.metaReplica, 0, 1);
+        out.injected = true;
+        break;
+      case FaultSite::SuperblockBoth:
+        inj.flipBitAt(fs.metaPrimary, 0, 1);
+        inj.flipBitAt(fs.metaReplica, 0, 6);
+        out.injected = true;
+        break;
+    }
+
+    if (out.viaScrub) {
+        // The journal and digests still validate, so recovery would
+        // never look at the parity blocks; the online scrub is what
+        // finds and rewrites them. Walk one full pass.
+        while (store.scrubStep(env, 0, 64) > 0) {
+        }
+    } else {
+        // Restart: volatile state dies, recovery sees the durable
+        // image -- clean-shutdown flag set, bits flipped.
+        ctx.sched.clear();
+        ctx.machine.loseVolatileState();
+        ctx.arena.crashRestore();
+        out.report = store.recover(env);
+    }
+
+    for (int s = 0; s < scfg.shards; ++s) {
+        const MediaCounters &mc = store.mediaCounters(s);
+        out.mediaRepaired +=
+            mc.repaired.load(std::memory_order_relaxed);
+        out.mediaUnrepairable +=
+            mc.unrepairable.load(std::memory_order_relaxed);
+        out.quarantined = out.quarantined || store.quarantined(s);
+    }
+
+    // Golden comparison. LP gates data on committed epochs (after a
+    // recovery they are the report's watermarks; on the scrub path
+    // nothing was discarded). Eager/WAL tables are never discarded
+    // at all -- even a superblock-dead quarantine keeps every op.
+    if (b == Backend::Lp && !out.viaScrub) {
+        std::vector<OpRec> keep;
+        for (const OpRec &r : issued)
+            if (r.epoch <=
+                out.report.committedEpochs[std::size_t(r.shard)])
+                keep.push_back(r);
+        issued = std::move(keep);
+        for (int s = 0; s < scfg.shards; ++s)
+            shardMuts[std::size_t(s)] =
+                out.report.committedEpochs[std::size_t(s)] *
+                std::uint64_t(scfg.batchOps);
+    }
+    const auto golden = replay(issued, nullptr);
+    out.stateVerified = store.snapshot() == golden;
+    out.scanStateVerified = scanMatches(golden);
+
+    if (out.quarantined) {
+        // No forward progress on a quarantined shard; the state
+        // checks above are the final word.
+        out.finalStateVerified = out.stateVerified;
+        return out;
+    }
+    for (std::size_t j = 0; j < spec.postOps; ++j)
+        issueOne(spec.preOps + j);
+    store.checkpoint(env);
+    out.finalStateVerified =
+        store.snapshot() == replay(issued, nullptr);
     out.scanStateVerified =
         out.scanStateVerified && scanMatches(replay(issued, nullptr));
     return out;

@@ -69,7 +69,13 @@ ycsbMix(Env &env, KvStore<Env> &store, const YcsbParams &p,
     using Kind = typename YcsbStream::Op::Kind;
     YcsbStream stream(p);
     MixCounts c;
+    int scrubShard = 0;
     for (std::size_t i = 0; i < p.ops; ++i) {
+        if (p.scrubEveryOps > 0 && i > 0 &&
+            i % p.scrubEveryOps == 0) {
+            store.scrubStep(env, scrubShard, p.scrubRegions);
+            scrubShard = (scrubShard + 1) % store.config().shards;
+        }
         const auto op = stream.next();
         switch (op.kind) {
           case Kind::Read:
@@ -215,6 +221,16 @@ struct StoreCrashSpec
     bool byRegions = false;      ///< arm on region commits, not stores
     std::uint64_t point = 1;     ///< crash after this many stores/regions
     std::uint64_t seed = 7;
+
+    /**
+     * Torn-write injection: after the crash restores the durable
+     * image, XOR-corrupt this many bytes straddling the end of shard
+     * 0's sealed journal prefix (a partial-page device write dying
+     * with the machine). 0 disables. Recovery must either
+     * parity-repair the torn region or cleanly discard the affected
+     * epochs -- never serve a torn batch.
+     */
+    std::size_t tornBytes = 0;
 };
 
 struct StoreCrashOutcome
@@ -254,6 +270,76 @@ StoreCrashOutcome runStoreWithCrash(Backend b, const StoreConfig &scfg,
                                     const sim::MachineConfig &mcfg,
                                     obs::TraceCollector *trace =
                                         nullptr);
+
+/**
+ * Where the corruption matrix places its bit flips. The first five
+ * sites only exist under the LP backend; runStoreWithFault() maps
+ * them onto superblock faults for the eager and WAL backends (the
+ * only media-protected structures those own), so the matrix stays
+ * total over (site x backend).
+ */
+enum class FaultSite
+{
+    JournalPayload,     ///< one parity-covered sealed journal region
+    JournalTail,        ///< sealed bytes past parity coverage (live head)
+    JournalMultiRegion, ///< two regions of one parity group
+    ChecksumSlot,       ///< primary digest slot of epoch 1
+    ParityPage,         ///< a parity block itself (found by scrub)
+    SuperblockPrimary,
+    SuperblockReplica,
+    SuperblockBoth,
+};
+
+/** One media-fault injection run (see runStoreWithFault). */
+struct StoreFaultSpec
+{
+    std::size_t records = 256;   ///< key-space size of the op stream
+    std::size_t preOps = 100;    ///< mutations before the fault
+    std::size_t postOps = 256;   ///< mutations after repair
+    double delFraction = 0.15;   ///< deletes among mutations
+    std::uint64_t seed = 11;
+    FaultSite site = FaultSite::JournalPayload;
+};
+
+struct StoreFaultOutcome
+{
+    FaultSite effectiveSite;     ///< after the non-LP mapping
+    bool injected = false;       ///< the fault was actually placed
+    bool viaScrub = false;       ///< found by online scrub, not recovery
+    RecoveryReport report;       ///< zero-initialized on the scrub path
+
+    /// Post-run media counters summed over shards.
+    std::uint64_t mediaRepaired = 0;
+    std::uint64_t mediaUnrepairable = 0;
+    bool quarantined = false;    ///< any shard quarantined
+
+    /**
+     * Persistent map == golden replay of exactly the committed
+     * epochs right after detection/repair (for a repaired fault that
+     * is the FULL op stream -- zero data loss).
+     */
+    bool stateVerified = false;
+
+    /** Full-range scan agreed with the same golden map. */
+    bool scanStateVerified = false;
+
+    /** After postOps more ops + checkpoint (skipped if quarantined). */
+    bool finalStateVerified = false;
+};
+
+/**
+ * The end-to-end media-fault story, one cell of the corruption
+ * matrix: run a deterministic op stream, commit everything, durably
+ * mark the store cleanly shut down (persistAll -- so the next
+ * recovery runs STRICT), flip bits at @p site, then either restart +
+ * recover (most sites) or run an online scrub pass (ParityPage,
+ * which recovery cannot see: the journal itself still validates).
+ * Verifies committed state, scans, quarantine behavior, and forward
+ * progress after repair.
+ */
+StoreFaultOutcome runStoreWithFault(Backend b, const StoreConfig &scfg,
+                                    const StoreFaultSpec &spec,
+                                    const sim::MachineConfig &mcfg);
 
 } // namespace lp::store
 

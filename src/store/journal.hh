@@ -102,6 +102,17 @@ class BatchJournal
     std::size_t tail() const { return tail_; }
     bool batchOpen() const { return batchStart_ != npos; }
 
+    /// @name Raw buffer geometry, for parity coverage (backend_lp)
+    /// and fault injection (store FaultSurface).
+    /// @{
+    const void *data() const { return buf_; }
+    std::size_t dataBytes() const { return cap_ * sizeof(JEntry); }
+    std::size_t sealedBytes() const
+    {
+        return (batchOpen() ? batchStart_ : tail_) * sizeof(JEntry);
+    }
+    /// @}
+
     /** Room for a header plus @p batchOps records? */
     bool
     roomFor(int batchOps) const
@@ -186,24 +197,44 @@ class BatchJournal
      * backend's flush + fence). Stops at the first batch failing
      * validation -- appends are sequential, so durability is
      * prefix-shaped. Returns the last committed epoch.
+     *
+     * @p repairFn is the media-repair hook: on the FIRST validation
+     * failure of any kind (header tag mismatch included -- a rotted
+     * header looks exactly like the clean end of the journal) it is
+     * invoked once; if it reports that it changed anything, the
+     * failing position is re-validated once before the failure is
+     * made final. Pass a `[]{ return false; }` thunk to opt out.
      */
-    template <typename MatchFn, typename ApplyFn, typename DoneFn>
+    template <typename MatchFn, typename ApplyFn, typename DoneFn,
+              typename RepairFn>
     std::uint64_t
     replay(Env &env, const StoreConfig &cfg, std::uint64_t base,
            MatchFn &&matches, ApplyFn &&apply, DoneFn &&batchDone,
-           RecoveryReport &rep)
+           RepairFn &&repairFn, RecoveryReport &rep)
     {
         const std::uint64_t cost =
             core::ChecksumAcc::updateCost(cfg.checksum);
+        bool repairTried = false;
+        auto tryRepair = [&]() {
+            if (repairTried)
+                return false;
+            repairTried = true;
+            return repairFn();
+        };
         std::uint64_t e = base + 1;
         std::size_t pos = 0;
         while (pos < cap_) {
             JEntry &h = buf_[pos];
-            if (env.ld(&h.tag) != JEntry::makeTag(JOp::Header, e))
+            if (env.ld(&h.tag) != JEntry::makeTag(JOp::Header, e)) {
+                if (tryRepair())
+                    continue;
                 break;
+            }
             const std::uint64_t count = env.ld(&h.key);
             if (count > std::uint64_t(cfg.batchOps) ||
                 pos + 1 + count > cap_) {
+                if (tryRepair())
+                    continue;
                 ++rep.batchesDiscarded;
                 break;
             }
@@ -224,6 +255,8 @@ class BatchJournal
             acc.addWord(count);
             env.tick(2 * cost);
             if (!shapeOk || !matches(e, acc.value())) {
+                if (tryRepair())
+                    continue;
                 ++rep.batchesDiscarded;
                 break;
             }
@@ -237,6 +270,17 @@ class BatchJournal
             ++e;
         }
         return e - 1;
+    }
+
+    /** replay() without a media-repair hook (legacy callers). */
+    template <typename MatchFn, typename ApplyFn, typename DoneFn>
+    std::uint64_t
+    replay(Env &env, const StoreConfig &cfg, std::uint64_t base,
+           MatchFn &&matches, ApplyFn &&apply, DoneFn &&batchDone,
+           RecoveryReport &rep)
+    {
+        return replay(env, cfg, base, matches, apply, batchDone,
+                      [] { return false; }, rep);
     }
 
     /**

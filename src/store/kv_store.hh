@@ -175,6 +175,73 @@ class KvStore
         return pipelines_[std::size_t(shard)].lastCommitted();
     }
 
+    /** One shard's cumulative media-fault counters (any thread). */
+    const MediaCounters &
+    mediaCounters(int shard) const
+    {
+        return backend_->mediaCounters(shard);
+    }
+
+    /**
+     * True when the shard hit provable-but-unrepairable corruption
+     * and must not be mutated; reads stay safe (nothing invalid was
+     * ever applied to the table). The server maps this to read-only
+     * Fault replies (docs/repair_design.md).
+     */
+    bool
+    quarantined(int shard) const
+    {
+        return backend_->quarantined(shard);
+    }
+
+    /** Where one shard's media-protected structures live (testing). */
+    FaultSurface
+    faultSurface(int shard) const
+    {
+        return backend_->faultSurface(shard);
+    }
+
+    /** Primary digest-slot address of one epoch's batch (testing). */
+    const void *
+    digestSlotAddr(int shard, std::uint64_t epoch) const
+    {
+        return backend_->digestSlotAddr(shard, epoch);
+    }
+
+    /**
+     * One online-scrub step of @p shard: validate up to
+     * @p maxRegions protected regions, repairing from parity where
+     * the fingerprints prove it. Owner-thread only (it may write);
+     * cheap enough for an idle loop. Returns regions examined.
+     */
+    std::size_t
+    scrubStep(Env &env, int shard, std::size_t maxRegions)
+    {
+        checkShardOwner(shard);
+        obs::ShardObs &ob = obs_[std::size_t(shard)];
+        obs::Span span(ob.ring, "scrub", std::uint64_t(shard));
+        obs::ScopedTimer timer(ob.scrubNs);
+        return backend_->scrub(env, shard, maxRegions);
+    }
+
+    /**
+     * Durably mark every non-quarantined shard cleanly shut down.
+     * Call ONLY after checkpoint() (or commitBatches() +
+     * persistAll() on a simulated arena) so the claim is true: the
+     * flag switches the next recovery into strict mode, where a
+     * validation failure is a media fault rather than a crash tear.
+     */
+    void
+    markClean(Env &env)
+    {
+        for (int s = 0; s < cfg_.shards; ++s) {
+            if (backend_->quarantined(s))
+                continue;
+            checkShardOwner(s);
+            backend_->markClean(env, s);
+        }
+    }
+
     /**
      * Insert or update @p key. Returns the epoch (batch) the op
      * landed in, which drivers use to tag ops for committed-replay

@@ -125,18 +125,40 @@ inline constexpr std::uint64_t slotTombstoneKey = ~0ull - 1;
 inline constexpr std::uint64_t maxUserKey = slotTombstoneKey - 1;
 
 /**
- * Per-shard persistent metadata; owns a full block so its eager
- * updates never share a line with lazy data. foldedEpoch is the
- * durable watermark: every batch up to and including it is fully
- * folded into the table (LP) or transactionally committed (WAL).
+ * Per-shard persistent metadata (the shard "superblock"); owns a
+ * full block so its eager updates never share a line with lazy data,
+ * and so the simulated NVMM persists it atomically -- which is what
+ * makes the check word a *media-fault* detector: a crash leaves the
+ * block wholly old or wholly new (both self-consistent), so an
+ * invalid check proves the bytes rotted underneath the program.
+ * Every shard keeps TWO copies (backend.hh allocates the replica
+ * right after the primary); recovery repairs a check-invalid copy
+ * from its check-valid twin.
+ *
+ * foldedEpoch is the durable watermark: every batch up to and
+ * including it is fully folded into the table (LP) or
+ * transactionally committed (WAL). flags carries the clean-shutdown
+ * bit; check = repair::shardMetaCheck(foldedEpoch, flags).
  */
 struct ShardMeta
 {
     std::uint64_t foldedEpoch;
-    std::uint64_t pad[7];
+    std::uint64_t flags;
+    std::uint64_t check;
+    std::uint64_t pad[5];
 };
 
 static_assert(sizeof(ShardMeta) == 64);
+
+/**
+ * ShardMeta::flags bit: the store was cleanly shut down (every
+ * committed byte durably drained) after its last mutation. Recovery
+ * under this flag runs in STRICT mode -- any validation failure is a
+ * media fault (there was no crash to tear anything), so an
+ * unrepairable batch quarantines the shard instead of being silently
+ * discarded as a torn tail. recover() clears the flag.
+ */
+inline constexpr std::uint64_t shardCleanShutdown = 1ull << 0;
 
 /** What recover() found and repaired. */
 struct RecoveryReport
@@ -156,6 +178,21 @@ struct RecoveryReport
 
     /** WAL backend: true iff an armed transaction was rolled back. */
     bool walUndone = false;
+
+    /**
+     * Media faults detected AND repaired during recovery: journal
+     * regions reconstructed from parity (fingerprint-verified),
+     * superblock copies restored from their replica, digests
+     * recomputed from fingerprint-verified journal bytes.
+     */
+    std::uint64_t mediaRepaired = 0;
+
+    /**
+     * Media faults recovery could prove but not repair (strict mode
+     * only; see shardCleanShutdown). Any non-zero count quarantined
+     * the affected shard.
+     */
+    std::uint64_t mediaUnrepairable = 0;
 
     /** Per shard: the epoch watermark after recovery. */
     std::vector<std::uint64_t> committedEpochs;

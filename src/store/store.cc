@@ -59,15 +59,18 @@ storeArenaBytes(const StoreConfig &cfg)
     const std::size_t ckslots =
         std::bit_ceil(std::size_t(cfg.shards) * window * 2);
     const std::size_t jcap = journalCapacity(cfg);
-    const std::size_t walEntries = 2 * std::size_t(cfg.batchOps) + 2;
+    const std::size_t walEntries = 2 * std::size_t(cfg.batchOps) + 8;
 
-    std::size_t bytes = slots * 16 + ckslots * 16;
+    // Two checksum tables (primary + media replica).
+    std::size_t bytes = slots * 16 + 2 * ckslots * 16;
     bytes += std::size_t(cfg.shards) *
-             (sizeof(std::uint64_t) * 8 +   // ShardMeta block
+             (2 * sizeof(ShardMeta) +       // superblock pair
               jcap * sizeof(JEntry) +       // journal
+              repair::parityArenaBytes(     // fingerprints + parity
+                  jcap * sizeof(JEntry)) +  //   + coverage header
               walEntries * 16 + 2 * 64);    // WAL log + count + status
-    // ~6 allocations per shard plus 3 global, each padded to a block.
-    bytes += (std::size_t(cfg.shards) * 6 + 8) * blockBytes;
+    // ~10 allocations per shard plus 4 global, each padded to a block.
+    bytes += (std::size_t(cfg.shards) * 10 + 10) * blockBytes;
     return bytes + 4096;
 }
 

@@ -154,6 +154,15 @@ struct YcsbParams
     double theta = 0.99;          ///< zipfian skew (YCSB default)
     std::size_t maxScanLen = 100; ///< E: scan lengths uniform [1, this]
     std::uint64_t seed = 42;
+
+    /**
+     * Interleave one online scrub step (scrubRegions regions, shards
+     * round-robin) every this many mix ops; 0 disables. Models the
+     * server's background media patrol inside the measured window so
+     * its overhead is a number, not a hope.
+     */
+    std::size_t scrubEveryOps = 0;
+    std::size_t scrubRegions = 32;  ///< regions per interleaved step
 };
 
 /** Deterministic stream of mix operations. */

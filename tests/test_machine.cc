@@ -64,6 +64,49 @@ TEST(Machine, WarmReadCostsL1Only)
     EXPECT_EQ(f.m.machineStats().l1Misses.value(), 1u);
 }
 
+TEST(Machine, StreamReadDoesNotInstall)
+{
+    Fixture f;
+    const MachineConfig cfg = tinyConfig();
+
+    // Cold streaming read: full miss cost, but nothing installed --
+    // a later allocating read of the same block misses again.
+    const Cycles before = f.m.coreCycles(0);
+    f.m.readStream(0, f.addr(0), 8);
+    EXPECT_EQ(f.m.coreCycles(0) - before,
+              cfg.l1.latency + cfg.l2.latency + cfg.nvmmReadCycles());
+    EXPECT_EQ(f.m.machineStats().streamLoads.value(), 1u);
+    EXPECT_EQ(f.m.machineStats().nvmmReads.value(), 1u);
+    f.m.read(0, f.addr(0), 8);
+    EXPECT_EQ(f.m.machineStats().l2Misses.value(), 2u);
+    EXPECT_EQ(f.m.machineStats().nvmmReads.value(), 2u);
+}
+
+TEST(Machine, StreamReadCoalescesInFillBuffer)
+{
+    Fixture f;
+    // The block's remaining words ride the first word's NVMM read.
+    f.m.readStream(0, f.addr(0), 8);
+    const Cycles before = f.m.coreCycles(0);
+    f.m.readStream(0, f.addr(1), 8);
+    EXPECT_EQ(f.m.coreCycles(0) - before, tinyConfig().l1.latency);
+    EXPECT_EQ(f.m.machineStats().nvmmReads.value(), 1u);
+}
+
+TEST(Machine, StreamReadHitsCachedCopy)
+{
+    Fixture f;
+    // A cache-dirty line must satisfy the streaming read (fingerprints
+    // cover the eventual durable content), at L1-hit cost.
+    f.m.write(0, f.addr(0), 8);
+    const auto readsAfterFill = f.m.machineStats().nvmmReads.value();
+    const Cycles before = f.m.coreCycles(0);
+    f.m.readStream(0, f.addr(0), 8);
+    EXPECT_EQ(f.m.coreCycles(0) - before, tinyConfig().l1.latency);
+    EXPECT_EQ(f.m.machineStats().nvmmReads.value(), readsAfterFill);
+    EXPECT_EQ(f.m.totalDirtyLines(), 1u);
+}
+
 TEST(Machine, StraddlingAccessTouchesBothBlocks)
 {
     Fixture f;

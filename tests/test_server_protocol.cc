@@ -14,6 +14,7 @@
 #include <random>
 #include <vector>
 
+#include "server/client.hh"
 #include "server/protocol.hh"
 
 using namespace lp::server;
@@ -128,7 +129,11 @@ TEST(ServerProtocol, ResponseRoundTrips)
     retry.status = Status::Retry;
     retry.id = 9;
 
-    for (const Response &in : {ok, miss, stats, retry}) {
+    Response fault;
+    fault.status = Status::Fault;  // quarantined shard, read-only
+    fault.id = 10;
+
+    for (const Response &in : {ok, miss, stats, retry, fault}) {
         const auto buf = enc(in);
         Response out;
         std::size_t used = 0;
@@ -419,6 +424,17 @@ TEST(ServerProtocol, UnknownResponseStatusIsMalformed)
     std::size_t used = 0;
     EXPECT_EQ(decodeResponse(buf.data(), buf.size(), used, out),
               Decode::Malformed);
+
+    // Status::Fault (4) is the last known status: exactly 4 decodes,
+    // 5 is Malformed -- an old client against a new server fails
+    // loudly rather than misreading a quarantine reply.
+    buf[4] = 4;
+    ASSERT_EQ(decodeResponse(buf.data(), buf.size(), used, out),
+              Decode::Ok);
+    EXPECT_EQ(out.status, Status::Fault);
+    buf[4] = 5;
+    EXPECT_EQ(decodeResponse(buf.data(), buf.size(), used, out),
+              Decode::Malformed);
 }
 
 TEST(ServerProtocol, GarbageNeverCrashesOrOverReads)
@@ -460,4 +476,41 @@ TEST(ServerProtocol, StatusNames)
     EXPECT_EQ(statusName(Status::NotFound), "not-found");
     EXPECT_EQ(statusName(Status::Retry), "retry");
     EXPECT_EQ(statusName(Status::Err), "err");
+    EXPECT_EQ(statusName(Status::Fault), "fault");
+}
+
+TEST(ServerProtocol, RetryBackoffIsBoundedAndJittered)
+{
+    // The Retry backoff helper (server/client.hh): every delay stays
+    // within [0, capDelayUs] no matter how many attempts, the
+    // sequence is deterministic for a given state word, and distinct
+    // state words decorrelate (full jitter, not lockstep).
+    RetryPolicy p;
+    p.maxAttempts = 8;
+    p.baseDelayUs = 100;
+    p.capDelayUs = 50000;
+
+    std::uint64_t s1 = 1, s1again = 1, s2 = 2;
+    bool anyDiffer = false;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        const std::uint64_t d1 = retryDelayUs(p, attempt, s1);
+        const std::uint64_t d1b = retryDelayUs(p, attempt, s1again);
+        const std::uint64_t d2 = retryDelayUs(p, attempt, s2);
+        EXPECT_LE(d1, p.capDelayUs) << "attempt " << attempt;
+        // Early attempts are bounded by the (doubling) base, so a
+        // retry storm starts gentle: attempt 0 sleeps at most base.
+        if (attempt == 0) {
+            EXPECT_LE(d1, p.baseDelayUs);
+        }
+        EXPECT_EQ(d1, d1b) << "non-deterministic at " << attempt;
+        anyDiffer = anyDiffer || d1 != d2;
+    }
+    EXPECT_TRUE(anyDiffer) << "two clients backed off in lockstep";
+
+    // Degenerate policy: zero delays never divide by zero.
+    RetryPolicy zero;
+    zero.baseDelayUs = 0;
+    zero.capDelayUs = 0;
+    std::uint64_t s = 7;
+    EXPECT_EQ(retryDelayUs(zero, 3, s), 0u);
 }

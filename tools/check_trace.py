@@ -17,6 +17,11 @@ one non-metadata event with that exact name is present -- CI uses this
 to prove e.g. that a recovery run actually produced recovery-phase
 spans.
 
+With --max-dur-us NAME:US (repeatable), every complete ("X") event
+named NAME must last at most US microseconds -- CI bounds the "scrub"
+spans this way, proving the online scrub walker stays an incremental
+low-priority step rather than a stop-the-world sweep.
+
 Exit status: 0 on success, 1 on any violation (with a message on
 stderr).
 """
@@ -47,7 +52,25 @@ def main() -> None:
         default=1,
         help="minimum number of non-metadata events (default 1)",
     )
+    ap.add_argument(
+        "--max-dur-us",
+        action="append",
+        default=[],
+        metavar="NAME:US",
+        help="cap the duration of every complete event with this "
+             "name (repeatable)",
+    )
     args = ap.parse_args()
+
+    dur_caps = {}
+    for spec in args.max_dur_us:
+        name, sep, us = spec.rpartition(":")
+        if not sep or not name:
+            fail(f"--max-dur-us wants NAME:US, got {spec!r}")
+        try:
+            dur_caps[name] = float(us)
+        except ValueError:
+            fail(f"--max-dur-us wants NAME:US, got {spec!r}")
 
     try:
         with open(args.trace, "r", encoding="utf-8") as f:
@@ -89,6 +112,9 @@ def main() -> None:
             dur = e.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 fail(f"event {i} ({name}) lacks numeric dur >= 0")
+            if name in dur_caps and dur > dur_caps[name]:
+                fail(f"event {i} ({name}) lasted {dur}us, cap "
+                     f"{dur_caps[name]}us")
         elif ph != "i":
             fail(f"event {i} has unexpected phase {ph!r}")
 

@@ -26,6 +26,11 @@
  * refreshing per-shard table (docs/observability.md):
  *   lazyper_cli top --data-dir /tmp/lpdb
  *   lazyper_cli top --port 7070 --interval-ms 500
+ *
+ * The `inject` subcommand flips bits in a shard's backing file to
+ * exercise the media-fault tolerance layer (docs/repair_design.md):
+ *   lazyper_cli inject --data-dir /tmp/lpdb --shard 0 --site superblock
+ *   lazyper_cli inject --data-dir /tmp/lpdb --site journal --bytes 64
  */
 
 #include <cmath>
@@ -38,15 +43,20 @@
 #include <string>
 #include <thread>
 
+#include <sys/stat.h>
+
 #include "base/logging.hh"
+#include "kernels/env.hh"
 #include "kernels/harness.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "pmem/fault.hh"
 #include "server/client.hh"
 #include "server/server.hh"
 #include "stats/json.hh"
 #include "stats/table.hh"
 #include "store/driver.hh"
+#include "store/kv_store.hh"
 
 using namespace lp;
 using namespace lp::kernels;
@@ -77,8 +87,10 @@ usage(const char *argv0)
         "  --json            emit the full stats snapshot as JSON\n"
         "or: %s store ...   (persistent KV store; see `%s store -h`)\n"
         "or: %s serve ...   (network front-end; see `%s serve -h`)\n"
-        "or: %s top ...     (live server metrics; see `%s top -h`)\n",
-        argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+        "or: %s top ...     (live server metrics; see `%s top -h`)\n"
+        "or: %s inject ...  (media-fault injection; `%s inject -h`)\n",
+        argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+        argv0);
     std::exit(2);
 }
 
@@ -522,6 +534,12 @@ runTopCommand(int argc, char **argv)
         // blank columns), so one `top` build monitors both vintages.
         const bool hasScans =
             snap.find("lp_scans{shard=\"0\"}") != snap.end();
+        // Same vintage guard for the media-fault columns: an older
+        // server never exports lp_media_repaired_total, so the
+        // columns are skipped entirely rather than rendered blank.
+        const bool hasMedia =
+            snap.find("lp_media_repaired_total{shard=\"0\"}") !=
+            snap.end();
         std::vector<std::string> hdr = {
             "shard", "get/s", "mut/s", "epoch/s", "fold/s", "dlc/s",
             "qdepth", "epoch", "commit p99", "qwait p99",
@@ -531,6 +549,12 @@ runTopCommand(int argc, char **argv)
             hdr.push_back("scan p99");
             hdr.push_back("idx keys");
             hdr.push_back("idx KB");
+        }
+        if (hasMedia) {
+            hdr.push_back("scrub/s");
+            hdr.push_back("repair");
+            hdr.push_back("unrep");
+            hdr.push_back("quar");
         }
         stats::Table t(hdr);
         const auto us = [](double seconds) {
@@ -581,12 +605,173 @@ runTopCommand(int argc, char **argv)
                     scalar(snap, "lp_index_bytes" + lab) / 1024.0,
                     1));
             }
+            if (hasMedia) {
+                // Repair counters are lifetime totals, not rates: a
+                // single repaired region is the whole story, and it
+                // must not fade out after one refresh interval.
+                row.push_back(stats::Table::num(
+                    scalar(d, "lp_scrub_regions" + lab) / secs, 0));
+                row.push_back(stats::Table::num(
+                    scalar(snap, "lp_media_repaired_total" + lab),
+                    0));
+                row.push_back(stats::Table::num(
+                    scalar(snap,
+                           "lp_media_unrepairable_total" + lab),
+                    0));
+                row.push_back(
+                    scalar(snap, "lp_quarantined" + lab) > 0
+                        ? "YES"
+                        : "-");
+            }
             t.addRow(std::move(row));
         }
         t.print();
         std::fflush(stdout);
         prev = std::move(snap);
     }
+    return 0;
+}
+
+[[noreturn]] void
+injectUsage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s inject [options]\n"
+        "  --data-dir D    server data directory     (default ./lpdb)\n"
+        "  --shard N       shard file to corrupt     (default 0)\n"
+        "  --site superblock|superblock-replica|journal|digest|parity\n"
+        "                  what to corrupt           (default superblock)\n"
+        "  --offset O      byte offset within site   (default 0)\n"
+        "  --bit B         bit 0-7 to flip           (default 3)\n"
+        "  --bytes N       corrupt N bytes from offset instead of a\n"
+        "                  single bit flip\n"
+        "  --seed S        mask seed for --bytes     (default 1)\n"
+        "  --backend lp|eager|wal  must match the server (default lp)\n"
+        "  --capacity C / --batch-ops B / --fold-batches F /\n"
+        "  --checksum K    must match the serve flags (the layout is\n"
+        "                  re-derived from the configuration)\n"
+        "Flips bits in the mmap'd backing file of a shard -- simulated\n"
+        "bit rot underneath the store. Works on a stopped store (the\n"
+        "next restart's recovery must detect it) and on a live one\n"
+        "(the shared page cache makes the flip visible to the serving\n"
+        "process; its next scrub pass must catch it). Never repairs\n"
+        "anything; see `top` or STATS for the repair counters.\n",
+        argv0);
+    std::exit(2);
+}
+
+int
+runInjectCommand(int argc, char **argv)
+{
+    using namespace lp::store;
+
+    std::string dataDir = "./lpdb";
+    int shard = 0;
+    std::string site = "superblock";
+    std::size_t offset = 0;
+    int bit = 3;
+    std::size_t bytes = 0;
+    std::uint64_t seed = 1;
+    Backend backend = Backend::Lp;
+    StoreConfig scfg;
+    scfg.capacity = 16384;  // serve defaults; override to match
+    scfg.shards = 1;        // one arena file per server shard
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                injectUsage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--data-dir") {
+            dataDir = next();
+        } else if (arg == "--shard") {
+            shard = std::atoi(next().c_str());
+        } else if (arg == "--site") {
+            site = next();
+        } else if (arg == "--offset") {
+            offset = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--bit") {
+            bit = std::atoi(next().c_str());
+        } else if (arg == "--bytes") {
+            bytes = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--backend") {
+            backend = parseBackend(next());
+        } else if (arg == "--capacity") {
+            scfg.capacity = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--batch-ops") {
+            scfg.batchOps = std::atoi(next().c_str());
+        } else if (arg == "--fold-batches") {
+            scfg.foldBatches = std::atoi(next().c_str());
+        } else if (arg == "--checksum") {
+            scfg.checksum = parseChecksum(next());
+        } else {
+            injectUsage(argv[0]);
+        }
+    }
+
+    const std::string path =
+        dataDir + "/shard-" + std::to_string(shard) + ".lpdb";
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0 || st.st_size == 0)
+        fatal("no shard backing file at " + path +
+              "; point --data-dir/--shard at an initialized store");
+
+    // Re-attach the arena and re-derive the shard layout exactly the
+    // way a restarting server does -- attach construction writes
+    // nothing, it only replays the allocation sequence, so this is
+    // safe against both a stopped file and a live server's mapping
+    // (MAP_SHARED over the same pages).
+    pmem::PersistentArena arena(storeArenaBytes(scfg), path);
+    store::KvStore<kernels::NativeEnv> kv(arena, scfg, backend,
+                                          /*attach=*/true);
+    const FaultSurface fs = kv.faultSurface(0);
+
+    const void *base = nullptr;
+    std::size_t limit = 0;
+    if (site == "superblock") {
+        base = fs.metaPrimary;
+        limit = sizeof(ShardMeta);
+    } else if (site == "superblock-replica") {
+        base = fs.metaReplica;
+        limit = sizeof(ShardMeta);
+    } else if (site == "journal") {
+        base = fs.journal;
+        limit = fs.sealedBytes ? fs.sealedBytes : fs.journalBytes;
+    } else if (site == "digest") {
+        base = fs.digests;
+        limit = fs.digestBytes;
+    } else if (site == "parity") {
+        base = fs.parity;
+        limit = fs.parityBytes;
+    } else {
+        injectUsage(argv[0]);
+    }
+    if (!base || limit == 0)
+        fatal("site '" + site + "' does not exist on backend " +
+              backendName(backend) + " (or the shard is empty)");
+    if (offset >= limit || (bytes > 0 && offset + bytes > limit))
+        fatal("offset/bytes past the end of site '" + site + "' (" +
+              std::to_string(limit) + " bytes)");
+
+    pmem::FaultInjector inj(arena);
+    const auto *p = static_cast<const std::uint8_t *>(base) + offset;
+    if (bytes > 0)
+        inj.corruptRange(p, bytes, seed);
+    else
+        inj.flipBit(p, bit);
+    arena.persistAll();
+
+    std::printf("injected %llu fault byte%s into %s site=%s "
+                "offset=%zu (file offset %llu)\n",
+                static_cast<unsigned long long>(inj.flips()),
+                inj.flips() == 1 ? "" : "s", path.c_str(),
+                site.c_str(), offset,
+                static_cast<unsigned long long>(arena.addrOf(p)));
     return 0;
 }
 
@@ -601,6 +786,8 @@ main(int argc, char **argv)
         return runServeCommand(argc, argv);
     if (argc >= 2 && std::strcmp(argv[1], "top") == 0)
         return runTopCommand(argc, argv);
+    if (argc >= 2 && std::strcmp(argv[1], "inject") == 0)
+        return runInjectCommand(argc, argv);
 
     KernelId kernel = KernelId::Tmm;
     Scheme scheme = Scheme::Lp;

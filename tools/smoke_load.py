@@ -17,6 +17,16 @@ What it does:
      count, and that each histogram's +Inf bucket equals its _count.
   5. With --shutdown, sends SHUTDOWN and expects an Ok reply.
 
+Media-fault options (the fault-inject-smoke CI job):
+
+  --verify-extra checks, BEFORE issuing any new load, that the 128
+  sentinel keys a previous smoke_load run left behind still read back
+  with their deterministic values -- proof that a restart (possibly
+  through media repair) lost no data.  --expect-repaired requires the
+  lp_media_repaired_total counters to show at least one repair and
+  zero unrepairable faults; --min-scrub-passes N requires the online
+  scrub walker to have completed N full passes.
+
 The port is read from --port, or from the DATA_DIR/PORT file the
 server publishes (--data-dir).
 
@@ -199,11 +209,29 @@ def main() -> None:
                     help="keep issuing load for this long (round 1)")
     ap.add_argument("--shutdown", action="store_true",
                     help="send SHUTDOWN after the checks")
+    ap.add_argument("--verify-extra", action="store_true",
+                    help="first verify the 128 sentinel keys a "
+                         "previous run wrote (restart data check)")
+    ap.add_argument("--expect-repaired", action="store_true",
+                    help="require media_repaired >= 1 and "
+                         "media_unrepairable == 0 in METRICS")
+    ap.add_argument("--min-scrub-passes", type=int, default=0,
+                    help="require this many completed scrub passes")
     args = ap.parse_args()
 
     port = args.port or read_port(args.data_dir, 30.0)
     sock = socket.create_connection((args.host, port), timeout=30.0)
     sock.settimeout(30.0)
+
+    # Data survival across a restart: the previous run's round-2 keys
+    # have deterministic values, so corruption that recovery failed to
+    # repair (or repaired wrongly) shows up right here.
+    if args.verify_extra:
+        for k in range(128):
+            got = op_get(sock, 1_000_000 + k)
+            if got != k:
+                fail(f"sentinel GET({1_000_000 + k}) = {got}, "
+                     f"want {k} (data lost across restart)")
 
     # Round 1: load + verify readback, for at least --seconds.
     deadline = time.time() + args.seconds
@@ -235,6 +263,22 @@ def main() -> None:
     muts2 = shard_sum(s2, "lp_mutations")
     if muts2 - muts1 != extra:
         fail(f"lp_mutations delta {muts2 - muts1}, want {extra}")
+
+    if args.expect_repaired:
+        repaired = shard_sum(s2, "lp_media_repaired_total")
+        unrep = shard_sum(s2, "lp_media_unrepairable_total")
+        quar = shard_sum(s2, "lp_quarantined")
+        if repaired < 1:
+            fail(f"lp_media_repaired_total = {repaired}, expected "
+                 ">= 1 (injected fault was never detected)")
+        if unrep != 0 or quar != 0:
+            fail(f"unrepairable = {unrep}, quarantined = {quar}; "
+                 "expected a clean repair")
+    if args.min_scrub_passes > 0:
+        passes = shard_sum(s2, "lp_scrub_passes")
+        if passes < args.min_scrub_passes:
+            fail(f"lp_scrub_passes = {passes}, expected >= "
+                 f"{args.min_scrub_passes} (scrub walker stalled?)")
 
     if args.shutdown:
         rid = fresh_id()
