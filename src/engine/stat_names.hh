@@ -46,6 +46,12 @@ inline constexpr const char *mutations = "mutations";
 /** Range scans served (SCAN protocol op / KvStore::scan). */
 inline constexpr const char *scans = "scans";
 
+/** Transactions committed (TXN protocol op, both commit paths). */
+inline constexpr const char *txnCommits = "txn_commits";
+
+/** Transactions aborted (wait-die losses surfaced to clients). */
+inline constexpr const char *txnAborts = "txn_aborts";
+
 /** Live keys in the shard's ordered index (gauge). */
 inline constexpr const char *indexEntries = "index_entries";
 
@@ -80,6 +86,12 @@ inline constexpr const char *reqCommitWaitNs = "req_commit_wait_ns";
 
 /** Server: reply posted by a worker until encoded for the socket. */
 inline constexpr const char *reqAckNs = "req_ack_ns";
+
+/** TXN accepted until its commit reply (durable) was posted. */
+inline constexpr const char *txnCommitLatNs = "txn_commit_lat_ns";
+
+/** TXN accepted until its abort reply was posted. */
+inline constexpr const char *txnAbortLatNs = "txn_abort_lat_ns";
 
 /** KvStore::scan(): whole-scan latency (index walk + value reads). */
 inline constexpr const char *scanLatNs = "scan_lat_ns";

@@ -204,12 +204,17 @@ Client::retryLoop(Request r, const RetryPolicy &policy, int timeoutMs)
 {
     for (int attempt = 0;; ++attempt) {
         r.id = nextId();
+        ++counters_.attempts;
         auto resp = roundTrip(r, timeoutMs);
         if (!resp || resp->status != Status::Retry ||
             attempt + 1 >= policy.maxAttempts)
             return resp;
-        std::this_thread::sleep_for(std::chrono::microseconds(
-            retryDelayUs(policy, attempt, rng_)));
+        ++counters_.retries;
+        const std::uint64_t delay =
+            retryDelayUs(policy, attempt, rng_);
+        counters_.backoffUs += delay;
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(delay));
     }
 }
 
@@ -269,6 +274,49 @@ Client::scan(std::uint64_t start, std::uint32_t limit, int timeoutMs)
         return std::nullopt;
     }
     return records;
+}
+
+std::optional<Client::TxnResult>
+Client::txn(const std::vector<TxnOp> &ops, int timeoutMs)
+{
+    Request r;
+    r.op = Op::Txn;
+    r.id = nextId();
+    r.txn = ops;
+    const auto resp = roundTrip(r, timeoutMs);
+    if (!resp)
+        return std::nullopt;
+    TxnResult out;
+    out.status = resp->status;
+    if (resp->status == Status::Ok &&
+        !decodeTxnReadsBody(resp->body, out.reads)) {
+        close();
+        return std::nullopt;
+    }
+    return out;
+}
+
+std::optional<Client::TxnResult>
+Client::txnBackoff(const std::vector<TxnOp> &ops,
+                   const RetryPolicy &policy, int timeoutMs)
+{
+    for (int attempt = 0;; ++attempt) {
+        ++counters_.attempts;
+        auto res = txn(ops, timeoutMs);
+        if (!res || (res->status != Status::Retry &&
+                     res->status != Status::Aborted) ||
+            attempt + 1 >= policy.maxAttempts)
+            return res;
+        if (res->status == Status::Aborted)
+            ++counters_.aborts;
+        else
+            ++counters_.retries;
+        const std::uint64_t delay =
+            retryDelayUs(policy, attempt, rng_);
+        counters_.backoffUs += delay;
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(delay));
+    }
 }
 
 std::optional<Response>

@@ -44,6 +44,29 @@ struct RetryPolicy
 };
 
 /**
+ * Outcome counters of backoff-retried requests. Every Client keeps
+ * one (retryCounters()); the pipelined load generator aggregates its
+ * own into the bench JSON. attempts counts wire round trips, so
+ * attempts - retries - aborts is the number of first-try outcomes.
+ */
+struct RetryCounters
+{
+    std::uint64_t attempts = 0;   ///< requests actually sent
+    std::uint64_t retries = 0;    ///< re-sends after Status::Retry
+    std::uint64_t aborts = 0;     ///< re-sends after Status::Aborted
+    std::uint64_t backoffUs = 0;  ///< total jittered sleep
+
+    void
+    merge(const RetryCounters &o)
+    {
+        attempts += o.attempts;
+        retries += o.retries;
+        aborts += o.aborts;
+        backoffUs += o.backoffUs;
+    }
+};
+
+/**
  * Full-jitter backoff delay for 0-based attempt @p attempt, advancing
  * the caller's xorshift state @p rngState (seed it non-zero, e.g. per
  * thread). Shared by the Client backoff helpers and the pipelined
@@ -104,6 +127,36 @@ class Client
                                                 int timeoutMs = -1);
     /// @}
 
+    /** What a TXN round trip produced (when the transport held up). */
+    struct TxnResult
+    {
+        Status status = Status::Ok;
+        /** One entry per get sub-op, request order; only on Ok. */
+        std::vector<TxnRead> reads;
+    };
+
+    /**
+     * TXN: commit @p ops atomically across shards. nullopt on
+     * transport error or a malformed reads body (which also closes
+     * the connection); otherwise the status is returned as-is --
+     * Aborted and Retry are the caller's to handle, or use
+     * txnBackoff.
+     */
+    std::optional<TxnResult> txn(const std::vector<TxnOp> &ops,
+                                 int timeoutMs = -1);
+
+    /**
+     * TXN with backoff: retries both Status::Retry (backpressure)
+     * and Status::Aborted (wait-die conflict; the retry gets a fresh
+     * timestamp) per @p policy. Anything else returns at once.
+     */
+    std::optional<TxnResult> txnBackoff(const std::vector<TxnOp> &ops,
+                                        const RetryPolicy &policy = {},
+                                        int timeoutMs = -1);
+
+    /** Lifetime backoff/abort counters of this connection. */
+    const RetryCounters &retryCounters() const { return counters_; }
+
     /// @name Backoff variants: retry Status::Retry per @p policy
     /// (sleeping between attempts) instead of bouncing it straight
     /// back. Any other status -- including Fault -- returns at once.
@@ -124,6 +177,7 @@ class Client
                                       int timeoutMs);
 
     int fd_ = -1;
+    RetryCounters counters_;
     std::uint64_t lastId_ = 0;
     std::uint64_t rng_ = 0x9e3779b97f4a7c15ull;  ///< backoff jitter
     std::vector<std::uint8_t> in_;

@@ -108,6 +108,16 @@ encodeRequest(const Request &r, std::vector<std::uint8_t> &out)
         put64(out, r.key);
         put32(out, r.limit);
         break;
+      case Op::Txn:
+        put32(out, static_cast<std::uint32_t>(r.txn.size()));
+        for (const TxnOp &t : r.txn) {
+            put8(out, static_cast<std::uint8_t>(t.kind));
+            put64(out, t.key);
+            if (t.kind == TxnOp::Kind::Put ||
+                t.kind == TxnOp::Kind::Add)
+                put64(out, t.value);
+        }
+        break;
       case Op::Stats:
       case Op::Shutdown:
       case Op::Metrics:
@@ -199,6 +209,39 @@ decodeRequest(const std::uint8_t *buf, std::size_t n,
         if (out.limit == 0 || out.limit > maxScanRecords)
             return Decode::Malformed;
         return Decode::Ok;
+      case Op::Txn: {
+        if (len < 13)
+            return Decode::Malformed;
+        const std::uint32_t count = get32(p + 9);
+        if (count == 0 || count > maxTxnOps)
+            return Decode::Malformed;
+        std::size_t at = 13;
+        out.txn.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            if (at + 9 > len)
+                return Decode::Malformed;
+            const auto kind = static_cast<TxnOp::Kind>(p[at]);
+            if (kind != TxnOp::Kind::Get &&
+                kind != TxnOp::Kind::Put &&
+                kind != TxnOp::Kind::Del && kind != TxnOp::Kind::Add)
+                return Decode::Malformed;
+            TxnOp t;
+            t.kind = kind;
+            t.key = get64(p + at + 1);
+            at += 9;
+            if (kind == TxnOp::Kind::Put ||
+                kind == TxnOp::Kind::Add) {
+                if (at + 8 > len)
+                    return Decode::Malformed;
+                t.value = get64(p + at);
+                at += 8;
+            }
+            out.txn.push_back(t);
+        }
+        if (at != len)
+            return Decode::Malformed;  // trailing garbage
+        return Decode::Ok;
+      }
       case Op::Stats:
       case Op::Shutdown:
       case Op::Metrics:
@@ -221,7 +264,7 @@ decodeResponse(const std::uint8_t *buf, std::size_t n,
 
     out = Response{};
     const std::uint8_t status = p[0];
-    if (status > static_cast<std::uint8_t>(Status::Fault))
+    if (status > static_cast<std::uint8_t>(Status::Aborted))
         return Decode::Malformed;
     out.status = static_cast<Status>(status);
     out.id = get64(p + 1);
@@ -273,6 +316,44 @@ decodeScanBody(const std::string &body, std::vector<ScanRecord> &out)
 }
 
 std::string
+encodeTxnReadsBody(const std::vector<TxnRead> &reads)
+{
+    std::vector<std::uint8_t> buf;
+    buf.reserve(4 + 9 * reads.size());
+    put32(buf, static_cast<std::uint32_t>(reads.size()));
+    for (const TxnRead &r : reads) {
+        put8(buf, r.found ? 1 : 0);
+        put64(buf, r.value);
+    }
+    return std::string(reinterpret_cast<const char *>(buf.data()),
+                       buf.size());
+}
+
+bool
+decodeTxnReadsBody(const std::string &body, std::vector<TxnRead> &out)
+{
+    out.clear();
+    if (body.size() < 4)
+        return false;
+    const auto *p = reinterpret_cast<const std::uint8_t *>(body.data());
+    const std::uint32_t count = get32(p);
+    if (count > maxTxnOps ||
+        body.size() != 4 + std::size_t(count) * 9)
+        return false;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint8_t found = p[4 + std::size_t(i) * 9];
+        if (found > 1)
+            return false;
+        TxnRead r;
+        r.found = found == 1;
+        r.value = get64(p + 4 + std::size_t(i) * 9 + 1);
+        out.push_back(r);
+    }
+    return true;
+}
+
+std::string
 statusName(Status s)
 {
     switch (s) {
@@ -281,6 +362,7 @@ statusName(Status s)
       case Status::Retry:    return "retry";
       case Status::Err:      return "err";
       case Status::Fault:    return "fault";
+      case Status::Aborted:  return "aborted";
     }
     return "?";
 }

@@ -25,6 +25,11 @@
  *   SCAN     op=8  u64 start_key, u32 limit         (len 21)
  *                  limit must be in [1, maxScanRecords]; anything
  *                  else is Malformed at decode time
+ *   TXN      op=9  u32 n, then n x {u8 sub, u64 key[, u64 value]}
+ *                  where sub is 1 (get), 2 (put, with value),
+ *                  3 (del) or 4 (add, with a u64 two's-complement
+ *                  delta). n must be in [1, maxTxnOps]. All ops
+ *                  commit atomically across shards or none do.
  *
  * Responses:
  *   status=0 Ok        GET carries u64 value; STATS carries a JSON
@@ -32,8 +37,12 @@
  *                      exposition body; SCAN carries a binary body of
  *                      u32 count then count x {u64 key, u64 value}
  *                      records in ascending key order (decode with
- *                      decodeScanBody); PUT/DEL/BATCH/SHUTDOWN carry
- *                      nothing
+ *                      decodeScanBody); a committed TXN carries a
+ *                      binary body of u32 nGets then nGets x
+ *                      {u8 found, u64 value}, one per get sub-op in
+ *                      request order (decode with
+ *                      decodeTxnReadsBody); PUT/DEL/BATCH/SHUTDOWN
+ *                      carry nothing
  *   status=1 NotFound  GET miss (no value)
  *   status=2 Retry     connection over its in-flight budget; resend
  *                      later (backpressure, not an error)
@@ -41,10 +50,17 @@
  *                      reserved sentinel range)
  *   status=4 Fault     the key's shard hit unrepairable media
  *                      corruption and is quarantined read-only:
- *                      mutations (PUT/DEL/BATCH) are refused, GET and
- *                      SCAN still work. Not retryable -- an operator
- *                      must replace the backing media (see
+ *                      mutations (PUT/DEL/BATCH/TXN) are refused, GET
+ *                      and SCAN still work. Not retryable -- an
+ *                      operator must replace the backing media (see
  *                      docs/recovery_cookbook.md, corruption triage)
+ *   status=5 Aborted   the TXN lost a wait-die conflict and committed
+ *                      nothing; retryable (the retry gets a fresh,
+ *                      younger timestamp -- back off with jitter)
+ *
+ * The canonical opcode/status table (one row per op, with frame
+ * sizes and status applicability) lives in docs/server_design.md;
+ * extend it first when adding an opcode.
  *
  * Robustness rules: a frame whose length field exceeds maxFrameBytes,
  * whose opcode/status is unknown, whose length disagrees with its
@@ -76,6 +92,7 @@ enum class Op : std::uint8_t
     Shutdown = 6,
     Metrics = 7,
     Scan = 8,
+    Txn = 9,
 };
 
 /** Response status codes. */
@@ -85,7 +102,8 @@ enum class Status : std::uint8_t
     NotFound = 1,
     Retry = 2,
     Err = 3,
-    Fault = 4,  ///< shard quarantined read-only (media fault)
+    Fault = 4,    ///< shard quarantined read-only (media fault)
+    Aborted = 5,  ///< TXN lost a wait-die conflict; retry with backoff
 };
 
 /** Largest accepted payload (the u32 after the length field). */
@@ -102,6 +120,14 @@ inline constexpr std::size_t maxBatchOps = 4096;
  */
 inline constexpr std::size_t maxScanRecords = 4096;
 
+/**
+ * Largest accepted TXN op count. Matches txn::maxTxnWriteOps so any
+ * wire transaction's write-set fits one PREPARE slot per shard; a
+ * bigger multi-key update should be split (only single transactions
+ * get cross-shard atomicity anyway).
+ */
+inline constexpr std::size_t maxTxnOps = 32;
+
 /** One mutation inside a BATCH request. */
 struct BatchOp
 {
@@ -117,6 +143,28 @@ struct ScanRecord
     std::uint64_t value;
 };
 
+/** One sub-op inside a TXN request. */
+struct TxnOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Get = 1,
+        Put = 2,
+        Del = 3,
+        Add = 4,  ///< atomic delta (wrapping u64; absent key reads 0)
+    };
+    Kind kind = Kind::Get;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;  ///< Put: value; Add: delta; else unused
+};
+
+/** One get result inside a committed TXN response body. */
+struct TxnRead
+{
+    bool found = false;
+    std::uint64_t value = 0;
+};
+
 /** A decoded request. */
 struct Request
 {
@@ -126,6 +174,7 @@ struct Request
     std::uint64_t value = 0;
     std::uint32_t limit = 0;     ///< SCAN only
     std::vector<BatchOp> batch;  ///< BATCH only
+    std::vector<TxnOp> txn;      ///< TXN only
 };
 
 /** A decoded response. */
@@ -174,6 +223,21 @@ std::string encodeScanBody(const std::vector<ScanRecord> &records);
  */
 bool decodeScanBody(const std::string &body,
                     std::vector<ScanRecord> &out);
+
+/**
+ * Render get results as a TXN response body (u32 count + count x
+ * {u8 found, u64 value}). Always 4 + 9 * count bytes -- never 8, so
+ * a TXN Ok frame can never collide with the len==17 GET-value frame.
+ */
+std::string encodeTxnReadsBody(const std::vector<TxnRead> &reads);
+
+/**
+ * Parse a TXN response body into @p out. Strict, like
+ * decodeScanBody: count within maxTxnOps, found a clean 0/1, exact
+ * size; false means the peer violated the protocol.
+ */
+bool decodeTxnReadsBody(const std::string &body,
+                        std::vector<TxnRead> &out);
 
 /** Human-readable status name (diagnostics). */
 std::string statusName(Status s);

@@ -12,13 +12,17 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +38,10 @@
 #include "server/protocol.hh"
 #include "stats/json.hh"
 #include "store/kv_store.hh"
+#include "txn/decision_log.hh"
+#include "txn/lock_table.hh"
+#include "txn/prepare_log.hh"
+#include "txn/recovery.hh"
 
 namespace lp::server
 {
@@ -104,19 +112,91 @@ struct ScanCtx
     std::vector<std::vector<ScanRecord>> parts;  ///< slot per shard
 };
 
+/**
+ * One TXN request in flight. The acceptor is the coordinator: it
+ * splits the wire ops into one Part per participant shard and fans a
+ * Txn item out to each owning worker. Workers lock, resolve, and
+ * vote (a TxnEvent back to the acceptor); once every part has voted
+ * the acceptor either appends the COMMIT record -- the transaction's
+ * linearization and durability point -- and fans out TxnApply, or
+ * tells the prepared parts to roll back (TxnAbort).
+ *
+ * Field ownership: the acceptor writes the routing plan before
+ * fan-out; each worker writes only its own Part and the read slots
+ * its gets own. Every handoff rides a mutex (worker queues, the
+ * TxnEvent queue), so no field needs to be atomic except the vote
+ * counter and the abort flags, which workers race on.
+ */
+struct TxnCtx
+{
+    std::uint64_t txnid = 0;
+    std::uint64_t connId = 0;
+    std::uint64_t reqId = 0;
+    std::uint64_t tStartNs = 0;
+    bool fastPath = false;  ///< single shard, batching backend
+
+    std::vector<TxnOp> ops;     ///< wire order
+    std::vector<int> readSlot;  ///< per op: index into reads, or -1
+    std::vector<TxnRead> reads; ///< one slot per get sub-op
+
+    /** One participant shard's slice of the transaction. */
+    struct Part
+    {
+        int shard = 0;
+        std::vector<std::uint32_t> ops;  ///< indices into ctx.ops
+        bool hasWrites = false;
+
+        /** Lock plan: distinct keys ascending, write if any mutation. */
+        std::vector<std::uint64_t> lockKeys;
+        std::vector<txn::LockMode> lockModes;
+
+        // Filled by the owning worker:
+        bool prepared = false;
+        std::size_t slot = 0;  ///< PREPARE slot (writes non-empty only)
+        std::vector<txn::WriteOp> writes;  ///< resolved write-set
+    };
+    std::vector<Part> parts;
+
+    std::atomic<int> votesLeft{0};
+    std::atomic<int> abortedParts{0};
+    std::atomic<bool> faulted{false};  ///< abort cause was quarantine
+};
+
+/** One participant's vote, traveling worker -> acceptor. */
+struct TxnEvent
+{
+    enum class Kind : std::uint8_t { Prepared, Aborted };
+
+    Kind kind;
+    std::size_t part;  ///< index into ctx->parts
+    std::shared_ptr<TxnCtx> ctx;
+};
+
 /** One operation handed from the acceptor to a worker. */
 struct OpItem
 {
-    enum class Kind : std::uint8_t { Get, Put, Del, Scan };
+    enum class Kind : std::uint8_t
+    {
+        Get,
+        Put,
+        Del,
+        Scan,
+        Txn,        ///< lock + resolve + vote one participant part
+        TxnApply,   ///< decision = commit: apply the part's write-set
+        TxnAbort,   ///< decision = abort: free the vote, drop locks
+        TxnRecover, ///< startup: replay the txn decision rules
+    };
 
     Kind kind;
-    std::uint64_t connId;
-    std::uint64_t reqId;
-    std::uint64_t key;    ///< SCAN: start_key
-    std::uint64_t value;  ///< SCAN: limit
+    std::uint64_t connId = 0;
+    std::uint64_t reqId = 0;
+    std::uint64_t key = 0;    ///< SCAN: start_key
+    std::uint64_t value = 0;  ///< SCAN: limit
     std::uint64_t tEnqNs = 0;  ///< enqueue time (queue-wait latency)
     std::shared_ptr<BatchCtx> batch;  ///< set for BATCH sub-ops
     std::shared_ptr<ScanCtx> scan;    ///< set for SCAN sub-scans
+    std::shared_ptr<TxnCtx> txn;      ///< set for Txn* items
+    std::size_t part = 0;             ///< Txn*: index into txn->parts
 };
 
 /** One response traveling worker -> acceptor. */
@@ -227,6 +307,8 @@ struct Server::Impl
         std::atomic<std::uint64_t> statEpochs{0};
         std::atomic<std::uint64_t> statFolds{0};
         std::atomic<std::uint64_t> statDeadlineCommits{0};
+        std::atomic<std::uint64_t> statTxnCommits{0};  ///< fast path
+        std::atomic<std::uint64_t> statTxnAborts{0};   ///< fast path
 
         // Request-lifecycle histograms, recorded by this worker;
         // the acceptor reads them for STATS/METRICS under the
@@ -235,6 +317,8 @@ struct Server::Impl
         // kv->shardObs(0)).
         obs::Histogram queueNs;       ///< enqueue -> worker dequeue
         obs::Histogram commitWaitNs;  ///< staged -> ack released
+        obs::Histogram txnCommitNs;   ///< fast-path TXN accept -> ack
+        obs::Histogram txnAbortNs;    ///< fast-path TXN accept -> abort
 
         /** This worker's trace ring; null when tracing is off. */
         obs::TraceRing *ring = nullptr;
@@ -250,6 +334,67 @@ struct Server::Impl
         store::RecoveryReport report;
         bool attached = false;
 
+        // Cross-shard transaction state (docs/txn_design.md). All of
+        // it is worker-thread-only except txnReport, which start()
+        // reads after the txn-recovery latch.
+        std::unique_ptr<txn::PrepareLog<kernels::NativeEnv>> plog;
+        txn::LockTable lockTable;
+        txn::TxnRecoveryReport txnReport;
+
+        /**
+         * General-path parts on this shard between PREPARE and their
+         * apply/abort. While non-zero, scans over write-locked ranges
+         * and plain mutations of write-locked keys defer: the part's
+         * write-set is resolved but not yet visible, so reading
+         * around it would half-observe the transaction and writing
+         * under it would be clobbered by the apply.
+         */
+        int unappliedTxns = 0;
+
+        /** A part parked on a lock-table Waiting verdict. */
+        struct ParkedTxn
+        {
+            std::shared_ptr<TxnCtx> ctx;
+            std::size_t part = 0;
+            std::size_t next = 0;  ///< lockKeys index being awaited
+        };
+        std::unordered_map<txn::TxnId, ParkedTxn> parked;
+
+        /**
+         * Deferred work, in strict arrival order. The acceptor
+         * enqueues every multi-shard operation (scan pieces,
+         * transaction parts) to all shards from one program point,
+         * so per-shard arrival order is a consistent cut of the
+         * global order; cross-shard atomicity of scans rests
+         * entirely on every shard preserving it. Hence one FIFO,
+         * not per-kind lists: when the item at the front must wait
+         * (a scan blocked by a prepared-but-unapplied part's
+         * locks), everything behind it waits too. Letting ANY
+         * later item overtake re-creates the torn read -- e.g. a
+         * part overtaking a deferred scan prepares/applies inside
+         * the scan's cut on this shard only, and a scan overtaking
+         * a queued part runs pre-part here while its sibling
+         * sub-scan on a shard where the same transaction already
+         * prepared defers and runs post-apply. Decision fan-outs
+         * (TxnApply/TxnAbort) bypass the queue: they are the
+         * drain, and their transactions are strictly older than
+         * everything queued here.
+         */
+        std::deque<OpItem> deferred;
+
+        /**
+         * Applied PREPARE slots awaiting their durability gate: a
+         * slot may be freed only once the shard's durable epoch
+         * covers the marker epoch, because the free store is itself
+         * lazy (see txn/prepare_log.hh).
+         */
+        struct SlotFree
+        {
+            std::size_t slot = 0;
+            std::uint64_t epoch = 0;
+        };
+        std::vector<SlotFree> slotFrees;
+
         /**
          * Reply payloads awaiting epoch commit. Runs in lockstep
          * with the shard CommitPipeline's pending-ack queue, which
@@ -258,11 +403,13 @@ struct Server::Impl
          */
         struct Pending
         {
-            std::uint64_t connId;
+            std::uint64_t connId;  ///< 0: internal apply, no reply
             std::uint64_t reqId;
             std::uint64_t epoch;
             std::uint64_t tStagedNs;  ///< commit-wait latency start
             std::shared_ptr<BatchCtx> batch;
+            std::shared_ptr<TxnCtx> txn;  ///< fast-path commit reply
+            std::string txnBody;          ///< encoded reads (with txn)
         };
         std::deque<Pending> pending;
     };
@@ -270,10 +417,13 @@ struct Server::Impl
     std::vector<std::unique_ptr<Worker>> workers;
     std::atomic<int> workersExited{0};
 
-    // Startup latch: workers recover before the port binds.
+    // Startup latch: workers recover before the port binds. The
+    // second counter latches the txn-recovery phase, which needs the
+    // decision index and therefore runs after the first latch.
     std::mutex readyMu;
     std::condition_variable readyCv;
     int readyCount = 0;
+    int txnReadyCount = 0;
     /// @}
 
     /// @name Acceptor state
@@ -300,11 +450,32 @@ struct Server::Impl
     std::atomic<std::uint64_t> statErrs{0};
     std::atomic<std::uint64_t> statFaults{0};
     std::atomic<std::uint64_t> statMalformed{0};
+    std::atomic<std::uint64_t> statTxnCommits{0};  ///< general path
+    std::atomic<std::uint64_t> statTxnAborts{0};   ///< general path
 
     // Acceptor-recorded request-lifecycle histograms (single writer:
     // the acceptor thread; STATS/METRICS render on the same thread).
     obs::Histogram parseNs;  ///< bytes on the wire -> decoded request
     obs::Histogram ackNs;    ///< worker posted reply -> encoded
+    obs::Histogram txnCommitNs;  ///< general path: accept -> decision
+    obs::Histogram txnAbortNs;   ///< general path: accept -> abort
+
+    /// @name Transaction coordinator (docs/txn_design.md)
+    /// The acceptor assigns ids, collects votes, and owns the
+    /// persistent decision ring (dataDir/txnlog.lpdb). Workers post
+    /// their votes through txnMu and read the decision index only
+    /// during the startup recovery phase (ordered by the worker-queue
+    /// handoff).
+    /// @{
+    std::mutex txnMu;
+    std::vector<TxnEvent> txnEvents;
+
+    kernels::NativeEnv txnEnv;
+    std::unique_ptr<pmem::PersistentArena> txnArena;
+    std::unique_ptr<txn::DecisionLog<kernels::NativeEnv>> dlog;
+    std::uint64_t dlogMaxTxnId = 0;  ///< largest id the ring recalls
+    std::uint64_t nextTxnId = 1;     ///< acceptor-thread only
+    /// @}
 
     // Tracing (cfg.traceOut non-empty): the collector owns every
     // ring; workers and the acceptor hold borrowed pointers.
@@ -341,10 +512,18 @@ struct Server::Impl
         struct stat st{};
         const bool attach = ::stat(path.c_str(), &st) == 0 &&
                             st.st_size > 0;
+        // Arena budget: the store image plus this shard's PREPARE
+        // table, allocated in that order on every open (the arena
+        // attach contract).
         w.arena = std::make_unique<pmem::PersistentArena>(
-            store::storeArenaBytes(scfg), path);
+            store::storeArenaBytes(scfg) +
+                txn::prepareLogBytes(cfg.txnPrepareSlots),
+            path);
         w.kv = std::make_unique<store::KvStore<kernels::NativeEnv>>(
             *w.arena, scfg, cfg.backend, attach);
+        w.plog =
+            std::make_unique<txn::PrepareLog<kernels::NativeEnv>>(
+                *w.arena, cfg.txnPrepareSlots, attach);
         // Attach the trace ring before recovery so the replay's
         // "recover_shard" span lands in the collector.
         if (w.ring)
@@ -379,8 +558,30 @@ struct Server::Impl
 
     /** Acknowledge one released mutation (direct op or BATCH part). */
     void
-    releaseAck(Worker &w, const Worker::Pending &p)
+    releaseAck(Worker &w, Worker::Pending &p)
     {
+        if (p.txn) {
+            // Fast-path TXN: the epoch carrying the whole write-set
+            // committed, so the transaction is durable -- reply, then
+            // release the locks (held until now so no later
+            // transaction could commit against values a crash might
+            // still have discarded with the unsealed batch).
+            w.commitWaitNs.record(obs::nowNs() - p.tStagedNs);
+            Response r;
+            r.status = Status::Ok;
+            r.id = p.reqId;
+            r.body = std::move(p.txnBody);
+            postReply(p.connId, std::move(r));
+            w.statTxnCommits.fetch_add(1, std::memory_order_relaxed);
+            w.txnCommitNs.record(obs::nowNs() - p.txn->tStartNs);
+            txn::LockTable::Events ev;
+            w.lockTable.releaseAll(
+                p.txn->txnid, p.txn->parts[0].lockKeys, ev);
+            serviceLockEvents(w, std::move(ev));
+            return;
+        }
+        if (p.connId == 0)
+            return;  // internal apply of a committed TXN: no reply
         w.commitWaitNs.record(obs::nowNs() - p.tStagedNs);
         if (p.batch) {
             if (p.batch->remaining.fetch_sub(
@@ -418,6 +619,7 @@ struct Server::Impl
             releaseAck(w, w.pending.front());
             w.pending.pop_front();
         }
+        sweepSlotFrees(w);
         const engine::PipelineCounters &c = pl.counters();
         w.statAcks.store(c.acksReleased, std::memory_order_relaxed);
         w.statEpochs.store(c.epochsCommitted,
@@ -427,6 +629,378 @@ struct Server::Impl
                                     std::memory_order_relaxed);
         w.statCommittedEpoch.store(ce, std::memory_order_relaxed);
     }
+
+    /// @name Worker-side transaction participant
+    /// @{
+
+    void
+    postTxnEvent(TxnEvent ev)
+    {
+        {
+            std::lock_guard<std::mutex> g(txnMu);
+            txnEvents.push_back(std::move(ev));
+        }
+        eventfdSignal(wakeFd);
+    }
+
+    /** Free applied slots whose marker epoch the shard has made
+     *  durable (the lazy-free gate of txn/prepare_log.hh). The gate
+     *  is the pipeline's volatile durable watermark: it matches the
+     *  superblock's for LP/WAL but, unlike it, also advances for the
+     *  eager backend, whose in-place per-op persists never fold. */
+    void
+    sweepSlotFrees(Worker &w)
+    {
+        if (w.slotFrees.empty())
+            return;
+        const std::uint64_t durable =
+            w.kv->pipeline(0).foldedEpoch();
+        std::erase_if(w.slotFrees, [&](const Worker::SlotFree &f) {
+            if (durable < f.epoch)
+                return false;
+            w.plog->free(w.env, f.slot);
+            return true;
+        });
+    }
+
+    /// Can this kind join Worker::deferred? Single-key Gets bypass
+    /// (a point read tears nothing: prepared writes are invisible
+    /// until apply), as do the TxnApply/TxnAbort decision fan-outs
+    /// that drain the queue.
+    static bool
+    deferrable(OpItem::Kind k)
+    {
+        return k == OpItem::Kind::Scan || k == OpItem::Kind::Put ||
+               k == OpItem::Kind::Del || k == OpItem::Kind::Txn;
+    }
+
+    /**
+     * Must @p op wait for a lock-state change before running? Only
+     * meaningful when nothing older is queued ahead of it (strict
+     * FIFO handles that part).
+     */
+    bool
+    deferNow(Worker &w, const OpItem &op) const
+    {
+        switch (op.kind) {
+          case OpItem::Kind::Scan:
+            // A granted write lock may cover a prepared-but-
+            // unapplied transaction write; a sub-scan passing
+            // through it could hand the k-way merge a half-applied
+            // transaction.
+            return w.unappliedTxns > 0 &&
+                   w.lockTable.anyWriteLockedAtOrAbove(op.key);
+          case OpItem::Kind::Put:
+          case OpItem::Kind::Del:
+            // A plain store between a transaction's resolve and its
+            // apply would be clobbered by the apply (lost update).
+            return w.unappliedTxns > 0 &&
+                   w.lockTable.writeLocked(op.key);
+          default:
+            // Txn parts always run once they reach the front: lock
+            // acquisition itself resolves conflicts (grant, park,
+            // or wait-die abort).
+            return false;
+        }
+    }
+
+    /// Run @p op now unless strict FIFO or its own defer condition
+    /// says it must queue (see Worker::deferred).
+    void
+    dispatchOp(Worker &w, OpItem &op)
+    {
+        if (deferrable(op.kind) &&
+            (!w.deferred.empty() || deferNow(w, op))) {
+            op.tEnqNs = obs::nowNs();
+            w.deferred.push_back(std::move(op));
+            return;
+        }
+        processOp(w, op);
+    }
+
+    /**
+     * After a lock-state change, drain deferred work from the
+     * front, stopping at the first item that must still wait --
+     * never past it, or a later scan/part would observe a cut
+     * inconsistent with its siblings on other shards.
+     */
+    void
+    retryDeferred(Worker &w)
+    {
+        while (!w.deferred.empty() &&
+               !deferNow(w, w.deferred.front())) {
+            OpItem op = std::move(w.deferred.front());
+            w.deferred.pop_front();
+            processOp(w, op);
+        }
+    }
+
+    /**
+     * Service the fallout of a lock release: resume parked parts the
+     * release granted, abort the ones it killed (whose own releases
+     * can grant/kill further waiters -- hence the worklist), then
+     * retry deferred work.
+     */
+    void
+    serviceLockEvents(Worker &w, txn::LockTable::Events ev)
+    {
+        while (!ev.granted.empty() || !ev.died.empty()) {
+            txn::LockTable::Events next;
+            for (const auto id : ev.died)
+                abortParked(w, id, next);
+            for (const auto id : ev.granted)
+                resumeParked(w, id, next);
+            ev = std::move(next);
+        }
+        retryDeferred(w);
+    }
+
+    void
+    resumeParked(Worker &w, txn::TxnId id, txn::LockTable::Events &ev)
+    {
+        const auto it = w.parked.find(id);
+        if (it == w.parked.end())
+            return;
+        const Worker::ParkedTxn pk = std::move(it->second);
+        w.parked.erase(it);
+        // The awaited key (index pk.next) was just granted to us;
+        // continue the plan past it.
+        if (acquireTxnLocks(w, pk.ctx, pk.part, pk.next + 1, ev))
+            prepareTxnPart(w, pk.ctx, pk.part);
+    }
+
+    void
+    abortParked(Worker &w, txn::TxnId id, txn::LockTable::Events &ev)
+    {
+        const auto it = w.parked.find(id);
+        if (it == w.parked.end())
+            return;
+        const Worker::ParkedTxn pk = std::move(it->second);
+        w.parked.erase(it);
+        const TxnCtx::Part &part = pk.ctx->parts[pk.part];
+        // Keys before the awaited index are held; drop them. (The
+        // lock table already removed the killed waiter entry.)
+        w.lockTable.releaseAll(
+            id,
+            {part.lockKeys.begin(),
+             part.lockKeys.begin() + std::ptrdiff_t(pk.next)},
+            ev);
+        abortTxnPart(w, pk.ctx, pk.part, false);
+    }
+
+    /**
+     * Drive @p partIdx's lock plan from index @p next. True once
+     * every lock is held; false when the part parked (resumed by a
+     * later grant) or died (already aborted here).
+     */
+    bool
+    acquireTxnLocks(Worker &w, const std::shared_ptr<TxnCtx> &ctx,
+                    std::size_t partIdx, std::size_t next,
+                    txn::LockTable::Events &ev)
+    {
+        const TxnCtx::Part &part = ctx->parts[partIdx];
+        for (; next < part.lockKeys.size(); ++next) {
+            const auto got =
+                w.lockTable.acquire(ctx->txnid, part.lockKeys[next],
+                                    part.lockModes[next]);
+            if (got == txn::Acquire::Granted)
+                continue;
+            if (got == txn::Acquire::Waiting) {
+                w.parked[ctx->txnid] =
+                    Worker::ParkedTxn{ctx, partIdx, next};
+                return false;
+            }
+            // Wait-die says die: drop what we hold and abort.
+            w.lockTable.releaseAll(
+                ctx->txnid,
+                {part.lockKeys.begin(),
+                 part.lockKeys.begin() + std::ptrdiff_t(next)},
+                ev);
+            abortTxnPart(w, ctx, partIdx, false);
+            return false;
+        }
+        return true;
+    }
+
+    /** This part is out (locks already dropped): reply directly on
+     *  the fast path, else vote Aborted to the coordinator. */
+    void
+    abortTxnPart(Worker &w, const std::shared_ptr<TxnCtx> &ctx,
+                 std::size_t partIdx, bool faulted)
+    {
+        if (faulted)
+            ctx->faulted.store(true, std::memory_order_release);
+        if (ctx->fastPath) {
+            w.statTxnAborts.fetch_add(1, std::memory_order_relaxed);
+            w.txnAbortNs.record(obs::nowNs() - ctx->tStartNs);
+            postReply(ctx->connId,
+                      statusReply(faulted ? Status::Fault
+                                          : Status::Aborted,
+                                  ctx->reqId));
+            return;
+        }
+        ctx->abortedParts.fetch_add(1, std::memory_order_relaxed);
+        postTxnEvent(
+            TxnEvent{TxnEvent::Kind::Aborted, partIdx, ctx});
+    }
+
+    /**
+     * Locks held: resolve this part's ops in wire order against an
+     * overlay (read-your-writes; Add deltas become concrete values;
+     * last write per key wins, first-write order), fill the
+     * transaction's read slots, then run the single-shard fast path
+     * or publish the PREPARE vote.
+     */
+    void
+    prepareTxnPart(Worker &w, const std::shared_ptr<TxnCtx> &ctx,
+                   std::size_t partIdx)
+    {
+        TxnCtx::Part &part = ctx->parts[partIdx];
+
+        // Quarantine backstop on the owning thread (the acceptor's
+        // precheck can race with a scrub discovering corruption).
+        if (part.hasWrites && w.kv->quarantined(0)) {
+            txn::LockTable::Events ev;
+            w.lockTable.releaseAll(ctx->txnid, part.lockKeys, ev);
+            abortTxnPart(w, ctx, partIdx, true);
+            serviceLockEvents(w, std::move(ev));
+            return;
+        }
+
+        std::unordered_map<std::uint64_t,
+                           std::optional<std::uint64_t>>
+            overlay;
+        std::vector<std::uint64_t> writeOrder;
+        const auto current =
+            [&](std::uint64_t key) -> std::optional<std::uint64_t> {
+            const auto it = overlay.find(key);
+            if (it != overlay.end())
+                return it->second;
+            return w.kv->get(w.env, key);
+        };
+        const auto noteWrite = [&](std::uint64_t key) {
+            if (overlay.find(key) == overlay.end())
+                writeOrder.push_back(key);
+        };
+        for (const auto opIdx : part.ops) {
+            const TxnOp &op = ctx->ops[opIdx];
+            switch (op.kind) {
+              case TxnOp::Kind::Get: {
+                const auto v = current(op.key);
+                ctx->reads[std::size_t(ctx->readSlot[opIdx])] =
+                    TxnRead{v.has_value(), v.value_or(0)};
+                break;
+              }
+              case TxnOp::Kind::Put:
+                noteWrite(op.key);
+                overlay[op.key] = op.value;
+                break;
+              case TxnOp::Kind::Del:
+                noteWrite(op.key);
+                overlay[op.key] = std::nullopt;
+                break;
+              case TxnOp::Kind::Add: {
+                const auto v = current(op.key);
+                noteWrite(op.key);
+                overlay[op.key] = v.value_or(0) + op.value;
+                break;
+              }
+            }
+        }
+        part.writes.clear();
+        for (const auto key : writeOrder) {
+            const auto &val = overlay[key];
+            part.writes.push_back(txn::WriteOp{key, val.value_or(0),
+                                               !val.has_value()});
+        }
+
+        if (ctx->fastPath) {
+            commitTxnFast(w, ctx, part);
+            return;
+        }
+
+        if (!part.writes.empty()) {
+            std::size_t slot = w.plog->alloc(w.env);
+            if (slot ==
+                txn::PrepareLog<kernels::NativeEnv>::npos) {
+                // Pressure valve: a checkpoint makes every gated
+                // free eligible; then retry once.
+                w.kv->checkpoint(w.env);
+                sweepSlotFrees(w);
+                slot = w.plog->alloc(w.env);
+            }
+            if (slot ==
+                txn::PrepareLog<kernels::NativeEnv>::npos) {
+                txn::LockTable::Events ev;
+                w.lockTable.releaseAll(ctx->txnid, part.lockKeys,
+                                       ev);
+                abortTxnPart(w, ctx, partIdx, false);
+                serviceLockEvents(w, std::move(ev));
+                return;
+            }
+            w.plog->publish(w.env, slot, ctx->txnid,
+                            part.writes.data(), part.writes.size());
+            part.slot = slot;
+            ++w.unappliedTxns;
+        }
+        part.prepared = true;
+        postTxnEvent(
+            TxnEvent{TxnEvent::Kind::Prepared, partIdx, ctx});
+    }
+
+    /**
+     * Single-shard fast path: stage the whole write-set as one epoch
+     * -- the backend's epoch atomicity (LP discards unsealed batches,
+     * WAL rolls back incomplete ones) is then the transaction
+     * atomicity, with no prepare slot, no decision record, and no
+     * eager protocol flush. This is where LP's commit-latency win
+     * over WAL must survive. The reply and the lock release both
+     * wait for the epoch commit (releaseAck).
+     */
+    void
+    commitTxnFast(Worker &w, const std::shared_ptr<TxnCtx> &ctx,
+                  TxnCtx::Part &part)
+    {
+        std::string body = encodeTxnReadsBody(ctx->reads);
+        if (part.writes.empty()) {
+            // Read-only: nothing to persist, reply straight away.
+            txn::LockTable::Events ev;
+            w.lockTable.releaseAll(ctx->txnid, part.lockKeys, ev);
+            Response r;
+            r.status = Status::Ok;
+            r.id = ctx->reqId;
+            r.body = std::move(body);
+            postReply(ctx->connId, std::move(r));
+            w.statTxnCommits.fetch_add(1, std::memory_order_relaxed);
+            w.txnCommitNs.record(obs::nowNs() - ctx->tStartNs);
+            serviceLockEvents(w, std::move(ev));
+            return;
+        }
+        // Pre-flush so the write-set cannot straddle an epoch seal
+        // (stage() auto-commits WITH the filling op included, so
+        // staged + writes <= batchOps keeps us in one epoch).
+        engine::CommitPipeline &pl = w.kv->pipeline(0);
+        if (pl.stagedOps() > 0 &&
+            pl.stagedOps() + part.writes.size() >
+                std::size_t(cfg.batchOps))
+            w.kv->commitBatches(w.env);
+        std::uint64_t epoch = 0;
+        for (const auto &wr : part.writes) {
+            epoch = wr.del ? w.kv->del(w.env, wr.key)
+                           : w.kv->put(w.env, wr.key, wr.value);
+            w.statMuts.fetch_add(1, std::memory_order_relaxed);
+        }
+        Worker::Pending p;
+        p.connId = ctx->connId;
+        p.reqId = ctx->reqId;
+        p.epoch = epoch;
+        p.tStagedNs = obs::nowNs();
+        p.txn = ctx;
+        p.txnBody = std::move(body);
+        w.pending.push_back(std::move(p));
+        w.kv->pipeline(0).notePending(epoch, Clock::now());
+    }
+    /// @}
 
     void
     processOp(Worker &w, OpItem &op)
@@ -445,6 +1019,10 @@ struct Server::Impl
             return;
           }
           case OpItem::Kind::Scan: {
+            // Defer conditions were checked by dispatchOp /
+            // retryDeferred; by the time a sub-scan runs here, no
+            // prepared-but-unapplied transaction write can be under
+            // its range.
             // Sub-scan of this worker's shard. KvStore::scan records
             // the per-shard scan latency/length histograms itself
             // (single-shard store: shard 0 is exactly this shard).
@@ -524,6 +1102,72 @@ struct Server::Impl
             w.kv->pipeline(0).notePending(epoch, Clock::now());
             return;
           }
+          case OpItem::Kind::Txn: {
+            txn::LockTable::Events ev;
+            if (acquireTxnLocks(w, op.txn, op.part, 0, ev))
+                prepareTxnPart(w, op.txn, op.part);
+            serviceLockEvents(w, std::move(ev));
+            return;
+          }
+          case OpItem::Kind::TxnApply: {
+            // Coordinator decided commit: apply this part's write-set
+            // lazily (the decision record makes it recoverable), then
+            // persist the applied marker BEFORE releasing the locks --
+            // once unlocked keys are externally visible, a crash must
+            // roll forward, never re-run a half-superseded apply.
+            TxnCtx::Part &part = op.txn->parts[op.part];
+            std::uint64_t epoch = 0;
+            for (const auto &wr : part.writes) {
+                epoch = wr.del ? w.kv->del(w.env, wr.key)
+                               : w.kv->put(w.env, wr.key, wr.value);
+                w.statMuts.fetch_add(1, std::memory_order_relaxed);
+                w.pending.push_back(Worker::Pending{
+                    0, 0, epoch, obs::nowNs(), nullptr});
+                w.kv->pipeline(0).notePending(epoch, Clock::now());
+            }
+            if (!part.writes.empty()) {
+                w.plog->markApplied(w.env, part.slot, epoch);
+                w.slotFrees.push_back(
+                    Worker::SlotFree{part.slot, epoch});
+                --w.unappliedTxns;
+            }
+            txn::LockTable::Events ev;
+            w.lockTable.releaseAll(op.txn->txnid, part.lockKeys, ev);
+            serviceLockEvents(w, std::move(ev));
+            return;
+          }
+          case OpItem::Kind::TxnAbort: {
+            // Coordinator decided abort and this part had prepared:
+            // freeing the undecided vote IS the roll-back. The free
+            // is lazy on purpose -- if it tears, recovery still sees
+            // prepared-with-no-decision and rolls back again.
+            TxnCtx::Part &part = op.txn->parts[op.part];
+            if (!part.writes.empty()) {
+                w.plog->free(w.env, part.slot);
+                --w.unappliedTxns;
+            }
+            txn::LockTable::Events ev;
+            w.lockTable.releaseAll(op.txn->txnid, part.lockKeys, ev);
+            serviceLockEvents(w, std::move(ev));
+            return;
+          }
+          case OpItem::Kind::TxnRecover: {
+            // Startup phase 2 (after every shard's own recovery and
+            // the coordinator's decision-log scan): replay this
+            // shard's prepare table against the decision index.
+            const std::vector<txn::PrepareLog<kernels::NativeEnv> *>
+                pls{w.plog.get()};
+            const std::vector<std::uint64_t> marks{
+                w.kv->committedEpoch(0)};
+            w.txnReport = txn::recoverTxns(w.env, *w.kv, pls, marks,
+                                           dlog->index());
+            {
+                std::lock_guard<std::mutex> g(readyMu);
+                ++txnReadyCount;
+            }
+            readyCv.notify_all();
+            return;
+          }
         }
     }
 
@@ -571,7 +1215,7 @@ struct Server::Impl
             }
 
             for (OpItem &op : local)
-                processOp(w, op);
+                dispatchOp(w, op);
 
             // Deadline flush: commit an underfilled batch rather than
             // keep its acks hostage to future traffic. The pipeline
@@ -611,6 +1255,14 @@ struct Server::Impl
             }
 
             if (stopping) {
+                // Parked, deferred, and prepared-but-undecided
+                // transaction work dies with the connections -- to a
+                // client an unacked request lost at shutdown is
+                // indistinguishable from one lost in flight. Prepared
+                // slots stay durable; the next startup's decision
+                // replay rolls them back (or forward).
+                w.parked.clear();
+                w.deferred.clear();
                 // Graceful drain: everything committed and folded, so
                 // a restart recovers instantly. The clean-shutdown
                 // mark switches the next recovery into strict mode,
@@ -744,6 +1396,15 @@ struct Server::Impl
         std::uint64_t gets = 0, muts = 0, acks = 0, scans = 0;
         std::uint64_t epochs = 0, folds = 0, deadlines = 0;
         std::uint64_t mediaRepaired = 0, mediaUnrepairable = 0;
+        // Txn commits/aborts split across owners: fast path on the
+        // shard worker, general path on the acceptor (coordinator).
+        std::uint64_t txnC =
+            statTxnCommits.load(std::memory_order_relaxed);
+        std::uint64_t txnA =
+            statTxnAborts.load(std::memory_order_relaxed);
+        obs::Histogram txnCommitAll, txnAbortAll;
+        txnCommitAll.merge(txnCommitNs);
+        txnAbortAll.merge(txnAbortNs);
         JsonValue::Object shards;
         for (const auto &wp : workers) {
             const auto &w = *wp;
@@ -762,9 +1423,15 @@ struct Server::Impl
                 w.statFolds.load(std::memory_order_relaxed);
             const std::uint64_t d =
                 w.statDeadlineCommits.load(std::memory_order_relaxed);
+            const std::uint64_t tc =
+                w.statTxnCommits.load(std::memory_order_relaxed);
+            const std::uint64_t ta =
+                w.statTxnAborts.load(std::memory_order_relaxed);
             s[sn::gets] = g;
             s[sn::mutations] = m;
             s[sn::scans] = sc;
+            s[sn::txnCommits] = tc;
+            s[sn::txnAborts] = ta;
             s[sn::acksReleased] = a;
             s[sn::epochsCommitted] = e;
             s[sn::folds] = f;
@@ -818,10 +1485,14 @@ struct Server::Impl
             gets += g;
             muts += m;
             scans += sc;
+            txnC += tc;
+            txnA += ta;
             acks += a;
             epochs += e;
             folds += f;
             deadlines += d;
+            txnCommitAll.merge(w.txnCommitNs);
+            txnAbortAll.merge(w.txnAbortNs);
         }
         o[sn::gets] = gets;
         o[sn::mutations] = muts;
@@ -832,8 +1503,12 @@ struct Server::Impl
         o[sn::deadlineCommits] = deadlines;
         o[sn::mediaRepaired] = mediaRepaired;
         o[sn::mediaUnrepairable] = mediaUnrepairable;
+        o[sn::txnCommits] = txnC;
+        o[sn::txnAborts] = txnA;
         addLat(o, sn::reqParseNs, parseNs);
         addLat(o, sn::reqAckNs, ackNs);
+        addLat(o, sn::txnCommitLatNs, txnCommitAll);
+        addLat(o, sn::txnAbortLatNs, txnAbortAll);
         o["shard"] = std::move(shards);
         return JsonValue(std::move(o)).render();
     }
@@ -871,6 +1546,10 @@ struct Server::Impl
             mt.counter(promName(sn::gets), lab, rel(w.statGets));
             mt.counter(promName(sn::mutations), lab, rel(w.statMuts));
             mt.counter(promName(sn::scans), lab, rel(w.statScans));
+            mt.counter(promName(sn::txnCommits), lab,
+                       rel(w.statTxnCommits));
+            mt.counter(promName(sn::txnAborts), lab,
+                       rel(w.statTxnAborts));
             mt.gauge(promName(sn::indexEntries), lab,
                      double(w.kv->indexEntries(0)));
             mt.gauge(promName(sn::indexBytes), lab,
@@ -925,6 +1604,25 @@ struct Server::Impl
         }
         mt.histogramNs(promName(sn::reqParseNs), "", parseNs);
         mt.histogramNs(promName(sn::reqAckNs), "", ackNs);
+        // Unlabelled totals: both commit paths summed. Scrapers (and
+        // lazyper_cli top's vintage gate) key on lp_txn_commits.
+        std::uint64_t txnC =
+            statTxnCommits.load(std::memory_order_relaxed);
+        std::uint64_t txnA =
+            statTxnAborts.load(std::memory_order_relaxed);
+        obs::Histogram txnCommitAll, txnAbortAll;
+        txnCommitAll.merge(txnCommitNs);
+        txnAbortAll.merge(txnAbortNs);
+        for (const auto &wp : workers) {
+            txnC += wp->statTxnCommits.load(std::memory_order_relaxed);
+            txnA += wp->statTxnAborts.load(std::memory_order_relaxed);
+            txnCommitAll.merge(wp->txnCommitNs);
+            txnAbortAll.merge(wp->txnAbortNs);
+        }
+        mt.counter(promName(sn::txnCommits), "", double(txnC));
+        mt.counter(promName(sn::txnAborts), "", double(txnA));
+        mt.histogramNs(promName(sn::txnCommitLatNs), "", txnCommitAll);
+        mt.histogramNs(promName(sn::txnAbortLatNs), "", txnAbortAll);
         return mt.str();
     }
 
@@ -1043,6 +1741,102 @@ struct Server::Impl
                 it.tEnqNs = tEnq;
                 it.batch = ctx;
                 enqueue(routeShard(b.key, cfg.shards), std::move(it));
+            }
+            return;
+          }
+          case Op::Txn: {
+            for (const TxnOp &t : req.txn) {
+                if (t.key > store::maxUserKey) {
+                    statErrs.fetch_add(1, std::memory_order_relaxed);
+                    localReply(c, statusReply(Status::Err, req.id));
+                    return;
+                }
+            }
+            // Quarantine precheck. Unlike BATCH (per-op Fault votes)
+            // the worker-side backstop aborts the WHOLE transaction,
+            // so this mirror read just refuses early.
+            for (const TxnOp &t : req.txn) {
+                if (t.kind != TxnOp::Kind::Get &&
+                    workers[std::size_t(routeShard(
+                               t.key, cfg.shards))]
+                        ->kv->quarantined(0)) {
+                    statFaults.fetch_add(1, std::memory_order_relaxed);
+                    localReply(c, statusReply(Status::Fault, req.id));
+                    return;
+                }
+            }
+            if (c.inflight >= cfg.maxInflightPerConn) {
+                statRetries.fetch_add(1, std::memory_order_relaxed);
+                localReply(c, statusReply(Status::Retry, req.id));
+                return;
+            }
+            ++c.inflight;
+            auto ctx = std::make_shared<TxnCtx>();
+            ctx->txnid = nextTxnId++;
+            ctx->connId = c.id;
+            ctx->reqId = req.id;
+            ctx->tStartNs = obs::nowNs();
+            ctx->ops = std::move(req.txn);
+            ctx->readSlot.assign(ctx->ops.size(), -1);
+            // Split ops by shard into parts (wire order preserved
+            // within a part) and count writes for the path choice.
+            std::unordered_map<int, std::size_t> partOf;
+            std::size_t nWrites = 0;
+            for (std::size_t i = 0; i < ctx->ops.size(); ++i) {
+                const TxnOp &t = ctx->ops[i];
+                const int shard = routeShard(t.key, cfg.shards);
+                const auto [pit, fresh] =
+                    partOf.try_emplace(shard, ctx->parts.size());
+                if (fresh) {
+                    ctx->parts.emplace_back();
+                    ctx->parts.back().shard = shard;
+                }
+                TxnCtx::Part &part = ctx->parts[pit->second];
+                part.ops.push_back(std::uint32_t(i));
+                if (t.kind == TxnOp::Kind::Get) {
+                    ctx->readSlot[i] = int(ctx->reads.size());
+                    ctx->reads.emplace_back();
+                } else {
+                    part.hasWrites = true;
+                    ++nWrites;
+                }
+            }
+            // Lock plan per part: keys sorted ascending, mode = max
+            // over the part's ops on that key (ordered map dedups).
+            for (auto &part : ctx->parts) {
+                std::map<std::uint64_t, txn::LockMode> modes;
+                for (const auto opIdx : part.ops) {
+                    const TxnOp &t = ctx->ops[opIdx];
+                    txn::LockMode &m = modes[t.key];
+                    if (t.kind != TxnOp::Kind::Get)
+                        m = txn::LockMode::Write;
+                }
+                for (const auto &[key, mode] : modes) {
+                    part.lockKeys.push_back(key);
+                    part.lockModes.push_back(mode);
+                }
+            }
+            // Fast path: single shard, and the write-set fits one
+            // epoch of a batching backend (eager persists per op, so
+            // it can never make a multi-write set crash-atomic
+            // without the prepare/decision protocol).
+            ctx->fastPath =
+                ctx->parts.size() == 1 &&
+                (nWrites == 0 ||
+                 (cfg.backend != store::Backend::EagerPerOp &&
+                  nWrites <= std::size_t(cfg.batchOps)));
+            ctx->votesLeft.store(int(ctx->parts.size()),
+                                 std::memory_order_relaxed);
+            const std::uint64_t tEnq = obs::nowNs();
+            for (std::size_t i = 0; i < ctx->parts.size(); ++i) {
+                OpItem it;
+                it.kind = OpItem::Kind::Txn;
+                it.connId = c.id;
+                it.reqId = req.id;
+                it.tEnqNs = tEnq;
+                it.txn = ctx;
+                it.part = i;
+                enqueue(ctx->parts[i].shard, std::move(it));
             }
             return;
           }
@@ -1169,6 +1963,83 @@ struct Server::Impl
         }
     }
 
+    /** Collect participant votes; the last vote decides the txn. */
+    void
+    drainTxnEvents()
+    {
+        std::vector<TxnEvent> local;
+        {
+            std::lock_guard<std::mutex> g(txnMu);
+            local.swap(txnEvents);
+        }
+        for (TxnEvent &ev : local) {
+            if (ev.ctx->votesLeft.fetch_sub(
+                    1, std::memory_order_acq_rel) != 1)
+                continue;
+            finishTxn(ev.ctx);
+        }
+    }
+
+    /**
+     * Every participant voted (general path only; the fast path never
+     * posts events). Unanimous PREPARE commits; any Aborted vote
+     * aborts. Either way every part gets a follow-up op -- read-only
+     * parts included, since they hold locks to release.
+     */
+    void
+    finishTxn(const std::shared_ptr<TxnCtx> &ctx)
+    {
+        const std::uint64_t tEnq = obs::nowNs();
+        if (ctx->abortedParts.load(std::memory_order_acquire) > 0) {
+            for (std::size_t i = 0; i < ctx->parts.size(); ++i) {
+                if (!ctx->parts[i].prepared)
+                    continue;
+                OpItem it;
+                it.kind = OpItem::Kind::TxnAbort;
+                it.tEnqNs = tEnq;
+                it.txn = ctx;
+                it.part = i;
+                enqueue(ctx->parts[i].shard, std::move(it));
+            }
+            const bool faulted =
+                ctx->faulted.load(std::memory_order_acquire);
+            if (faulted)
+                statFaults.fetch_add(1, std::memory_order_relaxed);
+            statTxnAborts.fetch_add(1, std::memory_order_relaxed);
+            txnAbortNs.record(obs::nowNs() - ctx->tStartNs);
+            postReply(ctx->connId,
+                      statusReply(faulted ? Status::Fault
+                                          : Status::Aborted,
+                                  ctx->reqId));
+            return;
+        }
+        bool anyWrites = false;
+        for (const auto &part : ctx->parts)
+            if (!part.writes.empty())
+                anyWrites = true;
+        // The decision append (store + flush + fence) IS the commit:
+        // with every vote durable, the record makes the outcome
+        // recoverable, so the client reply goes out now and the
+        // applies stay lazy.
+        if (anyWrites)
+            dlog->append(txnEnv, ctx->txnid);
+        Response r;
+        r.status = Status::Ok;
+        r.id = ctx->reqId;
+        r.body = encodeTxnReadsBody(ctx->reads);
+        postReply(ctx->connId, std::move(r));
+        statTxnCommits.fetch_add(1, std::memory_order_relaxed);
+        txnCommitNs.record(obs::nowNs() - ctx->tStartNs);
+        for (std::size_t i = 0; i < ctx->parts.size(); ++i) {
+            OpItem it;
+            it.kind = OpItem::Kind::TxnApply;
+            it.tEnqNs = tEnq;
+            it.txn = ctx;
+            it.part = i;
+            enqueue(ctx->parts[i].shard, std::move(it));
+        }
+    }
+
     void
     acceptorMain()
     {
@@ -1187,6 +2058,7 @@ struct Server::Impl
                     acceptPending();
                 } else if (ud == udWake) {
                     eventfdDrain(wakeFd);
+                    drainTxnEvents();
                     drainReplies();
                 } else if (ud == udStop) {
                     eventfdDrain(stopFd);
@@ -1235,6 +2107,7 @@ struct Server::Impl
         const auto deadline = Clock::now() + std::chrono::seconds(10);
         epoll_event evs[64];
         for (;;) {
+            drainTxnEvents();
             drainReplies();
             const bool allOut =
                 workersExited.load(std::memory_order_acquire) ==
@@ -1290,6 +2163,28 @@ struct Server::Impl
         finished.store(true, std::memory_order_release);
     }
     /// @}
+
+    /**
+     * Map (or create) the coordinator's decision log and scan it.
+     * Runs on the start() thread before the acceptor spawns; the
+     * thread-creation fence publishes dlog to the acceptor, and the
+     * readiness latch orders the scan before any worker's TxnRecover.
+     */
+    void
+    openTxnLog()
+    {
+        const std::string path = cfg.dataDir + "/txnlog.lpdb";
+        struct stat st{};
+        const bool attach =
+            ::stat(path.c_str(), &st) == 0 && st.st_size > 0;
+        txnArena = std::make_unique<pmem::PersistentArena>(
+            txn::decisionLogBytes(cfg.txnDecisionEntries), path);
+        dlog = std::make_unique<txn::DecisionLog<kernels::NativeEnv>>(
+            *txnArena, cfg.txnDecisionEntries, attach);
+        if (!attach)
+            txnArena->persistAll();
+        dlogMaxTxnId = dlog->scan(txnEnv);
+    }
 
     void
     writePortFile()
@@ -1359,6 +2254,32 @@ struct Server::Impl
             recov.mediaRepaired += wp->report.mediaRepaired;
             recov.mediaUnrepairable += wp->report.mediaUnrepairable;
         }
+
+        // Transaction recovery, phase 2: the decision index must
+        // exist before any shard replays its prepare table, and both
+        // must finish before the port binds -- a request must never
+        // observe a committed-but-unapplied transaction write-set.
+        openTxnLog();
+        for (auto &wp : workers) {
+            OpItem it;
+            it.kind = OpItem::Kind::TxnRecover;
+            it.tEnqNs = obs::nowNs();
+            enqueue(wp->index, std::move(it));
+        }
+        {
+            std::unique_lock<std::mutex> lk(readyMu);
+            readyCv.wait(lk, [this] {
+                return txnReadyCount == int(workers.size());
+            });
+        }
+        std::uint64_t maxTxnSeen = dlogMaxTxnId;
+        for (const auto &wp : workers) {
+            recov.txnRolledForward += wp->txnReport.rolledForward;
+            recov.txnRolledBack += wp->txnReport.rolledBack;
+            recov.txnSkipped += wp->txnReport.skipped;
+            maxTxnSeen = std::max(maxTxnSeen, wp->txnReport.maxTxnId);
+        }
+        nextTxnId = maxTxnSeen + 1;
 
         listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
         LP_ASSERT(listenFd >= 0, "socket() failed");

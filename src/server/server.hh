@@ -86,6 +86,17 @@ struct ServerConfig
     /** Backpressure: outstanding ops allowed per connection. */
     std::uint32_t maxInflightPerConn = 256;
 
+    /**
+     * PREPARE slots per shard = cross-shard transactions a shard may
+     * have in flight (prepared or awaiting their durability-gated
+     * slot free). Exhaustion checkpoints the shard as a pressure
+     * valve before refusing with Retry.
+     */
+    std::size_t txnPrepareSlots = 128;
+
+    /** COMMIT records in the coordinator ring (dataDir/txnlog.lpdb). */
+    std::size_t txnDecisionEntries = 4096;
+
     /** Connection cap; further accepts are closed immediately. */
     int maxConns = 256;
 
@@ -132,6 +143,19 @@ struct ServerRecovery
 
     /** Proven-unrepairable faults; such shards start quarantined. */
     std::uint64_t mediaUnrepairable = 0;
+
+    /// @name Cross-shard transaction recovery (docs/txn_design.md).
+    /// @{
+
+    /** Committed-but-unapplied transactions re-applied per shard. */
+    std::uint64_t txnRolledForward = 0;
+
+    /** Prepared-but-undecided (or torn) votes discarded. */
+    std::uint64_t txnRolledBack = 0;
+
+    /** Committed transactions whose applies already survived. */
+    std::uint64_t txnSkipped = 0;
+    /// @}
 };
 
 /**

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * txn::DecisionLog -- the coordinator's persistent COMMIT record
+ * ring: the linearization and durability point of every cross-shard
+ * transaction.
+ *
+ * One 32-byte entry per committed transaction: a monotonically
+ * increasing sequence number, the transaction id, and a mix64
+ * checksum binding the two. Appending an entry (store + flush + one
+ * fence) IS the commit: before it, recovery rolls every prepared
+ * participant back; after it, recovery rolls them forward. Entries
+ * never span a 64-byte block, so a torn append fails its checksum
+ * and reads as "no decision" -- the safe answer, because the
+ * coordinator only acknowledges the client after the fence.
+ *
+ * The ring overwrites oldest-first. That is sound because a decision
+ * record only matters while some participant still holds the
+ * transaction's PREPARE slot; slots are freed once the applies are
+ * durably folded, and the ring (4096 entries by default) is sized
+ * orders of magnitude above the prepare tables' combined capacity
+ * (<= a few hundred slots), so an overwritten decision is always for
+ * a transaction no shard can still ask about.
+ *
+ * The sequence number doubles as the roll-forward order: when
+ * recovery finds several committed-but-unapplied transactions on one
+ * shard, it must re-apply them in decision order (= commit order,
+ * since a later transaction can only have touched the same key after
+ * the earlier one's locks were released, which happens after its
+ * decision).
+ *
+ * Volatile side: a txnid -> seq index for O(1) decision lookups,
+ * rebuilt by scan() after attach or crash.
+ *
+ * Concurrency: owned by the coordinator (the server acceptor, or the
+ * embedded TxnKv); nothing else touches it.
+ */
+
+#ifndef LP_TXN_DECISION_LOG_HH
+#define LP_TXN_DECISION_LOG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "pmem/arena.hh"
+#include "repair/repair.hh"
+
+namespace lp::txn
+{
+
+/** One COMMIT record. 32 bytes: two per cache block, never torn
+ *  across blocks. */
+struct DecisionEntry
+{
+    std::uint64_t seq;    ///< 1-based, monotonic; 0 = never written
+    std::uint64_t txnid;
+    std::uint64_t check;  ///< binds seq+txnid; mismatch = no decision
+    std::uint64_t pad;
+};
+
+static_assert(sizeof(DecisionEntry) == 32, "entry layout drifted");
+
+inline constexpr std::uint64_t kDecisionSalt = 0xd6e8feb86659fd93ull;
+
+/** Bytes a DecisionLog of @p entries consumes from its arena. */
+inline std::size_t
+decisionLogBytes(std::size_t entries)
+{
+    return entries * sizeof(DecisionEntry) + 64;
+}
+
+/**
+ * The volatile decision index handed to shard workers during
+ * recovery: txnid -> decision sequence number. Read-only once built
+ * (ownership transfer through the worker queues synchronizes).
+ */
+struct DecisionIndex
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> seqOf;
+
+    bool
+    committed(std::uint64_t txnid) const
+    {
+        return seqOf.find(txnid) != seqOf.end();
+    }
+};
+
+template <typename Env>
+class DecisionLog
+{
+  public:
+    /**
+     * Allocate a ring of @p entries from @p arena. With @p attach
+     * false the ring is formatted empty via plain writes (caller
+     * persists); with @p attach true call scan() to rebuild the
+     * volatile index before use.
+     */
+    DecisionLog(pmem::PersistentArena &arena, std::size_t entries,
+                bool attach)
+        : ring_(arena.alloc<DecisionEntry>(entries)), cap_(entries)
+    {
+        LP_ASSERT(cap_ >= 2, "decision ring too small");
+        if (!attach) {
+            for (std::size_t i = 0; i < cap_; ++i) {
+                ring_[i].seq = 0;
+                ring_[i].check = 0;
+            }
+        }
+    }
+
+    std::size_t capacity() const { return cap_; }
+
+    /**
+     * Rebuild head/index from the durable image (attach and
+     * post-crash recovery). Returns the largest txnid seen, for
+     * seeding the id counter.
+     */
+    std::uint64_t
+    scan(Env &env)
+    {
+        index_.seqOf.clear();
+        nextSeq_ = 1;
+        std::uint64_t maxId = 0;
+        for (std::size_t i = 0; i < cap_; ++i) {
+            const std::uint64_t seq = env.ld(&ring_[i].seq);
+            const std::uint64_t id = env.ld(&ring_[i].txnid);
+            if (seq == 0 ||
+                env.ld(&ring_[i].check) != entryCheck(seq, id))
+                continue;  // empty or torn: no decision here
+            index_.seqOf[id] = seq;
+            if (seq >= nextSeq_)
+                nextSeq_ = seq + 1;
+            if (id > maxId)
+                maxId = id;
+        }
+        return maxId;
+    }
+
+    /**
+     * Durably commit @p txnid. Returns the decision sequence number.
+     * This is the transaction's durability point: flush + fence
+     * complete before this returns.
+     */
+    std::uint64_t
+    append(Env &env, std::uint64_t txnid)
+    {
+        LP_ASSERT(txnid != 0, "txnid 0 is reserved");
+        const std::uint64_t seq = nextSeq_++;
+        DecisionEntry &e = ring_[(seq - 1) % cap_];
+        // Drop the overwritten entry from the volatile index.
+        const std::uint64_t oldSeq = e.seq;
+        const std::uint64_t oldId = e.txnid;
+        if (oldSeq != 0) {
+            const auto it = index_.seqOf.find(oldId);
+            if (it != index_.seqOf.end() && it->second == oldSeq)
+                index_.seqOf.erase(it);
+        }
+        env.st(&e.txnid, txnid);
+        env.st(&e.check, entryCheck(seq, txnid));
+        env.st(&e.seq, seq);
+        env.clflushopt(&e);
+        env.sfence();
+        index_.seqOf[txnid] = seq;
+        return seq;
+    }
+
+    const DecisionIndex &index() const { return index_; }
+
+    bool
+    committed(std::uint64_t txnid) const
+    {
+        return index_.committed(txnid);
+    }
+
+  private:
+    static std::uint64_t
+    entryCheck(std::uint64_t seq, std::uint64_t txnid)
+    {
+        const std::uint64_t h =
+            repair::mix64(seq ^ repair::mix64(txnid ^ kDecisionSalt));
+        return h ? h : 1;
+    }
+
+    DecisionEntry *ring_;
+    std::size_t cap_;
+    std::uint64_t nextSeq_ = 1;
+    DecisionIndex index_;
+};
+
+} // namespace lp::txn
+
+#endif // LP_TXN_DECISION_LOG_HH

@@ -425,14 +425,18 @@ TEST(ServerProtocol, UnknownResponseStatusIsMalformed)
     EXPECT_EQ(decodeResponse(buf.data(), buf.size(), used, out),
               Decode::Malformed);
 
-    // Status::Fault (4) is the last known status: exactly 4 decodes,
-    // 5 is Malformed -- an old client against a new server fails
-    // loudly rather than misreading a quarantine reply.
+    // Status::Aborted (5) is the last known status: exactly 5
+    // decodes, 6 is Malformed -- an old client against a new server
+    // fails loudly rather than misreading an abort reply.
     buf[4] = 4;
     ASSERT_EQ(decodeResponse(buf.data(), buf.size(), used, out),
               Decode::Ok);
     EXPECT_EQ(out.status, Status::Fault);
     buf[4] = 5;
+    ASSERT_EQ(decodeResponse(buf.data(), buf.size(), used, out),
+              Decode::Ok);
+    EXPECT_EQ(out.status, Status::Aborted);
+    buf[4] = 6;
     EXPECT_EQ(decodeResponse(buf.data(), buf.size(), used, out),
               Decode::Malformed);
 }
@@ -451,7 +455,7 @@ TEST(ServerProtocol, GarbageNeverCrashesOrOverReads)
         // Bias some trials toward near-valid frames.
         if (n >= 5 && trial % 3 == 0) {
             setLen(raw, std::uint32_t(rng() % 40));
-            raw[4] = std::uint8_t(rng() % 9);  // incl. Op::Scan
+            raw[4] = std::uint8_t(rng() % 10);  // incl. Op::Txn
         }
         auto slice = std::make_unique<std::uint8_t[]>(n ? n : 1);
         if (n > 0)
@@ -477,6 +481,7 @@ TEST(ServerProtocol, StatusNames)
     EXPECT_EQ(statusName(Status::Retry), "retry");
     EXPECT_EQ(statusName(Status::Err), "err");
     EXPECT_EQ(statusName(Status::Fault), "fault");
+    EXPECT_EQ(statusName(Status::Aborted), "aborted");
 }
 
 TEST(ServerProtocol, RetryBackoffIsBoundedAndJittered)
@@ -513,4 +518,193 @@ TEST(ServerProtocol, RetryBackoffIsBoundedAndJittered)
     zero.capDelayUs = 0;
     std::uint64_t s = 7;
     EXPECT_EQ(retryDelayUs(zero, 3, s), 0u);
+}
+
+TEST(ServerProtocol, TxnRequestRoundTripsAllSubOps)
+{
+    Request in;
+    in.op = Op::Txn;
+    in.id = 0x1122334455667788ull;
+    in.txn.push_back({TxnOp::Kind::Get, 10, 0});
+    in.txn.push_back({TxnOp::Kind::Put, 11, 0xdeadbeefull});
+    in.txn.push_back({TxnOp::Kind::Del, 12, 0});
+    in.txn.push_back({TxnOp::Kind::Add, 13, ~0ull});  // wrapping -1
+    in.txn.push_back({TxnOp::Kind::Get, 10, 0});      // dup key is a
+                                                      // codec no-op
+
+    const auto buf = enc(in);
+    // Frame: u32 len + u8 op + u64 id + u32 n + ops, where GET/DEL
+    // entries are 9 bytes and PUT/ADD entries are 17.
+    EXPECT_EQ(buf.size(), 4u + 1 + 8 + 4 + 3 * 9 + 2 * 17);
+
+    Request out;
+    std::size_t used = 0;
+    ASSERT_EQ(decodeRequest(buf.data(), buf.size(), used, out),
+              Decode::Ok);
+    EXPECT_EQ(used, buf.size());
+    EXPECT_EQ(out.op, Op::Txn);
+    EXPECT_EQ(out.id, in.id);
+    ASSERT_EQ(out.txn.size(), in.txn.size());
+    for (std::size_t i = 0; i < in.txn.size(); ++i) {
+        EXPECT_EQ(out.txn[i].kind, in.txn[i].kind) << "op " << i;
+        EXPECT_EQ(out.txn[i].key, in.txn[i].key) << "op " << i;
+        if (in.txn[i].kind == TxnOp::Kind::Put ||
+            in.txn[i].kind == TxnOp::Kind::Add) {
+            EXPECT_EQ(out.txn[i].value, in.txn[i].value) << "op " << i;
+        }
+    }
+
+    // Exactly the op-count cap is legal.
+    Request capped;
+    capped.op = Op::Txn;
+    capped.id = 3;
+    for (std::size_t i = 0; i < maxTxnOps; ++i)
+        capped.txn.push_back({TxnOp::Kind::Add, i, i});
+    const auto cbuf = enc(capped);
+    ASSERT_EQ(decodeRequest(cbuf.data(), cbuf.size(), used, out),
+              Decode::Ok);
+    EXPECT_EQ(out.txn.size(), maxTxnOps);
+}
+
+TEST(ServerProtocol, TxnEveryTruncationIsNeedMore)
+{
+    Request in;
+    in.op = Op::Txn;
+    in.id = 9;
+    in.txn.push_back({TxnOp::Kind::Put, 1, 2});
+    in.txn.push_back({TxnOp::Kind::Get, 3, 0});
+    in.txn.push_back({TxnOp::Kind::Add, 4, 5});
+    const auto buf = enc(in);
+
+    // Every proper prefix is an honest partial read, never Malformed:
+    // the length field promises more bytes and the decoder must wait
+    // for them before judging the interior shape.
+    for (std::size_t n = 0; n < buf.size(); ++n) {
+        Request out;
+        std::size_t used = 0;
+        EXPECT_EQ(decodeRequest(buf.data(), n, used, out),
+                  Decode::NeedMore)
+            << "prefix " << n;
+    }
+}
+
+TEST(ServerProtocol, TxnShapeViolationsAreMalformed)
+{
+    Request in;
+    in.op = Op::Txn;
+    in.id = 5;
+    in.txn.push_back({TxnOp::Kind::Put, 1, 2});
+    in.txn.push_back({TxnOp::Kind::Get, 3, 0});
+    const auto good = enc(in);
+    Request out;
+    std::size_t used = 0;
+    ASSERT_EQ(decodeRequest(good.data(), good.size(), used, out),
+              Decode::Ok);
+
+    // The op-count field lives at byte offset 13 (after len, op, id).
+    const std::size_t countOff = 13;
+
+    {
+        // Count claims one more op than the body holds.
+        auto bad = good;
+        bad[countOff] = 3;
+        EXPECT_EQ(decodeRequest(bad.data(), bad.size(), used, out),
+                  Decode::Malformed);
+    }
+    {
+        // Count claims fewer ops than the body holds (trailing bytes
+        // inside the frame).
+        auto bad = good;
+        bad[countOff] = 1;
+        EXPECT_EQ(decodeRequest(bad.data(), bad.size(), used, out),
+                  Decode::Malformed);
+    }
+    {
+        // A zero-op transaction is meaningless; reject it outright
+        // rather than inventing an empty commit.
+        auto bad = good;
+        bad[countOff] = 0;
+        EXPECT_EQ(decodeRequest(bad.data(), bad.size(), used, out),
+                  Decode::Malformed);
+    }
+    {
+        // Count beyond the cap is rejected from the count field alone
+        // -- even though this frame's length could never hold it.
+        auto bad = good;
+        bad[countOff] = std::uint8_t(maxTxnOps + 1);
+        EXPECT_EQ(decodeRequest(bad.data(), bad.size(), used, out),
+                  Decode::Malformed);
+    }
+    {
+        // Unknown sub-op kind byte (first op's kind is at offset 17).
+        auto bad = good;
+        bad[17] = 0;
+        EXPECT_EQ(decodeRequest(bad.data(), bad.size(), used, out),
+                  Decode::Malformed);
+        bad[17] = 5;
+        EXPECT_EQ(decodeRequest(bad.data(), bad.size(), used, out),
+                  Decode::Malformed);
+    }
+    {
+        // Trailing garbage covered by the length field.
+        auto bad = good;
+        bad.push_back(0xab);
+        setLen(bad, std::uint32_t(bad.size() - 4));
+        EXPECT_EQ(decodeRequest(bad.data(), bad.size(), used, out),
+                  Decode::Malformed);
+    }
+    {
+        // Length too short to even hold the count field.
+        auto bad = good;
+        setLen(bad, 1 + 8 + 2);
+        EXPECT_EQ(decodeRequest(bad.data(), bad.size(), used, out),
+                  Decode::Malformed);
+    }
+}
+
+TEST(ServerProtocol, TxnReadsBodyCodecRoundTripsAndRejectsCorruption)
+{
+    std::vector<TxnRead> in;
+    for (std::uint64_t i = 0; i < 7; ++i)
+        in.push_back(TxnRead{i % 2 == 0, i * 1000003});
+
+    const std::string body = encodeTxnReadsBody(in);
+    EXPECT_EQ(body.size(), 4 + 9 * in.size());
+    std::vector<TxnRead> out;
+    ASSERT_TRUE(decodeTxnReadsBody(body, out));
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ(out[i].found, in[i].found);
+        if (in[i].found) {
+            EXPECT_EQ(out[i].value, in[i].value);
+        }
+    }
+
+    // A read-only-free transaction has an empty (but present,
+    // 4-byte) body; it can never be 8 bytes, so it never collides
+    // with the GET value frame shape.
+    const std::string empty = encodeTxnReadsBody({});
+    EXPECT_EQ(empty.size(), 4u);
+    ASSERT_TRUE(decodeTxnReadsBody(empty, out));
+    EXPECT_TRUE(out.empty());
+
+    // Corruptions mirror the SCAN body contract: truncated header,
+    // count/size mismatch, trailing garbage, dirty found byte, count
+    // beyond the cap.
+    EXPECT_FALSE(decodeTxnReadsBody("", out));
+    EXPECT_FALSE(decodeTxnReadsBody(body.substr(0, 3), out));
+    EXPECT_FALSE(
+        decodeTxnReadsBody(body.substr(0, body.size() - 1), out));
+    EXPECT_FALSE(decodeTxnReadsBody(body + "x", out));
+    {
+        std::string dirty = body;
+        dirty[4] = 2;  // found must be exactly 0 or 1
+        EXPECT_FALSE(decodeTxnReadsBody(dirty, out));
+    }
+    {
+        std::string big = body;
+        big[0] = char(maxTxnOps + 1);
+        big[1] = 0;
+        EXPECT_FALSE(decodeTxnReadsBody(big, out));
+    }
 }

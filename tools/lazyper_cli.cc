@@ -528,6 +528,29 @@ runTopCommand(int argc, char **argv)
                     scalar(snap, "lp_errors"),
                     frame == 0 ? "totals since start"
                                : "per-second rates");
+        // Transaction line only when the server exports the TXN
+        // counters (same vintage discipline as the scan/repair
+        // columns below; the gate keys on lp_txn_commits). The
+        // counters are unlabelled totals -- a transaction spans
+        // shards -- so they get a summary line, not per-shard
+        // columns. Abort rate is per interval: aborts over decided
+        // transactions, the wait-die pressure gauge.
+        if (snap.find("lp_txn_commits") != snap.end()) {
+            const double tc = scalar(d, "lp_txn_commits");
+            const double ta = scalar(d, "lp_txn_aborts");
+            const double decided = tc + ta;
+            std::printf("txn: commit/s=%.0f abort/s=%.0f "
+                        "abort-rate=%.1f%% commit p99=%.1fus\n",
+                        tc / secs, ta / secs,
+                        decided == 0.0 ? 0.0
+                                       : 100.0 * ta / decided,
+                        obs::quantileFromBuckets(
+                            bucketSeries(d,
+                                         "lp_txn_commit_lat_seconds",
+                                         ""),
+                            0.99) *
+                            1e6);
+        }
         // Scan/index columns only when the server exports them:
         // against an older server without SCAN support the keys are
         // simply absent and the table keeps its classic shape (no

@@ -27,6 +27,23 @@ Media-fault options (the fault-inject-smoke CI job):
   zero unrepairable faults; --min-scrub-passes N requires the online
   scrub walker to have completed N full passes.
 
+Transaction options (the txn-crash-smoke CI job):
+
+  --txn-accounts N switches to bank-transfer mode (the standard
+  PUT/GET rounds are skipped): N account keys live at a reserved
+  base.  --txn-init seeds each account with balance 1000 inside TXN
+  frames.  --txn-transfers M issues M random transfers, each a
+  single TXN of two Add sub-ops (two's-complement debit + credit),
+  retrying wait-die Aborted outcomes with jittered backoff; every
+  8th transfer also carries a Get sub-op and validates the reads
+  body shape.  --txn-verify-sum GETs every account and requires the
+  balance sum (mod 2^64) to equal accounts * 1000 -- transfers
+  conserve money, so any other sum means a half-applied
+  transaction.  --txn-expect-kill makes a vanishing server DURING
+  the transfer phase a success (exit 0): the harness is about to
+  SIGKILL the server mid-commit and a later invocation with
+  --txn-verify-sum proves atomicity across the crash.
+
 The port is read from --port, or from the DATA_DIR/PORT file the
 server publishes (--data-dir).
 
@@ -34,6 +51,7 @@ Exit status: 0 on success, 1 on any protocol or invariant violation.
 """
 
 import argparse
+import random
 import socket
 import struct
 import sys
@@ -45,9 +63,21 @@ OP_DEL = 3
 OP_STATS = 5
 OP_SHUTDOWN = 6
 OP_METRICS = 7
+OP_TXN = 9
 
 ST_OK = 0
 ST_RETRY = 2
+ST_ABORTED = 5
+
+TXN_GET = 1
+TXN_PUT = 2
+TXN_DEL = 3
+TXN_ADD = 4
+
+# Account keys for bank-transfer mode; far above both the round-1
+# keys (0..records) and the 1_000_000 sentinel range.
+TXN_ACCOUNT_BASE = 2_000_000
+TXN_INIT_BALANCE = 1000
 
 _next_id = 0
 
@@ -57,6 +87,14 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+class ServerGone(Exception):
+    """The server closed the connection (or the socket errored).
+
+    Fatal everywhere except the --txn-expect-kill transfer phase,
+    where the harness killing the server mid-commit is the point.
+    """
+
+
 def fresh_id() -> int:
     global _next_id
     _next_id += 1
@@ -64,15 +102,21 @@ def fresh_id() -> int:
 
 
 def send_frame(sock: socket.socket, payload: bytes) -> None:
-    sock.sendall(struct.pack("<I", len(payload)) + payload)
+    try:
+        sock.sendall(struct.pack("<I", len(payload)) + payload)
+    except OSError as e:
+        raise ServerGone(f"send failed: {e}") from e
 
 
 def recv_exact(sock: socket.socket, n: int) -> bytes:
     buf = b""
     while len(buf) < n:
-        chunk = sock.recv(n - len(buf))
+        try:
+            chunk = sock.recv(n - len(buf))
+        except OSError as e:
+            raise ServerGone(f"recv failed: {e}") from e
         if not chunk:
-            fail("server closed the connection mid-frame")
+            raise ServerGone("server closed the connection mid-frame")
         buf += chunk
     return buf
 
@@ -116,6 +160,118 @@ def op_get(sock, key: int) -> int:
     if st != ST_OK or got != rid or value is None:
         fail(f"GET({key}) -> status {st}, value {value}")
     return value
+
+
+def op_txn(sock, subs):
+    """Issue one TXN of (kind, key, value) sub-ops.
+
+    Retries Retry (backpressure) transparently; returns
+    (status, reads) where status is ST_OK or ST_ABORTED and reads
+    is the decoded [(found, value), ...] body of a committed
+    transaction (empty unless it had Get sub-ops).
+    """
+    rid = fresh_id()
+    payload = struct.pack("<BQI", OP_TXN, rid, len(subs))
+    for kind, key, value in subs:
+        if kind in (TXN_PUT, TXN_ADD):
+            payload += struct.pack("<BQQ", kind, key, value)
+        else:
+            payload += struct.pack("<BQ", kind, key)
+    while True:
+        st, got, _, body = rpc(sock, payload)
+        if st == ST_RETRY:
+            time.sleep(0.005)
+            continue
+        if got != rid:
+            fail(f"TXN -> id {got}, want {rid}")
+        if st == ST_ABORTED:
+            return st, []
+        if st != ST_OK:
+            fail(f"TXN -> status {st}")
+        n_gets = sum(1 for k, _, _ in subs if k == TXN_GET)
+        if len(body) != 4 + 9 * n_gets:
+            fail(f"TXN reads body is {len(body)} bytes, want "
+                 f"{4 + 9 * n_gets} for {n_gets} gets")
+        (count,) = struct.unpack_from("<I", body, 0)
+        if count != n_gets:
+            fail(f"TXN reads count {count}, want {n_gets}")
+        reads = []
+        for i in range(count):
+            found, value = struct.unpack_from("<BQ", body, 4 + 9 * i)
+            if found not in (0, 1):
+                fail(f"TXN read #{i} has found byte {found}")
+            reads.append((bool(found), value))
+        return st, reads
+
+
+def txn_init_accounts(sock, accounts: int) -> None:
+    # Seed balances through the TXN path itself (Put sub-ops), a few
+    # accounts per transaction, so init also exercises commit.
+    k = 0
+    while k < accounts:
+        subs = [
+            (TXN_PUT, TXN_ACCOUNT_BASE + j, TXN_INIT_BALANCE)
+            for j in range(k, min(k + 8, accounts))
+        ]
+        st, _ = op_txn(sock, subs)
+        if st != ST_OK:
+            fail(f"init TXN for accounts {k}.. -> status {st}")
+        k += len(subs)
+
+
+def txn_run_transfers(sock, accounts: int, n: int,
+                      expect_kill: bool) -> None:
+    rng = random.Random(0x5EED)
+    commits = aborts = 0
+    try:
+        for i in range(n):
+            src = rng.randrange(accounts)
+            dst = rng.randrange(accounts)
+            while dst == src:
+                dst = rng.randrange(accounts)
+            amt = rng.randrange(1, 11)
+            debit = (1 << 64) - amt  # two's-complement -amt
+            subs = [
+                (TXN_ADD, TXN_ACCOUNT_BASE + src, debit),
+                (TXN_ADD, TXN_ACCOUNT_BASE + dst, amt),
+            ]
+            if i % 8 == 0:  # exercise the reads body too
+                subs.insert(0, (TXN_GET, TXN_ACCOUNT_BASE + src, 0))
+            while True:
+                st, reads = op_txn(sock, subs)
+                if st == ST_OK:
+                    commits += 1
+                    if i % 8 == 0 and not reads[0][0]:
+                        fail(f"TXN get of account {src} found "
+                             "nothing (init lost?)")
+                    break
+                aborts += 1  # wait-die loser: back off, retry
+                time.sleep(rng.uniform(0.0, 0.002))
+    except ServerGone as e:
+        if not expect_kill:
+            fail(f"server vanished during transfers: {e}")
+        print(f"smoke_load: OK: server gone after {commits} commits,"
+              f" {aborts} aborts -- expected (crash injection)")
+        sys.exit(0)
+    if expect_kill:
+        fail(f"finished all {n} transfers but the server was never "
+             "killed; raise --txn-transfers so the harness can catch "
+             "it mid-commit")
+    print(f"smoke_load: transfers: {commits} commits, "
+          f"{aborts} wait-die aborts")
+
+
+def txn_verify_sum(sock, accounts: int) -> None:
+    total = 0
+    for k in range(accounts):
+        total = (total + op_get(sock, TXN_ACCOUNT_BASE + k)) \
+            % (1 << 64)
+    want = (accounts * TXN_INIT_BALANCE) % (1 << 64)
+    if total != want:
+        fail(f"balance sum {total} != {want}: a transfer was "
+             "half-applied (atomicity violation)")
+    print(f"smoke_load: OK: {accounts} balances sum to {want} "
+          "(money conserved)")
 
 
 def scrape(sock) -> dict:
@@ -217,11 +373,47 @@ def main() -> None:
                          "media_unrepairable == 0 in METRICS")
     ap.add_argument("--min-scrub-passes", type=int, default=0,
                     help="require this many completed scrub passes")
+    ap.add_argument("--txn-accounts", type=int, default=0,
+                    help="bank-transfer mode over this many accounts "
+                         "(skips the standard PUT/GET rounds)")
+    ap.add_argument("--txn-init", action="store_true",
+                    help="seed every account with balance 1000")
+    ap.add_argument("--txn-transfers", type=int, default=0,
+                    help="issue this many random TXN transfers")
+    ap.add_argument("--txn-verify-sum", action="store_true",
+                    help="require the balance sum to still equal "
+                         "accounts * 1000 (conservation)")
+    ap.add_argument("--txn-expect-kill", action="store_true",
+                    help="treat the server dying mid-transfer as "
+                         "success (crash-injection harness)")
     args = ap.parse_args()
 
     port = args.port or read_port(args.data_dir, 30.0)
     sock = socket.create_connection((args.host, port), timeout=30.0)
     sock.settimeout(30.0)
+
+    if args.txn_accounts > 0:
+        if args.txn_init:
+            txn_init_accounts(sock, args.txn_accounts)
+        if args.txn_transfers > 0:
+            txn_run_transfers(sock, args.txn_accounts,
+                              args.txn_transfers,
+                              args.txn_expect_kill)
+        if args.txn_verify_sum:
+            txn_verify_sum(sock, args.txn_accounts)
+        snap = scrape(sock)
+        if args.txn_transfers > 0 and \
+                snap.get("lp_txn_commits", 0) < 1:
+            fail("lp_txn_commits missing or zero after transfers")
+        if args.shutdown:
+            rid = fresh_id()
+            st, got, _, _ = rpc(
+                sock, struct.pack("<BQ", OP_SHUTDOWN, rid)
+            )
+            if st != ST_OK or got != rid:
+                fail(f"SHUTDOWN -> status {st}")
+        sock.close()
+        return
 
     # Data survival across a restart: the previous run's round-2 keys
     # have deterministic values, so corruption that recovery failed to
@@ -296,4 +488,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    try:
+        main()
+    except ServerGone as e:
+        fail(str(e))
