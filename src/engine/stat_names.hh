@@ -148,6 +148,25 @@ inline constexpr const char *quarantined = "quarantined";
 inline constexpr const char *scrubLatNs = "scrub_lat_ns";
 /// @}
 
+/// @name Connection-datapath counters (lp::net, server acceptor).
+/// @{
+
+/** Open client connections on the acceptor's event loop (gauge). */
+inline constexpr const char *connActive = "conn_active";
+
+/** Bytes queued in per-connection outbufs, unsent (gauge). */
+inline constexpr const char *outbufBytes = "outbuf_bytes";
+
+/**
+ * iovecs per gathered writev(2) call. Histogram machinery like
+ * scan_len: the samples are counts, not nanoseconds.
+ */
+inline constexpr const char *writevBatch = "writev_batch";
+
+/** read/writev calls that hit EAGAIN (socket saturation). */
+inline constexpr const char *eagainTotal = "eagain_total";
+/// @}
+
 } // namespace lp::engine::statname
 
 #endif // LP_ENGINE_STAT_NAMES_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * net::FrameCursor -- an incremental byte-stream window for
+ * length-prefixed frame decoding, shared by the server's connections
+ * and the client.
+ *
+ * A non-blocking socket hands back arbitrary byte slices: half a
+ * frame, three frames and a prefix, one byte. The cursor accumulates
+ * them in a single reusable buffer and exposes the unconsumed window
+ * as a contiguous [data(), data()+size()) span that the protocol
+ * decoders (server/protocol.hh) parse directly -- decode, consume(),
+ * repeat until the decoder reports NeedMore.
+ *
+ * Allocation discipline: the buffer grows to the connection's
+ * steady-state frame footprint and is then reused forever -- append
+ * compacts the consumed prefix in place (memmove, no realloc) before
+ * growing, so thousands of concurrent connections parse without
+ * per-op allocation. This matters for the open-loop load generator
+ * as much as for the server: both ends run the same cursor.
+ *
+ * Single-threaded by design: one cursor belongs to one connection on
+ * one thread.
+ */
+
+#ifndef LP_NET_FRAME_CURSOR_HH
+#define LP_NET_FRAME_CURSOR_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace lp::net
+{
+
+class FrameCursor
+{
+  public:
+    /** The unconsumed window (contiguous; valid until append()). */
+    const std::uint8_t *
+    data() const
+    {
+        return buf_.data() + begin_;
+    }
+
+    /** Bytes in the unconsumed window. */
+    std::size_t
+    size() const
+    {
+        return end_ - begin_;
+    }
+
+    bool
+    empty() const
+    {
+        return begin_ == end_;
+    }
+
+    /** Drop @p n bytes from the front (a decoded frame). */
+    void
+    consume(std::size_t n)
+    {
+        begin_ += n;
+        if (begin_ == end_)
+            begin_ = end_ = 0;  // cheap reset: window is empty
+    }
+
+    /** Append @p n raw socket bytes to the window. */
+    void
+    append(const std::uint8_t *p, std::size_t n)
+    {
+        reserve(n);
+        std::memcpy(buf_.data() + end_, p, n);
+        end_ += n;
+    }
+
+    /**
+     * Direct-read variant: make room for @p n more bytes and return
+     * the write position, so a read(2)/recv(2) can land bytes in the
+     * cursor without an intermediate copy. Follow with commit().
+     */
+    std::uint8_t *
+    writePtr(std::size_t n)
+    {
+        reserve(n);
+        return buf_.data() + end_;
+    }
+
+    /** Account @p n bytes a read deposited at writePtr(). */
+    void
+    commit(std::size_t n)
+    {
+        end_ += n;
+    }
+
+    /** Discard everything (connection reset). Keeps the capacity. */
+    void
+    clear()
+    {
+        begin_ = end_ = 0;
+    }
+
+    /** Current buffer capacity (tests pin the no-realloc contract). */
+    std::size_t
+    capacity() const
+    {
+        return buf_.size();
+    }
+
+  private:
+    /** Ensure room for @p n more bytes: compact first, grow last. */
+    void
+    reserve(std::size_t n)
+    {
+        if (buf_.size() - end_ >= n)
+            return;
+        // Compact the consumed prefix before considering growth; in
+        // steady state this is the whole story and the buffer never
+        // reallocates again.
+        if (begin_ > 0) {
+            std::memmove(buf_.data(), buf_.data() + begin_,
+                         end_ - begin_);
+            end_ -= begin_;
+            begin_ = 0;
+        }
+        if (buf_.size() - end_ < n)
+            buf_.resize(end_ + n < kMinCapacity ? kMinCapacity
+                                                : end_ + n);
+    }
+
+    static constexpr std::size_t kMinCapacity = 4096;
+
+    std::vector<std::uint8_t> buf_;
+    std::size_t begin_ = 0;  ///< consumed prefix
+    std::size_t end_ = 0;    ///< filled length
+};
+
+} // namespace lp::net
+
+#endif // LP_NET_FRAME_CURSOR_HH

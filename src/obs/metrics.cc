@@ -72,9 +72,9 @@ MetricsText::gauge(const std::string &name, const std::string &labels,
 }
 
 void
-MetricsText::histogramNs(const std::string &name,
-                         const std::string &labels,
-                         const Histogram &h)
+MetricsText::histogramScaled(const std::string &name,
+                             const std::string &labels,
+                             const Histogram &h, double scale)
 {
     typeLine(name, "histogram");
     const std::uint64_t total = h.count();
@@ -92,15 +92,31 @@ MetricsText::histogramNs(const std::string &name,
             cum += h.bucketCount(i++);
         char le[48];
         std::snprintf(le, sizeof(le), "le=\"%.10g\"",
-                      double(std::uint64_t(1) << k) / 1e9);
+                      double(std::uint64_t(1) << k) * scale);
         sample(name + "_bucket", joinLabels(labels, le), double(cum));
         if (cum >= tracked)
             break;
     }
     sample(name + "_bucket", joinLabels(labels, "le=\"+Inf\""),
            double(total));
-    sample(name + "_sum", labels, double(h.sum()) / 1e9);
+    sample(name + "_sum", labels, double(h.sum()) * scale);
     sample(name + "_count", labels, double(total));
+}
+
+void
+MetricsText::histogramNs(const std::string &name,
+                         const std::string &labels,
+                         const Histogram &h)
+{
+    histogramScaled(name, labels, h, 1e-9);
+}
+
+void
+MetricsText::histogramRaw(const std::string &name,
+                          const std::string &labels,
+                          const Histogram &h)
+{
+    histogramScaled(name, labels, h, 1.0);
 }
 
 bool

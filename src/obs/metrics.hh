@@ -41,9 +41,20 @@ class MetricsText
     void histogramNs(const std::string &name,
                      const std::string &labels, const Histogram &h);
 
+    /**
+     * Like histogramNs but for unitless samples (iovec counts,
+     * record counts): le bounds and _sum stay in the recorded
+     * units instead of being scaled to seconds.
+     */
+    void histogramRaw(const std::string &name,
+                      const std::string &labels, const Histogram &h);
+
     const std::string &str() const { return out_; }
 
   private:
+    void histogramScaled(const std::string &name,
+                         const std::string &labels,
+                         const Histogram &h, double scale);
     void typeLine(const std::string &name, const char *type);
     void sample(const std::string &name, const std::string &labels,
                 double v);

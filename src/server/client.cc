@@ -3,10 +3,12 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstdio>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -42,7 +44,7 @@ Client::~Client()
 }
 
 bool
-Client::connectTo(const std::string &host, int port)
+Client::connectTo(const std::string &host, int port, int timeoutMs)
 {
     close();
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -51,12 +53,68 @@ Client::connectTo(const std::string &host, int port)
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(std::uint16_t(port));
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-        ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
         close();
         return false;
     }
+    if (timeoutMs <= 0) {
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            close();
+            return false;
+        }
+        const int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        return true;
+    }
+
+    // Bounded handshake: connect non-blocking, poll for writability,
+    // then read the verdict out of SO_ERROR (the connect(2) idiom --
+    // POLLOUT alone also fires on refusal).
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+        close();
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (errno != EINPROGRESS) {
+            close();
+            return false;
+        }
+        pollfd pf{fd_, POLLOUT, 0};
+        int pr;
+        do {
+            pr = ::poll(&pf, 1, timeoutMs);
+        } while (pr < 0 && errno == EINTR);
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        if (pr <= 0 ||
+            ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) !=
+                0 ||
+            soerr != 0) {
+            close();
+            return false;
+        }
+    }
+    if (::fcntl(fd_, F_SETFL, flags) != 0) {  // back to blocking
+        close();
+        return false;
+    }
+
+    // Default I/O bound: a wedged server turns reads/writes into
+    // clean failures instead of hangs, even with timeoutMs = -1 at
+    // the recvResponse() layer.
+    timeval tv{};
+    tv.tv_sec = timeoutMs / 1000;
+    tv.tv_usec = long(timeoutMs % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    // poll(2) ignores SO_RCVTIMEO, so recvResponse() must apply the
+    // same bound itself when called with timeoutMs = -1.
+    readTimeoutMs_ = timeoutMs;
     const int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return true;
@@ -69,8 +127,8 @@ Client::close()
         ::close(fd_);
         fd_ = -1;
     }
+    readTimeoutMs_ = -1;
     in_.clear();
-    inAt_ = 0;
 }
 
 bool
@@ -100,6 +158,8 @@ Client::recvResponse(int timeoutMs)
 {
     if (fd_ < 0)
         return std::nullopt;
+    if (timeoutMs < 0)
+        timeoutMs = readTimeoutMs_;  // connectTo's read deadline
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(timeoutMs < 0 ? 0 : timeoutMs);
@@ -107,14 +167,10 @@ Client::recvResponse(int timeoutMs)
         // Try to decode from what we already have.
         Response resp;
         std::size_t used = 0;
-        const Decode d = decodeResponse(in_.data() + inAt_,
-                                        in_.size() - inAt_, used, resp);
+        const Decode d =
+            decodeResponse(in_.data(), in_.size(), used, resp);
         if (d == Decode::Ok) {
-            inAt_ += used;
-            if (inAt_ == in_.size()) {
-                in_.clear();
-                inAt_ = 0;
-            }
+            in_.consume(used);
             return resp;
         }
         if (d == Decode::Malformed) {
@@ -143,20 +199,18 @@ Client::recvResponse(int timeoutMs)
             close();
             return std::nullopt;
         }
-        std::uint8_t buf[64 * 1024];
-        const ssize_t n = ::read(fd_, buf, sizeof(buf));
+        const ssize_t n =
+            ::read(fd_, in_.writePtr(64 * 1024), 64 * 1024);
         if (n <= 0) {
             if (n < 0 && errno == EINTR)
                 continue;
+            if (n < 0 &&
+                (errno == EAGAIN || errno == EWOULDBLOCK))
+                return std::nullopt;  // SO_RCVTIMEO elapsed
             close();  // EOF (server closed us) or hard error
             return std::nullopt;
         }
-        // Compact the consumed prefix before growing.
-        if (inAt_ > 0) {
-            in_.erase(in_.begin(), in_.begin() + std::ptrdiff_t(inAt_));
-            inAt_ = 0;
-        }
-        in_.insert(in_.end(), buf, buf + n);
+        in_.commit(std::size_t(n));
     }
 }
 

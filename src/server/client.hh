@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "net/frame_cursor.hh"
 #include "server/protocol.hh"
 
 namespace lp::server
@@ -84,8 +85,19 @@ class Client
     Client(const Client &) = delete;
     Client &operator=(const Client &) = delete;
 
-    /** Connect to @p host:@p port. Returns false on failure. */
-    bool connectTo(const std::string &host, int port);
+    /**
+     * Connect to @p host:@p port, waiting up to @p timeoutMs for the
+     * TCP handshake (non-blocking connect + poll, so an unresponsive
+     * host cannot hang the caller for the kernel's SYN-retry
+     * minutes). The same timeout is installed as the socket's
+     * default send/receive timeout (SO_SNDTIMEO/SO_RCVTIMEO), which
+     * bounds sendRequest() and every blocking read even when the
+     * caller passes timeoutMs = -1 to recvResponse(). Pass
+     * @p timeoutMs <= 0 for the old unbounded behavior. Returns
+     * false on failure or timeout.
+     */
+    bool connectTo(const std::string &host, int port,
+                   int timeoutMs = 10000);
 
     bool connected() const { return fd_ >= 0; }
     void close();
@@ -177,11 +189,11 @@ class Client
                                       int timeoutMs);
 
     int fd_ = -1;
+    int readTimeoutMs_ = -1;  ///< connectTo deadline; -1 = unbounded
     RetryCounters counters_;
     std::uint64_t lastId_ = 0;
     std::uint64_t rng_ = 0x9e3779b97f4a7c15ull;  ///< backoff jitter
-    std::vector<std::uint8_t> in_;
-    std::size_t inAt_ = 0;  ///< consumed prefix of in_
+    net::FrameCursor in_;  ///< buffered unparsed response bytes
 };
 
 /**

@@ -1,47 +1,28 @@
-#include "server/server.hh"
+/**
+ * @file
+ * Server lifecycle and the acceptor's datapath, rebuilt on lp::net:
+ * one edge-triggered EventLoop drives accept, per-connection
+ * FrameCursor decoding, and gathered-writev reply flushing through
+ * net::Connection. Worker, transaction, and stats logic live in
+ * their own translation units (see server_impl.hh).
+ */
+
+#include "server/server_impl.hh"
 
 #include <arpa/inet.h>
-#include <cerrno>
 #include <csignal>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <deque>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <optional>
-#include <thread>
-#include <unordered_map>
-#include <vector>
 
 #include "base/logging.hh"
-#include "engine/commit_pipeline.hh"
-#include "engine/stat_names.hh"
-#include "kernels/env.hh"
-#include "obs/histogram.hh"
 #include "obs/metrics.hh"
-#include "obs/trace.hh"
-#include "pmem/arena.hh"
-#include "server/protocol.hh"
-#include "stats/json.hh"
-#include "store/kv_store.hh"
-#include "txn/decision_log.hh"
-#include "txn/lock_table.hh"
-#include "txn/prepare_log.hh"
-#include "txn/recovery.hh"
 
 namespace lp::server
 {
@@ -49,1851 +30,264 @@ namespace lp::server
 namespace
 {
 
-using Clock = std::chrono::steady_clock;
-
-/**
- * Server-level key router: store::shardOfKey, the exact function
- * KvStore routes with, so the distribution matches the store's own
- * sharding. Each worker's store is configured with shards = 1, so
- * inside a worker every key maps to the single shard that worker
- * owns.
- */
-int
-routeShard(std::uint64_t key, int shards)
-{
-    return store::shardOfKey(key, shards);
-}
-
-/**
- * One BATCH request in flight: its sub-ops scatter across workers;
- * the worker that releases the last acknowledgement emits the single
- * reply.
- */
-struct BatchCtx
-{
-    BatchCtx(std::uint32_t n, std::uint64_t conn, std::uint64_t req)
-        : remaining(n), connId(conn), reqId(req)
-    {
-    }
-
-    std::atomic<std::uint32_t> remaining;
-    std::uint64_t connId;
-    std::uint64_t reqId;
-
-    /**
-     * Set by any worker that refused its sub-ops because its shard is
-     * quarantined; the final reply then reports Fault. The release
-     * half of the remaining fetch_sub publishes it to the replier.
-     */
-    std::atomic<bool> faulted{false};
-};
-
-/**
- * One SCAN request in flight: the acceptor fans one sub-scan out to
- * every worker (each worker owns one shard of the key space), each
- * worker fills only its own partial-result slot, and the last one to
- * finish merges the sorted partials and posts the single reply. The
- * release half of the fetch_sub publishes each worker's slot to the
- * merging worker's acquire.
- */
-struct ScanCtx
-{
-    ScanCtx(int shards, std::uint64_t conn, std::uint64_t req,
-            std::uint32_t lim)
-        : remaining(shards), connId(conn), reqId(req), limit(lim),
-          parts(std::size_t(shards))
-    {
-    }
-
-    std::atomic<int> remaining;
-    std::uint64_t connId;
-    std::uint64_t reqId;
-    std::uint32_t limit;
-    std::vector<std::vector<ScanRecord>> parts;  ///< slot per shard
-};
-
-/**
- * One TXN request in flight. The acceptor is the coordinator: it
- * splits the wire ops into one Part per participant shard and fans a
- * Txn item out to each owning worker. Workers lock, resolve, and
- * vote (a TxnEvent back to the acceptor); once every part has voted
- * the acceptor either appends the COMMIT record -- the transaction's
- * linearization and durability point -- and fans out TxnApply, or
- * tells the prepared parts to roll back (TxnAbort).
- *
- * Field ownership: the acceptor writes the routing plan before
- * fan-out; each worker writes only its own Part and the read slots
- * its gets own. Every handoff rides a mutex (worker queues, the
- * TxnEvent queue), so no field needs to be atomic except the vote
- * counter and the abort flags, which workers race on.
- */
-struct TxnCtx
-{
-    std::uint64_t txnid = 0;
-    std::uint64_t connId = 0;
-    std::uint64_t reqId = 0;
-    std::uint64_t tStartNs = 0;
-    bool fastPath = false;  ///< single shard, batching backend
-
-    std::vector<TxnOp> ops;     ///< wire order
-    std::vector<int> readSlot;  ///< per op: index into reads, or -1
-    std::vector<TxnRead> reads; ///< one slot per get sub-op
-
-    /** One participant shard's slice of the transaction. */
-    struct Part
-    {
-        int shard = 0;
-        std::vector<std::uint32_t> ops;  ///< indices into ctx.ops
-        bool hasWrites = false;
-
-        /** Lock plan: distinct keys ascending, write if any mutation. */
-        std::vector<std::uint64_t> lockKeys;
-        std::vector<txn::LockMode> lockModes;
-
-        // Filled by the owning worker:
-        bool prepared = false;
-        std::size_t slot = 0;  ///< PREPARE slot (writes non-empty only)
-        std::vector<txn::WriteOp> writes;  ///< resolved write-set
-    };
-    std::vector<Part> parts;
-
-    std::atomic<int> votesLeft{0};
-    std::atomic<int> abortedParts{0};
-    std::atomic<bool> faulted{false};  ///< abort cause was quarantine
-};
-
-/** One participant's vote, traveling worker -> acceptor. */
-struct TxnEvent
-{
-    enum class Kind : std::uint8_t { Prepared, Aborted };
-
-    Kind kind;
-    std::size_t part;  ///< index into ctx->parts
-    std::shared_ptr<TxnCtx> ctx;
-};
-
-/** One operation handed from the acceptor to a worker. */
-struct OpItem
-{
-    enum class Kind : std::uint8_t
-    {
-        Get,
-        Put,
-        Del,
-        Scan,
-        Txn,        ///< lock + resolve + vote one participant part
-        TxnApply,   ///< decision = commit: apply the part's write-set
-        TxnAbort,   ///< decision = abort: free the vote, drop locks
-        TxnRecover, ///< startup: replay the txn decision rules
-    };
-
-    Kind kind;
-    std::uint64_t connId = 0;
-    std::uint64_t reqId = 0;
-    std::uint64_t key = 0;    ///< SCAN: start_key
-    std::uint64_t value = 0;  ///< SCAN: limit
-    std::uint64_t tEnqNs = 0;  ///< enqueue time (queue-wait latency)
-    std::shared_ptr<BatchCtx> batch;  ///< set for BATCH sub-ops
-    std::shared_ptr<ScanCtx> scan;    ///< set for SCAN sub-scans
-    std::shared_ptr<TxnCtx> txn;      ///< set for Txn* items
-    std::size_t part = 0;             ///< Txn*: index into txn->parts
-};
-
-/** One response traveling worker -> acceptor. */
-struct ReplyMsg
-{
-    std::uint64_t connId;
-    std::uint64_t tPostNs = 0;  ///< post time (ack-path latency)
-    Response resp;
-};
-
-/** Per-connection acceptor-side state. */
-struct Conn
-{
-    int fd = -1;
-    std::uint64_t id = 0;
-    std::uint64_t tOpenNs = 0;     ///< accept time (lifecycle span)
-    std::vector<std::uint8_t> in;
-    std::vector<std::uint8_t> out;
-    std::size_t outAt = 0;         ///< bytes of out already written
-    std::uint32_t inflight = 0;    ///< worker-routed ops outstanding
-    bool wantWrite = false;        ///< EPOLLOUT currently armed
-};
-
-/** epoll user-data sentinels; connection ids start above these. */
-constexpr std::uint64_t udListen = 0;
-constexpr std::uint64_t udWake = 1;
-constexpr std::uint64_t udStop = 2;
-constexpr std::uint64_t firstConnId = 16;
-
-void
-setNonBlocking(int fd)
-{
-    const int fl = ::fcntl(fd, F_GETFL, 0);
-    LP_ASSERT(fl >= 0 && ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) == 0,
-              "fcntl(O_NONBLOCK) failed");
-}
-
-void
-eventfdSignal(int fd)
-{
-    const std::uint64_t one = 1;
-    // A full eventfd counter still wakes the reader; ignore EAGAIN.
-    [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
-}
-
-void
-eventfdDrain(int fd)
-{
-    std::uint64_t v;
-    while (::read(fd, &v, sizeof(v)) > 0) {
-    }
-}
-
-/** A payload-less response (Ok/NotFound/Retry/Err ack). */
-Response
-statusReply(Status s, std::uint64_t id)
-{
-    Response r;
-    r.status = s;
-    r.id = id;
-    return r;
-}
-
 std::atomic<int> signalStopFd{-1};
 
 void
 onStopSignal(int)
 {
     const int fd = signalStopFd.load(std::memory_order_relaxed);
-    if (fd >= 0)
-        eventfdSignal(fd);  // the only async-signal-safe work we do
+    if (fd < 0)
+        return;
+    // The only async-signal-safe work we do: one eventfd write.
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
 }
 
 } // namespace
 
-struct Server::Impl
+void
+Server::Impl::postReply(std::uint64_t connId, Response r)
 {
-    explicit Impl(ServerConfig c) : cfg(std::move(c)) {}
-
-    ServerConfig cfg;
-    ServerRecovery recov;
-
-    /// @name One shared-nothing worker per shard
-    /// @{
-
-    struct Worker
+    bool wasEmpty;
     {
-        int index = 0;
-        Impl *srv = nullptr;
-        std::thread th;
-
-        // Queue: acceptor -> worker (rule 2 of the env.hh contract:
-        // ownership handoff synchronizes through this mutex).
-        std::mutex mu;
-        std::condition_variable cv;
-        std::deque<OpItem> q;
-        bool stopFlag = false;
-
-        // Stats mirrors the acceptor may read (contract rule 3);
-        // the pipeline-derived ones are refreshed from the shard's
-        // CommitPipeline counters after every worker round.
-        std::atomic<std::uint64_t> statGets{0};
-        std::atomic<std::uint64_t> statMuts{0};
-        std::atomic<std::uint64_t> statScans{0};
-        std::atomic<std::uint64_t> statAcks{0};
-        std::atomic<std::uint64_t> statCommittedEpoch{0};
-        std::atomic<std::uint64_t> statQueueDepth{0};
-        std::atomic<std::uint64_t> statEpochs{0};
-        std::atomic<std::uint64_t> statFolds{0};
-        std::atomic<std::uint64_t> statDeadlineCommits{0};
-        std::atomic<std::uint64_t> statTxnCommits{0};  ///< fast path
-        std::atomic<std::uint64_t> statTxnAborts{0};   ///< fast path
-
-        // Request-lifecycle histograms, recorded by this worker;
-        // the acceptor reads them for STATS/METRICS under the
-        // obs::Histogram single-writer/any-reader contract (the
-        // store-side stage/commit/fold/recover histograms live in
-        // kv->shardObs(0)).
-        obs::Histogram queueNs;       ///< enqueue -> worker dequeue
-        obs::Histogram commitWaitNs;  ///< staged -> ack released
-        obs::Histogram txnCommitNs;   ///< fast-path TXN accept -> ack
-        obs::Histogram txnAbortNs;    ///< fast-path TXN accept -> abort
-
-        /** This worker's trace ring; null when tracing is off. */
-        obs::TraceRing *ring = nullptr;
-
-        // Online-scrub throttle state (worker thread only).
-        Clock::time_point lastScrub{};
-        bool quarantineLogged = false;
-
-        // Everything below is touched only by the worker thread.
-        kernels::NativeEnv env;
-        std::unique_ptr<pmem::PersistentArena> arena;
-        std::unique_ptr<store::KvStore<kernels::NativeEnv>> kv;
-        store::RecoveryReport report;
-        bool attached = false;
-
-        // Cross-shard transaction state (docs/txn_design.md). All of
-        // it is worker-thread-only except txnReport, which start()
-        // reads after the txn-recovery latch.
-        std::unique_ptr<txn::PrepareLog<kernels::NativeEnv>> plog;
-        txn::LockTable lockTable;
-        txn::TxnRecoveryReport txnReport;
-
-        /**
-         * General-path parts on this shard between PREPARE and their
-         * apply/abort. While non-zero, scans over write-locked ranges
-         * and plain mutations of write-locked keys defer: the part's
-         * write-set is resolved but not yet visible, so reading
-         * around it would half-observe the transaction and writing
-         * under it would be clobbered by the apply.
-         */
-        int unappliedTxns = 0;
-
-        /** A part parked on a lock-table Waiting verdict. */
-        struct ParkedTxn
-        {
-            std::shared_ptr<TxnCtx> ctx;
-            std::size_t part = 0;
-            std::size_t next = 0;  ///< lockKeys index being awaited
-        };
-        std::unordered_map<txn::TxnId, ParkedTxn> parked;
-
-        /**
-         * Deferred work, in strict arrival order. The acceptor
-         * enqueues every multi-shard operation (scan pieces,
-         * transaction parts) to all shards from one program point,
-         * so per-shard arrival order is a consistent cut of the
-         * global order; cross-shard atomicity of scans rests
-         * entirely on every shard preserving it. Hence one FIFO,
-         * not per-kind lists: when the item at the front must wait
-         * (a scan blocked by a prepared-but-unapplied part's
-         * locks), everything behind it waits too. Letting ANY
-         * later item overtake re-creates the torn read -- e.g. a
-         * part overtaking a deferred scan prepares/applies inside
-         * the scan's cut on this shard only, and a scan overtaking
-         * a queued part runs pre-part here while its sibling
-         * sub-scan on a shard where the same transaction already
-         * prepared defers and runs post-apply. Decision fan-outs
-         * (TxnApply/TxnAbort) bypass the queue: they are the
-         * drain, and their transactions are strictly older than
-         * everything queued here.
-         */
-        std::deque<OpItem> deferred;
-
-        /**
-         * Applied PREPARE slots awaiting their durability gate: a
-         * slot may be freed only once the shard's durable epoch
-         * covers the marker epoch, because the free store is itself
-         * lazy (see txn/prepare_log.hh).
-         */
-        struct SlotFree
-        {
-            std::size_t slot = 0;
-            std::uint64_t epoch = 0;
-        };
-        std::vector<SlotFree> slotFrees;
-
-        /**
-         * Reply payloads awaiting epoch commit. Runs in lockstep
-         * with the shard CommitPipeline's pending-ack queue, which
-         * owns the epochs and deadlines; this deque only carries
-         * what the pipeline doesn't know (who to reply to).
-         */
-        struct Pending
-        {
-            std::uint64_t connId;  ///< 0: internal apply, no reply
-            std::uint64_t reqId;
-            std::uint64_t epoch;
-            std::uint64_t tStagedNs;  ///< commit-wait latency start
-            std::shared_ptr<BatchCtx> batch;
-            std::shared_ptr<TxnCtx> txn;  ///< fast-path commit reply
-            std::string txnBody;          ///< encoded reads (with txn)
-        };
-        std::deque<Pending> pending;
-    };
-
-    std::vector<std::unique_ptr<Worker>> workers;
-    std::atomic<int> workersExited{0};
-
-    // Startup latch: workers recover before the port binds. The
-    // second counter latches the txn-recovery phase, which needs the
-    // decision index and therefore runs after the first latch.
-    std::mutex readyMu;
-    std::condition_variable readyCv;
-    int readyCount = 0;
-    int txnReadyCount = 0;
-    /// @}
-
-    /// @name Acceptor state
-    /// @{
-    int listenFd = -1;
-    int epfd = -1;
-    int wakeFd = -1;  ///< workers ring this when replies are queued
-    int stopFd = -1;  ///< requestStop()/signals ring this
-    int port_ = 0;
-    std::thread acceptorTh;
-    bool started = false;
-    bool shutdownInformed = false;  ///< join() may run twice
-    std::atomic<bool> finished{false};
-
-    std::mutex replyMu;
-    std::vector<ReplyMsg> replies;
-
-    std::unordered_map<std::uint64_t, Conn> conns;  // acceptor-only
-    std::uint64_t nextConnId = firstConnId;
-
-    std::atomic<std::uint64_t> statConns{0};
-    std::atomic<std::uint64_t> statAccepted{0};
-    std::atomic<std::uint64_t> statRetries{0};
-    std::atomic<std::uint64_t> statErrs{0};
-    std::atomic<std::uint64_t> statFaults{0};
-    std::atomic<std::uint64_t> statMalformed{0};
-    std::atomic<std::uint64_t> statTxnCommits{0};  ///< general path
-    std::atomic<std::uint64_t> statTxnAborts{0};   ///< general path
-
-    // Acceptor-recorded request-lifecycle histograms (single writer:
-    // the acceptor thread; STATS/METRICS render on the same thread).
-    obs::Histogram parseNs;  ///< bytes on the wire -> decoded request
-    obs::Histogram ackNs;    ///< worker posted reply -> encoded
-    obs::Histogram txnCommitNs;  ///< general path: accept -> decision
-    obs::Histogram txnAbortNs;   ///< general path: accept -> abort
-
-    /// @name Transaction coordinator (docs/txn_design.md)
-    /// The acceptor assigns ids, collects votes, and owns the
-    /// persistent decision ring (dataDir/txnlog.lpdb). Workers post
-    /// their votes through txnMu and read the decision index only
-    /// during the startup recovery phase (ordered by the worker-queue
-    /// handoff).
-    /// @{
-    std::mutex txnMu;
-    std::vector<TxnEvent> txnEvents;
-
-    kernels::NativeEnv txnEnv;
-    std::unique_ptr<pmem::PersistentArena> txnArena;
-    std::unique_ptr<txn::DecisionLog<kernels::NativeEnv>> dlog;
-    std::uint64_t dlogMaxTxnId = 0;  ///< largest id the ring recalls
-    std::uint64_t nextTxnId = 1;     ///< acceptor-thread only
-    /// @}
-
-    // Tracing (cfg.traceOut non-empty): the collector owns every
-    // ring; workers and the acceptor hold borrowed pointers.
-    std::unique_ptr<obs::TraceCollector> trace;
-    obs::TraceRing *acceptRing = nullptr;
-    /// @}
-
-    /// @name Worker side
-    /// @{
-
-    std::string
-    shardPath(int i) const
-    {
-        return cfg.dataDir + "/shard-" + std::to_string(i) + ".lpdb";
+        std::lock_guard<std::mutex> g(replyMu);
+        wasEmpty = replies.empty();
+        replies.push_back(ReplyMsg{connId, obs::nowNs(), std::move(r)});
     }
+    // Ring the acceptor only on the empty->nonempty edge: one wake
+    // drains the whole queue, so followers piggyback for free.
+    if (wasEmpty)
+        wakeFd.signal();
+}
 
-    /**
-     * Open (or re-attach) this worker's single-shard store. Runs on
-     * the worker's own thread so the debug owner binding and all
-     * recovery table writes happen on the thread that will serve the
-     * shard.
-     */
-    void
-    openStore(Worker &w)
-    {
-        store::StoreConfig scfg;
-        scfg.capacity = cfg.capacityPerShard;
-        scfg.shards = 1;
-        scfg.batchOps = cfg.batchOps;
-        scfg.foldBatches = cfg.foldBatches;
-        scfg.checksum = cfg.checksum;
-        scfg.flushDeadlineUs = cfg.flushDeadlineUs;
-        const std::string path = shardPath(w.index);
-        struct stat st{};
-        const bool attach = ::stat(path.c_str(), &st) == 0 &&
-                            st.st_size > 0;
-        // Arena budget: the store image plus this shard's PREPARE
-        // table, allocated in that order on every open (the arena
-        // attach contract).
-        w.arena = std::make_unique<pmem::PersistentArena>(
-            store::storeArenaBytes(scfg) +
-                txn::prepareLogBytes(cfg.txnPrepareSlots),
-            path);
-        w.kv = std::make_unique<store::KvStore<kernels::NativeEnv>>(
-            *w.arena, scfg, cfg.backend, attach);
-        w.plog =
-            std::make_unique<txn::PrepareLog<kernels::NativeEnv>>(
-                *w.arena, cfg.txnPrepareSlots, attach);
-        // Attach the trace ring before recovery so the replay's
-        // "recover_shard" span lands in the collector.
-        if (w.ring)
-            w.kv->attachTraceRing(0, w.ring);
-        if (attach) {
-            w.report = w.kv->recover(w.env);
-            w.attached = true;
-        } else {
-            w.arena->persistAll();
-        }
-        w.statCommittedEpoch.store(w.kv->committedEpoch(0),
-                                   std::memory_order_relaxed);
-        w.lastScrub = Clock::now();
-        if (w.kv->quarantined(0)) {
-            w.quarantineLogged = true;
-            warn("lp::server shard " + std::to_string(w.index) +
-                 " has unrepairable media corruption; serving "
-                 "read-only (mutations get Fault)");
-        }
+void
+Server::Impl::closeConn(std::uint64_t id)
+{
+    auto it = conns.find(id);
+    if (it == conns.end())
+        return;
+    Conn &c = *it->second;
+    if (acceptRing && c.tOpenNs)
+        acceptRing->push({"conn", acceptRing->tid(), c.tOpenNs,
+                          obs::nowNs() - c.tOpenNs, id});
+    loop.del(c.nc.fd());
+    conns.erase(it);  // ~Connection closes the fd, releases outbuf
+    statConns.store(conns.size(), std::memory_order_relaxed);
+}
+
+/**
+ * Flush @p c's queued replies, keep its EPOLLOUT interest in sync,
+ * and lift the backpressure read-pause once the outbuf drains below
+ * the low watermark. Returns false if the connection died (already
+ * closed here). Callers that observe the pause lifting must re-run
+ * readable(): the edge-triggered loop never re-reports bytes that
+ * arrived during the pause.
+ */
+bool
+Server::Impl::flushDatapath(Conn &c)
+{
+    const auto fr = c.nc.flush();
+    if (fr == net::Connection::Flush::Closed) {
+        closeConn(c.id);
+        return false;
     }
+    const bool ww = (fr == net::Connection::Flush::Blocked);
+    if (ww != c.wantWrite &&
+        loop.mod(c.nc.fd(), c.id,
+                 net::kReadable | net::kEdge |
+                     (ww ? net::kWritable : 0u)))
+        c.wantWrite = ww;
+    if (c.readPaused &&
+        c.nc.outBytes() <= std::uint64_t(cfg.outbufLimitBytes) / 2)
+        c.readPaused = false;
+    return true;
+}
 
-    void
-    postReply(std::uint64_t connId, Response r)
-    {
-        {
-            std::lock_guard<std::mutex> g(replyMu);
-            replies.push_back(
-                ReplyMsg{connId, obs::nowNs(), std::move(r)});
-        }
-        eventfdSignal(wakeFd);
-    }
+/** Queue an acceptor-local reply; readable()'s final flush sends it. */
+void
+Server::Impl::localReply(Conn &c, Response r)
+{
+    encodeResponse(r, c.nc.frameBuf());
+    c.nc.queueFrame();
+}
 
-    /** Acknowledge one released mutation (direct op or BATCH part). */
-    void
-    releaseAck(Worker &w, Worker::Pending &p)
-    {
-        if (p.txn) {
-            // Fast-path TXN: the epoch carrying the whole write-set
-            // committed, so the transaction is durable -- reply, then
-            // release the locks (held until now so no later
-            // transaction could commit against values a crash might
-            // still have discarded with the unsealed batch).
-            w.commitWaitNs.record(obs::nowNs() - p.tStagedNs);
-            Response r;
-            r.status = Status::Ok;
-            r.id = p.reqId;
-            r.body = std::move(p.txnBody);
-            postReply(p.connId, std::move(r));
-            w.statTxnCommits.fetch_add(1, std::memory_order_relaxed);
-            w.txnCommitNs.record(obs::nowNs() - p.txn->tStartNs);
-            txn::LockTable::Events ev;
-            w.lockTable.releaseAll(
-                p.txn->txnid, p.txn->parts[0].lockKeys, ev);
-            serviceLockEvents(w, std::move(ev));
+/** Dispatch one decoded request (may close the connection). */
+void
+Server::Impl::handleRequest(Conn &c, Request &req)
+{
+    switch (req.op) {
+      case Op::Get:
+      case Op::Put:
+      case Op::Del: {
+        if (req.key > store::maxUserKey) {
+            statErrs.fetch_add(1, std::memory_order_relaxed);
+            localReply(c, statusReply(Status::Err, req.id));
             return;
         }
-        if (p.connId == 0)
-            return;  // internal apply of a committed TXN: no reply
-        w.commitWaitNs.record(obs::nowNs() - p.tStagedNs);
-        if (p.batch) {
-            if (p.batch->remaining.fetch_sub(
-                    1, std::memory_order_acq_rel) != 1)
-                return;  // not the last sub-op yet
-            Response r;
-            r.status = p.batch->faulted.load(std::memory_order_acquire)
-                           ? Status::Fault
-                           : Status::Ok;
-            r.id = p.batch->reqId;
-            postReply(p.batch->connId, std::move(r));
+        // Quarantine fast path: refuse mutations to a read-only
+        // shard before they queue (the worker re-checks; this
+        // mirror read just saves the round trip). GETs pass.
+        if (req.op != Op::Get &&
+            workers[std::size_t(routeShard(
+                       req.key, cfg.shards))]->kv->quarantined(0)) {
+            statFaults.fetch_add(1, std::memory_order_relaxed);
+            localReply(c, statusReply(Status::Fault, req.id));
             return;
         }
-        Response r;
-        r.status = Status::Ok;
-        r.id = p.reqId;
-        postReply(p.connId, std::move(r));
-    }
-
-    /**
-     * Release every pending ack whose epoch has committed, and
-     * refresh this worker's stat mirrors from the shard pipeline's
-     * counters (the single source of truth for epoch accounting).
-     */
-    void
-    releaseCommitted(Worker &w)
-    {
-        engine::CommitPipeline &pl = w.kv->pipeline(0);
-        const std::uint64_t ce = w.kv->committedEpoch(0);
-        const std::size_t n = pl.releaseUpTo(ce);
-        for (std::size_t i = 0; i < n; ++i) {
-            LP_ASSERT(!w.pending.empty() &&
-                          w.pending.front().epoch <= ce,
-                      "reply queue out of sync with pipeline acks");
-            releaseAck(w, w.pending.front());
-            w.pending.pop_front();
-        }
-        sweepSlotFrees(w);
-        const engine::PipelineCounters &c = pl.counters();
-        w.statAcks.store(c.acksReleased, std::memory_order_relaxed);
-        w.statEpochs.store(c.epochsCommitted,
-                           std::memory_order_relaxed);
-        w.statFolds.store(c.folds, std::memory_order_relaxed);
-        w.statDeadlineCommits.store(c.deadlineCommits,
-                                    std::memory_order_relaxed);
-        w.statCommittedEpoch.store(ce, std::memory_order_relaxed);
-    }
-
-    /// @name Worker-side transaction participant
-    /// @{
-
-    void
-    postTxnEvent(TxnEvent ev)
-    {
-        {
-            std::lock_guard<std::mutex> g(txnMu);
-            txnEvents.push_back(std::move(ev));
-        }
-        eventfdSignal(wakeFd);
-    }
-
-    /** Free applied slots whose marker epoch the shard has made
-     *  durable (the lazy-free gate of txn/prepare_log.hh). The gate
-     *  is the pipeline's volatile durable watermark: it matches the
-     *  superblock's for LP/WAL but, unlike it, also advances for the
-     *  eager backend, whose in-place per-op persists never fold. */
-    void
-    sweepSlotFrees(Worker &w)
-    {
-        if (w.slotFrees.empty())
-            return;
-        const std::uint64_t durable =
-            w.kv->pipeline(0).foldedEpoch();
-        std::erase_if(w.slotFrees, [&](const Worker::SlotFree &f) {
-            if (durable < f.epoch)
-                return false;
-            w.plog->free(w.env, f.slot);
-            return true;
-        });
-    }
-
-    /// Can this kind join Worker::deferred? Single-key Gets bypass
-    /// (a point read tears nothing: prepared writes are invisible
-    /// until apply), as do the TxnApply/TxnAbort decision fan-outs
-    /// that drain the queue.
-    static bool
-    deferrable(OpItem::Kind k)
-    {
-        return k == OpItem::Kind::Scan || k == OpItem::Kind::Put ||
-               k == OpItem::Kind::Del || k == OpItem::Kind::Txn;
-    }
-
-    /**
-     * Must @p op wait for a lock-state change before running? Only
-     * meaningful when nothing older is queued ahead of it (strict
-     * FIFO handles that part).
-     */
-    bool
-    deferNow(Worker &w, const OpItem &op) const
-    {
-        switch (op.kind) {
-          case OpItem::Kind::Scan:
-            // A granted write lock may cover a prepared-but-
-            // unapplied transaction write; a sub-scan passing
-            // through it could hand the k-way merge a half-applied
-            // transaction.
-            return w.unappliedTxns > 0 &&
-                   w.lockTable.anyWriteLockedAtOrAbove(op.key);
-          case OpItem::Kind::Put:
-          case OpItem::Kind::Del:
-            // A plain store between a transaction's resolve and its
-            // apply would be clobbered by the apply (lost update).
-            return w.unappliedTxns > 0 &&
-                   w.lockTable.writeLocked(op.key);
-          default:
-            // Txn parts always run once they reach the front: lock
-            // acquisition itself resolves conflicts (grant, park,
-            // or wait-die abort).
-            return false;
-        }
-    }
-
-    /// Run @p op now unless strict FIFO or its own defer condition
-    /// says it must queue (see Worker::deferred).
-    void
-    dispatchOp(Worker &w, OpItem &op)
-    {
-        if (deferrable(op.kind) &&
-            (!w.deferred.empty() || deferNow(w, op))) {
-            op.tEnqNs = obs::nowNs();
-            w.deferred.push_back(std::move(op));
+        if (c.inflight >= cfg.maxInflightPerConn) {
+            statRetries.fetch_add(1, std::memory_order_relaxed);
+            localReply(c, statusReply(Status::Retry, req.id));
             return;
         }
-        processOp(w, op);
-    }
-
-    /**
-     * After a lock-state change, drain deferred work from the
-     * front, stopping at the first item that must still wait --
-     * never past it, or a later scan/part would observe a cut
-     * inconsistent with its siblings on other shards.
-     */
-    void
-    retryDeferred(Worker &w)
-    {
-        while (!w.deferred.empty() &&
-               !deferNow(w, w.deferred.front())) {
-            OpItem op = std::move(w.deferred.front());
-            w.deferred.pop_front();
-            processOp(w, op);
-        }
-    }
-
-    /**
-     * Service the fallout of a lock release: resume parked parts the
-     * release granted, abort the ones it killed (whose own releases
-     * can grant/kill further waiters -- hence the worklist), then
-     * retry deferred work.
-     */
-    void
-    serviceLockEvents(Worker &w, txn::LockTable::Events ev)
-    {
-        while (!ev.granted.empty() || !ev.died.empty()) {
-            txn::LockTable::Events next;
-            for (const auto id : ev.died)
-                abortParked(w, id, next);
-            for (const auto id : ev.granted)
-                resumeParked(w, id, next);
-            ev = std::move(next);
-        }
-        retryDeferred(w);
-    }
-
-    void
-    resumeParked(Worker &w, txn::TxnId id, txn::LockTable::Events &ev)
-    {
-        const auto it = w.parked.find(id);
-        if (it == w.parked.end())
-            return;
-        const Worker::ParkedTxn pk = std::move(it->second);
-        w.parked.erase(it);
-        // The awaited key (index pk.next) was just granted to us;
-        // continue the plan past it.
-        if (acquireTxnLocks(w, pk.ctx, pk.part, pk.next + 1, ev))
-            prepareTxnPart(w, pk.ctx, pk.part);
-    }
-
-    void
-    abortParked(Worker &w, txn::TxnId id, txn::LockTable::Events &ev)
-    {
-        const auto it = w.parked.find(id);
-        if (it == w.parked.end())
-            return;
-        const Worker::ParkedTxn pk = std::move(it->second);
-        w.parked.erase(it);
-        const TxnCtx::Part &part = pk.ctx->parts[pk.part];
-        // Keys before the awaited index are held; drop them. (The
-        // lock table already removed the killed waiter entry.)
-        w.lockTable.releaseAll(
-            id,
-            {part.lockKeys.begin(),
-             part.lockKeys.begin() + std::ptrdiff_t(pk.next)},
-            ev);
-        abortTxnPart(w, pk.ctx, pk.part, false);
-    }
-
-    /**
-     * Drive @p partIdx's lock plan from index @p next. True once
-     * every lock is held; false when the part parked (resumed by a
-     * later grant) or died (already aborted here).
-     */
-    bool
-    acquireTxnLocks(Worker &w, const std::shared_ptr<TxnCtx> &ctx,
-                    std::size_t partIdx, std::size_t next,
-                    txn::LockTable::Events &ev)
-    {
-        const TxnCtx::Part &part = ctx->parts[partIdx];
-        for (; next < part.lockKeys.size(); ++next) {
-            const auto got =
-                w.lockTable.acquire(ctx->txnid, part.lockKeys[next],
-                                    part.lockModes[next]);
-            if (got == txn::Acquire::Granted)
-                continue;
-            if (got == txn::Acquire::Waiting) {
-                w.parked[ctx->txnid] =
-                    Worker::ParkedTxn{ctx, partIdx, next};
-                return false;
-            }
-            // Wait-die says die: drop what we hold and abort.
-            w.lockTable.releaseAll(
-                ctx->txnid,
-                {part.lockKeys.begin(),
-                 part.lockKeys.begin() + std::ptrdiff_t(next)},
-                ev);
-            abortTxnPart(w, ctx, partIdx, false);
-            return false;
-        }
-        return true;
-    }
-
-    /** This part is out (locks already dropped): reply directly on
-     *  the fast path, else vote Aborted to the coordinator. */
-    void
-    abortTxnPart(Worker &w, const std::shared_ptr<TxnCtx> &ctx,
-                 std::size_t partIdx, bool faulted)
-    {
-        if (faulted)
-            ctx->faulted.store(true, std::memory_order_release);
-        if (ctx->fastPath) {
-            w.statTxnAborts.fetch_add(1, std::memory_order_relaxed);
-            w.txnAbortNs.record(obs::nowNs() - ctx->tStartNs);
-            postReply(ctx->connId,
-                      statusReply(faulted ? Status::Fault
-                                          : Status::Aborted,
-                                  ctx->reqId));
+        ++c.inflight;
+        OpItem it;
+        it.kind = req.op == Op::Get   ? OpItem::Kind::Get
+                  : req.op == Op::Put ? OpItem::Kind::Put
+                                      : OpItem::Kind::Del;
+        it.connId = c.id;
+        it.reqId = req.id;
+        it.key = req.key;
+        it.value = req.value;
+        it.tEnqNs = obs::nowNs();
+        enqueue(routeShard(req.key, cfg.shards), std::move(it));
+        return;
+      }
+      case Op::Scan: {
+        // A start key beyond maxUserKey is legal (empty result),
+        // unlike point ops: the range [start, ~0] simply holds no
+        // user keys. The decoder already enforced the limit range.
+        if (c.inflight >= cfg.maxInflightPerConn) {
+            statRetries.fetch_add(1, std::memory_order_relaxed);
+            localReply(c, statusReply(Status::Retry, req.id));
             return;
         }
-        ctx->abortedParts.fetch_add(1, std::memory_order_relaxed);
-        postTxnEvent(
-            TxnEvent{TxnEvent::Kind::Aborted, partIdx, ctx});
-    }
-
-    /**
-     * Locks held: resolve this part's ops in wire order against an
-     * overlay (read-your-writes; Add deltas become concrete values;
-     * last write per key wins, first-write order), fill the
-     * transaction's read slots, then run the single-shard fast path
-     * or publish the PREPARE vote.
-     */
-    void
-    prepareTxnPart(Worker &w, const std::shared_ptr<TxnCtx> &ctx,
-                   std::size_t partIdx)
-    {
-        TxnCtx::Part &part = ctx->parts[partIdx];
-
-        // Quarantine backstop on the owning thread (the acceptor's
-        // precheck can race with a scrub discovering corruption).
-        if (part.hasWrites && w.kv->quarantined(0)) {
-            txn::LockTable::Events ev;
-            w.lockTable.releaseAll(ctx->txnid, part.lockKeys, ev);
-            abortTxnPart(w, ctx, partIdx, true);
-            serviceLockEvents(w, std::move(ev));
+        ++c.inflight;
+        auto ctx = std::make_shared<ScanCtx>(cfg.shards, c.id,
+                                             req.id, req.limit);
+        const std::uint64_t tEnq = obs::nowNs();
+        for (int s = 0; s < cfg.shards; ++s) {
+            OpItem it;
+            it.kind = OpItem::Kind::Scan;
+            it.connId = c.id;
+            it.reqId = req.id;
+            it.key = req.key;
+            it.value = req.limit;
+            it.tEnqNs = tEnq;
+            it.scan = ctx;
+            enqueue(s, std::move(it));
+        }
+        return;
+      }
+      case Op::Batch: {
+        if (req.batch.empty()) {
+            localReply(c, statusReply(Status::Ok, req.id));
             return;
         }
-
-        std::unordered_map<std::uint64_t,
-                           std::optional<std::uint64_t>>
-            overlay;
-        std::vector<std::uint64_t> writeOrder;
-        const auto current =
-            [&](std::uint64_t key) -> std::optional<std::uint64_t> {
-            const auto it = overlay.find(key);
-            if (it != overlay.end())
-                return it->second;
-            return w.kv->get(w.env, key);
-        };
-        const auto noteWrite = [&](std::uint64_t key) {
-            if (overlay.find(key) == overlay.end())
-                writeOrder.push_back(key);
-        };
-        for (const auto opIdx : part.ops) {
-            const TxnOp &op = ctx->ops[opIdx];
-            switch (op.kind) {
-              case TxnOp::Kind::Get: {
-                const auto v = current(op.key);
-                ctx->reads[std::size_t(ctx->readSlot[opIdx])] =
-                    TxnRead{v.has_value(), v.value_or(0)};
-                break;
-              }
-              case TxnOp::Kind::Put:
-                noteWrite(op.key);
-                overlay[op.key] = op.value;
-                break;
-              case TxnOp::Kind::Del:
-                noteWrite(op.key);
-                overlay[op.key] = std::nullopt;
-                break;
-              case TxnOp::Kind::Add: {
-                const auto v = current(op.key);
-                noteWrite(op.key);
-                overlay[op.key] = v.value_or(0) + op.value;
-                break;
-              }
-            }
-        }
-        part.writes.clear();
-        for (const auto key : writeOrder) {
-            const auto &val = overlay[key];
-            part.writes.push_back(txn::WriteOp{key, val.value_or(0),
-                                               !val.has_value()});
-        }
-
-        if (ctx->fastPath) {
-            commitTxnFast(w, ctx, part);
-            return;
-        }
-
-        if (!part.writes.empty()) {
-            std::size_t slot = w.plog->alloc(w.env);
-            if (slot ==
-                txn::PrepareLog<kernels::NativeEnv>::npos) {
-                // Pressure valve: a checkpoint makes every gated
-                // free eligible; then retry once.
-                w.kv->checkpoint(w.env);
-                sweepSlotFrees(w);
-                slot = w.plog->alloc(w.env);
-            }
-            if (slot ==
-                txn::PrepareLog<kernels::NativeEnv>::npos) {
-                txn::LockTable::Events ev;
-                w.lockTable.releaseAll(ctx->txnid, part.lockKeys,
-                                       ev);
-                abortTxnPart(w, ctx, partIdx, false);
-                serviceLockEvents(w, std::move(ev));
-                return;
-            }
-            w.plog->publish(w.env, slot, ctx->txnid,
-                            part.writes.data(), part.writes.size());
-            part.slot = slot;
-            ++w.unappliedTxns;
-        }
-        part.prepared = true;
-        postTxnEvent(
-            TxnEvent{TxnEvent::Kind::Prepared, partIdx, ctx});
-    }
-
-    /**
-     * Single-shard fast path: stage the whole write-set as one epoch
-     * -- the backend's epoch atomicity (LP discards unsealed batches,
-     * WAL rolls back incomplete ones) is then the transaction
-     * atomicity, with no prepare slot, no decision record, and no
-     * eager protocol flush. This is where LP's commit-latency win
-     * over WAL must survive. The reply and the lock release both
-     * wait for the epoch commit (releaseAck).
-     */
-    void
-    commitTxnFast(Worker &w, const std::shared_ptr<TxnCtx> &ctx,
-                  TxnCtx::Part &part)
-    {
-        std::string body = encodeTxnReadsBody(ctx->reads);
-        if (part.writes.empty()) {
-            // Read-only: nothing to persist, reply straight away.
-            txn::LockTable::Events ev;
-            w.lockTable.releaseAll(ctx->txnid, part.lockKeys, ev);
-            Response r;
-            r.status = Status::Ok;
-            r.id = ctx->reqId;
-            r.body = std::move(body);
-            postReply(ctx->connId, std::move(r));
-            w.statTxnCommits.fetch_add(1, std::memory_order_relaxed);
-            w.txnCommitNs.record(obs::nowNs() - ctx->tStartNs);
-            serviceLockEvents(w, std::move(ev));
-            return;
-        }
-        // Pre-flush so the write-set cannot straddle an epoch seal
-        // (stage() auto-commits WITH the filling op included, so
-        // staged + writes <= batchOps keeps us in one epoch).
-        engine::CommitPipeline &pl = w.kv->pipeline(0);
-        if (pl.stagedOps() > 0 &&
-            pl.stagedOps() + part.writes.size() >
-                std::size_t(cfg.batchOps))
-            w.kv->commitBatches(w.env);
-        std::uint64_t epoch = 0;
-        for (const auto &wr : part.writes) {
-            epoch = wr.del ? w.kv->del(w.env, wr.key)
-                           : w.kv->put(w.env, wr.key, wr.value);
-            w.statMuts.fetch_add(1, std::memory_order_relaxed);
-        }
-        Worker::Pending p;
-        p.connId = ctx->connId;
-        p.reqId = ctx->reqId;
-        p.epoch = epoch;
-        p.tStagedNs = obs::nowNs();
-        p.txn = ctx;
-        p.txnBody = std::move(body);
-        w.pending.push_back(std::move(p));
-        w.kv->pipeline(0).notePending(epoch, Clock::now());
-    }
-    /// @}
-
-    void
-    processOp(Worker &w, OpItem &op)
-    {
-        w.queueNs.record(obs::nowNs() - op.tEnqNs);
-        switch (op.kind) {
-          case OpItem::Kind::Get: {
-            const auto v = w.kv->get(w.env, op.key);
-            w.statGets.fetch_add(1, std::memory_order_relaxed);
-            Response r;
-            r.status = v ? Status::Ok : Status::NotFound;
-            r.id = op.reqId;
-            r.hasValue = v.has_value();
-            r.value = v.value_or(0);
-            postReply(op.connId, std::move(r));
-            return;
-          }
-          case OpItem::Kind::Scan: {
-            // Defer conditions were checked by dispatchOp /
-            // retryDeferred; by the time a sub-scan runs here, no
-            // prepared-but-unapplied transaction write can be under
-            // its range.
-            // Sub-scan of this worker's shard. KvStore::scan records
-            // the per-shard scan latency/length histograms itself
-            // (single-shard store: shard 0 is exactly this shard).
-            const auto recs = w.kv->scan(w.env, op.key,
-                                         std::size_t(op.value));
-            w.statScans.fetch_add(1, std::memory_order_relaxed);
-            ScanCtx &ctx = *op.scan;
-            auto &slot = ctx.parts[std::size_t(w.index)];
-            slot.reserve(recs.size());
-            for (const auto &[k, v] : recs)
-                slot.push_back(ScanRecord{k, v});
-            if (ctx.remaining.fetch_sub(
-                    1, std::memory_order_acq_rel) != 1)
-                return;  // other shards still scanning
-            // Last sub-scan: k-way merge the sorted partials (shards
-            // partition the key space, so popping the minimum head
-            // yields global order) and post the single reply.
-            std::vector<ScanRecord> merged;
-            merged.reserve(ctx.limit);
-            std::vector<std::size_t> at(ctx.parts.size(), 0);
-            while (merged.size() < ctx.limit) {
-                int best = -1;
-                for (std::size_t s = 0; s < ctx.parts.size(); ++s) {
-                    if (at[s] >= ctx.parts[s].size())
-                        continue;
-                    if (best < 0 ||
-                        ctx.parts[s][at[s]].key <
-                            ctx.parts[std::size_t(best)]
-                                     [at[std::size_t(best)]].key)
-                        best = int(s);
-                }
-                if (best < 0)
-                    break;
-                merged.push_back(
-                    ctx.parts[std::size_t(best)]
-                             [at[std::size_t(best)]++]);
-            }
-            Response r;
-            r.status = Status::Ok;
-            r.id = ctx.reqId;
-            r.body = encodeScanBody(merged);
-            postReply(ctx.connId, std::move(r));
-            return;
-          }
-          case OpItem::Kind::Put:
-          case OpItem::Kind::Del: {
-            // Worker-side quarantine backstop: the acceptor's
-            // fast-path check can race with a scrub discovering
-            // corruption, so the authoritative refusal lives here,
-            // on the thread that owns the shard.
-            if (w.kv->quarantined(0)) {
-                if (op.batch) {
-                    op.batch->faulted.store(
-                        true, std::memory_order_release);
-                    if (op.batch->remaining.fetch_sub(
-                            1, std::memory_order_acq_rel) == 1)
-                        postReply(op.batch->connId,
-                                  statusReply(Status::Fault,
-                                              op.batch->reqId));
-                    return;
-                }
-                postReply(op.connId,
-                          statusReply(Status::Fault, op.reqId));
-                return;
-            }
-            const std::uint64_t epoch =
-                op.kind == OpItem::Kind::Put
-                    ? w.kv->put(w.env, op.key, op.value)
-                    : w.kv->del(w.env, op.key);
-            w.statMuts.fetch_add(1, std::memory_order_relaxed);
-            // Every mutation waits for its epoch to commit; the
-            // following releaseCommitted() releases it the same round
-            // for backends that commit per op (eager, and WAL when the
-            // op filled its batch).
-            w.pending.push_back(Worker::Pending{
-                op.connId, op.reqId, epoch, obs::nowNs(), op.batch});
-            w.kv->pipeline(0).notePending(epoch, Clock::now());
-            return;
-          }
-          case OpItem::Kind::Txn: {
-            txn::LockTable::Events ev;
-            if (acquireTxnLocks(w, op.txn, op.part, 0, ev))
-                prepareTxnPart(w, op.txn, op.part);
-            serviceLockEvents(w, std::move(ev));
-            return;
-          }
-          case OpItem::Kind::TxnApply: {
-            // Coordinator decided commit: apply this part's write-set
-            // lazily (the decision record makes it recoverable), then
-            // persist the applied marker BEFORE releasing the locks --
-            // once unlocked keys are externally visible, a crash must
-            // roll forward, never re-run a half-superseded apply.
-            TxnCtx::Part &part = op.txn->parts[op.part];
-            std::uint64_t epoch = 0;
-            for (const auto &wr : part.writes) {
-                epoch = wr.del ? w.kv->del(w.env, wr.key)
-                               : w.kv->put(w.env, wr.key, wr.value);
-                w.statMuts.fetch_add(1, std::memory_order_relaxed);
-                w.pending.push_back(Worker::Pending{
-                    0, 0, epoch, obs::nowNs(), nullptr});
-                w.kv->pipeline(0).notePending(epoch, Clock::now());
-            }
-            if (!part.writes.empty()) {
-                w.plog->markApplied(w.env, part.slot, epoch);
-                w.slotFrees.push_back(
-                    Worker::SlotFree{part.slot, epoch});
-                --w.unappliedTxns;
-            }
-            txn::LockTable::Events ev;
-            w.lockTable.releaseAll(op.txn->txnid, part.lockKeys, ev);
-            serviceLockEvents(w, std::move(ev));
-            return;
-          }
-          case OpItem::Kind::TxnAbort: {
-            // Coordinator decided abort and this part had prepared:
-            // freeing the undecided vote IS the roll-back. The free
-            // is lazy on purpose -- if it tears, recovery still sees
-            // prepared-with-no-decision and rolls back again.
-            TxnCtx::Part &part = op.txn->parts[op.part];
-            if (!part.writes.empty()) {
-                w.plog->free(w.env, part.slot);
-                --w.unappliedTxns;
-            }
-            txn::LockTable::Events ev;
-            w.lockTable.releaseAll(op.txn->txnid, part.lockKeys, ev);
-            serviceLockEvents(w, std::move(ev));
-            return;
-          }
-          case OpItem::Kind::TxnRecover: {
-            // Startup phase 2 (after every shard's own recovery and
-            // the coordinator's decision-log scan): replay this
-            // shard's prepare table against the decision index.
-            const std::vector<txn::PrepareLog<kernels::NativeEnv> *>
-                pls{w.plog.get()};
-            const std::vector<std::uint64_t> marks{
-                w.kv->committedEpoch(0)};
-            w.txnReport = txn::recoverTxns(w.env, *w.kv, pls, marks,
-                                           dlog->index());
-            {
-                std::lock_guard<std::mutex> g(readyMu);
-                ++txnReadyCount;
-            }
-            readyCv.notify_all();
-            return;
-          }
-        }
-    }
-
-    void
-    workerMain(Worker &w)
-    {
-        openStore(w);
-        {
-            std::lock_guard<std::mutex> g(readyMu);
-            ++readyCount;
-        }
-        readyCv.notify_all();
-
-        std::vector<OpItem> local;
-        for (;;) {
-            bool stopping = false;
-            local.clear();
-            {
-                std::unique_lock<std::mutex> lk(w.mu);
-                const auto woken = [&] {
-                    return w.stopFlag || !w.q.empty();
-                };
-                if (w.q.empty() && !w.stopFlag) {
-                    engine::CommitPipeline &pl = w.kv->pipeline(0);
-                    if (pl.hasPending())
-                        w.cv.wait_until(lk, pl.ackDeadline(), woken);
-                    else if (cfg.scrubIntervalMs > 0)
-                        // Wake for the next scrub step even with no
-                        // traffic: an idle server still patrols.
-                        w.cv.wait_until(
-                            lk,
-                            w.lastScrub + std::chrono::milliseconds(
-                                              cfg.scrubIntervalMs),
-                            woken);
-                    else
-                        w.cv.wait(lk, woken);
-                }
-                while (!w.q.empty() && local.size() < 128) {
-                    local.push_back(std::move(w.q.front()));
-                    w.q.pop_front();
-                }
-                stopping = w.stopFlag && w.q.empty();
-                w.statQueueDepth.store(w.q.size(),
-                                       std::memory_order_relaxed);
-            }
-
-            for (OpItem &op : local)
-                dispatchOp(w, op);
-
-            // Deadline flush: commit an underfilled batch rather than
-            // keep its acks hostage to future traffic. The pipeline
-            // owns the deadline bookkeeping (engine/commit_pipeline.hh).
-            {
-                engine::CommitPipeline &pl = w.kv->pipeline(0);
-                const bool due = pl.commitDue(Clock::now());
-                if (pl.hasPending() && (stopping || due)) {
-                    if (due) {
-                        pl.noteDeadlineCommit();
-                        obs::traceInstant(w.ring, "deadline_commit",
-                                          pl.lastCommitted() + 1);
-                    }
-                    w.kv->commitBatches(w.env);
-                }
-            }
-            releaseCommitted(w);
-
-            // Online scrub: strictly off the request path (only on
-            // rounds whose queue drained empty) and rate-limited, so
-            // foreground latency never pays for media patrol.
-            if (!stopping && local.empty() &&
-                cfg.scrubIntervalMs > 0) {
-                const auto now = Clock::now();
-                if (now - w.lastScrub >=
-                    std::chrono::milliseconds(cfg.scrubIntervalMs)) {
-                    w.kv->scrubStep(w.env, 0, cfg.scrubRegions);
-                    w.lastScrub = now;
-                    if (!w.quarantineLogged && w.kv->quarantined(0)) {
-                        w.quarantineLogged = true;
-                        warn("lp::server shard " +
-                             std::to_string(w.index) +
-                             " quarantined by scrub: unrepairable "
-                             "media corruption; serving read-only");
-                    }
-                }
-            }
-
-            if (stopping) {
-                // Parked, deferred, and prepared-but-undecided
-                // transaction work dies with the connections -- to a
-                // client an unacked request lost at shutdown is
-                // indistinguishable from one lost in flight. Prepared
-                // slots stay durable; the next startup's decision
-                // replay rolls them back (or forward).
-                w.parked.clear();
-                w.deferred.clear();
-                // Graceful drain: everything committed and folded, so
-                // a restart recovers instantly. The clean-shutdown
-                // mark switches the next recovery into strict mode,
-                // where a validation failure is a media fault (repair
-                // or quarantine) rather than a crash tear. A
-                // quarantined shard keeps its pre-fault superblock
-                // untouched so the restart re-detects the quarantine.
-                if (!w.kv->quarantined(0))
-                    w.kv->checkpoint(w.env);
-                w.kv->markClean(w.env);
-                w.arena->persistAll();
-                releaseCommitted(w);
-                LP_ASSERT(w.pending.empty(),
-                          "worker drained with unreleased acks");
-                break;
-            }
-        }
-        workersExited.fetch_add(1, std::memory_order_release);
-        eventfdSignal(wakeFd);  // let the acceptor notice the exit
-    }
-
-    void
-    enqueue(int shard, OpItem &&op)
-    {
-        Worker &w = *workers[shard];
-        {
-            std::lock_guard<std::mutex> g(w.mu);
-            w.q.push_back(std::move(op));
-        }
-        w.cv.notify_one();
-    }
-    /// @}
-
-    /// @name Acceptor side
-    /// @{
-
-    void
-    epollAdd(int fd, std::uint64_t ud, std::uint32_t events)
-    {
-        epoll_event ev{};
-        ev.events = events;
-        ev.data.u64 = ud;
-        LP_ASSERT(::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev) == 0,
-                  "epoll_ctl(ADD) failed");
-    }
-
-    void
-    connUpdateEvents(Conn &c, bool wantWrite)
-    {
-        if (c.wantWrite == wantWrite)
-            return;
-        epoll_event ev{};
-        ev.events = EPOLLIN | (wantWrite ? EPOLLOUT : 0u);
-        ev.data.u64 = c.id;
-        if (::epoll_ctl(epfd, EPOLL_CTL_MOD, c.fd, &ev) == 0)
-            c.wantWrite = wantWrite;
-    }
-
-    void
-    closeConn(std::uint64_t id)
-    {
-        auto it = conns.find(id);
-        if (it == conns.end())
-            return;
-        if (acceptRing && it->second.tOpenNs)
-            acceptRing->push({"conn", acceptRing->tid(),
-                              it->second.tOpenNs,
-                              obs::nowNs() - it->second.tOpenNs, id});
-        ::epoll_ctl(epfd, EPOLL_CTL_DEL, it->second.fd, nullptr);
-        ::close(it->second.fd);
-        conns.erase(it);
-        statConns.store(conns.size(), std::memory_order_relaxed);
-    }
-
-    /** Write as much of c.out as the socket accepts. */
-    bool
-    flushConn(Conn &c)
-    {
-        while (c.outAt < c.out.size()) {
-            const ssize_t n = ::write(c.fd, c.out.data() + c.outAt,
-                                      c.out.size() - c.outAt);
-            if (n > 0) {
-                c.outAt += std::size_t(n);
-                continue;
-            }
-            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-                connUpdateEvents(c, true);
-                return true;
-            }
-            return false;  // peer gone
-        }
-        c.out.clear();
-        c.outAt = 0;
-        connUpdateEvents(c, false);
-        return true;
-    }
-
-    void
-    localReply(Conn &c, Response r)
-    {
-        encodeResponse(r, c.out);
-        if (!flushConn(c))
-            closeConn(c.id);
-    }
-
-    std::string
-    statsJsonNow() const
-    {
-        using stats::JsonValue;
-        JsonValue::Object o;
-        o["backend"] = store::backendName(cfg.backend);
-        o["shards"] = std::uint64_t(cfg.shards);
-        o["connections"] = statConns.load(std::memory_order_relaxed);
-        o["accepted"] = statAccepted.load(std::memory_order_relaxed);
-        o["retries"] = statRetries.load(std::memory_order_relaxed);
-        o["errors"] = statErrs.load(std::memory_order_relaxed);
-        o["faults"] = statFaults.load(std::memory_order_relaxed);
-        namespace sn = engine::statname;
-        // Latency keys carry the canonical "_ns" base plus percentile
-        // suffixes; values are nanoseconds (bucket midpoints).
-        const auto addLat = [](JsonValue::Object &dst, const char *base,
-                               const obs::Histogram &h) {
-            const obs::Histogram::Summary m = h.summary();
-            const std::string b(base);
-            dst[b + "_count"] = m.count;
-            dst[b + "_p50"] = m.p50Ns;
-            dst[b + "_p90"] = m.p90Ns;
-            dst[b + "_p99"] = m.p99Ns;
-            dst[b + "_p999"] = m.p999Ns;
-        };
-        std::uint64_t gets = 0, muts = 0, acks = 0, scans = 0;
-        std::uint64_t epochs = 0, folds = 0, deadlines = 0;
-        std::uint64_t mediaRepaired = 0, mediaUnrepairable = 0;
-        // Txn commits/aborts split across owners: fast path on the
-        // shard worker, general path on the acceptor (coordinator).
-        std::uint64_t txnC =
-            statTxnCommits.load(std::memory_order_relaxed);
-        std::uint64_t txnA =
-            statTxnAborts.load(std::memory_order_relaxed);
-        obs::Histogram txnCommitAll, txnAbortAll;
-        txnCommitAll.merge(txnCommitNs);
-        txnAbortAll.merge(txnAbortNs);
-        JsonValue::Object shards;
-        for (const auto &wp : workers) {
-            const auto &w = *wp;
-            JsonValue::Object s;
-            const std::uint64_t g =
-                w.statGets.load(std::memory_order_relaxed);
-            const std::uint64_t m =
-                w.statMuts.load(std::memory_order_relaxed);
-            const std::uint64_t sc =
-                w.statScans.load(std::memory_order_relaxed);
-            const std::uint64_t a =
-                w.statAcks.load(std::memory_order_relaxed);
-            const std::uint64_t e =
-                w.statEpochs.load(std::memory_order_relaxed);
-            const std::uint64_t f =
-                w.statFolds.load(std::memory_order_relaxed);
-            const std::uint64_t d =
-                w.statDeadlineCommits.load(std::memory_order_relaxed);
-            const std::uint64_t tc =
-                w.statTxnCommits.load(std::memory_order_relaxed);
-            const std::uint64_t ta =
-                w.statTxnAborts.load(std::memory_order_relaxed);
-            s[sn::gets] = g;
-            s[sn::mutations] = m;
-            s[sn::scans] = sc;
-            s[sn::txnCommits] = tc;
-            s[sn::txnAborts] = ta;
-            s[sn::acksReleased] = a;
-            s[sn::epochsCommitted] = e;
-            s[sn::folds] = f;
-            s[sn::deadlineCommits] = d;
-            s[sn::committedEpoch] =
-                w.statCommittedEpoch.load(std::memory_order_relaxed);
-            s[sn::queueDepth] =
-                w.statQueueDepth.load(std::memory_order_relaxed);
-            // Recovery counters: written once by the worker before
-            // the readiness latch, so the acceptor's reads are
-            // ordered-after by start()'s latch acquire.
-            s[sn::recoveryAttached] =
-                std::uint64_t(w.attached ? 1 : 0);
-            s[sn::batchesReplayed] = w.report.batchesReplayed;
-            s[sn::entriesReplayed] = w.report.entriesReplayed;
-            s[sn::batchesDiscarded] = w.report.batchesDiscarded;
-            s[sn::walUndone] =
-                std::uint64_t(w.report.walUndone ? 1 : 0);
-            // Media-fault counters: the store's own atomics, safe to
-            // read cross-thread like the histogram mirrors.
-            const store::MediaCounters &mc = w.kv->mediaCounters(0);
-            const std::uint64_t mr =
-                mc.repaired.load(std::memory_order_relaxed);
-            const std::uint64_t mu =
-                mc.unrepairable.load(std::memory_order_relaxed);
-            s[sn::mediaRepaired] = mr;
-            s[sn::mediaUnrepairable] = mu;
-            s[sn::scrubRegions] =
-                mc.scrubRegions.load(std::memory_order_relaxed);
-            s[sn::scrubPasses] =
-                mc.scrubPasses.load(std::memory_order_relaxed);
-            s[sn::quarantined] =
-                std::uint64_t(w.kv->quarantined(0) ? 1 : 0);
-            mediaRepaired += mr;
-            mediaUnrepairable += mu;
-            // Ordered-index gauges: the worker's kv atomics, safe to
-            // read cross-thread like the histogram mirrors.
-            s[sn::indexEntries] = w.kv->indexEntries(0);
-            s[sn::indexBytes] = w.kv->indexBytes(0);
-            const obs::ShardObs &ob = w.kv->shardObs(0);
-            addLat(s, sn::stageLatNs, ob.stageNs);
-            addLat(s, sn::commitLatNs, ob.commitNs);
-            addLat(s, sn::foldLatNs, ob.foldNs);
-            addLat(s, sn::recoverLatNs, ob.recoverNs);
-            addLat(s, sn::scanLatNs, ob.scanNs);
-            addLat(s, sn::scanLen, ob.scanLen);
-            addLat(s, sn::scrubLatNs, ob.scrubNs);
-            addLat(s, sn::reqQueueNs, w.queueNs);
-            addLat(s, sn::reqCommitWaitNs, w.commitWaitNs);
-            shards[std::to_string(w.index)] = std::move(s);
-            gets += g;
-            muts += m;
-            scans += sc;
-            txnC += tc;
-            txnA += ta;
-            acks += a;
-            epochs += e;
-            folds += f;
-            deadlines += d;
-            txnCommitAll.merge(w.txnCommitNs);
-            txnAbortAll.merge(w.txnAbortNs);
-        }
-        o[sn::gets] = gets;
-        o[sn::mutations] = muts;
-        o[sn::scans] = scans;
-        o[sn::acksReleased] = acks;
-        o[sn::epochsCommitted] = epochs;
-        o[sn::folds] = folds;
-        o[sn::deadlineCommits] = deadlines;
-        o[sn::mediaRepaired] = mediaRepaired;
-        o[sn::mediaUnrepairable] = mediaUnrepairable;
-        o[sn::txnCommits] = txnC;
-        o[sn::txnAborts] = txnA;
-        addLat(o, sn::reqParseNs, parseNs);
-        addLat(o, sn::reqAckNs, ackNs);
-        addLat(o, sn::txnCommitLatNs, txnCommitAll);
-        addLat(o, sn::txnAbortLatNs, txnAbortAll);
-        o["shard"] = std::move(shards);
-        return JsonValue(std::move(o)).render();
-    }
-
-    /**
-     * The METRICS-op body: Prometheus text exposition of the same
-     * counters plus full latency histogram bucket series, labelled
-     * shard="i". Latency metric names rewrite the canonical "_ns"
-     * tail to "_seconds" (Prometheus base units).
-     */
-    std::string
-    metricsTextNow() const
-    {
-        namespace sn = engine::statname;
-        const auto rel = [](const std::atomic<std::uint64_t> &a) {
-            return double(a.load(std::memory_order_relaxed));
-        };
-        const auto promName = [](const char *base) {
-            std::string n = std::string("lp_") + base;
-            if (n.size() >= 3 && n.compare(n.size() - 3, 3, "_ns") == 0)
-                n.replace(n.size() - 3, 3, "_seconds");
-            return n;
-        };
-        obs::MetricsText mt;
-        mt.gauge("lp_connections", "", rel(statConns));
-        mt.counter("lp_accepted", "", rel(statAccepted));
-        mt.counter("lp_retries", "", rel(statRetries));
-        mt.counter("lp_errors", "", rel(statErrs));
-        mt.counter("lp_faults", "", rel(statFaults));
-        mt.counter("lp_malformed", "", rel(statMalformed));
-        for (const auto &wp : workers) {
-            const auto &w = *wp;
-            const std::string lab =
-                "shard=\"" + std::to_string(w.index) + "\"";
-            mt.counter(promName(sn::gets), lab, rel(w.statGets));
-            mt.counter(promName(sn::mutations), lab, rel(w.statMuts));
-            mt.counter(promName(sn::scans), lab, rel(w.statScans));
-            mt.counter(promName(sn::txnCommits), lab,
-                       rel(w.statTxnCommits));
-            mt.counter(promName(sn::txnAborts), lab,
-                       rel(w.statTxnAborts));
-            mt.gauge(promName(sn::indexEntries), lab,
-                     double(w.kv->indexEntries(0)));
-            mt.gauge(promName(sn::indexBytes), lab,
-                     double(w.kv->indexBytes(0)));
-            mt.counter(promName(sn::acksReleased), lab,
-                       rel(w.statAcks));
-            mt.counter(promName(sn::epochsCommitted), lab,
-                       rel(w.statEpochs));
-            mt.counter(promName(sn::folds), lab, rel(w.statFolds));
-            mt.counter(promName(sn::deadlineCommits), lab,
-                       rel(w.statDeadlineCommits));
-            mt.gauge(promName(sn::committedEpoch), lab,
-                     rel(w.statCommittedEpoch));
-            mt.gauge(promName(sn::queueDepth), lab,
-                     rel(w.statQueueDepth));
-            mt.counter(promName(sn::recoveryAttached), lab,
-                       w.attached ? 1.0 : 0.0);
-            mt.counter(promName(sn::batchesReplayed), lab,
-                       double(w.report.batchesReplayed));
-            mt.counter(promName(sn::entriesReplayed), lab,
-                       double(w.report.entriesReplayed));
-            mt.counter(promName(sn::batchesDiscarded), lab,
-                       double(w.report.batchesDiscarded));
-            mt.counter(promName(sn::walUndone), lab,
-                       w.report.walUndone ? 1.0 : 0.0);
-            const store::MediaCounters &mc = w.kv->mediaCounters(0);
-            const auto mcrel = [](const std::atomic<std::uint64_t> &a) {
-                return double(a.load(std::memory_order_relaxed));
-            };
-            mt.counter("lp_media_repaired_total", lab,
-                       mcrel(mc.repaired));
-            mt.counter("lp_media_unrepairable_total", lab,
-                       mcrel(mc.unrepairable));
-            mt.counter(promName(sn::scrubRegions), lab,
-                       mcrel(mc.scrubRegions));
-            mt.counter(promName(sn::scrubPasses), lab,
-                       mcrel(mc.scrubPasses));
-            mt.gauge(promName(sn::quarantined), lab,
-                     w.kv->quarantined(0) ? 1.0 : 0.0);
-            const obs::ShardObs &ob = w.kv->shardObs(0);
-            mt.histogramNs(promName(sn::stageLatNs), lab, ob.stageNs);
-            mt.histogramNs(promName(sn::commitLatNs), lab,
-                           ob.commitNs);
-            mt.histogramNs(promName(sn::foldLatNs), lab, ob.foldNs);
-            mt.histogramNs(promName(sn::recoverLatNs), lab,
-                           ob.recoverNs);
-            mt.histogramNs(promName(sn::scanLatNs), lab, ob.scanNs);
-            mt.histogramNs(promName(sn::scrubLatNs), lab, ob.scrubNs);
-            mt.histogramNs(promName(sn::reqQueueNs), lab, w.queueNs);
-            mt.histogramNs(promName(sn::reqCommitWaitNs), lab,
-                           w.commitWaitNs);
-        }
-        mt.histogramNs(promName(sn::reqParseNs), "", parseNs);
-        mt.histogramNs(promName(sn::reqAckNs), "", ackNs);
-        // Unlabelled totals: both commit paths summed. Scrapers (and
-        // lazyper_cli top's vintage gate) key on lp_txn_commits.
-        std::uint64_t txnC =
-            statTxnCommits.load(std::memory_order_relaxed);
-        std::uint64_t txnA =
-            statTxnAborts.load(std::memory_order_relaxed);
-        obs::Histogram txnCommitAll, txnAbortAll;
-        txnCommitAll.merge(txnCommitNs);
-        txnAbortAll.merge(txnAbortNs);
-        for (const auto &wp : workers) {
-            txnC += wp->statTxnCommits.load(std::memory_order_relaxed);
-            txnA += wp->statTxnAborts.load(std::memory_order_relaxed);
-            txnCommitAll.merge(wp->txnCommitNs);
-            txnAbortAll.merge(wp->txnAbortNs);
-        }
-        mt.counter(promName(sn::txnCommits), "", double(txnC));
-        mt.counter(promName(sn::txnAborts), "", double(txnA));
-        mt.histogramNs(promName(sn::txnCommitLatNs), "", txnCommitAll);
-        mt.histogramNs(promName(sn::txnAbortLatNs), "", txnAbortAll);
-        return mt.str();
-    }
-
-    /** Dispatch one decoded request (may close the connection). */
-    void
-    handleRequest(Conn &c, Request &req, bool &wantShutdown)
-    {
-        switch (req.op) {
-          case Op::Get:
-          case Op::Put:
-          case Op::Del: {
-            if (req.key > store::maxUserKey) {
+        for (const BatchOp &b : req.batch) {
+            if (b.key > store::maxUserKey) {
                 statErrs.fetch_add(1, std::memory_order_relaxed);
                 localReply(c, statusReply(Status::Err, req.id));
                 return;
             }
-            // Quarantine fast path: refuse mutations to a read-only
-            // shard before they queue (the worker re-checks; this
-            // mirror read just saves the round trip). GETs pass.
-            if (req.op != Op::Get &&
-                workers[std::size_t(routeShard(
-                           req.key, cfg.shards))]->kv->quarantined(0)) {
+        }
+        // All-or-nothing quarantine check: refuse the whole
+        // BATCH before enqueueing anything if any target shard
+        // is read-only, so a Fault reply means no sub-op
+        // applied. (A scrub racing in after this check can still
+        // fault individual sub-ops; the reply is then Fault but
+        // sub-ops on healthy shards have applied -- BATCH is not
+        // transactional across shards.)
+        for (const BatchOp &b : req.batch) {
+            if (workers[std::size_t(routeShard(b.key, cfg.shards))]
+                    ->kv->quarantined(0)) {
                 statFaults.fetch_add(1, std::memory_order_relaxed);
                 localReply(c, statusReply(Status::Fault, req.id));
                 return;
             }
-            if (c.inflight >= cfg.maxInflightPerConn) {
-                statRetries.fetch_add(1, std::memory_order_relaxed);
-                localReply(c, statusReply(Status::Retry, req.id));
-                return;
-            }
-            ++c.inflight;
+        }
+        if (c.inflight >= cfg.maxInflightPerConn) {
+            statRetries.fetch_add(1, std::memory_order_relaxed);
+            localReply(c, statusReply(Status::Retry, req.id));
+            return;
+        }
+        ++c.inflight;
+        auto ctx = std::make_shared<BatchCtx>(
+            std::uint32_t(req.batch.size()), c.id, req.id);
+        const std::uint64_t tEnq = obs::nowNs();
+        for (const BatchOp &b : req.batch) {
             OpItem it;
-            it.kind = req.op == Op::Get   ? OpItem::Kind::Get
-                      : req.op == Op::Put ? OpItem::Kind::Put
-                                          : OpItem::Kind::Del;
+            it.kind = b.isPut ? OpItem::Kind::Put
+                              : OpItem::Kind::Del;
             it.connId = c.id;
             it.reqId = req.id;
-            it.key = req.key;
-            it.value = req.value;
-            it.tEnqNs = obs::nowNs();
-            enqueue(routeShard(req.key, cfg.shards), std::move(it));
-            return;
-          }
-          case Op::Scan: {
-            // A start key beyond maxUserKey is legal (empty result),
-            // unlike point ops: the range [start, ~0] simply holds no
-            // user keys. The decoder already enforced the limit range.
-            if (c.inflight >= cfg.maxInflightPerConn) {
-                statRetries.fetch_add(1, std::memory_order_relaxed);
-                localReply(c, statusReply(Status::Retry, req.id));
-                return;
-            }
-            ++c.inflight;
-            auto ctx = std::make_shared<ScanCtx>(cfg.shards, c.id,
-                                                 req.id, req.limit);
-            const std::uint64_t tEnq = obs::nowNs();
-            for (int s = 0; s < cfg.shards; ++s) {
-                OpItem it;
-                it.kind = OpItem::Kind::Scan;
-                it.connId = c.id;
-                it.reqId = req.id;
-                it.key = req.key;
-                it.value = req.limit;
-                it.tEnqNs = tEnq;
-                it.scan = ctx;
-                enqueue(s, std::move(it));
-            }
-            return;
-          }
-          case Op::Batch: {
-            if (req.batch.empty()) {
-                localReply(c, statusReply(Status::Ok, req.id));
-                return;
-            }
-            for (const BatchOp &b : req.batch) {
-                if (b.key > store::maxUserKey) {
-                    statErrs.fetch_add(1, std::memory_order_relaxed);
-                    localReply(c, statusReply(Status::Err, req.id));
-                    return;
-                }
-            }
-            // All-or-nothing quarantine check: refuse the whole
-            // BATCH before enqueueing anything if any target shard
-            // is read-only, so a Fault reply means no sub-op
-            // applied. (A scrub racing in after this check can still
-            // fault individual sub-ops; the reply is then Fault but
-            // sub-ops on healthy shards have applied -- BATCH is not
-            // transactional across shards.)
-            for (const BatchOp &b : req.batch) {
-                if (workers[std::size_t(routeShard(
-                               b.key, cfg.shards))]
-                        ->kv->quarantined(0)) {
-                    statFaults.fetch_add(1, std::memory_order_relaxed);
-                    localReply(c, statusReply(Status::Fault, req.id));
-                    return;
-                }
-            }
-            if (c.inflight >= cfg.maxInflightPerConn) {
-                statRetries.fetch_add(1, std::memory_order_relaxed);
-                localReply(c, statusReply(Status::Retry, req.id));
-                return;
-            }
-            ++c.inflight;
-            auto ctx = std::make_shared<BatchCtx>(
-                std::uint32_t(req.batch.size()), c.id, req.id);
-            const std::uint64_t tEnq = obs::nowNs();
-            for (const BatchOp &b : req.batch) {
-                OpItem it;
-                it.kind = b.isPut ? OpItem::Kind::Put
-                                  : OpItem::Kind::Del;
-                it.connId = c.id;
-                it.reqId = req.id;
-                it.key = b.key;
-                it.value = b.value;
-                it.tEnqNs = tEnq;
-                it.batch = ctx;
-                enqueue(routeShard(b.key, cfg.shards), std::move(it));
-            }
-            return;
-          }
-          case Op::Txn: {
-            for (const TxnOp &t : req.txn) {
-                if (t.key > store::maxUserKey) {
-                    statErrs.fetch_add(1, std::memory_order_relaxed);
-                    localReply(c, statusReply(Status::Err, req.id));
-                    return;
-                }
-            }
-            // Quarantine precheck. Unlike BATCH (per-op Fault votes)
-            // the worker-side backstop aborts the WHOLE transaction,
-            // so this mirror read just refuses early.
-            for (const TxnOp &t : req.txn) {
-                if (t.kind != TxnOp::Kind::Get &&
-                    workers[std::size_t(routeShard(
-                               t.key, cfg.shards))]
-                        ->kv->quarantined(0)) {
-                    statFaults.fetch_add(1, std::memory_order_relaxed);
-                    localReply(c, statusReply(Status::Fault, req.id));
-                    return;
-                }
-            }
-            if (c.inflight >= cfg.maxInflightPerConn) {
-                statRetries.fetch_add(1, std::memory_order_relaxed);
-                localReply(c, statusReply(Status::Retry, req.id));
-                return;
-            }
-            ++c.inflight;
-            auto ctx = std::make_shared<TxnCtx>();
-            ctx->txnid = nextTxnId++;
-            ctx->connId = c.id;
-            ctx->reqId = req.id;
-            ctx->tStartNs = obs::nowNs();
-            ctx->ops = std::move(req.txn);
-            ctx->readSlot.assign(ctx->ops.size(), -1);
-            // Split ops by shard into parts (wire order preserved
-            // within a part) and count writes for the path choice.
-            std::unordered_map<int, std::size_t> partOf;
-            std::size_t nWrites = 0;
-            for (std::size_t i = 0; i < ctx->ops.size(); ++i) {
-                const TxnOp &t = ctx->ops[i];
-                const int shard = routeShard(t.key, cfg.shards);
-                const auto [pit, fresh] =
-                    partOf.try_emplace(shard, ctx->parts.size());
-                if (fresh) {
-                    ctx->parts.emplace_back();
-                    ctx->parts.back().shard = shard;
-                }
-                TxnCtx::Part &part = ctx->parts[pit->second];
-                part.ops.push_back(std::uint32_t(i));
-                if (t.kind == TxnOp::Kind::Get) {
-                    ctx->readSlot[i] = int(ctx->reads.size());
-                    ctx->reads.emplace_back();
-                } else {
-                    part.hasWrites = true;
-                    ++nWrites;
-                }
-            }
-            // Lock plan per part: keys sorted ascending, mode = max
-            // over the part's ops on that key (ordered map dedups).
-            for (auto &part : ctx->parts) {
-                std::map<std::uint64_t, txn::LockMode> modes;
-                for (const auto opIdx : part.ops) {
-                    const TxnOp &t = ctx->ops[opIdx];
-                    txn::LockMode &m = modes[t.key];
-                    if (t.kind != TxnOp::Kind::Get)
-                        m = txn::LockMode::Write;
-                }
-                for (const auto &[key, mode] : modes) {
-                    part.lockKeys.push_back(key);
-                    part.lockModes.push_back(mode);
-                }
-            }
-            // Fast path: single shard, and the write-set fits one
-            // epoch of a batching backend (eager persists per op, so
-            // it can never make a multi-write set crash-atomic
-            // without the prepare/decision protocol).
-            ctx->fastPath =
-                ctx->parts.size() == 1 &&
-                (nWrites == 0 ||
-                 (cfg.backend != store::Backend::EagerPerOp &&
-                  nWrites <= std::size_t(cfg.batchOps)));
-            ctx->votesLeft.store(int(ctx->parts.size()),
-                                 std::memory_order_relaxed);
-            const std::uint64_t tEnq = obs::nowNs();
-            for (std::size_t i = 0; i < ctx->parts.size(); ++i) {
-                OpItem it;
-                it.kind = OpItem::Kind::Txn;
-                it.connId = c.id;
-                it.reqId = req.id;
-                it.tEnqNs = tEnq;
-                it.txn = ctx;
-                it.part = i;
-                enqueue(ctx->parts[i].shard, std::move(it));
-            }
-            return;
-          }
-          case Op::Stats: {
-            Response r;
-            r.status = Status::Ok;
-            r.id = req.id;
-            r.body = statsJsonNow();
-            localReply(c, std::move(r));
-            return;
-          }
-          case Op::Metrics: {
-            Response r;
-            r.status = Status::Ok;
-            r.id = req.id;
-            r.body = metricsTextNow();
-            localReply(c, std::move(r));
-            return;
-          }
-          case Op::Shutdown:
-            localReply(c, statusReply(Status::Ok, req.id));
-            wantShutdown = true;
-            return;
+            it.key = b.key;
+            it.value = b.value;
+            it.tEnqNs = tEnq;
+            it.batch = ctx;
+            enqueue(routeShard(b.key, cfg.shards), std::move(it));
         }
-        statMalformed.fetch_add(1, std::memory_order_relaxed);
-        closeConn(c.id);
+        return;
+      }
+      case Op::Txn:
+        routeTxn(c, req);  // coordinator entry (server_txn.cc)
+        return;
+      case Op::Stats: {
+        Response r;
+        r.status = Status::Ok;
+        r.id = req.id;
+        r.body = statsJsonNow();
+        localReply(c, std::move(r));
+        return;
+      }
+      case Op::Metrics: {
+        Response r;
+        r.status = Status::Ok;
+        r.id = req.id;
+        r.body = metricsTextNow();
+        localReply(c, std::move(r));
+        return;
+      }
+      case Op::Shutdown:
+        localReply(c, statusReply(Status::Ok, req.id));
+        wantShutdown_ = true;
+        return;
     }
+    statMalformed.fetch_add(1, std::memory_order_relaxed);
+    closeConn(c.id);
+}
 
-    /** Returns false if the connection was closed. */
-    void
-    readable(std::uint64_t connId, bool &wantShutdown)
-    {
-        auto it = conns.find(connId);
-        if (it == conns.end())
-            return;
-        Conn &c = it->second;
-        std::uint8_t buf[64 * 1024];
-        for (;;) {
-            const ssize_t n = ::read(c.fd, buf, sizeof(buf));
-            if (n > 0) {
-                c.in.insert(c.in.end(), buf, buf + n);
-                if (n == ssize_t(sizeof(buf)))
-                    continue;
-                break;
-            }
-            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
-                break;
-            closeConn(connId);  // EOF or hard error
+void
+Server::Impl::readable(std::uint64_t connId)
+{
+    auto it = conns.find(connId);
+    if (it == conns.end())
+        return;
+    Conn &c = *it->second;
+    bool drained = false;
+    while (!drained) {
+        if (c.readPaused) {
+            // Backpressure: flushing is the only way forward. If
+            // the socket still won't take the outbuf, park until
+            // EPOLLOUT re-enters through writable().
+            if (!flushDatapath(c))
+                return;
+            if (c.readPaused)
+                return;
+        }
+        const auto io = c.nc.fill(kReadBudget);
+        if (io == net::Connection::Io::Closed) {
+            closeConn(connId);
             return;
         }
-        std::size_t at = 0;
-        while (conns.count(connId)) {
+        drained = (io == net::Connection::Io::Drained);
+        // Decode every complete frame buffered so far.
+        for (;;) {
+            net::FrameCursor &in = c.nc.in();
             Request req;
             std::size_t used = 0;
             const std::uint64_t t0 = obs::nowNs();
-            const Decode d = decodeRequest(c.in.data() + at,
-                                           c.in.size() - at, used, req);
+            const Decode d =
+                decodeRequest(in.data(), in.size(), used, req);
             if (d == Decode::NeedMore)
                 break;
             if (d == Decode::Malformed) {
@@ -1902,460 +296,367 @@ struct Server::Impl
                 return;
             }
             parseNs.record(obs::nowNs() - t0);
-            at += used;
-            handleRequest(c, req, wantShutdown);
-        }
-        if (conns.count(connId) && at > 0)
-            c.in.erase(c.in.begin(),
-                       c.in.begin() + std::ptrdiff_t(at));
-    }
-
-    void
-    acceptPending()
-    {
-        for (;;) {
-            const int fd =
-                ::accept4(listenFd, nullptr, nullptr, SOCK_NONBLOCK);
-            if (fd < 0)
-                return;
-            if (int(conns.size()) >= cfg.maxConns) {
-                ::close(fd);
-                continue;
+            in.consume(used);
+            handleRequest(c, req);
+            if (conns.find(connId) == conns.end())
+                return;  // handleRequest closed it
+            if (c.nc.outBytes() >=
+                std::uint64_t(cfg.outbufLimitBytes)) {
+                c.readPaused = true;
+                drained = false;  // buffered frames may remain
+                break;
             }
-            const int one = 1;
-            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
-                         sizeof(one));
-            Conn c;
-            c.fd = fd;
-            c.id = nextConnId++;
-            c.tOpenNs = obs::nowNs();
-            epollAdd(fd, c.id, EPOLLIN);
-            conns.emplace(c.id, std::move(c));
-            statAccepted.fetch_add(1, std::memory_order_relaxed);
-            statConns.store(conns.size(), std::memory_order_relaxed);
         }
     }
+    flushDatapath(c);
+}
 
-    void
-    drainReplies()
+/** EPOLLOUT: resume the flush, then the decode loop if it unparked. */
+void
+Server::Impl::writable(std::uint64_t connId)
+{
+    auto it = conns.find(connId);
+    if (it == conns.end())
+        return;
+    Conn &c = *it->second;
+    const bool paused = c.readPaused;
+    if (!flushDatapath(c))
+        return;
+    if (paused && !c.readPaused)
+        readable(connId);
+}
+
+void
+Server::Impl::acceptPending()
+{
+    for (;;) {
+        const int fd =
+            ::accept4(listenFd, nullptr, nullptr, SOCK_NONBLOCK);
+        if (fd < 0)
+            return;
+        if (int(conns.size()) >= cfg.maxConns) {
+            ::close(fd);
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        auto c = std::make_unique<Conn>(fd, &netStats);
+        c->id = nextConnId++;
+        c->tOpenNs = obs::nowNs();
+        loop.add(fd, c->id, net::kReadable | net::kEdge);
+        conns.emplace(c->id, std::move(c));
+        statAccepted.fetch_add(1, std::memory_order_relaxed);
+        statConns.store(conns.size(), std::memory_order_relaxed);
+    }
+}
+
+void
+Server::Impl::drainReplies()
+{
+    std::vector<ReplyMsg> local;
     {
-        std::vector<ReplyMsg> local;
+        std::lock_guard<std::mutex> g(replyMu);
+        local.swap(replies);
+    }
+    // Encode everything first, flush each touched connection once:
+    // a burst of worker replies to one connection becomes a single
+    // gathered writev instead of one blocking write per frame.
+    std::vector<std::uint64_t> touched;
+    for (ReplyMsg &m : local) {
+        auto it = conns.find(m.connId);
+        if (it == conns.end())
+            continue;  // client left before its reply
+        Conn &c = *it->second;
+        if (c.inflight > 0)
+            --c.inflight;
+        encodeResponse(m.resp, c.nc.frameBuf());
+        c.nc.queueFrame();
+        ackNs.record(obs::nowNs() - m.tPostNs);
+        if (touched.empty() || touched.back() != m.connId)
+            touched.push_back(m.connId);
+    }
+    for (const std::uint64_t id : touched) {
+        auto it = conns.find(id);
+        if (it == conns.end())
+            continue;
+        Conn &c = *it->second;
+        const bool paused = c.readPaused;
+        if (!flushDatapath(c))
+            continue;
+        if (paused && !c.readPaused)
+            readable(id);
+    }
+}
+
+void
+Server::Impl::acceptorMain()
+{
+    while (!wantShutdown_) {
+        const int n = loop.wait(-1);
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t ud = loop.data(i);
+            if (ud == udListen) {
+                acceptPending();
+            } else if (ud == udWake) {
+                wakeFd.drain();
+                drainTxnEvents();
+                drainReplies();
+            } else if (ud == udStop) {
+                stopFd.drain();
+                wantShutdown_ = true;
+            } else {
+                const std::uint32_t ev = loop.events(i);
+                if (ev & net::kHangup) {
+                    closeConn(ud);
+                    continue;
+                }
+                if (ev & net::kReadable)
+                    readable(ud);
+                if (ev & net::kWritable)
+                    writable(ud);
+            }
+        }
+    }
+    shutdownSequence();
+}
+
+/**
+ * Graceful shutdown: stop accepting, drain the workers (they
+ * checkpoint their shards), keep delivering replies until every
+ * worker exited and the reply queue is dry, then flush and close.
+ */
+void
+Server::Impl::shutdownSequence()
+{
+    loop.del(listenFd);
+    ::close(listenFd);
+    listenFd = -1;
+
+    for (auto &wp : workers) {
+        {
+            std::lock_guard<std::mutex> g(wp->mu);
+            wp->stopFlag = true;
+        }
+        wp->cv.notify_one();
+    }
+
+    // Bounded drain loop: replies may still arrive while workers
+    // commit their final batches.
+    const auto deadline = Clock::now() + std::chrono::seconds(10);
+    for (;;) {
+        drainTxnEvents();
+        drainReplies();
+        const bool allOut =
+            workersExited.load(std::memory_order_acquire) ==
+            int(workers.size());
+        bool queued = false;
         {
             std::lock_guard<std::mutex> g(replyMu);
-            local.swap(replies);
+            queued = !replies.empty();
         }
-        std::vector<std::uint64_t> touched;
-        for (ReplyMsg &m : local) {
-            auto it = conns.find(m.connId);
-            if (it == conns.end())
-                continue;  // client left before its reply
-            Conn &c = it->second;
-            if (c.inflight > 0)
-                --c.inflight;
-            encodeResponse(m.resp, c.out);
-            ackNs.record(obs::nowNs() - m.tPostNs);
-            touched.push_back(m.connId);
-        }
-        for (const std::uint64_t id : touched) {
-            auto it = conns.find(id);
-            if (it != conns.end() && !flushConn(it->second))
-                closeConn(id);
-        }
-    }
-
-    /** Collect participant votes; the last vote decides the txn. */
-    void
-    drainTxnEvents()
-    {
-        std::vector<TxnEvent> local;
-        {
-            std::lock_guard<std::mutex> g(txnMu);
-            local.swap(txnEvents);
-        }
-        for (TxnEvent &ev : local) {
-            if (ev.ctx->votesLeft.fetch_sub(
-                    1, std::memory_order_acq_rel) != 1)
-                continue;
-            finishTxn(ev.ctx);
-        }
-    }
-
-    /**
-     * Every participant voted (general path only; the fast path never
-     * posts events). Unanimous PREPARE commits; any Aborted vote
-     * aborts. Either way every part gets a follow-up op -- read-only
-     * parts included, since they hold locks to release.
-     */
-    void
-    finishTxn(const std::shared_ptr<TxnCtx> &ctx)
-    {
-        const std::uint64_t tEnq = obs::nowNs();
-        if (ctx->abortedParts.load(std::memory_order_acquire) > 0) {
-            for (std::size_t i = 0; i < ctx->parts.size(); ++i) {
-                if (!ctx->parts[i].prepared)
+        bool unflushed = false;
+        for (auto &[id, c] : conns)
+            if (c->nc.wantWrite())
+                unflushed = true;
+        if ((allOut && !queued && !unflushed) ||
+            Clock::now() >= deadline)
+            break;
+        const int n = loop.wait(50);
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t ud = loop.data(i);
+            if (ud == udWake) {
+                wakeFd.drain();
+            } else if (ud == udStop) {
+                stopFd.drain();
+            } else if (ud >= firstConnId) {
+                auto it = conns.find(ud);
+                if (it == conns.end())
                     continue;
-                OpItem it;
-                it.kind = OpItem::Kind::TxnAbort;
-                it.tEnqNs = tEnq;
-                it.txn = ctx;
-                it.part = i;
-                enqueue(ctx->parts[i].shard, std::move(it));
+                if (loop.events(i) & net::kHangup)
+                    closeConn(ud);
+                else if (loop.events(i) & net::kWritable)
+                    flushDatapath(*it->second);
             }
-            const bool faulted =
-                ctx->faulted.load(std::memory_order_acquire);
-            if (faulted)
-                statFaults.fetch_add(1, std::memory_order_relaxed);
-            statTxnAborts.fetch_add(1, std::memory_order_relaxed);
-            txnAbortNs.record(obs::nowNs() - ctx->tStartNs);
-            postReply(ctx->connId,
-                      statusReply(faulted ? Status::Fault
-                                          : Status::Aborted,
-                                  ctx->reqId));
-            return;
-        }
-        bool anyWrites = false;
-        for (const auto &part : ctx->parts)
-            if (!part.writes.empty())
-                anyWrites = true;
-        // The decision append (store + flush + fence) IS the commit:
-        // with every vote durable, the record makes the outcome
-        // recoverable, so the client reply goes out now and the
-        // applies stay lazy.
-        if (anyWrites)
-            dlog->append(txnEnv, ctx->txnid);
-        Response r;
-        r.status = Status::Ok;
-        r.id = ctx->reqId;
-        r.body = encodeTxnReadsBody(ctx->reads);
-        postReply(ctx->connId, std::move(r));
-        statTxnCommits.fetch_add(1, std::memory_order_relaxed);
-        txnCommitNs.record(obs::nowNs() - ctx->tStartNs);
-        for (std::size_t i = 0; i < ctx->parts.size(); ++i) {
-            OpItem it;
-            it.kind = OpItem::Kind::TxnApply;
-            it.tEnqNs = tEnq;
-            it.txn = ctx;
-            it.part = i;
-            enqueue(ctx->parts[i].shard, std::move(it));
         }
     }
 
-    void
-    acceptorMain()
-    {
-        bool wantShutdown = false;
-        epoll_event evs[64];
-        while (!wantShutdown) {
-            const int n = ::epoll_wait(epfd, evs, 64, -1);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                break;
-            }
-            for (int i = 0; i < n; ++i) {
-                const std::uint64_t ud = evs[i].data.u64;
-                if (ud == udListen) {
-                    acceptPending();
-                } else if (ud == udWake) {
-                    eventfdDrain(wakeFd);
-                    drainTxnEvents();
-                    drainReplies();
-                } else if (ud == udStop) {
-                    eventfdDrain(stopFd);
-                    wantShutdown = true;
-                } else {
-                    if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
-                        closeConn(ud);
-                        continue;
-                    }
-                    if (evs[i].events & EPOLLIN)
-                        readable(ud, wantShutdown);
-                    if (evs[i].events & EPOLLOUT) {
-                        auto it = conns.find(ud);
-                        if (it != conns.end() &&
-                            !flushConn(it->second))
-                            closeConn(ud);
-                    }
-                }
-            }
-        }
-        shutdownSequence();
+    for (auto &wp : workers)
+        if (wp->th.joinable())
+            wp->th.join();
+    while (!conns.empty())
+        closeConn(conns.begin()->first);
+    // Producers have quiesced (workers joined, acceptor is this
+    // thread): safe to drain the rings and write the trace.
+    if (trace) {
+        if (!trace->writeChromeTrace(cfg.traceOut))
+            warn("lp::server could not write trace file " +
+                 cfg.traceOut);
+        else if (!cfg.quiet)
+            inform("lp::server wrote trace " + cfg.traceOut +
+                   " (" + std::to_string(trace->totalDropped()) +
+                   " events dropped)");
+    }
+    finished.store(true, std::memory_order_release);
+}
+
+void
+Server::Impl::writePortFile()
+{
+    const std::string path = cfg.dataDir + "/PORT";
+    const std::string tmp = path + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "w");
+    LP_ASSERT(f != nullptr, "cannot write PORT file");
+    std::fprintf(f, "%d\n", port_);
+    std::fclose(f);
+    LP_ASSERT(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot publish PORT file");
+}
+
+void
+Server::Impl::start()
+{
+    LP_ASSERT(!started, "Server::start() called twice");
+    LP_ASSERT(cfg.shards >= 1, "need at least one shard worker");
+    ::mkdir(cfg.dataDir.c_str(), 0755);  // EEXIST is fine
+
+    // Trace rings must exist before worker threads spawn so the
+    // pointers are published by the thread-creation fence.
+    if (!cfg.traceOut.empty()) {
+        trace = std::make_unique<obs::TraceCollector>();
+        acceptRing = trace->ring("acceptor", 1000,
+                                 cfg.traceRingCapacity);
     }
 
-    /**
-     * Graceful shutdown: stop accepting, drain the workers (they
-     * checkpoint their shards), keep delivering replies until every
-     * worker exited and the reply queue is dry, then flush and close.
-     */
-    void
-    shutdownSequence()
+    // Recovery happens on the worker threads, before the port
+    // binds: no request can ever observe pre-recovery state.
+    workers.reserve(std::size_t(cfg.shards));
+    for (int i = 0; i < cfg.shards; ++i) {
+        auto w = std::make_unique<Worker>();
+        w->index = i;
+        w->srv = this;
+        if (trace)
+            w->ring = trace->ring("shard-" + std::to_string(i),
+                                  std::uint32_t(i),
+                                  cfg.traceRingCapacity);
+        workers.push_back(std::move(w));
+    }
+    for (auto &wp : workers) {
+        Worker *w = wp.get();
+        w->th = std::thread([this, w] { workerMain(*w); });
+    }
     {
-        ::epoll_ctl(epfd, EPOLL_CTL_DEL, listenFd, nullptr);
+        std::unique_lock<std::mutex> lk(readyMu);
+        readyCv.wait(lk, [this] {
+            return readyCount == int(workers.size());
+        });
+    }
+    for (const auto &wp : workers) {
+        if (!wp->attached)
+            continue;
+        ++recov.shardsAttached;
+        recov.batchesReplayed += wp->report.batchesReplayed;
+        recov.entriesReplayed += wp->report.entriesReplayed;
+        recov.batchesDiscarded += wp->report.batchesDiscarded;
+        recov.walUndone += wp->report.walUndone ? 1 : 0;
+        recov.mediaRepaired += wp->report.mediaRepaired;
+        recov.mediaUnrepairable += wp->report.mediaUnrepairable;
+    }
+
+    // Transaction recovery, phase 2: the decision index must
+    // exist before any shard replays its prepare table, and both
+    // must finish before the port binds -- a request must never
+    // observe a committed-but-unapplied transaction write-set.
+    openTxnLog();
+    for (auto &wp : workers) {
+        OpItem it;
+        it.kind = OpItem::Kind::TxnRecover;
+        it.tEnqNs = obs::nowNs();
+        enqueue(wp->index, std::move(it));
+    }
+    {
+        std::unique_lock<std::mutex> lk(readyMu);
+        readyCv.wait(lk, [this] {
+            return txnReadyCount == int(workers.size());
+        });
+    }
+    std::uint64_t maxTxnSeen = dlogMaxTxnId;
+    for (const auto &wp : workers) {
+        recov.txnRolledForward += wp->txnReport.rolledForward;
+        recov.txnRolledBack += wp->txnReport.rolledBack;
+        recov.txnSkipped += wp->txnReport.skipped;
+        maxTxnSeen = std::max(maxTxnSeen, wp->txnReport.maxTxnId);
+    }
+    nextTxnId = maxTxnSeen + 1;
+
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    LP_ASSERT(listenFd >= 0, "socket() failed");
+    const int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(std::uint16_t(cfg.port));
+    LP_ASSERT(::inet_pton(AF_INET, cfg.host.c_str(),
+                          &addr.sin_addr) == 1,
+              "bad listen host " + cfg.host);
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("lp::server cannot bind " + cfg.host + ":" +
+              std::to_string(cfg.port) + ": " +
+              std::strerror(errno));
+    LP_ASSERT(::listen(listenFd, 1024) == 0, "listen() failed");
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    LP_ASSERT(::getsockname(listenFd,
+                            reinterpret_cast<sockaddr *>(&bound),
+                            &blen) == 0,
+              "getsockname() failed");
+    port_ = int(ntohs(bound.sin_port));
+    net::setNonBlocking(listenFd);
+    writePortFile();
+
+    loop.add(listenFd, udListen, net::kReadable);
+    loop.add(wakeFd.fd(), udWake, net::kReadable);
+    loop.add(stopFd.fd(), udStop, net::kReadable);
+
+    if (!cfg.quiet) {
+        inform("lp::server listening on " + cfg.host + ":" +
+               std::to_string(port_) + " (" +
+               store::backendName(cfg.backend) + ", " +
+               std::to_string(cfg.shards) + " shards, " +
+               std::to_string(recov.shardsAttached) +
+               " attached, " +
+               std::to_string(recov.batchesReplayed) +
+               " batches replayed)");
+    }
+    acceptorTh = std::thread([this] { acceptorMain(); });
+    started = true;
+}
+
+void
+Server::Impl::join()
+{
+    if (acceptorTh.joinable())
+        acceptorTh.join();
+    for (auto &wp : workers)
+        if (wp->th.joinable())
+            wp->th.join();
+    if (!cfg.quiet && started && !shutdownInformed) {
+        shutdownInformed = true;
+        inform("lp::server on port " + std::to_string(port_) +
+               " shut down cleanly");
+    }
+}
+
+Server::Impl::~Impl()
+{
+    if (started && !finished.load(std::memory_order_acquire))
+        stopFd.signal();
+    join();
+    if (listenFd >= 0)
         ::close(listenFd);
-        listenFd = -1;
-
-        for (auto &wp : workers) {
-            {
-                std::lock_guard<std::mutex> g(wp->mu);
-                wp->stopFlag = true;
-            }
-            wp->cv.notify_one();
-        }
-
-        // Bounded drain loop: replies may still arrive while workers
-        // commit their final batches.
-        const auto deadline = Clock::now() + std::chrono::seconds(10);
-        epoll_event evs[64];
-        for (;;) {
-            drainTxnEvents();
-            drainReplies();
-            const bool allOut =
-                workersExited.load(std::memory_order_acquire) ==
-                int(workers.size());
-            bool queued = false;
-            {
-                std::lock_guard<std::mutex> g(replyMu);
-                queued = !replies.empty();
-            }
-            bool unflushed = false;
-            for (auto &[id, c] : conns)
-                if (c.outAt < c.out.size())
-                    unflushed = true;
-            if ((allOut && !queued && !unflushed) ||
-                Clock::now() >= deadline)
-                break;
-            const int n = ::epoll_wait(epfd, evs, 64, 50);
-            for (int i = 0; i < n; ++i) {
-                const std::uint64_t ud = evs[i].data.u64;
-                if (ud == udWake) {
-                    eventfdDrain(wakeFd);
-                } else if (ud == udStop) {
-                    eventfdDrain(stopFd);
-                } else if (ud >= firstConnId) {
-                    auto it = conns.find(ud);
-                    if (it == conns.end())
-                        continue;
-                    if (evs[i].events & (EPOLLHUP | EPOLLERR))
-                        closeConn(ud);
-                    else if (evs[i].events & EPOLLOUT)
-                        if (!flushConn(it->second))
-                            closeConn(ud);
-                }
-            }
-        }
-
-        for (auto &wp : workers)
-            if (wp->th.joinable())
-                wp->th.join();
-        while (!conns.empty())
-            closeConn(conns.begin()->first);
-        // Producers have quiesced (workers joined, acceptor is this
-        // thread): safe to drain the rings and write the trace.
-        if (trace) {
-            if (!trace->writeChromeTrace(cfg.traceOut))
-                warn("lp::server could not write trace file " +
-                     cfg.traceOut);
-            else if (!cfg.quiet)
-                inform("lp::server wrote trace " + cfg.traceOut +
-                       " (" + std::to_string(trace->totalDropped()) +
-                       " events dropped)");
-        }
-        finished.store(true, std::memory_order_release);
-    }
-    /// @}
-
-    /**
-     * Map (or create) the coordinator's decision log and scan it.
-     * Runs on the start() thread before the acceptor spawns; the
-     * thread-creation fence publishes dlog to the acceptor, and the
-     * readiness latch orders the scan before any worker's TxnRecover.
-     */
-    void
-    openTxnLog()
-    {
-        const std::string path = cfg.dataDir + "/txnlog.lpdb";
-        struct stat st{};
-        const bool attach =
-            ::stat(path.c_str(), &st) == 0 && st.st_size > 0;
-        txnArena = std::make_unique<pmem::PersistentArena>(
-            txn::decisionLogBytes(cfg.txnDecisionEntries), path);
-        dlog = std::make_unique<txn::DecisionLog<kernels::NativeEnv>>(
-            *txnArena, cfg.txnDecisionEntries, attach);
-        if (!attach)
-            txnArena->persistAll();
-        dlogMaxTxnId = dlog->scan(txnEnv);
-    }
-
-    void
-    writePortFile()
-    {
-        const std::string path = cfg.dataDir + "/PORT";
-        const std::string tmp = path + ".tmp";
-        FILE *f = std::fopen(tmp.c_str(), "w");
-        LP_ASSERT(f != nullptr, "cannot write PORT file");
-        std::fprintf(f, "%d\n", port_);
-        std::fclose(f);
-        LP_ASSERT(std::rename(tmp.c_str(), path.c_str()) == 0,
-                  "cannot publish PORT file");
-    }
-
-    void
-    start()
-    {
-        LP_ASSERT(!started, "Server::start() called twice");
-        LP_ASSERT(cfg.shards >= 1, "need at least one shard worker");
-        ::mkdir(cfg.dataDir.c_str(), 0755);  // EEXIST is fine
-
-        wakeFd = ::eventfd(0, EFD_NONBLOCK);
-        stopFd = ::eventfd(0, EFD_NONBLOCK);
-        epfd = ::epoll_create1(0);
-        LP_ASSERT(wakeFd >= 0 && stopFd >= 0 && epfd >= 0,
-                  "eventfd/epoll setup failed");
-
-        // Trace rings must exist before worker threads spawn so the
-        // pointers are published by the thread-creation fence.
-        if (!cfg.traceOut.empty()) {
-            trace = std::make_unique<obs::TraceCollector>();
-            acceptRing = trace->ring("acceptor", 1000,
-                                     cfg.traceRingCapacity);
-        }
-
-        // Recovery happens on the worker threads, before the port
-        // binds: no request can ever observe pre-recovery state.
-        workers.reserve(std::size_t(cfg.shards));
-        for (int i = 0; i < cfg.shards; ++i) {
-            auto w = std::make_unique<Worker>();
-            w->index = i;
-            w->srv = this;
-            if (trace)
-                w->ring = trace->ring("shard-" + std::to_string(i),
-                                      std::uint32_t(i),
-                                      cfg.traceRingCapacity);
-            workers.push_back(std::move(w));
-        }
-        for (auto &wp : workers) {
-            Worker *w = wp.get();
-            w->th = std::thread([this, w] { workerMain(*w); });
-        }
-        {
-            std::unique_lock<std::mutex> lk(readyMu);
-            readyCv.wait(lk, [this] {
-                return readyCount == int(workers.size());
-            });
-        }
-        for (const auto &wp : workers) {
-            if (!wp->attached)
-                continue;
-            ++recov.shardsAttached;
-            recov.batchesReplayed += wp->report.batchesReplayed;
-            recov.entriesReplayed += wp->report.entriesReplayed;
-            recov.batchesDiscarded += wp->report.batchesDiscarded;
-            recov.walUndone += wp->report.walUndone ? 1 : 0;
-            recov.mediaRepaired += wp->report.mediaRepaired;
-            recov.mediaUnrepairable += wp->report.mediaUnrepairable;
-        }
-
-        // Transaction recovery, phase 2: the decision index must
-        // exist before any shard replays its prepare table, and both
-        // must finish before the port binds -- a request must never
-        // observe a committed-but-unapplied transaction write-set.
-        openTxnLog();
-        for (auto &wp : workers) {
-            OpItem it;
-            it.kind = OpItem::Kind::TxnRecover;
-            it.tEnqNs = obs::nowNs();
-            enqueue(wp->index, std::move(it));
-        }
-        {
-            std::unique_lock<std::mutex> lk(readyMu);
-            readyCv.wait(lk, [this] {
-                return txnReadyCount == int(workers.size());
-            });
-        }
-        std::uint64_t maxTxnSeen = dlogMaxTxnId;
-        for (const auto &wp : workers) {
-            recov.txnRolledForward += wp->txnReport.rolledForward;
-            recov.txnRolledBack += wp->txnReport.rolledBack;
-            recov.txnSkipped += wp->txnReport.skipped;
-            maxTxnSeen = std::max(maxTxnSeen, wp->txnReport.maxTxnId);
-        }
-        nextTxnId = maxTxnSeen + 1;
-
-        listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
-        LP_ASSERT(listenFd >= 0, "socket() failed");
-        const int one = 1;
-        ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
-                     sizeof(one));
-        sockaddr_in addr{};
-        addr.sin_family = AF_INET;
-        addr.sin_port = htons(std::uint16_t(cfg.port));
-        LP_ASSERT(::inet_pton(AF_INET, cfg.host.c_str(),
-                              &addr.sin_addr) == 1,
-                  "bad listen host " + cfg.host);
-        if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
-                   sizeof(addr)) != 0)
-            fatal("lp::server cannot bind " + cfg.host + ":" +
-                  std::to_string(cfg.port) + ": " +
-                  std::strerror(errno));
-        LP_ASSERT(::listen(listenFd, 128) == 0, "listen() failed");
-        sockaddr_in bound{};
-        socklen_t blen = sizeof(bound);
-        LP_ASSERT(::getsockname(listenFd,
-                                reinterpret_cast<sockaddr *>(&bound),
-                                &blen) == 0,
-                  "getsockname() failed");
-        port_ = int(ntohs(bound.sin_port));
-        setNonBlocking(listenFd);
-        writePortFile();
-
-        epollAdd(listenFd, udListen, EPOLLIN);
-        epollAdd(wakeFd, udWake, EPOLLIN);
-        epollAdd(stopFd, udStop, EPOLLIN);
-
-        if (!cfg.quiet) {
-            inform("lp::server listening on " + cfg.host + ":" +
-                   std::to_string(port_) + " (" +
-                   store::backendName(cfg.backend) + ", " +
-                   std::to_string(cfg.shards) + " shards, " +
-                   std::to_string(recov.shardsAttached) +
-                   " attached, " +
-                   std::to_string(recov.batchesReplayed) +
-                   " batches replayed)");
-        }
-        acceptorTh = std::thread([this] { acceptorMain(); });
-        started = true;
-    }
-
-    void
-    join()
-    {
-        if (acceptorTh.joinable())
-            acceptorTh.join();
-        for (auto &wp : workers)
-            if (wp->th.joinable())
-                wp->th.join();
-        if (!cfg.quiet && started && !shutdownInformed) {
-            shutdownInformed = true;
-            inform("lp::server on port " + std::to_string(port_) +
-                   " shut down cleanly");
-        }
-    }
-
-    ~Impl()
-    {
-        if (started && !finished.load(std::memory_order_acquire))
-            eventfdSignal(stopFd);
-        join();
-        if (epfd >= 0)
-            ::close(epfd);
-        if (wakeFd >= 0)
-            ::close(wakeFd);
-        if (stopFd >= 0)
-            ::close(stopFd);
-        if (listenFd >= 0)
-            ::close(listenFd);
-    }
-};
+}
 
 Server::Server(ServerConfig cfg)
     : impl(std::make_unique<Impl>(std::move(cfg)))
@@ -2373,7 +674,7 @@ Server::start()
 void
 Server::requestStop()
 {
-    eventfdSignal(impl->stopFd);
+    impl->stopFd.signal();
 }
 
 void
@@ -2404,7 +705,7 @@ Server::recovery() const
 void
 Server::installSignalHandlers()
 {
-    signalStopFd.store(impl->stopFd, std::memory_order_relaxed);
+    signalStopFd.store(impl->stopFd.fd(), std::memory_order_relaxed);
     struct sigaction sa{};
     sa.sa_handler = onStopSignal;
     sigemptyset(&sa.sa_mask);

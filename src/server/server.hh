@@ -5,10 +5,12 @@
  *
  * Architecture (docs/server_design.md has the full story):
  *
- *  - One acceptor thread owns the listen socket, an epoll set, and
- *    every connection's read/write buffering. It decodes protocol
+ *  - One acceptor thread owns the listen socket, a net::EventLoop
+ *    (edge-triggered epoll), and every connection's datapath state
+ *    machine (net::Connection: buffered non-blocking reads, gathered
+ *    writev replies, outbuf backpressure). It decodes protocol
  *    frames (server/protocol.hh) and routes each operation by key
- *    hash to a worker.
+ *    hash to a worker. docs/net_design.md covers the datapath.
  *
  *  - N shared-nothing worker threads. Each worker exclusively owns
  *    one single-shard KvStore<NativeEnv> over its own file-backed
@@ -99,6 +101,14 @@ struct ServerConfig
 
     /** Connection cap; further accepts are closed immediately. */
     int maxConns = 256;
+
+    /**
+     * Backpressure high watermark on a connection's unsent reply
+     * bytes: at or above it the acceptor stops reading (and hence
+     * decoding) that connection until the outbuf drains below half
+     * this limit, so a slow reader cannot balloon server memory.
+     */
+    std::size_t outbufLimitBytes = 1 << 20;
 
     /**
      * Online-scrub throttle: a worker runs one bounded scrub step

@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Cross-shard transaction machinery (docs/txn_design.md): the
+ * acceptor-side coordinator (routeTxn, vote collection, the
+ * decision append) and the worker-side participant (lock
+ * acquisition, prepare, fast-path commit).
+ */
+
+#include "server/server_impl.hh"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "base/logging.hh"
+
+namespace lp::server
+{
+
+void
+Server::Impl::postTxnEvent(TxnEvent ev)
+{
+    bool wasEmpty;
+    {
+        std::lock_guard<std::mutex> g(txnMu);
+        wasEmpty = txnEvents.empty();
+        txnEvents.push_back(std::move(ev));
+    }
+    // Empty->nonempty edge only, like postReply: one wake drains all.
+    if (wasEmpty)
+        wakeFd.signal();
+}
+
+/**
+ * Service the fallout of a lock release: resume parked parts the
+ * release granted, abort the ones it killed (whose own releases
+ * can grant/kill further waiters -- hence the worklist), then
+ * retry deferred work.
+ */
+void
+Server::Impl::serviceLockEvents(Worker &w, txn::LockTable::Events ev)
+{
+    while (!ev.granted.empty() || !ev.died.empty()) {
+        txn::LockTable::Events next;
+        for (const auto id : ev.died)
+            abortParked(w, id, next);
+        for (const auto id : ev.granted)
+            resumeParked(w, id, next);
+        ev = std::move(next);
+    }
+    retryDeferred(w);
+}
+
+void
+Server::Impl::resumeParked(Worker &w, txn::TxnId id,
+                           txn::LockTable::Events &ev)
+{
+    const auto it = w.parked.find(id);
+    if (it == w.parked.end())
+        return;
+    const Worker::ParkedTxn pk = std::move(it->second);
+    w.parked.erase(it);
+    // The awaited key (index pk.next) was just granted to us;
+    // continue the plan past it.
+    if (acquireTxnLocks(w, pk.ctx, pk.part, pk.next + 1, ev))
+        prepareTxnPart(w, pk.ctx, pk.part);
+}
+
+void
+Server::Impl::abortParked(Worker &w, txn::TxnId id,
+                          txn::LockTable::Events &ev)
+{
+    const auto it = w.parked.find(id);
+    if (it == w.parked.end())
+        return;
+    const Worker::ParkedTxn pk = std::move(it->second);
+    w.parked.erase(it);
+    const TxnCtx::Part &part = pk.ctx->parts[pk.part];
+    // Keys before the awaited index are held; drop them. (The
+    // lock table already removed the killed waiter entry.)
+    w.lockTable.releaseAll(
+        id,
+        {part.lockKeys.begin(),
+         part.lockKeys.begin() + std::ptrdiff_t(pk.next)},
+        ev);
+    abortTxnPart(w, pk.ctx, pk.part, false);
+}
+
+/**
+ * Drive @p partIdx's lock plan from index @p next. True once
+ * every lock is held; false when the part parked (resumed by a
+ * later grant) or died (already aborted here).
+ */
+bool
+Server::Impl::acquireTxnLocks(Worker &w,
+                              const std::shared_ptr<TxnCtx> &ctx,
+                              std::size_t partIdx, std::size_t next,
+                              txn::LockTable::Events &ev)
+{
+    const TxnCtx::Part &part = ctx->parts[partIdx];
+    for (; next < part.lockKeys.size(); ++next) {
+        const auto got =
+            w.lockTable.acquire(ctx->txnid, part.lockKeys[next],
+                                part.lockModes[next]);
+        if (got == txn::Acquire::Granted)
+            continue;
+        if (got == txn::Acquire::Waiting) {
+            w.parked[ctx->txnid] =
+                Worker::ParkedTxn{ctx, partIdx, next};
+            return false;
+        }
+        // Wait-die says die: drop what we hold and abort.
+        w.lockTable.releaseAll(
+            ctx->txnid,
+            {part.lockKeys.begin(),
+             part.lockKeys.begin() + std::ptrdiff_t(next)},
+            ev);
+        abortTxnPart(w, ctx, partIdx, false);
+        return false;
+    }
+    return true;
+}
+
+/** This part is out (locks already dropped): reply directly on
+ *  the fast path, else vote Aborted to the coordinator. */
+void
+Server::Impl::abortTxnPart(Worker &w,
+                           const std::shared_ptr<TxnCtx> &ctx,
+                           std::size_t partIdx, bool faulted)
+{
+    if (faulted)
+        ctx->faulted.store(true, std::memory_order_release);
+    if (ctx->fastPath) {
+        w.statTxnAborts.fetch_add(1, std::memory_order_relaxed);
+        w.txnAbortNs.record(obs::nowNs() - ctx->tStartNs);
+        postReply(ctx->connId,
+                  statusReply(faulted ? Status::Fault
+                                      : Status::Aborted,
+                              ctx->reqId));
+        return;
+    }
+    ctx->abortedParts.fetch_add(1, std::memory_order_relaxed);
+    postTxnEvent(TxnEvent{TxnEvent::Kind::Aborted, partIdx, ctx});
+}
+
+/**
+ * Locks held: resolve this part's ops in wire order against an
+ * overlay (read-your-writes; Add deltas become concrete values;
+ * last write per key wins, first-write order), fill the
+ * transaction's read slots, then run the single-shard fast path
+ * or publish the PREPARE vote.
+ */
+void
+Server::Impl::prepareTxnPart(Worker &w,
+                             const std::shared_ptr<TxnCtx> &ctx,
+                             std::size_t partIdx)
+{
+    TxnCtx::Part &part = ctx->parts[partIdx];
+
+    // Quarantine backstop on the owning thread (the acceptor's
+    // precheck can race with a scrub discovering corruption).
+    if (part.hasWrites && w.kv->quarantined(0)) {
+        txn::LockTable::Events ev;
+        w.lockTable.releaseAll(ctx->txnid, part.lockKeys, ev);
+        abortTxnPart(w, ctx, partIdx, true);
+        serviceLockEvents(w, std::move(ev));
+        return;
+    }
+
+    std::unordered_map<std::uint64_t,
+                       std::optional<std::uint64_t>>
+        overlay;
+    std::vector<std::uint64_t> writeOrder;
+    const auto current =
+        [&](std::uint64_t key) -> std::optional<std::uint64_t> {
+        const auto it = overlay.find(key);
+        if (it != overlay.end())
+            return it->second;
+        return w.kv->get(w.env, key);
+    };
+    const auto noteWrite = [&](std::uint64_t key) {
+        if (overlay.find(key) == overlay.end())
+            writeOrder.push_back(key);
+    };
+    for (const auto opIdx : part.ops) {
+        const TxnOp &op = ctx->ops[opIdx];
+        switch (op.kind) {
+          case TxnOp::Kind::Get: {
+            const auto v = current(op.key);
+            ctx->reads[std::size_t(ctx->readSlot[opIdx])] =
+                TxnRead{v.has_value(), v.value_or(0)};
+            break;
+          }
+          case TxnOp::Kind::Put:
+            noteWrite(op.key);
+            overlay[op.key] = op.value;
+            break;
+          case TxnOp::Kind::Del:
+            noteWrite(op.key);
+            overlay[op.key] = std::nullopt;
+            break;
+          case TxnOp::Kind::Add: {
+            const auto v = current(op.key);
+            noteWrite(op.key);
+            overlay[op.key] = v.value_or(0) + op.value;
+            break;
+          }
+        }
+    }
+    part.writes.clear();
+    for (const auto key : writeOrder) {
+        const auto &val = overlay[key];
+        part.writes.push_back(txn::WriteOp{key, val.value_or(0),
+                                           !val.has_value()});
+    }
+
+    if (ctx->fastPath) {
+        commitTxnFast(w, ctx, part);
+        return;
+    }
+
+    if (!part.writes.empty()) {
+        std::size_t slot = w.plog->alloc(w.env);
+        if (slot == txn::PrepareLog<kernels::NativeEnv>::npos) {
+            // Pressure valve: a checkpoint makes every gated
+            // free eligible; then retry once.
+            w.kv->checkpoint(w.env);
+            sweepSlotFrees(w);
+            slot = w.plog->alloc(w.env);
+        }
+        if (slot == txn::PrepareLog<kernels::NativeEnv>::npos) {
+            txn::LockTable::Events ev;
+            w.lockTable.releaseAll(ctx->txnid, part.lockKeys, ev);
+            abortTxnPart(w, ctx, partIdx, false);
+            serviceLockEvents(w, std::move(ev));
+            return;
+        }
+        w.plog->publish(w.env, slot, ctx->txnid,
+                        part.writes.data(), part.writes.size());
+        part.slot = slot;
+        ++w.unappliedTxns;
+    }
+    part.prepared = true;
+    postTxnEvent(TxnEvent{TxnEvent::Kind::Prepared, partIdx, ctx});
+}
+
+/**
+ * Single-shard fast path: stage the whole write-set as one epoch
+ * -- the backend's epoch atomicity (LP discards unsealed batches,
+ * WAL rolls back incomplete ones) is then the transaction
+ * atomicity, with no prepare slot, no decision record, and no
+ * eager protocol flush. This is where LP's commit-latency win
+ * over WAL must survive. The reply and the lock release both
+ * wait for the epoch commit (releaseAck).
+ */
+void
+Server::Impl::commitTxnFast(Worker &w,
+                            const std::shared_ptr<TxnCtx> &ctx,
+                            TxnCtx::Part &part)
+{
+    std::string body = encodeTxnReadsBody(ctx->reads);
+    if (part.writes.empty()) {
+        // Read-only: nothing to persist, reply straight away.
+        txn::LockTable::Events ev;
+        w.lockTable.releaseAll(ctx->txnid, part.lockKeys, ev);
+        Response r;
+        r.status = Status::Ok;
+        r.id = ctx->reqId;
+        r.body = std::move(body);
+        postReply(ctx->connId, std::move(r));
+        w.statTxnCommits.fetch_add(1, std::memory_order_relaxed);
+        w.txnCommitNs.record(obs::nowNs() - ctx->tStartNs);
+        serviceLockEvents(w, std::move(ev));
+        return;
+    }
+    // Pre-flush so the write-set cannot straddle an epoch seal
+    // (stage() auto-commits WITH the filling op included, so
+    // staged + writes <= batchOps keeps us in one epoch).
+    engine::CommitPipeline &pl = w.kv->pipeline(0);
+    if (pl.stagedOps() > 0 &&
+        pl.stagedOps() + part.writes.size() >
+            std::size_t(cfg.batchOps))
+        w.kv->commitBatches(w.env);
+    std::uint64_t epoch = 0;
+    for (const auto &wr : part.writes) {
+        epoch = wr.del ? w.kv->del(w.env, wr.key)
+                       : w.kv->put(w.env, wr.key, wr.value);
+        w.statMuts.fetch_add(1, std::memory_order_relaxed);
+    }
+    Worker::Pending p;
+    p.connId = ctx->connId;
+    p.reqId = ctx->reqId;
+    p.epoch = epoch;
+    p.tStagedNs = obs::nowNs();
+    p.txn = ctx;
+    p.txnBody = std::move(body);
+    w.pending.push_back(std::move(p));
+    w.kv->pipeline(0).notePending(epoch, Clock::now());
+}
+
+/**
+ * Coordinator entry: validate, pick the path, split the wire ops
+ * into per-shard parts with their lock plans, and fan out.
+ */
+void
+Server::Impl::routeTxn(Conn &c, Request &req)
+{
+    for (const TxnOp &t : req.txn) {
+        if (t.key > store::maxUserKey) {
+            statErrs.fetch_add(1, std::memory_order_relaxed);
+            localReply(c, statusReply(Status::Err, req.id));
+            return;
+        }
+    }
+    // Quarantine precheck. Unlike BATCH (per-op Fault votes)
+    // the worker-side backstop aborts the WHOLE transaction,
+    // so this mirror read just refuses early.
+    for (const TxnOp &t : req.txn) {
+        if (t.kind != TxnOp::Kind::Get &&
+            workers[std::size_t(routeShard(t.key, cfg.shards))]
+                ->kv->quarantined(0)) {
+            statFaults.fetch_add(1, std::memory_order_relaxed);
+            localReply(c, statusReply(Status::Fault, req.id));
+            return;
+        }
+    }
+    if (c.inflight >= cfg.maxInflightPerConn) {
+        statRetries.fetch_add(1, std::memory_order_relaxed);
+        localReply(c, statusReply(Status::Retry, req.id));
+        return;
+    }
+    ++c.inflight;
+    auto ctx = std::make_shared<TxnCtx>();
+    ctx->txnid = nextTxnId++;
+    ctx->connId = c.id;
+    ctx->reqId = req.id;
+    ctx->tStartNs = obs::nowNs();
+    ctx->ops = std::move(req.txn);
+    ctx->readSlot.assign(ctx->ops.size(), -1);
+    // Split ops by shard into parts (wire order preserved
+    // within a part) and count writes for the path choice.
+    std::unordered_map<int, std::size_t> partOf;
+    std::size_t nWrites = 0;
+    for (std::size_t i = 0; i < ctx->ops.size(); ++i) {
+        const TxnOp &t = ctx->ops[i];
+        const int shard = routeShard(t.key, cfg.shards);
+        const auto [pit, fresh] =
+            partOf.try_emplace(shard, ctx->parts.size());
+        if (fresh) {
+            ctx->parts.emplace_back();
+            ctx->parts.back().shard = shard;
+        }
+        TxnCtx::Part &part = ctx->parts[pit->second];
+        part.ops.push_back(std::uint32_t(i));
+        if (t.kind == TxnOp::Kind::Get) {
+            ctx->readSlot[i] = int(ctx->reads.size());
+            ctx->reads.emplace_back();
+        } else {
+            part.hasWrites = true;
+            ++nWrites;
+        }
+    }
+    // Lock plan per part: keys sorted ascending, mode = max
+    // over the part's ops on that key (ordered map dedups).
+    for (auto &part : ctx->parts) {
+        std::map<std::uint64_t, txn::LockMode> modes;
+        for (const auto opIdx : part.ops) {
+            const TxnOp &t = ctx->ops[opIdx];
+            txn::LockMode &m = modes[t.key];
+            if (t.kind != TxnOp::Kind::Get)
+                m = txn::LockMode::Write;
+        }
+        for (const auto &[key, mode] : modes) {
+            part.lockKeys.push_back(key);
+            part.lockModes.push_back(mode);
+        }
+    }
+    // Fast path: single shard, and the write-set fits one
+    // epoch of a batching backend (eager persists per op, so
+    // it can never make a multi-write set crash-atomic
+    // without the prepare/decision protocol).
+    ctx->fastPath =
+        ctx->parts.size() == 1 &&
+        (nWrites == 0 ||
+         (cfg.backend != store::Backend::EagerPerOp &&
+          nWrites <= std::size_t(cfg.batchOps)));
+    ctx->votesLeft.store(int(ctx->parts.size()),
+                         std::memory_order_relaxed);
+    const std::uint64_t tEnq = obs::nowNs();
+    for (std::size_t i = 0; i < ctx->parts.size(); ++i) {
+        OpItem it;
+        it.kind = OpItem::Kind::Txn;
+        it.connId = c.id;
+        it.reqId = req.id;
+        it.tEnqNs = tEnq;
+        it.txn = ctx;
+        it.part = i;
+        enqueue(ctx->parts[i].shard, std::move(it));
+    }
+}
+
+/** Collect participant votes; the last vote decides the txn. */
+void
+Server::Impl::drainTxnEvents()
+{
+    std::vector<TxnEvent> local;
+    {
+        std::lock_guard<std::mutex> g(txnMu);
+        local.swap(txnEvents);
+    }
+    for (TxnEvent &ev : local) {
+        if (ev.ctx->votesLeft.fetch_sub(
+                1, std::memory_order_acq_rel) != 1)
+            continue;
+        finishTxn(ev.ctx);
+    }
+}
+
+/**
+ * Every participant voted (general path only; the fast path never
+ * posts events). Unanimous PREPARE commits; any Aborted vote
+ * aborts. Either way every part gets a follow-up op -- read-only
+ * parts included, since they hold locks to release.
+ */
+void
+Server::Impl::finishTxn(const std::shared_ptr<TxnCtx> &ctx)
+{
+    const std::uint64_t tEnq = obs::nowNs();
+    if (ctx->abortedParts.load(std::memory_order_acquire) > 0) {
+        for (std::size_t i = 0; i < ctx->parts.size(); ++i) {
+            if (!ctx->parts[i].prepared)
+                continue;
+            OpItem it;
+            it.kind = OpItem::Kind::TxnAbort;
+            it.tEnqNs = tEnq;
+            it.txn = ctx;
+            it.part = i;
+            enqueue(ctx->parts[i].shard, std::move(it));
+        }
+        const bool faulted =
+            ctx->faulted.load(std::memory_order_acquire);
+        if (faulted)
+            statFaults.fetch_add(1, std::memory_order_relaxed);
+        statTxnAborts.fetch_add(1, std::memory_order_relaxed);
+        txnAbortNs.record(obs::nowNs() - ctx->tStartNs);
+        postReply(ctx->connId,
+                  statusReply(faulted ? Status::Fault
+                                      : Status::Aborted,
+                              ctx->reqId));
+        return;
+    }
+    bool anyWrites = false;
+    for (const auto &part : ctx->parts)
+        if (!part.writes.empty())
+            anyWrites = true;
+    // The decision append (store + flush + fence) IS the commit:
+    // with every vote durable, the record makes the outcome
+    // recoverable, so the client reply goes out now and the
+    // applies stay lazy.
+    if (anyWrites)
+        dlog->append(txnEnv, ctx->txnid);
+    Response r;
+    r.status = Status::Ok;
+    r.id = ctx->reqId;
+    r.body = encodeTxnReadsBody(ctx->reads);
+    postReply(ctx->connId, std::move(r));
+    statTxnCommits.fetch_add(1, std::memory_order_relaxed);
+    txnCommitNs.record(obs::nowNs() - ctx->tStartNs);
+    for (std::size_t i = 0; i < ctx->parts.size(); ++i) {
+        OpItem it;
+        it.kind = OpItem::Kind::TxnApply;
+        it.tEnqNs = tEnq;
+        it.txn = ctx;
+        it.part = i;
+        enqueue(ctx->parts[i].shard, std::move(it));
+    }
+}
+
+/**
+ * Map (or create) the coordinator's decision log and scan it.
+ * Runs on the start() thread before the acceptor spawns; the
+ * thread-creation fence publishes dlog to the acceptor, and the
+ * readiness latch orders the scan before any worker's TxnRecover.
+ */
+void
+Server::Impl::openTxnLog()
+{
+    const std::string path = cfg.dataDir + "/txnlog.lpdb";
+    struct stat st{};
+    const bool attach =
+        ::stat(path.c_str(), &st) == 0 && st.st_size > 0;
+    txnArena = std::make_unique<pmem::PersistentArena>(
+        txn::decisionLogBytes(cfg.txnDecisionEntries), path);
+    dlog = std::make_unique<txn::DecisionLog<kernels::NativeEnv>>(
+        *txnArena, cfg.txnDecisionEntries, attach);
+    if (!attach)
+        txnArena->persistAll();
+    dlogMaxTxnId = dlog->scan(txnEnv);
+}
+
+} // namespace lp::server

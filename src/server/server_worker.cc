@@ -1,0 +1,537 @@
+/**
+ * @file
+ * The shared-nothing shard worker: store open/recovery, the
+ * dequeue-dispatch-commit-release round, strict-FIFO deferral, and
+ * the ack pipeline glue. One thread per shard; see server_impl.hh
+ * for the ownership contract.
+ */
+
+#include "server/server_impl.hh"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace lp::server
+{
+
+/**
+ * Open (or re-attach) this worker's single-shard store. Runs on
+ * the worker's own thread so the debug owner binding and all
+ * recovery table writes happen on the thread that will serve the
+ * shard.
+ */
+void
+Server::Impl::openStore(Worker &w)
+{
+    store::StoreConfig scfg;
+    scfg.capacity = cfg.capacityPerShard;
+    scfg.shards = 1;
+    scfg.batchOps = cfg.batchOps;
+    scfg.foldBatches = cfg.foldBatches;
+    scfg.checksum = cfg.checksum;
+    scfg.flushDeadlineUs = cfg.flushDeadlineUs;
+    const std::string path = shardPath(w.index);
+    struct stat st{};
+    const bool attach = ::stat(path.c_str(), &st) == 0 &&
+                        st.st_size > 0;
+    // Arena budget: the store image plus this shard's PREPARE
+    // table, allocated in that order on every open (the arena
+    // attach contract).
+    w.arena = std::make_unique<pmem::PersistentArena>(
+        store::storeArenaBytes(scfg) +
+            txn::prepareLogBytes(cfg.txnPrepareSlots),
+        path);
+    w.kv = std::make_unique<store::KvStore<kernels::NativeEnv>>(
+        *w.arena, scfg, cfg.backend, attach);
+    w.plog = std::make_unique<txn::PrepareLog<kernels::NativeEnv>>(
+        *w.arena, cfg.txnPrepareSlots, attach);
+    // Attach the trace ring before recovery so the replay's
+    // "recover_shard" span lands in the collector.
+    if (w.ring)
+        w.kv->attachTraceRing(0, w.ring);
+    if (attach) {
+        w.report = w.kv->recover(w.env);
+        w.attached = true;
+    } else {
+        w.arena->persistAll();
+    }
+    w.statCommittedEpoch.store(w.kv->committedEpoch(0),
+                               std::memory_order_relaxed);
+    w.lastScrub = Clock::now();
+    if (w.kv->quarantined(0)) {
+        w.quarantineLogged = true;
+        warn("lp::server shard " + std::to_string(w.index) +
+             " has unrepairable media corruption; serving "
+             "read-only (mutations get Fault)");
+    }
+}
+
+/** Acknowledge one released mutation (direct op or BATCH part). */
+void
+Server::Impl::releaseAck(Worker &w, Worker::Pending &p)
+{
+    if (p.txn) {
+        // Fast-path TXN: the epoch carrying the whole write-set
+        // committed, so the transaction is durable -- reply, then
+        // release the locks (held until now so no later
+        // transaction could commit against values a crash might
+        // still have discarded with the unsealed batch).
+        w.commitWaitNs.record(obs::nowNs() - p.tStagedNs);
+        Response r;
+        r.status = Status::Ok;
+        r.id = p.reqId;
+        r.body = std::move(p.txnBody);
+        postReply(p.connId, std::move(r));
+        w.statTxnCommits.fetch_add(1, std::memory_order_relaxed);
+        w.txnCommitNs.record(obs::nowNs() - p.txn->tStartNs);
+        txn::LockTable::Events ev;
+        w.lockTable.releaseAll(
+            p.txn->txnid, p.txn->parts[0].lockKeys, ev);
+        serviceLockEvents(w, std::move(ev));
+        return;
+    }
+    if (p.connId == 0)
+        return;  // internal apply of a committed TXN: no reply
+    w.commitWaitNs.record(obs::nowNs() - p.tStagedNs);
+    if (p.batch) {
+        if (p.batch->remaining.fetch_sub(
+                1, std::memory_order_acq_rel) != 1)
+            return;  // not the last sub-op yet
+        Response r;
+        r.status = p.batch->faulted.load(std::memory_order_acquire)
+                       ? Status::Fault
+                       : Status::Ok;
+        r.id = p.batch->reqId;
+        postReply(p.batch->connId, std::move(r));
+        return;
+    }
+    Response r;
+    r.status = Status::Ok;
+    r.id = p.reqId;
+    postReply(p.connId, std::move(r));
+}
+
+/**
+ * Release every pending ack whose epoch has committed, and
+ * refresh this worker's stat mirrors from the shard pipeline's
+ * counters (the single source of truth for epoch accounting).
+ */
+void
+Server::Impl::releaseCommitted(Worker &w)
+{
+    engine::CommitPipeline &pl = w.kv->pipeline(0);
+    const std::uint64_t ce = w.kv->committedEpoch(0);
+    const std::size_t n = pl.releaseUpTo(ce);
+    for (std::size_t i = 0; i < n; ++i) {
+        LP_ASSERT(!w.pending.empty() &&
+                      w.pending.front().epoch <= ce,
+                  "reply queue out of sync with pipeline acks");
+        releaseAck(w, w.pending.front());
+        w.pending.pop_front();
+    }
+    sweepSlotFrees(w);
+    const engine::PipelineCounters &c = pl.counters();
+    w.statAcks.store(c.acksReleased, std::memory_order_relaxed);
+    w.statEpochs.store(c.epochsCommitted,
+                       std::memory_order_relaxed);
+    w.statFolds.store(c.folds, std::memory_order_relaxed);
+    w.statDeadlineCommits.store(c.deadlineCommits,
+                                std::memory_order_relaxed);
+    w.statCommittedEpoch.store(ce, std::memory_order_relaxed);
+}
+
+/** Free applied slots whose marker epoch the shard has made
+ *  durable (the lazy-free gate of txn/prepare_log.hh). The gate
+ *  is the pipeline's volatile durable watermark: it matches the
+ *  superblock's for LP/WAL but, unlike it, also advances for the
+ *  eager backend, whose in-place per-op persists never fold. */
+void
+Server::Impl::sweepSlotFrees(Worker &w)
+{
+    if (w.slotFrees.empty())
+        return;
+    const std::uint64_t durable = w.kv->pipeline(0).foldedEpoch();
+    std::erase_if(w.slotFrees, [&](const Worker::SlotFree &f) {
+        if (durable < f.epoch)
+            return false;
+        w.plog->free(w.env, f.slot);
+        return true;
+    });
+}
+
+/// Can this kind join Worker::deferred? Single-key Gets bypass
+/// (a point read tears nothing: prepared writes are invisible
+/// until apply), as do the TxnApply/TxnAbort decision fan-outs
+/// that drain the queue.
+bool
+Server::Impl::deferrable(OpItem::Kind k)
+{
+    return k == OpItem::Kind::Scan || k == OpItem::Kind::Put ||
+           k == OpItem::Kind::Del || k == OpItem::Kind::Txn;
+}
+
+/**
+ * Must @p op wait for a lock-state change before running? Only
+ * meaningful when nothing older is queued ahead of it (strict
+ * FIFO handles that part).
+ */
+bool
+Server::Impl::deferNow(Worker &w, const OpItem &op) const
+{
+    switch (op.kind) {
+      case OpItem::Kind::Scan:
+        // A granted write lock may cover a prepared-but-
+        // unapplied transaction write; a sub-scan passing
+        // through it could hand the k-way merge a half-applied
+        // transaction.
+        return w.unappliedTxns > 0 &&
+               w.lockTable.anyWriteLockedAtOrAbove(op.key);
+      case OpItem::Kind::Put:
+      case OpItem::Kind::Del:
+        // A plain store between a transaction's resolve and its
+        // apply would be clobbered by the apply (lost update).
+        return w.unappliedTxns > 0 &&
+               w.lockTable.writeLocked(op.key);
+      default:
+        // Txn parts always run once they reach the front: lock
+        // acquisition itself resolves conflicts (grant, park,
+        // or wait-die abort).
+        return false;
+    }
+}
+
+/// Run @p op now unless strict FIFO or its own defer condition
+/// says it must queue (see Worker::deferred).
+void
+Server::Impl::dispatchOp(Worker &w, OpItem &op)
+{
+    if (deferrable(op.kind) &&
+        (!w.deferred.empty() || deferNow(w, op))) {
+        op.tEnqNs = obs::nowNs();
+        w.deferred.push_back(std::move(op));
+        return;
+    }
+    processOp(w, op);
+}
+
+/**
+ * After a lock-state change, drain deferred work from the
+ * front, stopping at the first item that must still wait --
+ * never past it, or a later scan/part would observe a cut
+ * inconsistent with its siblings on other shards.
+ */
+void
+Server::Impl::retryDeferred(Worker &w)
+{
+    while (!w.deferred.empty() &&
+           !deferNow(w, w.deferred.front())) {
+        OpItem op = std::move(w.deferred.front());
+        w.deferred.pop_front();
+        processOp(w, op);
+    }
+}
+
+void
+Server::Impl::processOp(Worker &w, OpItem &op)
+{
+    w.queueNs.record(obs::nowNs() - op.tEnqNs);
+    switch (op.kind) {
+      case OpItem::Kind::Get: {
+        const auto v = w.kv->get(w.env, op.key);
+        w.statGets.fetch_add(1, std::memory_order_relaxed);
+        Response r;
+        r.status = v ? Status::Ok : Status::NotFound;
+        r.id = op.reqId;
+        r.hasValue = v.has_value();
+        r.value = v.value_or(0);
+        postReply(op.connId, std::move(r));
+        return;
+      }
+      case OpItem::Kind::Scan: {
+        // Defer conditions were checked by dispatchOp /
+        // retryDeferred; by the time a sub-scan runs here, no
+        // prepared-but-unapplied transaction write can be under
+        // its range.
+        // Sub-scan of this worker's shard. KvStore::scan records
+        // the per-shard scan latency/length histograms itself
+        // (single-shard store: shard 0 is exactly this shard).
+        const auto recs = w.kv->scan(w.env, op.key,
+                                     std::size_t(op.value));
+        w.statScans.fetch_add(1, std::memory_order_relaxed);
+        ScanCtx &ctx = *op.scan;
+        auto &slot = ctx.parts[std::size_t(w.index)];
+        slot.reserve(recs.size());
+        for (const auto &[k, v] : recs)
+            slot.push_back(ScanRecord{k, v});
+        if (ctx.remaining.fetch_sub(
+                1, std::memory_order_acq_rel) != 1)
+            return;  // other shards still scanning
+        // Last sub-scan: k-way merge the sorted partials (shards
+        // partition the key space, so popping the minimum head
+        // yields global order) and post the single reply.
+        std::vector<ScanRecord> merged;
+        merged.reserve(ctx.limit);
+        std::vector<std::size_t> at(ctx.parts.size(), 0);
+        while (merged.size() < ctx.limit) {
+            int best = -1;
+            for (std::size_t s = 0; s < ctx.parts.size(); ++s) {
+                if (at[s] >= ctx.parts[s].size())
+                    continue;
+                if (best < 0 ||
+                    ctx.parts[s][at[s]].key <
+                        ctx.parts[std::size_t(best)]
+                                 [at[std::size_t(best)]].key)
+                    best = int(s);
+            }
+            if (best < 0)
+                break;
+            merged.push_back(
+                ctx.parts[std::size_t(best)]
+                         [at[std::size_t(best)]++]);
+        }
+        Response r;
+        r.status = Status::Ok;
+        r.id = ctx.reqId;
+        r.body = encodeScanBody(merged);
+        postReply(ctx.connId, std::move(r));
+        return;
+      }
+      case OpItem::Kind::Put:
+      case OpItem::Kind::Del: {
+        // Worker-side quarantine backstop: the acceptor's
+        // fast-path check can race with a scrub discovering
+        // corruption, so the authoritative refusal lives here,
+        // on the thread that owns the shard.
+        if (w.kv->quarantined(0)) {
+            if (op.batch) {
+                op.batch->faulted.store(
+                    true, std::memory_order_release);
+                if (op.batch->remaining.fetch_sub(
+                        1, std::memory_order_acq_rel) == 1)
+                    postReply(op.batch->connId,
+                              statusReply(Status::Fault,
+                                          op.batch->reqId));
+                return;
+            }
+            postReply(op.connId,
+                      statusReply(Status::Fault, op.reqId));
+            return;
+        }
+        const std::uint64_t epoch =
+            op.kind == OpItem::Kind::Put
+                ? w.kv->put(w.env, op.key, op.value)
+                : w.kv->del(w.env, op.key);
+        w.statMuts.fetch_add(1, std::memory_order_relaxed);
+        // Every mutation waits for its epoch to commit; the
+        // following releaseCommitted() releases it the same round
+        // for backends that commit per op (eager, and WAL when the
+        // op filled its batch).
+        w.pending.push_back(Worker::Pending{
+            op.connId, op.reqId, epoch, obs::nowNs(), op.batch});
+        w.kv->pipeline(0).notePending(epoch, Clock::now());
+        return;
+      }
+      case OpItem::Kind::Txn: {
+        txn::LockTable::Events ev;
+        if (acquireTxnLocks(w, op.txn, op.part, 0, ev))
+            prepareTxnPart(w, op.txn, op.part);
+        serviceLockEvents(w, std::move(ev));
+        return;
+      }
+      case OpItem::Kind::TxnApply: {
+        // Coordinator decided commit: apply this part's write-set
+        // lazily (the decision record makes it recoverable), then
+        // persist the applied marker BEFORE releasing the locks --
+        // once unlocked keys are externally visible, a crash must
+        // roll forward, never re-run a half-superseded apply.
+        TxnCtx::Part &part = op.txn->parts[op.part];
+        std::uint64_t epoch = 0;
+        for (const auto &wr : part.writes) {
+            epoch = wr.del ? w.kv->del(w.env, wr.key)
+                           : w.kv->put(w.env, wr.key, wr.value);
+            w.statMuts.fetch_add(1, std::memory_order_relaxed);
+            w.pending.push_back(Worker::Pending{
+                0, 0, epoch, obs::nowNs(), nullptr});
+            w.kv->pipeline(0).notePending(epoch, Clock::now());
+        }
+        if (!part.writes.empty()) {
+            w.plog->markApplied(w.env, part.slot, epoch);
+            w.slotFrees.push_back(
+                Worker::SlotFree{part.slot, epoch});
+            --w.unappliedTxns;
+        }
+        txn::LockTable::Events ev;
+        w.lockTable.releaseAll(op.txn->txnid, part.lockKeys, ev);
+        serviceLockEvents(w, std::move(ev));
+        return;
+      }
+      case OpItem::Kind::TxnAbort: {
+        // Coordinator decided abort and this part had prepared:
+        // freeing the undecided vote IS the roll-back. The free
+        // is lazy on purpose -- if it tears, recovery still sees
+        // prepared-with-no-decision and rolls back again.
+        TxnCtx::Part &part = op.txn->parts[op.part];
+        if (!part.writes.empty()) {
+            w.plog->free(w.env, part.slot);
+            --w.unappliedTxns;
+        }
+        txn::LockTable::Events ev;
+        w.lockTable.releaseAll(op.txn->txnid, part.lockKeys, ev);
+        serviceLockEvents(w, std::move(ev));
+        return;
+      }
+      case OpItem::Kind::TxnRecover: {
+        // Startup phase 2 (after every shard's own recovery and
+        // the coordinator's decision-log scan): replay this
+        // shard's prepare table against the decision index.
+        const std::vector<txn::PrepareLog<kernels::NativeEnv> *>
+            pls{w.plog.get()};
+        const std::vector<std::uint64_t> marks{
+            w.kv->committedEpoch(0)};
+        w.txnReport = txn::recoverTxns(w.env, *w.kv, pls, marks,
+                                       dlog->index());
+        {
+            std::lock_guard<std::mutex> g(readyMu);
+            ++txnReadyCount;
+        }
+        readyCv.notify_all();
+        return;
+      }
+    }
+}
+
+void
+Server::Impl::workerMain(Worker &w)
+{
+    openStore(w);
+    {
+        std::lock_guard<std::mutex> g(readyMu);
+        ++readyCount;
+    }
+    readyCv.notify_all();
+
+    std::vector<OpItem> local;
+    for (;;) {
+        bool stopping = false;
+        local.clear();
+        {
+            std::unique_lock<std::mutex> lk(w.mu);
+            const auto woken = [&] {
+                return w.stopFlag || !w.q.empty();
+            };
+            if (w.q.empty() && !w.stopFlag) {
+                engine::CommitPipeline &pl = w.kv->pipeline(0);
+                if (pl.hasPending())
+                    w.cv.wait_until(lk, pl.ackDeadline(), woken);
+                else if (cfg.scrubIntervalMs > 0)
+                    // Wake for the next scrub step even with no
+                    // traffic: an idle server still patrols.
+                    w.cv.wait_until(
+                        lk,
+                        w.lastScrub + std::chrono::milliseconds(
+                                          cfg.scrubIntervalMs),
+                        woken);
+                else
+                    w.cv.wait(lk, woken);
+            }
+            while (!w.q.empty() && local.size() < 128) {
+                local.push_back(std::move(w.q.front()));
+                w.q.pop_front();
+            }
+            stopping = w.stopFlag && w.q.empty();
+            w.statQueueDepth.store(w.q.size(),
+                                   std::memory_order_relaxed);
+        }
+
+        for (OpItem &op : local)
+            dispatchOp(w, op);
+
+        // Deadline flush: commit an underfilled batch rather than
+        // keep its acks hostage to future traffic. The pipeline
+        // owns the deadline bookkeeping (engine/commit_pipeline.hh).
+        {
+            engine::CommitPipeline &pl = w.kv->pipeline(0);
+            const bool due = pl.commitDue(Clock::now());
+            if (pl.hasPending() && (stopping || due)) {
+                if (due) {
+                    pl.noteDeadlineCommit();
+                    obs::traceInstant(w.ring, "deadline_commit",
+                                      pl.lastCommitted() + 1);
+                }
+                w.kv->commitBatches(w.env);
+            }
+        }
+        releaseCommitted(w);
+
+        // Online scrub: strictly off the request path (only on
+        // rounds whose queue drained empty) and rate-limited, so
+        // foreground latency never pays for media patrol.
+        if (!stopping && local.empty() &&
+            cfg.scrubIntervalMs > 0) {
+            const auto now = Clock::now();
+            if (now - w.lastScrub >=
+                std::chrono::milliseconds(cfg.scrubIntervalMs)) {
+                w.kv->scrubStep(w.env, 0, cfg.scrubRegions);
+                w.lastScrub = now;
+                if (!w.quarantineLogged && w.kv->quarantined(0)) {
+                    w.quarantineLogged = true;
+                    warn("lp::server shard " +
+                         std::to_string(w.index) +
+                         " quarantined by scrub: unrepairable "
+                         "media corruption; serving read-only");
+                }
+            }
+        }
+
+        if (stopping) {
+            // Parked, deferred, and prepared-but-undecided
+            // transaction work dies with the connections -- to a
+            // client an unacked request lost at shutdown is
+            // indistinguishable from one lost in flight. Prepared
+            // slots stay durable; the next startup's decision
+            // replay rolls them back (or forward).
+            w.parked.clear();
+            w.deferred.clear();
+            // Graceful drain: everything committed and folded, so
+            // a restart recovers instantly. The clean-shutdown
+            // mark switches the next recovery into strict mode,
+            // where a validation failure is a media fault (repair
+            // or quarantine) rather than a crash tear. A
+            // quarantined shard keeps its pre-fault superblock
+            // untouched so the restart re-detects the quarantine.
+            if (!w.kv->quarantined(0))
+                w.kv->checkpoint(w.env);
+            w.kv->markClean(w.env);
+            w.arena->persistAll();
+            releaseCommitted(w);
+            LP_ASSERT(w.pending.empty(),
+                      "worker drained with unreleased acks");
+            break;
+        }
+    }
+    workersExited.fetch_add(1, std::memory_order_release);
+    wakeFd.signal();  // let the acceptor notice the exit
+}
+
+void
+Server::Impl::enqueue(int shard, OpItem &&op)
+{
+    Worker &w = *workers[shard];
+    bool wasEmpty;
+    {
+        std::lock_guard<std::mutex> g(w.mu);
+        wasEmpty = w.q.empty();
+        w.q.push_back(std::move(op));
+    }
+    // Notify only on the empty->nonempty edge: the worker checks the
+    // queue under the same mutex before sleeping, so a push onto a
+    // non-empty queue is already covered by an earlier notify (or by
+    // the worker being awake).
+    if (wasEmpty)
+        w.cv.notify_one();
+}
+
+} // namespace lp::server

@@ -76,6 +76,22 @@ JsonValue::render() const
         }
 
         std::string
+        operator()(const Array &arr) const
+        {
+            std::ostringstream os;
+            os << '[';
+            bool first = true;
+            for (const auto &val : arr) {
+                if (!first)
+                    os << ',';
+                first = false;
+                os << val.render();
+            }
+            os << ']';
+            return os.str();
+        }
+
+        std::string
         operator()(const Object &obj) const
         {
             std::ostringstream os;

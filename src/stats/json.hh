@@ -6,8 +6,8 @@
  * tooling (plotting scripts, regression dashboards) can consume runs
  * without parsing the human-readable tables. Only the subset needed
  * for that is implemented: objects of string -> (number | string |
- * nested object), with correct string escaping and locale-proof
- * number formatting.
+ * array | nested object), with correct string escaping and
+ * locale-proof number formatting.
  */
 
 #ifndef LP_STATS_JSON_HH
@@ -16,17 +16,19 @@
 #include <map>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "stats/stats.hh"
 
 namespace lp::stats
 {
 
-/** A JSON value: number, string, or object. */
+/** A JSON value: number, string, array, or object. */
 class JsonValue
 {
   public:
     using Object = std::map<std::string, JsonValue>;
+    using Array = std::vector<JsonValue>;
 
     JsonValue() : value(0.0) {}
     JsonValue(double v) : value(v) {}
@@ -36,6 +38,7 @@ class JsonValue
     JsonValue(const char *v) : value(std::string(v)) {}
     JsonValue(std::string v) : value(std::move(v)) {}
     JsonValue(Object v) : value(std::move(v)) {}
+    JsonValue(Array v) : value(std::move(v)) {}
 
     /**
      * Wrap already-rendered JSON text so it splices into the output
@@ -66,7 +69,7 @@ class JsonValue
         std::string text;
     };
 
-    std::variant<double, std::string, Object, Raw> value;
+    std::variant<double, std::string, Object, Array, Raw> value;
 };
 
 /** Convert a stats snapshot into a JSON object value. */

@@ -551,6 +551,24 @@ runTopCommand(int argc, char **argv)
                             0.99) *
                             1e6);
         }
+        // Datapath line only when the server exports the lp::net
+        // gauges (same vintage discipline: an older server simply
+        // lacks lp_conn_active). writev batch depth comes from the
+        // unitless histogram's interval delta -- the live measure of
+        // how well replies coalesce into gathered writes.
+        if (snap.find("lp_conn_active") != snap.end()) {
+            std::printf("net: active=%g outbuf=%gB eagain/s=%.0f "
+                        "writev-batch p50=%.0f p99=%.0f\n",
+                        scalar(snap, "lp_conn_active"),
+                        scalar(snap, "lp_outbuf_bytes"),
+                        scalar(d, "lp_eagain_total") / secs,
+                        obs::quantileFromBuckets(
+                            bucketSeries(d, "lp_writev_batch", ""),
+                            0.5),
+                        obs::quantileFromBuckets(
+                            bucketSeries(d, "lp_writev_batch", ""),
+                            0.99));
+        }
         // Scan/index columns only when the server exports them:
         // against an older server without SCAN support the keys are
         // simply absent and the table keeps its classic shape (no
