@@ -46,6 +46,7 @@ CommitPipeline::commitEpoch()
     ++lastCommitted_;
     open_ = false;
     stagedOps_ = 0;
+    openTraceId_ = 0;
     ++committedSinceFold_;
     ++counters_.epochsCommitted;
     return true;
@@ -79,6 +80,7 @@ CommitPipeline::rebase(std::uint64_t committed)
 {
     open_ = false;
     stagedOps_ = 0;
+    openTraceId_ = 0;
     committedSinceFold_ = 0;
     lastCommitted_ = committed;
     foldedEpoch_ = committed;

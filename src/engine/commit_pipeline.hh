@@ -177,6 +177,22 @@ class CommitPipeline
 
     /** The attached bundle, or nullptr when observability is off. */
     obs::ShardObs *obs() const { return obs_; }
+
+    /**
+     * Remember the trace id of the latest request staged into the
+     * open epoch. The backend's epoch-commit span uses it as the
+     * flow id, so one request's arc in the trace connects through
+     * the group commit that made it durable. Volatile bookkeeping
+     * only, like everything else here.
+     */
+    void noteTrace(std::uint64_t traceId)
+    {
+        if (traceId)
+            openTraceId_ = traceId;
+    }
+
+    /** Latest trace id staged into the open epoch; 0 = none. */
+    std::uint64_t openTraceId() const { return openTraceId_; }
     /// @}
 
   private:
@@ -192,6 +208,7 @@ class CommitPipeline
     int committedSinceFold_ = 0;
     std::uint64_t lastCommitted_ = 0;
     std::uint64_t foldedEpoch_ = 0;
+    std::uint64_t openTraceId_ = 0;
     std::deque<PendingAck> pending_;
     PipelineCounters counters_;
     obs::ShardObs *obs_ = nullptr;

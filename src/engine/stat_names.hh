@@ -167,6 +167,18 @@ inline constexpr const char *writevBatch = "writev_batch";
 inline constexpr const char *eagainTotal = "eagain_total";
 /// @}
 
+/// @name Tracing-datapath counters (lp::obs).
+/// @{
+
+/**
+ * Trace events dropped because a thread's volatile ring filled
+ * before the collector drained it. Spelled with the "_total"
+ * counter suffix directly: the key only ever appears in Prometheus
+ * exposition (there is no JSON mirror to keep suffix-free).
+ */
+inline constexpr const char *traceDrops = "trace_drops_total";
+/// @}
+
 } // namespace lp::engine::statname
 
 #endif // LP_ENGINE_STAT_NAMES_HH

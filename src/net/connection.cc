@@ -6,6 +6,8 @@
 #include <cerrno>
 #include <utility>
 
+#include "obs/time.hh"
+
 namespace lp::net
 {
 
@@ -31,6 +33,8 @@ Connection::fill(std::size_t budget)
         std::uint8_t *dst = in_.writePtr(kReadChunk);
         ssize_t n = ::read(fd_, dst, kReadChunk);
         if (n > 0) {
+            if (got == 0)
+                lastFillNs_ = obs::nowNs();
             in_.commit(std::size_t(n));
             got += std::size_t(n);
             if (budget != 0 && got >= budget)

@@ -118,6 +118,15 @@ class Connection
     /** Queued-but-unsent bytes. */
     std::uint64_t outBytes() const { return outBytes_; }
 
+    /**
+     * obs::nowNs() when the last fill() first read bytes off the
+     * socket; 0 before any read. Request-parse trace spans start
+     * here: it is the closest observable moment to "the request's
+     * bytes reached the server" for every frame decoded out of that
+     * fill.
+     */
+    std::uint64_t lastFillNs() const { return lastFillNs_; }
+
     /** iovecs per writev(2) call. */
     static constexpr std::size_t kMaxIov = 64;
 
@@ -139,6 +148,7 @@ class Connection
     FrameCursor in_;
     std::deque<Buf> out_;
     std::uint64_t outBytes_ = 0;
+    std::uint64_t lastFillNs_ = 0;
     std::vector<std::uint8_t> scratch_;
     bool scratchReady_ = false;
     std::vector<std::vector<std::uint8_t>> freeList_;

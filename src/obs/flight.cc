@@ -1,0 +1,200 @@
+#include "obs/flight.hh"
+
+#include <atomic>
+#include <cstring>
+#include <ctime>
+
+namespace lp::obs
+{
+
+namespace
+{
+
+/** splitmix64 finalizer; the repo's standard cheap mixer. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+wallNs()
+{
+    struct timespec ts{};
+    ::clock_gettime(CLOCK_REALTIME, &ts);
+    return std::uint64_t(ts.tv_sec) * 1000000000ULL +
+           std::uint64_t(ts.tv_nsec);
+}
+
+} // namespace
+
+std::uint32_t
+FlightRing::roundEvents(std::uint32_t events)
+{
+    std::uint32_t cap = kMinEvents;
+    while (cap < events)
+        cap <<= 1;
+    return cap;
+}
+
+std::uint64_t
+FlightRing::slotCksum(const FlightSlot &s)
+{
+    std::uint64_t h = mix64(s.seq);
+    h = mix64(h ^ s.tsNs);
+    h = mix64(h ^ s.durNs);
+    h = mix64(h ^ s.arg);
+    h = mix64(h ^ s.flowId);
+    h = mix64(h ^ (std::uint64_t(s.nameId) << 32 | s.tid));
+    return h;
+}
+
+std::uint64_t
+FlightRing::headerCksum(const FlightHeader &h)
+{
+    std::uint64_t c = mix64(h.magic);
+    c = mix64(c ^ h.gen);
+    c = mix64(c ^ h.sealedSeq);
+    c = mix64(c ^ h.tsAnchorNs);
+    c = mix64(c ^ h.wallAnchorNs);
+    c = mix64(c ^ (std::uint64_t(h.tid) << 32 | h.capacity));
+    return c;
+}
+
+FlightRing::FlightRing(pmem::PersistentArena &arena,
+                       std::uint32_t events, std::uint32_t tid)
+    : tid_(tid)
+{
+    cap_ = roundEvents(events);
+    mask_ = cap_ - 1;
+    hdr_ = static_cast<FlightHeader *>(arena.allocRaw(bytesFor(cap_)));
+    slots_ = reinterpret_cast<FlightSlot *>(hdr_ + 2);
+    // Adopt the highest valid prior generation so this incarnation's
+    // seals always win the recovery arbitration, then claim the ring
+    // with an empty seal: a crash before our first real seal must
+    // recover "nothing sealed this run", never a splice of two runs.
+    for (int i = 0; i < 2; ++i) {
+        const FlightHeader &h = hdr_[i];
+        if (h.magic == kMagic && h.cksum == headerCksum(h) &&
+            h.gen > gen_)
+            gen_ = h.gen;
+    }
+    seal();
+}
+
+std::uint32_t
+FlightRing::nameIdOf(const char *name)
+{
+    if (name == nullptr)
+        return 0;
+    for (std::uint32_t i = 0; i < memoUsed_; ++i)
+        if (memo_[i].ptr == name)
+            return memo_[i].id;
+    std::uint32_t id = 0;
+    for (std::uint32_t i = 1; i < kFlightNameCount; ++i) {
+        if (std::strcmp(kFlightNames[i], name) == 0) {
+            id = i;
+            break;
+        }
+    }
+    if (memoUsed_ < kFlightNameCount)
+        memo_[memoUsed_++] = {name, id};
+    return id;
+}
+
+void
+FlightRing::record(const TraceEvent &e)
+{
+    FlightSlot &s = slots_[seq_ & mask_];
+    s.seq = seq_;
+    s.tsNs = e.tsNs;
+    s.durNs = e.durNs;
+    s.arg = e.arg;
+    s.flowId = e.flowId;
+    s.nameId = nameIdOf(e.name);
+    s.tid = e.tid;
+    s.cksum = slotCksum(s);
+    ++seq_;
+}
+
+void
+FlightRing::seal()
+{
+    // Compiler barrier only: under SIGKILL every store the thread
+    // executed is coherent in the shared mapping, so ordering the
+    // header after the slots in the instruction stream is all the
+    // watermark needs. (Power-loss would need clwb+sfence here.)
+    std::atomic_signal_fence(std::memory_order_release);
+    FlightHeader &h = hdr_[(gen_ + 1) & 1];
+    h.magic = kMagic;
+    h.gen = gen_ + 1;
+    h.sealedSeq = seq_;
+    h.tsAnchorNs = nowNs();
+    h.wallAnchorNs = wallNs();
+    h.tid = tid_;
+    h.capacity = cap_;
+    h.cksum = headerCksum(h);
+    ++gen_;
+}
+
+FlightRecovered
+FlightRing::recover(const std::uint8_t *base, std::size_t bytes)
+{
+    FlightRecovered out;
+    if (base == nullptr || bytes < 2 * sizeof(FlightHeader))
+        return out;
+    FlightHeader hdr[2];
+    std::memcpy(hdr, base, sizeof(hdr));
+    const FlightHeader *best = nullptr;
+    for (const FlightHeader &h : hdr) {
+        if (h.magic != kMagic || h.cksum != headerCksum(h))
+            continue;
+        if (h.capacity < kMinEvents ||
+            (h.capacity & (h.capacity - 1)) != 0)
+            continue;
+        if (bytes < (2 + std::size_t(h.capacity)) * sizeof(FlightSlot))
+            continue;
+        if (best == nullptr || h.gen > best->gen)
+            best = &h;
+    }
+    if (best == nullptr)
+        return out;
+    out.valid = true;
+    out.gen = best->gen;
+    out.sealedSeq = best->sealedSeq;
+    out.tsAnchorNs = best->tsAnchorNs;
+    out.wallAnchorNs = best->wallAnchorNs;
+    out.tid = best->tid;
+    out.capacity = best->capacity;
+
+    const auto *slots =
+        reinterpret_cast<const FlightSlot *>(base) + 2;
+    const std::uint64_t cap = best->capacity;
+    const std::uint64_t hi = best->sealedSeq;
+    const std::uint64_t lo = hi > cap ? hi - cap : 0;
+    out.events.reserve(std::size_t(hi - lo));
+    for (std::uint64_t seq = lo; seq < hi; ++seq) {
+        FlightSlot s;
+        std::memcpy(&s, &slots[seq & (cap - 1)], sizeof(s));
+        // Two independent gates: the embedded sequence pins the slot
+        // to this exact position of this exact generation of the
+        // ring (a wrap victim or a previous incarnation's leftover
+        // carries a different seq), and the checksum rejects torn
+        // writes.
+        if (s.seq != seq || s.cksum != slotCksum(s)) {
+            ++out.rejected;
+            continue;
+        }
+        const char *name =
+            s.nameId < kFlightNameCount ? kFlightNames[s.nameId]
+                                        : kFlightNames[0];
+        out.events.push_back(
+            {name, s.tid, s.tsNs, s.durNs, s.arg, s.flowId});
+    }
+    return out;
+}
+
+} // namespace lp::obs

@@ -59,6 +59,27 @@ class Histogram
         return (std::uint64_t(1) << (kMaxBit + 1)) - 1;
     }
 
+    /**
+     * Exemplar octaves: one slot per power-of-two value range
+     * (octave k holds values with bit_width k, i.e. [2^(k-1), 2^k)),
+     * plus slot 0 for the linear region and a last slot for
+     * overflow. One octave maps onto one exposition bucket bound, so
+     * a scraped `le="2^k"` line can carry the freshest trace id that
+     * landed under it.
+     */
+    static constexpr std::size_t kExemplars =
+        std::size_t(kMaxBit) + 3;
+
+    /** Exemplar slot for value @p v. */
+    static std::size_t
+    exemplarIndexOf(std::uint64_t v)
+    {
+        if (v > maxTrackable())
+            return kExemplars - 1;
+        const int w = std::bit_width(v);
+        return w <= kSubBits + 1 ? 0 : std::size_t(w - kSubBits - 1);
+    }
+
     Histogram() = default;
     Histogram(const Histogram &) = delete;
     Histogram &operator=(const Histogram &) = delete;
@@ -74,6 +95,32 @@ class Histogram
             return;
         }
         buckets_[indexOf(v)].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /**
+     * Keep @p traceId as the freshest exemplar for @p v's octave.
+     * One relaxed store into a single atomic word: a concurrent
+     * scrape reads either the old id or the new one, never a torn
+     * splice -- which is why the exemplar is the trace id alone and
+     * the scrape reconstructs the value as the bucket bound (a pair
+     * would need a seqlock to avoid tearing). Call after record(),
+     * only when a trace id exists; ids are never zero (traceIdOf),
+     * so zero means "no exemplar yet".
+     */
+    void
+    recordExemplar(std::uint64_t v, std::uint64_t traceId)
+    {
+        exemplars_[exemplarIndexOf(v)].store(
+            traceId, std::memory_order_relaxed);
+    }
+
+    /** Latest trace id for exemplar slot @p i; 0 = none. */
+    std::uint64_t
+    exemplar(std::size_t i) const
+    {
+        return i < kExemplars
+                   ? exemplars_[i].load(std::memory_order_relaxed)
+                   : 0;
     }
 
     /** Add @p other's counts into this histogram. */
@@ -93,6 +140,12 @@ class Histogram
         overflow_.fetch_add(
             other.overflow_.load(std::memory_order_relaxed),
             std::memory_order_relaxed);
+        for (std::size_t i = 0; i < kExemplars; ++i) {
+            const auto id =
+                other.exemplars_[i].load(std::memory_order_relaxed);
+            if (id)
+                exemplars_[i].store(id, std::memory_order_relaxed);
+        }
     }
 
     std::uint64_t
@@ -208,6 +261,7 @@ class Histogram
     }
 
     std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::array<std::atomic<std::uint64_t>, kExemplars> exemplars_{};
     std::atomic<std::uint64_t> sum_{0};
     std::atomic<std::uint64_t> count_{0};
     std::atomic<std::uint64_t> overflow_{0};

@@ -55,6 +55,34 @@ MetricsText::sample(const std::string &name, const std::string &labels,
     out_ += " " + formatValue(v) + "\n";
 }
 
+/**
+ * Bucket line with an OpenMetrics exemplar suffix: the freshest
+ * trace id that landed in this bucket's octave, with the value
+ * reconstructed as the octave midpoint (the id is a single atomic
+ * word in the histogram, so a concurrent scrape can never see a
+ * torn id -- see Histogram::recordExemplar).
+ */
+void
+MetricsText::bucketSample(const std::string &name,
+                          const std::string &labels, double v,
+                          std::uint64_t exemplarId,
+                          double exemplarValue)
+{
+    out_ += name;
+    if (!labels.empty())
+        out_ += "{" + labels + "}";
+    out_ += " " + formatValue(v);
+    if (exemplarId != 0) {
+        char ex[64];
+        std::snprintf(ex, sizeof(ex),
+                      " # {trace_id=\"%016llx\"} ",
+                      static_cast<unsigned long long>(exemplarId));
+        out_ += ex;
+        out_ += formatValue(exemplarValue);
+    }
+    out_ += "\n";
+}
+
 void
 MetricsText::counter(const std::string &name,
                      const std::string &labels, double v)
@@ -82,6 +110,7 @@ MetricsText::histogramScaled(const std::string &name,
 
     std::uint64_t cum = 0;
     std::size_t i = 0;
+    int lastK = 0;
     for (int k = Histogram::kSubBits + 1; k <= Histogram::kMaxBit + 1;
          ++k) {
         // Buckets below this index hold values < 2^k exactly.
@@ -93,12 +122,39 @@ MetricsText::histogramScaled(const std::string &name,
         char le[48];
         std::snprintf(le, sizeof(le), "le=\"%.10g\"",
                       double(std::uint64_t(1) << k) * scale);
-        sample(name + "_bucket", joinLabels(labels, le), double(cum));
+        // This bucket's own octave is [2^(k-1), 2^k) -- exemplar
+        // slot k - kSubBits - 1 -- reconstructed at the octave
+        // midpoint (the first bucket covers the whole linear region,
+        // midpoint 2^kSubBits).
+        const std::size_t ex = std::size_t(k - Histogram::kSubBits - 1);
+        const double mid =
+            k == Histogram::kSubBits + 1
+                ? double(std::uint64_t(1) << Histogram::kSubBits)
+                : 1.5 * double(std::uint64_t(1) << (k - 1));
+        bucketSample(name + "_bucket", joinLabels(labels, le),
+                     double(cum), h.exemplar(ex), mid * scale);
+        lastK = k;
         if (cum >= tracked)
             break;
     }
-    sample(name + "_bucket", joinLabels(labels, "le=\"+Inf\""),
-           double(total));
+    // Overflow saturation: when samples exceeded the trackable range,
+    // close the finite series at the 2^(kMaxBit+1) bound so a
+    // quantile that lands in the overflow saturates to the trackable
+    // max (matching Histogram::percentile) instead of whatever octave
+    // the tracked samples happened to stop at.
+    if (h.overflow() > 0 && lastK < Histogram::kMaxBit + 1) {
+        char le[48];
+        std::snprintf(
+            le, sizeof(le), "le=\"%.10g\"",
+            double(std::uint64_t(1) << (Histogram::kMaxBit + 1)) *
+                scale);
+        sample(name + "_bucket", joinLabels(labels, le),
+               double(tracked));
+    }
+    bucketSample(name + "_bucket", joinLabels(labels, "le=\"+Inf\""),
+                 double(total),
+                 h.exemplar(Histogram::kExemplars - 1),
+                 double(Histogram::maxTrackable()) * scale);
     sample(name + "_sum", labels, double(h.sum()) * scale);
     sample(name + "_count", labels, double(total));
 }
@@ -130,6 +186,12 @@ parseExposition(const std::string &text, stats::Snapshot &out)
             line.pop_back();
         if (line.empty() || line[0] == '#')
             continue;
+        // Strip an OpenMetrics exemplar suffix (" # {...} value")
+        // before splitting on the last space -- the exemplar's value
+        // would otherwise be parsed as the sample.
+        const std::size_t ex = line.find(" # ");
+        if (ex != std::string::npos)
+            line.erase(ex);
         const std::size_t sp = line.find_last_of(' ');
         if (sp == std::string::npos || sp == 0 ||
             sp + 1 >= line.size()) {

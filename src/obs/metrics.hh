@@ -37,6 +37,11 @@ class MetricsText
      * cumulative octave buckets (le in SECONDS), `<name>_sum`
      * (seconds) and `<name>_count`. Only octaves up to the highest
      * non-empty one are emitted; `le="+Inf"` always equals _count.
+     * When the histogram recorded overflow samples (>= 2^48 ns) the
+     * finite series is closed at the 2^48 bound so bucket quantiles
+     * saturate at the trackable max. Buckets whose octave holds an
+     * exemplar trace id carry an OpenMetrics exemplar suffix
+     * (`# {trace_id="<16 hex>"} <octave midpoint>`).
      */
     void histogramNs(const std::string &name,
                      const std::string &labels, const Histogram &h);
@@ -58,6 +63,9 @@ class MetricsText
     void typeLine(const std::string &name, const char *type);
     void sample(const std::string &name, const std::string &labels,
                 double v);
+    void bucketSample(const std::string &name,
+                      const std::string &labels, double v,
+                      std::uint64_t exemplarId, double exemplarValue);
 
     std::string out_;
     std::set<std::string> typed_;
@@ -65,8 +73,9 @@ class MetricsText
 
 /**
  * Parse a text exposition into @p out, keyed `name{labels}` (or bare
- * `name`). Comment/blank lines are skipped. False if any remaining
- * line is not `<key> <number>`.
+ * `name`). Comment/blank lines are skipped; OpenMetrics exemplar
+ * suffixes (" # {...} v") are stripped. False if any remaining line
+ * is not `<key> <number>`.
  */
 bool parseExposition(const std::string &text, stats::Snapshot &out);
 
@@ -74,7 +83,10 @@ bool parseExposition(const std::string &text, stats::Snapshot &out);
  * Quantile from a parsed `_bucket` series: @p lesToCum maps each
  * bucket's le bound to its cumulative count (+Inf as infinity).
  * Returns the smallest le bound covering fraction @p p, i.e. an
- * upper bound on the quantile. 0 when empty.
+ * upper bound on the quantile. A quantile that lands past the last
+ * finite bound (overflow samples, >= 2^48 ns) saturates to that
+ * last finite bound -- the trackable max when the exposition came
+ * from MetricsText. 0 when empty.
  */
 double quantileFromBuckets(
     const std::map<double, double> &lesToCum, double p);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
 namespace lp::obs
 {
@@ -85,6 +86,42 @@ TraceCollector::writeChromeTrace(const std::string &path)
                          e.tid, double(e.tsNs) / 1e3,
                          double(e.durNs) / 1e3, e.name,
                          static_cast<unsigned long long>(e.arg));
+        }
+    }
+    // Flow events: every group of >= 2 events sharing a nonzero
+    // flowId becomes one s -> t* -> f arc named "req", so a
+    // request's parse -> queue -> commit-wait -> ack path renders as
+    // a connected line across thread tracks in Perfetto. Each flow
+    // point is timestamped at the midpoint of the span it binds to,
+    // which is how Perfetto associates the arrow with that slice.
+    // Emitting from complete groups only -- never a lone "s" -- keeps
+    // begin/end pairing intact even when ring overflow dropped part
+    // of a request's spans.
+    {
+        std::map<std::uint64_t, std::vector<const TraceEvent *>> flows;
+        for (const TraceEvent &e : events)
+            if (e.flowId != 0)
+                flows[e.flowId].push_back(&e);
+        for (const auto &[id, evs] : flows) {
+            if (evs.size() < 2)
+                continue;
+            for (std::size_t i = 0; i < evs.size(); ++i) {
+                const TraceEvent &e = *evs[i];
+                const double ts =
+                    (double(e.tsNs) + double(e.durNs) / 2.0) / 1e3;
+                const char *ph = i == 0 ? "s"
+                                 : i + 1 == evs.size() ? "f"
+                                                       : "t";
+                sep();
+                std::fprintf(
+                    f,
+                    "{\"ph\":\"%s\",\"pid\":1,\"tid\":%u,"
+                    "\"ts\":%.3f,\"cat\":\"req\",\"name\":\"req\","
+                    "\"id\":\"0x%llx\"%s}",
+                    ph, e.tid, ts,
+                    static_cast<unsigned long long>(id),
+                    ph[0] == 'f' ? ",\"bp\":\"e\"" : "");
+            }
         }
     }
     std::fputs("\n],\n\"otherData\": {", f);

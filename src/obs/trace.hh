@@ -45,6 +45,38 @@ struct TraceEvent
     std::uint64_t tsNs = 0;  ///< span start, from obs::nowNs()
     std::uint64_t durNs = 0; ///< span length; 0 = instant event
     std::uint64_t arg = 0;   ///< payload (epoch number, conn id...)
+    std::uint64_t flowId = 0; ///< request flow binding; 0 = none
+};
+
+/**
+ * Per-request trace id, derived from what is already on the wire:
+ * the connection id and the client's request id. splitmix64-style
+ * finalizer so nearby (conn, req) pairs land far apart; never zero,
+ * because 0 means "no flow" everywhere downstream.
+ */
+inline std::uint64_t
+traceIdOf(std::uint64_t connId, std::uint64_t reqId)
+{
+    std::uint64_t z = (connId << 32) ^ reqId;
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    return z | 1;
+}
+
+/**
+ * Consumer of every event pushed to a TraceRing, in producer order.
+ * The one implementation is obs::FlightRing (flight.hh), which
+ * persists a wrapping copy of the event stream into the pmem arena;
+ * the seam keeps trace.hh free of pmem dependencies. record() runs
+ * on the ring's producer thread and must not allocate.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void record(const TraceEvent &e) = 0;
 };
 
 /**
@@ -72,12 +104,23 @@ class TraceRing
     void setTid(std::uint32_t tid) { tid_ = tid; }
 
     /**
+     * Tee every future push into @p sink (the crash-persistent
+     * flight recorder). Producer-thread only; the sink sees events
+     * even when the volatile ring itself is full, so the persistent
+     * copy keeps wrapping after the in-memory one has stopped
+     * accepting.
+     */
+    void attachSink(TraceSink *sink) { sink_ = sink; }
+
+    /**
      * Producer side: enqueue @p e; false (and a drop is counted)
      * when the ring is full. Never allocates.
      */
     bool
     push(const TraceEvent &e)
     {
+        if (sink_)
+            sink_->record(e);
         const auto head = head_.load(std::memory_order_relaxed);
         const auto tail = tail_.load(std::memory_order_acquire);
         if (head - tail >= buf_.size()) {
@@ -113,6 +156,7 @@ class TraceRing
     std::vector<TraceEvent> buf_;
     std::size_t mask_ = 0;
     std::uint32_t tid_ = 0;
+    TraceSink *sink_ = nullptr;
     alignas(64) std::atomic<std::uint64_t> head_{0};
     alignas(64) std::atomic<std::uint64_t> tail_{0};
     std::atomic<std::uint64_t> dropped_{0};
@@ -120,21 +164,38 @@ class TraceRing
 
 /** Emit an instant event; no-op when @p ring is null. */
 inline void
-traceInstant(TraceRing *ring, const char *name, std::uint64_t arg = 0)
+traceInstant(TraceRing *ring, const char *name, std::uint64_t arg = 0,
+             std::uint64_t flowId = 0)
 {
     if (ring)
-        ring->push({name, ring->tid(), nowNs(), 0, arg});
+        ring->push({name, ring->tid(), nowNs(), 0, arg, flowId});
+}
+
+/**
+ * Emit a complete span whose start time the caller measured itself
+ * (a queue-wait or commit-wait whose t0 predates this thread seeing
+ * the work); no-op when @p ring is null.
+ */
+inline void
+traceSpanFrom(TraceRing *ring, const char *name, std::uint64_t t0Ns,
+              std::uint64_t arg = 0, std::uint64_t flowId = 0)
+{
+    if (ring)
+        ring->push({name, ring->tid(), t0Ns, nowNs() - t0Ns, arg,
+                    flowId});
 }
 
 /**
  * RAII span: records [construction, destruction) as a complete event
- * on @p ring; no-op (one branch) when @p ring is null.
+ * on @p ring; no-op (one branch) when @p ring is null. A nonzero
+ * @p flowId ties the span into its request's flow arc.
  */
 class Span
 {
   public:
-    Span(TraceRing *ring, const char *name, std::uint64_t arg = 0)
-        : ring_(ring), name_(name), arg_(arg),
+    Span(TraceRing *ring, const char *name, std::uint64_t arg = 0,
+         std::uint64_t flowId = 0)
+        : ring_(ring), name_(name), arg_(arg), flowId_(flowId),
           t0_(ring ? nowNs() : 0)
     {
     }
@@ -142,8 +203,8 @@ class Span
     ~Span()
     {
         if (ring_)
-            ring_->push(
-                {name_, ring_->tid(), t0_, nowNs() - t0_, arg_});
+            ring_->push({name_, ring_->tid(), t0_, nowNs() - t0_,
+                         arg_, flowId_});
     }
 
     Span(const Span &) = delete;
@@ -153,6 +214,7 @@ class Span
     TraceRing *ring_;
     const char *name_;
     std::uint64_t arg_;
+    std::uint64_t flowId_;
     std::uint64_t t0_;
 };
 

@@ -115,6 +115,14 @@ Server::Impl::localReply(Conn &c, Response r)
 void
 Server::Impl::handleRequest(Conn &c, Request &req)
 {
+    // Every worker-routed request gets a trace id derived from what
+    // is already on the wire (connection id + request id), so the
+    // same id is re-derivable at every hop -- including the ack path,
+    // which only sees the reply -- without widening any queue entry
+    // beyond one word. It threads parse/queue/stage/commit-wait/ack
+    // spans (and the epoch commit that made the op durable) into one
+    // flow arc in the Chrome trace, and feeds latency exemplars.
+    const std::uint64_t traceId = obs::traceIdOf(c.id, req.id);
     switch (req.op) {
       case Op::Get:
       case Op::Put:
@@ -149,6 +157,7 @@ Server::Impl::handleRequest(Conn &c, Request &req)
         it.key = req.key;
         it.value = req.value;
         it.tEnqNs = obs::nowNs();
+        it.traceId = traceId;
         enqueue(routeShard(req.key, cfg.shards), std::move(it));
         return;
       }
@@ -163,7 +172,8 @@ Server::Impl::handleRequest(Conn &c, Request &req)
         }
         ++c.inflight;
         auto ctx = std::make_shared<ScanCtx>(cfg.shards, c.id,
-                                             req.id, req.limit);
+                                             req.id, req.limit,
+                                             traceId);
         const std::uint64_t tEnq = obs::nowNs();
         for (int s = 0; s < cfg.shards; ++s) {
             OpItem it;
@@ -173,6 +183,7 @@ Server::Impl::handleRequest(Conn &c, Request &req)
             it.key = req.key;
             it.value = req.limit;
             it.tEnqNs = tEnq;
+            it.traceId = traceId;
             it.scan = ctx;
             enqueue(s, std::move(it));
         }
@@ -212,7 +223,7 @@ Server::Impl::handleRequest(Conn &c, Request &req)
         }
         ++c.inflight;
         auto ctx = std::make_shared<BatchCtx>(
-            std::uint32_t(req.batch.size()), c.id, req.id);
+            std::uint32_t(req.batch.size()), c.id, req.id, traceId);
         const std::uint64_t tEnq = obs::nowNs();
         for (const BatchOp &b : req.batch) {
             OpItem it;
@@ -223,6 +234,7 @@ Server::Impl::handleRequest(Conn &c, Request &req)
             it.key = b.key;
             it.value = b.value;
             it.tEnqNs = tEnq;
+            it.traceId = traceId;
             it.batch = ctx;
             enqueue(routeShard(b.key, cfg.shards), std::move(it));
         }
@@ -296,6 +308,13 @@ Server::Impl::readable(std::uint64_t connId)
                 return;
             }
             parseNs.record(obs::nowNs() - t0);
+            // Parse span: bytes on the wire (this fill) -> decoded.
+            // Its flow id opens the request's trace arc; the queue,
+            // stage, epoch-commit, and ack spans continue it.
+            obs::traceSpanFrom(
+                acceptRing, "parse",
+                c.nc.lastFillNs() ? c.nc.lastFillNs() : t0, req.id,
+                obs::traceIdOf(c.id, req.id));
             in.consume(used);
             handleRequest(c, req);
             if (conns.find(connId) == conns.end())
@@ -372,7 +391,17 @@ Server::Impl::drainReplies()
             --c.inflight;
         encodeResponse(m.resp, c.nc.frameBuf());
         c.nc.queueFrame();
-        ackNs.record(obs::nowNs() - m.tPostNs);
+        const std::uint64_t ackDt = obs::nowNs() - m.tPostNs;
+        ackNs.record(ackDt);
+        // Ack span: the trace id is re-derived from the reply's own
+        // (connId, reqId) -- the whole point of deriving ids from
+        // wire-visible fields -- so the ack leg joins the request's
+        // flow arc without the ReplyMsg carrying anything extra.
+        const std::uint64_t ackTrace =
+            obs::traceIdOf(m.connId, m.resp.id);
+        obs::traceSpanFrom(acceptRing, "ack", m.tPostNs,
+                           m.resp.id, ackTrace);
+        ackNs.recordExemplar(ackDt, ackTrace);
         if (touched.empty() || touched.back() != m.connId)
             touched.push_back(m.connId);
     }
@@ -488,7 +517,7 @@ Server::Impl::shutdownSequence()
         closeConn(conns.begin()->first);
     // Producers have quiesced (workers joined, acceptor is this
     // thread): safe to drain the rings and write the trace.
-    if (trace) {
+    if (trace && !cfg.traceOut.empty()) {
         if (!trace->writeChromeTrace(cfg.traceOut))
             warn("lp::server could not write trace file " +
                  cfg.traceOut);
@@ -521,12 +550,15 @@ Server::Impl::start()
     ::mkdir(cfg.dataDir.c_str(), 0755);  // EEXIST is fine
 
     // Trace rings must exist before worker threads spawn so the
-    // pointers are published by the thread-creation fence.
-    if (!cfg.traceOut.empty()) {
-        trace = std::make_unique<obs::TraceCollector>();
-        acceptRing = trace->ring("acceptor", 1000,
-                                 cfg.traceRingCapacity);
-    }
+    // pointers are published by the thread-creation fence. The
+    // collector is ALWAYS created now, not only under cfg.traceOut:
+    // the rings feed each worker's crash-persistent flight recorder
+    // (teed in openStore) and the lp_trace_drops_total counters, and
+    // recording is allocation-free relaxed stores. The Chrome trace
+    // JSON itself is still written only when traceOut names a file.
+    trace = std::make_unique<obs::TraceCollector>();
+    acceptRing = trace->ring("acceptor", 1000,
+                             cfg.traceRingCapacity);
 
     // Recovery happens on the worker threads, before the port
     // binds: no request can ever observe pre-recovery state.
@@ -535,10 +567,9 @@ Server::Impl::start()
         auto w = std::make_unique<Worker>();
         w->index = i;
         w->srv = this;
-        if (trace)
-            w->ring = trace->ring("shard-" + std::to_string(i),
-                                  std::uint32_t(i),
-                                  cfg.traceRingCapacity);
+        w->ring = trace->ring("shard-" + std::to_string(i),
+                              std::uint32_t(i),
+                              cfg.traceRingCapacity);
         workers.push_back(std::move(w));
     }
     for (auto &wp : workers) {

@@ -133,6 +133,17 @@ struct ServerConfig
 
     /** Trace ring capacity per traced thread (events; power of 2). */
     std::size_t traceRingCapacity = 1 << 14;
+
+    /**
+     * Crash-persistent flight recorder: events per shard ring,
+     * rounded up to a power of two (obs::FlightRing). Each worker
+     * carves its ring out of the FRONT of its shard arena and tees
+     * every trace span into it with LP-style plain stores, sealing a
+     * watermark as epochs commit; `lazyper_cli postmortem <dataDir>`
+     * decodes the rings from the raw shard files after a crash.
+     * 0 disables (and shrinks the arena accordingly).
+     */
+    std::uint32_t flightEvents = 4096;
 };
 
 /** Aggregate of what startup recovery found across all shards. */

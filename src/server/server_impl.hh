@@ -32,6 +32,7 @@
 #include "kernels/env.hh"
 #include "net/connection.hh"
 #include "net/event_loop.hh"
+#include "obs/flight.hh"
 #include "obs/histogram.hh"
 #include "obs/trace.hh"
 #include "pmem/arena.hh"
@@ -78,14 +79,16 @@ statusReply(Status s, std::uint64_t id)
  */
 struct BatchCtx
 {
-    BatchCtx(std::uint32_t n, std::uint64_t conn, std::uint64_t req)
-        : remaining(n), connId(conn), reqId(req)
+    BatchCtx(std::uint32_t n, std::uint64_t conn, std::uint64_t req,
+             std::uint64_t trace)
+        : remaining(n), connId(conn), reqId(req), traceId(trace)
     {
     }
 
     std::atomic<std::uint32_t> remaining;
     std::uint64_t connId;
     std::uint64_t reqId;
+    std::uint64_t traceId;  ///< request flow id (obs::traceIdOf)
 
     /**
      * Set by any worker that refused its sub-ops because its shard is
@@ -106,9 +109,9 @@ struct BatchCtx
 struct ScanCtx
 {
     ScanCtx(int shards, std::uint64_t conn, std::uint64_t req,
-            std::uint32_t lim)
+            std::uint32_t lim, std::uint64_t trace)
         : remaining(shards), connId(conn), reqId(req), limit(lim),
-          parts(std::size_t(shards))
+          traceId(trace), parts(std::size_t(shards))
     {
     }
 
@@ -116,6 +119,7 @@ struct ScanCtx
     std::uint64_t connId;
     std::uint64_t reqId;
     std::uint32_t limit;
+    std::uint64_t traceId;  ///< request flow id (obs::traceIdOf)
     std::vector<std::vector<ScanRecord>> parts;  ///< slot per shard
 };
 
@@ -140,6 +144,7 @@ struct TxnCtx
     std::uint64_t connId = 0;
     std::uint64_t reqId = 0;
     std::uint64_t tStartNs = 0;
+    std::uint64_t traceId = 0;  ///< request flow id (obs::traceIdOf)
     bool fastPath = false;  ///< single shard, batching backend
 
     std::vector<TxnOp> ops;     ///< wire order
@@ -200,6 +205,7 @@ struct OpItem
     std::uint64_t key = 0;    ///< SCAN: start_key
     std::uint64_t value = 0;  ///< SCAN: limit
     std::uint64_t tEnqNs = 0;  ///< enqueue time (queue-wait latency)
+    std::uint64_t traceId = 0; ///< request flow id (obs::traceIdOf)
     std::shared_ptr<BatchCtx> batch;  ///< set for BATCH sub-ops
     std::shared_ptr<ScanCtx> scan;    ///< set for SCAN sub-scans
     std::shared_ptr<TxnCtx> txn;      ///< set for Txn* items
@@ -301,6 +307,15 @@ struct Server::Impl
         /** This worker's trace ring; null when tracing is off. */
         obs::TraceRing *ring = nullptr;
 
+        /**
+         * Crash-persistent flight recorder, carved out of the FRONT
+         * of this worker's shard arena (offset 64 -- the postmortem
+         * placement contract) and teed from `ring`; null when
+         * cfg.flightEvents == 0. Sealed as the shard's committed
+         * epoch advances and on graceful drain.
+         */
+        std::unique_ptr<obs::FlightRing> flight;
+
         // Online-scrub throttle state (worker thread only).
         Clock::time_point lastScrub{};
         bool quarantineLogged = false;
@@ -385,6 +400,7 @@ struct Server::Impl
             std::uint64_t reqId;
             std::uint64_t epoch;
             std::uint64_t tStagedNs;  ///< commit-wait latency start
+            std::uint64_t traceId = 0;  ///< request flow id
             std::shared_ptr<BatchCtx> batch;
             std::shared_ptr<TxnCtx> txn;  ///< fast-path commit reply
             std::string txnBody;          ///< encoded reads (with txn)

@@ -267,7 +267,19 @@ Server::Impl::metricsTextNow() const
         mt.histogramNs(promName(sn::reqQueueNs), lab, w.queueNs);
         mt.histogramNs(promName(sn::reqCommitWaitNs), lab,
                        w.commitWaitNs);
+        // Events the shard's trace ring refused because it was full.
+        // The flight recorder tees BEFORE the full-check, so drops
+        // mean lost Chrome-trace detail, not lost flight coverage.
+        // Doubles as the vintage gate for lazyper_cli top's `drops`
+        // column (shard="0" is always present when this vintage
+        // serves METRICS).
+        if (w.ring)
+            mt.counter(promName(sn::traceDrops), lab,
+                       double(w.ring->dropped()));
     }
+    if (acceptRing)
+        mt.counter(promName(sn::traceDrops), "thread=\"acceptor\"",
+                   double(acceptRing->dropped()));
     mt.histogramNs(promName(sn::reqParseNs), "", parseNs);
     mt.histogramNs(promName(sn::reqAckNs), "", ackNs);
     // Unlabelled totals: both commit paths summed. Scrapers (and

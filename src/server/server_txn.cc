@@ -336,6 +336,7 @@ Server::Impl::routeTxn(Conn &c, Request &req)
     ctx->txnid = nextTxnId++;
     ctx->connId = c.id;
     ctx->reqId = req.id;
+    ctx->traceId = obs::traceIdOf(c.id, req.id);
     ctx->tStartNs = obs::nowNs();
     ctx->ops = std::move(req.txn);
     ctx->readSlot.assign(ctx->ops.size(), -1);
@@ -395,6 +396,7 @@ Server::Impl::routeTxn(Conn &c, Request &req)
         it.connId = c.id;
         it.reqId = req.id;
         it.tEnqNs = tEnq;
+        it.traceId = ctx->traceId;
         it.txn = ctx;
         it.part = i;
         enqueue(ctx->parts[i].shard, std::move(it));
@@ -435,6 +437,7 @@ Server::Impl::finishTxn(const std::shared_ptr<TxnCtx> &ctx)
             OpItem it;
             it.kind = OpItem::Kind::TxnAbort;
             it.tEnqNs = tEnq;
+            it.traceId = ctx->traceId;
             it.txn = ctx;
             it.part = i;
             enqueue(ctx->parts[i].shard, std::move(it));
@@ -467,11 +470,18 @@ Server::Impl::finishTxn(const std::shared_ptr<TxnCtx> &ctx)
     r.body = encodeTxnReadsBody(ctx->reads);
     postReply(ctx->connId, std::move(r));
     statTxnCommits.fetch_add(1, std::memory_order_relaxed);
-    txnCommitNs.record(obs::nowNs() - ctx->tStartNs);
+    const std::uint64_t commitDt = obs::nowNs() - ctx->tStartNs;
+    txnCommitNs.record(commitDt);
+    // Coordinator-side span covering route->decision; the flow id
+    // connects it to the per-shard prepare/apply queue spans.
+    obs::traceSpanFrom(acceptRing, "txn_commit", ctx->tStartNs,
+                       ctx->txnid, ctx->traceId);
+    txnCommitNs.recordExemplar(commitDt, ctx->traceId);
     for (std::size_t i = 0; i < ctx->parts.size(); ++i) {
         OpItem it;
         it.kind = OpItem::Kind::TxnApply;
         it.tEnqNs = tEnq;
+        it.traceId = ctx->traceId;
         it.txn = ctx;
         it.part = i;
         enqueue(ctx->parts[i].shard, std::move(it));

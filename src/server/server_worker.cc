@@ -37,21 +37,36 @@ Server::Impl::openStore(Worker &w)
     struct stat st{};
     const bool attach = ::stat(path.c_str(), &st) == 0 &&
                         st.st_size > 0;
-    // Arena budget: the store image plus this shard's PREPARE
-    // table, allocated in that order on every open (the arena
-    // attach contract).
+    // Arena budget: the flight-recorder ring FIRST (so postmortem
+    // finds it at the arena base offset in the raw file -- the
+    // obs::FlightRing placement contract), then the store image,
+    // then this shard's PREPARE table, allocated in that order on
+    // every open (the arena attach contract).
+    const std::size_t flightBytes =
+        cfg.flightEvents > 0
+            ? obs::FlightRing::bytesFor(cfg.flightEvents)
+            : 0;
     w.arena = std::make_unique<pmem::PersistentArena>(
-        store::storeArenaBytes(scfg) +
+        flightBytes + store::storeArenaBytes(scfg) +
             txn::prepareLogBytes(cfg.txnPrepareSlots),
         path);
+    if (cfg.flightEvents > 0)
+        w.flight = std::make_unique<obs::FlightRing>(
+            *w.arena, cfg.flightEvents, std::uint32_t(w.index));
     w.kv = std::make_unique<store::KvStore<kernels::NativeEnv>>(
         *w.arena, scfg, cfg.backend, attach);
     w.plog = std::make_unique<txn::PrepareLog<kernels::NativeEnv>>(
         *w.arena, cfg.txnPrepareSlots, attach);
     // Attach the trace ring before recovery so the replay's
-    // "recover_shard" span lands in the collector.
-    if (w.ring)
+    // "recover_shard" span lands in the collector -- and tee it
+    // into the flight recorder, which persists every span this
+    // worker emits (the volatile ring stops at capacity; the
+    // flight copy keeps wrapping).
+    if (w.ring) {
         w.kv->attachTraceRing(0, w.ring);
+        if (w.flight)
+            w.ring->attachSink(w.flight.get());
+    }
     if (attach) {
         w.report = w.kv->recover(w.env);
         w.attached = true;
@@ -73,13 +88,24 @@ Server::Impl::openStore(Worker &w)
 void
 Server::Impl::releaseAck(Worker &w, Worker::Pending &p)
 {
+    // Commit-wait span + exemplar: staged -> its epoch committed.
+    // Every branch below records commitWaitNs; doing it here once
+    // keeps the histogram, the exemplar, and the trace span over
+    // the identical interval.
+    const std::uint64_t waitDt = obs::nowNs() - p.tStagedNs;
+    if (p.connId != 0 || p.txn) {
+        obs::traceSpanFrom(w.ring, "commit_wait", p.tStagedNs,
+                           p.epoch, p.traceId);
+        if (p.traceId)
+            w.commitWaitNs.recordExemplar(waitDt, p.traceId);
+    }
     if (p.txn) {
         // Fast-path TXN: the epoch carrying the whole write-set
         // committed, so the transaction is durable -- reply, then
         // release the locks (held until now so no later
         // transaction could commit against values a crash might
         // still have discarded with the unsealed batch).
-        w.commitWaitNs.record(obs::nowNs() - p.tStagedNs);
+        w.commitWaitNs.record(waitDt);
         Response r;
         r.status = Status::Ok;
         r.id = p.reqId;
@@ -95,7 +121,7 @@ Server::Impl::releaseAck(Worker &w, Worker::Pending &p)
     }
     if (p.connId == 0)
         return;  // internal apply of a committed TXN: no reply
-    w.commitWaitNs.record(obs::nowNs() - p.tStagedNs);
+    w.commitWaitNs.record(waitDt);
     if (p.batch) {
         if (p.batch->remaining.fetch_sub(
                 1, std::memory_order_acq_rel) != 1)
@@ -124,6 +150,8 @@ Server::Impl::releaseCommitted(Worker &w)
 {
     engine::CommitPipeline &pl = w.kv->pipeline(0);
     const std::uint64_t ce = w.kv->committedEpoch(0);
+    const std::uint64_t prevCe =
+        w.statCommittedEpoch.load(std::memory_order_relaxed);
     const std::size_t n = pl.releaseUpTo(ce);
     for (std::size_t i = 0; i < n; ++i) {
         LP_ASSERT(!w.pending.empty() &&
@@ -141,6 +169,12 @@ Server::Impl::releaseCommitted(Worker &w)
     w.statDeadlineCommits.store(c.deadlineCommits,
                                 std::memory_order_relaxed);
     w.statCommittedEpoch.store(ce, std::memory_order_relaxed);
+    // Seal the flight recorder on the epoch-commit cadence: the
+    // watermark publish is one header write, and riding commits
+    // means everything up to the last committed epoch's spans is
+    // recoverable by postmortem after a SIGKILL.
+    if (w.flight && ce != prevCe)
+        w.flight->seal();
 }
 
 /** Free applied slots whose marker epoch the shard has made
@@ -237,7 +271,13 @@ Server::Impl::retryDeferred(Worker &w)
 void
 Server::Impl::processOp(Worker &w, OpItem &op)
 {
-    w.queueNs.record(obs::nowNs() - op.tEnqNs);
+    const std::uint64_t queueDt = obs::nowNs() - op.tEnqNs;
+    w.queueNs.record(queueDt);
+    if (op.traceId) {
+        obs::traceSpanFrom(w.ring, "queue", op.tEnqNs, op.reqId,
+                           op.traceId);
+        w.queueNs.recordExemplar(queueDt, op.traceId);
+    }
     switch (op.kind) {
       case OpItem::Kind::Get: {
         const auto v = w.kv->get(w.env, op.key);
@@ -322,15 +362,16 @@ Server::Impl::processOp(Worker &w, OpItem &op)
         }
         const std::uint64_t epoch =
             op.kind == OpItem::Kind::Put
-                ? w.kv->put(w.env, op.key, op.value)
-                : w.kv->del(w.env, op.key);
+                ? w.kv->put(w.env, op.key, op.value, op.traceId)
+                : w.kv->del(w.env, op.key, op.traceId);
         w.statMuts.fetch_add(1, std::memory_order_relaxed);
         // Every mutation waits for its epoch to commit; the
         // following releaseCommitted() releases it the same round
         // for backends that commit per op (eager, and WAL when the
         // op filled its batch).
         w.pending.push_back(Worker::Pending{
-            op.connId, op.reqId, epoch, obs::nowNs(), op.batch});
+            op.connId, op.reqId, epoch, obs::nowNs(), op.traceId,
+            op.batch});
         w.kv->pipeline(0).notePending(epoch, Clock::now());
         return;
       }
@@ -354,7 +395,8 @@ Server::Impl::processOp(Worker &w, OpItem &op)
                            : w.kv->put(w.env, wr.key, wr.value);
             w.statMuts.fetch_add(1, std::memory_order_relaxed);
             w.pending.push_back(Worker::Pending{
-                0, 0, epoch, obs::nowNs(), nullptr});
+                0, 0, epoch, obs::nowNs(), op.txn->traceId,
+                nullptr});
             w.kv->pipeline(0).notePending(epoch, Clock::now());
         }
         if (!part.writes.empty()) {
@@ -507,6 +549,13 @@ Server::Impl::workerMain(Worker &w)
             w.kv->markClean(w.env);
             w.arena->persistAll();
             releaseCommitted(w);
+            // Final flight watermark: the drain marker plus every
+            // span the epoch-cadence seal had not covered yet.
+            if (w.flight) {
+                obs::traceInstant(w.ring, "drain",
+                                  w.kv->committedEpoch(0));
+                w.flight->seal();
+            }
             LP_ASSERT(w.pending.empty(),
                       "worker drained with unreleased acks");
             break;

@@ -148,7 +148,12 @@ class LpBackend : public PersistencyBackend<Env>
             return;
         const std::uint64_t epoch = pl.openEpoch();
         obs::ShardObs *ob = pl.obs();
-        obs::Span span(obs::ringOf(ob), "epoch_commit", epoch);
+        // Flow id = the latest request staged into this epoch
+        // (captured before pl.commitEpoch() clears it), so one
+        // request's trace arc connects through the group commit
+        // that made it durable.
+        obs::Span span(obs::ringOf(ob), "epoch_commit", epoch,
+                       pl.openTraceId());
         obs::ScopedTimer timer(ob ? &ob->commitNs : nullptr);
         sh.journal->seal(env, std::uint64_t(pl.stagedOps()), epoch,
                          sh.acc, ckCost());

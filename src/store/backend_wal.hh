@@ -78,7 +78,8 @@ class WalBackend : public PersistencyBackend<Env>
             return;
         const std::uint64_t epoch = pl.openEpoch();
         obs::ShardObs *ob = pl.obs();
-        obs::Span span(obs::ringOf(ob), "wal_commit", epoch);
+        obs::Span span(obs::ringOf(ob), "wal_commit", epoch,
+                       pl.openTraceId());
         obs::ScopedTimer timer(ob ? &ob->commitNs : nullptr);
         struct PlanWrite
         {

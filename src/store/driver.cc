@@ -8,6 +8,7 @@
 #include "base/rng.hh"
 #include "kernels/env.hh"
 #include "kernels/workload.hh"
+#include "obs/flight.hh"
 #include "pmem/crash.hh"
 #include "pmem/fault.hh"
 #include "repair/repair.hh"
@@ -17,6 +18,30 @@ namespace lp::store
 
 namespace
 {
+
+/**
+ * Flight-recorder slots every driver run carves out of its arena
+ * (first allocation, per the postmortem placement contract). The
+ * recorder stays ON in every bench so the published numbers carry
+ * its cost; its stores are host-side, so the simulated tiers see
+ * zero cycles and the native tier pays the true overhead.
+ */
+constexpr std::uint32_t kFlightEvents = 4096;
+
+/**
+ * Tee every shard ring of @p store into @p flight. The driver is
+ * single-threaded (one owner for all shards), so sharing one
+ * FlightRing across the shard rings respects its single-writer
+ * contract.
+ */
+template <typename Env>
+void
+attachFlightSink(KvStore<Env> &store, obs::FlightRing &flight)
+{
+    for (int s = 0; s < store.config().shards; ++s)
+        if (obs::TraceRing *r = store.shardObs(s).ring)
+            r->attachSink(&flight);
+}
 
 /** Compare the store's persistent map against a golden map. */
 bool
@@ -58,14 +83,20 @@ runStoreYcsb(Backend b, const StoreConfig &scfg, const YcsbParams &p,
              const sim::MachineConfig &mcfg,
              obs::TraceCollector *trace)
 {
-    kernels::SimContext ctx(mcfg, storeArenaBytes(scfg));
+    kernels::SimContext ctx(mcfg,
+                            obs::FlightRing::bytesFor(kFlightEvents) +
+                                storeArenaBytes(scfg));
+    obs::FlightRing flight(ctx.arena, kFlightEvents, 0);
+    obs::TraceCollector localTrace;
     KvStore<kernels::SimEnv> store(ctx.arena, scfg, b);
-    attachStoreTrace(store, trace);
+    attachStoreTrace(store, trace ? trace : &localTrace);
+    attachFlightSink(store, flight);
     ctx.arena.persistAll();
     kernels::SimEnv env(ctx.machine, ctx.arena, 0);
 
     std::unordered_map<std::uint64_t, std::uint64_t> golden;
     ycsbLoad(env, store, p, &golden);
+    flight.seal();
 
     StoreRunResult out;
     out.loadStats = ctx.machine.snapshot();
@@ -78,6 +109,7 @@ runStoreYcsb(Backend b, const StoreConfig &scfg, const YcsbParams &p,
         sumPipelineCounters(store);
 
     const MixCounts c = ycsbMix(env, store, p, &golden);
+    flight.seal();
 
     const engine::PipelineCounters mixCtrs = sumPipelineCounters(store);
     out.opsStaged = mixCtrs.opsStaged - loadCtrs.opsStaged;
@@ -109,9 +141,14 @@ NativeRunResult
 runStoreNative(Backend b, const StoreConfig &scfg, const YcsbParams &p,
                obs::TraceCollector *trace)
 {
-    pmem::PersistentArena arena(storeArenaBytes(scfg));
+    pmem::PersistentArena arena(
+        obs::FlightRing::bytesFor(kFlightEvents) +
+        storeArenaBytes(scfg));
+    obs::FlightRing flight(arena, kFlightEvents, 0);
+    obs::TraceCollector localTrace;
     KvStore<kernels::NativeEnv> store(arena, scfg, b);
-    attachStoreTrace(store, trace);
+    attachStoreTrace(store, trace ? trace : &localTrace);
+    attachFlightSink(store, flight);
     arena.persistAll();
     kernels::NativeEnv env;
 
@@ -120,6 +157,7 @@ runStoreNative(Backend b, const StoreConfig &scfg, const YcsbParams &p,
     ycsbLoad(env, store, p, &golden);
     const MixCounts c = ycsbMix(env, store, p, &golden);
     const auto t1 = std::chrono::steady_clock::now();
+    flight.seal();
 
     NativeRunResult out;
     out.seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -153,9 +191,14 @@ runStoreWithCrash(Backend b, const StoreConfig &scfg,
 {
     using kernels::SimEnv;
 
-    kernels::SimContext ctx(mcfg, storeArenaBytes(scfg));
+    kernels::SimContext ctx(mcfg,
+                            obs::FlightRing::bytesFor(kFlightEvents) +
+                                storeArenaBytes(scfg));
+    obs::FlightRing flight(ctx.arena, kFlightEvents, 0);
+    obs::TraceCollector localTrace;
     KvStore<SimEnv> store(ctx.arena, scfg, b);
-    attachStoreTrace(store, trace);
+    attachStoreTrace(store, trace ? trace : &localTrace);
+    attachFlightSink(store, flight);
     ctx.arena.persistAll();
     SimEnv env(ctx.machine, ctx.arena, 0, &ctx.crash);
 
@@ -313,6 +356,7 @@ runStoreWithCrash(Backend b, const StoreConfig &scfg,
     for (std::size_t j = 0; j < spec.postOps; ++j)
         issueOne(spec.preOps + j);
     store.checkpoint(env);
+    flight.seal();
     out.finalStateVerified = store.snapshot() == replay(issued, nullptr);
     out.scanStateVerified =
         out.scanStateVerified && scanMatches(replay(issued, nullptr));
@@ -348,8 +392,14 @@ runStoreWithFault(Backend b, const StoreConfig &scfg,
         }
     }
 
-    kernels::SimContext ctx(mcfg, storeArenaBytes(scfg));
+    kernels::SimContext ctx(mcfg,
+                            obs::FlightRing::bytesFor(kFlightEvents) +
+                                storeArenaBytes(scfg));
+    obs::FlightRing flight(ctx.arena, kFlightEvents, 0);
+    obs::TraceCollector localTrace;
     KvStore<SimEnv> store(ctx.arena, scfg, b);
+    attachStoreTrace(store, &localTrace);
+    attachFlightSink(store, flight);
     ctx.arena.persistAll();
     SimEnv env(ctx.machine, ctx.arena, 0);
 
@@ -540,6 +590,7 @@ runStoreWithFault(Backend b, const StoreConfig &scfg,
     for (std::size_t j = 0; j < spec.postOps; ++j)
         issueOne(spec.preOps + j);
     store.checkpoint(env);
+    flight.seal();
     out.finalStateVerified =
         store.snapshot() == replay(issued, nullptr);
     out.scanStateVerified =

@@ -247,18 +247,22 @@ class KvStore
      * landed in, which drivers use to tag ops for committed-replay
      * verification; under the eager backend every op is its own
      * epoch, so this doubles as a per-shard op sequence number.
+     * @p traceId (when nonzero) attributes the op to a request
+     * trace: it becomes the stage-latency exemplar and flows into
+     * the epoch-commit span of the epoch that makes the op durable.
      */
     std::uint64_t
-    put(Env &env, std::uint64_t key, std::uint64_t value)
+    put(Env &env, std::uint64_t key, std::uint64_t value,
+        std::uint64_t traceId = 0)
     {
-        return mutate(env, JOp::Put, key, value);
+        return mutate(env, JOp::Put, key, value, traceId);
     }
 
     /** Delete @p key (a no-op if absent); returns the op's epoch. */
     std::uint64_t
-    del(Env &env, std::uint64_t key)
+    del(Env &env, std::uint64_t key, std::uint64_t traceId = 0)
     {
-        return mutate(env, JOp::Del, key, 0);
+        return mutate(env, JOp::Del, key, 0, traceId);
     }
 
     /** Read @p key, observing this handle's own uncommitted writes. */
@@ -492,18 +496,28 @@ class KvStore
     }
 
     std::uint64_t
-    mutate(Env &env, JOp op, std::uint64_t key, std::uint64_t value)
+    mutate(Env &env, JOp op, std::uint64_t key, std::uint64_t value,
+           std::uint64_t traceId)
     {
         LP_ASSERT(key <= maxUserKey, "key in reserved sentinel range");
         const int sh = shardIndex(key);
         checkShardOwner(sh);
+        // Attribute the request to the open epoch BEFORE staging:
+        // stage() may close the epoch (batch full), and the backend's
+        // epoch-commit span wants this op's trace id as its flow id.
+        pipelines_[std::size_t(sh)].noteTrace(traceId);
         // Per-mutation latency: includes any epoch commit or fold
         // stage() triggers, so the histogram tail is exactly the
-        // fold-pause story the paper's Figure 10 argues about.
-        const std::uint64_t epoch = [&] {
-            obs::ScopedTimer timer(obs_[std::size_t(sh)].stageNs);
-            return backend_->stage(env, sh, op, key, value);
-        }();
+        // fold-pause story the paper's Figure 10 argues about. Timed
+        // explicitly (not ScopedTimer) so the same sample can feed
+        // the stage-latency exemplar for this request's trace.
+        const std::uint64_t t0 = obs::nowNs();
+        const std::uint64_t epoch =
+            backend_->stage(env, sh, op, key, value);
+        const std::uint64_t dt = obs::nowNs() - t0;
+        obs_[std::size_t(sh)].stageNs.record(dt);
+        if (traceId)
+            obs_[std::size_t(sh)].stageNs.recordExemplar(dt, traceId);
         // Mirror the mutation into the shard's ordered index AFTER it
         // is staged (a simulated crash inside stage() aborts before
         // the index update; recover() rebuilds it regardless). Erase

@@ -408,6 +408,220 @@ TEST(Metrics, ParseRejectsMalformedLinesButKeepsGoing)
     EXPECT_FALSE(parseExposition("name notanumber\n", snap));
 }
 
+TEST(Histogram, ExemplarOctaveMappingAndMerge)
+{
+    // Slot 0 is the whole linear-region bucket; octave w maps to
+    // slot w - kSubBits - 1; overflow owns the last slot.
+    EXPECT_EQ(Histogram::exemplarIndexOf(0), 0u);
+    EXPECT_EQ(Histogram::exemplarIndexOf(63), 0u);
+    EXPECT_EQ(Histogram::exemplarIndexOf(64), 1u);
+    EXPECT_EQ(Histogram::exemplarIndexOf(127), 1u);
+    EXPECT_EQ(Histogram::exemplarIndexOf(128), 2u);
+    EXPECT_EQ(Histogram::exemplarIndexOf(Histogram::maxTrackable()),
+              std::size_t(Histogram::kMaxBit) + 1 -
+                  Histogram::kSubBits - 1);
+    EXPECT_EQ(Histogram::exemplarIndexOf(Histogram::maxTrackable() + 1),
+              Histogram::kExemplars - 1);
+
+    Histogram h;
+    EXPECT_EQ(h.exemplar(0), 0u); // zero = none yet
+    h.record(1000);
+    h.recordExemplar(1000, 0x1111);
+    h.recordExemplar(1000, 0x2222); // freshest wins
+    EXPECT_EQ(h.exemplar(Histogram::exemplarIndexOf(1000)), 0x2222u);
+    EXPECT_EQ(h.exemplar(Histogram::kExemplars), 0u); // OOB is safe
+
+    // merge() adopts the other side's exemplars but never erases a
+    // slot the other side left empty.
+    Histogram a, b;
+    a.recordExemplar(100, 0xaaaa);
+    b.recordExemplar(5000, 0xbbbb);
+    a.merge(b);
+    EXPECT_EQ(a.exemplar(Histogram::exemplarIndexOf(100)), 0xaaaau);
+    EXPECT_EQ(a.exemplar(Histogram::exemplarIndexOf(5000)), 0xbbbbu);
+}
+
+TEST(Histogram, ExemplarNeverTearsUnderConcurrentScrape)
+{
+    // The exemplar is a single atomic word precisely so a scrape
+    // racing the writer reads one of the stored ids, never a splice
+    // of two. Hammer one slot with two distinguishable ids and
+    // assert every concurrent read is one of them.
+    Histogram h;
+    constexpr std::uint64_t idA = 0x1111111111111111ull;
+    constexpr std::uint64_t idB = 0x2222222222222222ull;
+    const std::size_t slot = Histogram::exemplarIndexOf(1000);
+    std::atomic<bool> stop{false};
+    std::atomic<bool> torn{false};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::uint64_t v = h.exemplar(slot);
+            if (v != 0 && v != idA && v != idB)
+                torn.store(true, std::memory_order_relaxed);
+        }
+    });
+    for (int i = 0; i < 200000; ++i)
+        h.recordExemplar(1000, (i & 1) ? idA : idB);
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+    EXPECT_FALSE(torn.load());
+}
+
+TEST(Histogram, ExemplarPathDoesNotAllocate)
+{
+    Histogram h;
+    const std::size_t before =
+        g_allocCount.load(std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        h.recordExemplar(i * 777, i | 1);
+        (void)h.exemplar(Histogram::exemplarIndexOf(i * 777));
+    }
+    const std::size_t after =
+        g_allocCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before);
+}
+
+TEST(Metrics, HistogramExpositionCarriesExemplars)
+{
+    // v=1000ns lives in octave [512, 1024): bound le=1.024e-06 s,
+    // reconstructed exemplar value = octave midpoint 768ns.
+    Histogram h;
+    h.record(1000);
+    h.recordExemplar(1000, 0xabcdef0123456789ull);
+    MetricsText mt;
+    mt.histogramNs("lp_x_seconds", "shard=\"0\"", h);
+    const std::string &text = mt.str();
+    EXPECT_NE(
+        text.find("# {trace_id=\"abcdef0123456789\"} 7.68e-07"),
+        std::string::npos);
+    // Buckets with no exemplar carry no suffix: exactly one
+    // exemplar'd line (1000 < 2^10 stops the finite series, and the
+    // +Inf slot is empty).
+    std::size_t n = 0;
+    for (std::size_t at = text.find(" # {");
+         at != std::string::npos; at = text.find(" # {", at + 1))
+        ++n;
+    EXPECT_EQ(n, 1u);
+    // The suffix is cosmetic to the parser: values still round-trip.
+    stats::Snapshot snap;
+    ASSERT_TRUE(parseExposition(text, snap));
+    EXPECT_DOUBLE_EQ(
+        snap.at("lp_x_seconds_bucket{shard=\"0\",le=\"1.024e-06\"}"),
+        1.0);
+    EXPECT_DOUBLE_EQ(
+        snap.at("lp_x_seconds_bucket{shard=\"0\",le=\"+Inf\"}"), 1.0);
+}
+
+TEST(Metrics, OverflowedHistogramQuantileSaturates)
+{
+    // Regression: a histogram dominated by overflow samples used to
+    // end its finite bucket series at whatever octave the tracked
+    // samples stopped at, so quantileFromBuckets clamped a p99.9
+    // that really lives in the overflow to that small bound (~128ns
+    // here). The exposition now closes the finite series at the
+    // 2^(kMaxBit+1) bound, matching Histogram::percentile's
+    // saturate-at-trackable-max behavior.
+    Histogram h;
+    for (int i = 0; i < 10; ++i)
+        h.record(100);
+    for (int i = 0; i < 90; ++i)
+        h.record(Histogram::maxTrackable() + 1);
+    h.recordExemplar(Histogram::maxTrackable() + 1, 0xfeedu);
+
+    MetricsText mt;
+    mt.histogramNs("lp_x_seconds", "shard=\"0\"", h);
+    stats::Snapshot snap;
+    ASSERT_TRUE(parseExposition(mt.str(), snap));
+    const auto buckets =
+        bucketSeries(snap, "lp_x_seconds_bucket{shard=\"0\",le=\"");
+    ASSERT_GE(buckets.size(), 3u); // 1.28e-07, 2^48 * 1e-9, +Inf
+    const double satBound =
+        double(std::uint64_t(1) << (Histogram::kMaxBit + 1)) * 1e-9;
+    // %.10g in the le label rounds the bound's low digits away.
+    EXPECT_NEAR(quantileFromBuckets(buckets, 0.999), satBound,
+                1e-9 * satBound);
+    // The overflow's exemplar rides the +Inf bucket at the trackable
+    // max, not on any finite bound.
+    EXPECT_NE(mt.str().find("le=\"+Inf\"} 100 # {trace_id=\""
+                            "000000000000feed\"}"),
+              std::string::npos);
+    // And the direct percentile agrees with the scraped one to
+    // within the double rounding of the bound.
+    EXPECT_NEAR(h.percentile(0.999) / 1e9, satBound, 1e-6 * satBound);
+}
+
+TEST(TraceCollector, EmitsFlowArcsForSharedFlowIds)
+{
+    TraceCollector tc;
+    TraceRing *r0 = tc.ring("shard-0", 0, 64);
+    TraceRing *r1 = tc.ring("acceptor", 1000, 64);
+    // Three spans of request 0x4d hop acceptor -> shard -> acceptor;
+    // request 0x63 has a single span and must emit no arc at all (a
+    // lone "s" renders as a dangling arrow).
+    r1->push(TraceEvent{"parse", 1000, 1000, 100, 1, 0x4d});
+    r0->push(TraceEvent{"queue", 0, 2000, 100, 1, 0x4d});
+    r1->push(TraceEvent{"ack", 1000, 3000, 100, 1, 0x4d});
+    r0->push(TraceEvent{"queue", 0, 4000, 100, 2, 0x63});
+
+    char path[] = "/tmp/lp-obs-flow-XXXXXX";
+    const int fd = mkstemp(path);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+    ASSERT_TRUE(tc.writeChromeTrace(path));
+    std::FILE *f = std::fopen(path, "r");
+    ASSERT_NE(f, nullptr);
+    std::string text(1 << 16, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), f));
+    std::fclose(f);
+    std::remove(path);
+
+    const auto countOf = [&](const std::string &needle) {
+        std::size_t n = 0;
+        for (std::size_t at = text.find(needle);
+             at != std::string::npos; at = text.find(needle, at + 1))
+            ++n;
+        return n;
+    };
+    // One s -> t -> f arc for 0x4d, binding-point "e" on the finish.
+    EXPECT_EQ(countOf("\"id\":\"0x4d\""), 3u);
+    EXPECT_EQ(countOf("\"ph\":\"s\""), 1u);
+    EXPECT_EQ(countOf("\"ph\":\"t\""), 1u);
+    EXPECT_EQ(countOf("\"ph\":\"f\""), 1u);
+    EXPECT_EQ(countOf("\"bp\":\"e\""), 1u);
+    EXPECT_EQ(countOf("\"cat\":\"req\""), 3u);
+    EXPECT_EQ(countOf("\"id\":\"0x63\""), 0u);
+}
+
+TEST(TraceRing, SinkSeesEveryPushEvenWhenFull)
+{
+    // The sink tee runs BEFORE the full-check, so a crash-persistent
+    // copy attached to the ring keeps wrapping after the volatile
+    // ring has started dropping.
+    struct CountingSink final : TraceSink
+    {
+        std::uint64_t seen = 0;
+        std::uint64_t lastArg = 0;
+        void
+        record(const TraceEvent &e) override
+        {
+            ++seen;
+            lastArg = e.arg;
+        }
+    } sink;
+    TraceRing ring(8);
+    ring.attachSink(&sink);
+    const std::size_t before =
+        g_allocCount.load(std::memory_order_relaxed);
+    for (std::uint64_t i = 1; i <= 40; ++i)
+        ring.push(TraceEvent{"e", 0, i, 0, i});
+    const std::size_t after =
+        g_allocCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before); // teed push path stays allocation-free
+    EXPECT_EQ(sink.seen, 40u);
+    EXPECT_EQ(sink.lastArg, 40u);
+    EXPECT_EQ(ring.dropped(), 32u);
+}
+
 TEST(Metrics, QuantileFromBuckets)
 {
     // 100 samples: 50 at <=0.001, 40 more at <=0.01, 10 in +Inf.

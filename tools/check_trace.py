@@ -9,13 +9,20 @@ i.e. loadable by Perfetto / chrome://tracing:
   * every event has string "ph" and "name", integer "pid"/"tid"
   * complete ("X") events carry numeric "ts" and "dur" >= 0
   * instant ("i") events carry numeric "ts"
+  * flow events ("s"/"t"/"f") carry numeric "ts" and a string "id",
+    and every flow id forms a well-paired arc: exactly one "s" first,
+    exactly one "f" last, any number of "t" steps between -- a lone
+    begin or end renders as a dangling arrow in Perfetto
   * metadata ("M") thread_name records exist for every tid that emits
     events (the collector writes one per registered ring)
 
 With --require NAME (repeatable), additionally asserts that at least
 one non-metadata event with that exact name is present -- CI uses this
 to prove e.g. that a recovery run actually produced recovery-phase
-spans.
+spans.  --require-span NAME is the same but only complete ("X")
+events count, and --require-flow demands at least one complete flow
+arc -- the postmortem-smoke job uses both to prove a SIGKILLed
+server's flight recorder preserved connected request paths.
 
 With --max-dur-us NAME:US (repeatable), every complete ("X") event
 named NAME must last at most US microseconds -- CI bounds the "scrub"
@@ -45,6 +52,19 @@ def main() -> None:
         default=[],
         metavar="NAME",
         help="require at least one event with this name (repeatable)",
+    )
+    ap.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require at least one complete (X) event with this "
+             "name (repeatable)",
+    )
+    ap.add_argument(
+        "--require-flow",
+        action="store_true",
+        help="require at least one complete s->...->f flow arc",
     )
     ap.add_argument(
         "--min-events",
@@ -87,6 +107,8 @@ def main() -> None:
     named_tids = set()
     emitting_tids = set()
     seen_names = set()
+    seen_span_names = set()
+    flow_phases = {}  # flow id -> [ph, ...] in file order
     n_real = 0
     for i, e in enumerate(events):
         if not isinstance(e, dict):
@@ -115,6 +137,12 @@ def main() -> None:
             if name in dur_caps and dur > dur_caps[name]:
                 fail(f"event {i} ({name}) lasted {dur}us, cap "
                      f"{dur_caps[name]}us")
+            seen_span_names.add(name)
+        elif ph in ("s", "t", "f"):
+            fid = e.get("id")
+            if not isinstance(fid, str) or not fid:
+                fail(f"event {i} ({ph}) lacks a string flow id")
+            flow_phases.setdefault(fid, []).append(ph)
         elif ph != "i":
             fail(f"event {i} has unexpected phase {ph!r}")
 
@@ -122,17 +150,30 @@ def main() -> None:
     if unnamed:
         fail(f"tids {sorted(unnamed)} emit events but have no "
              "thread_name metadata")
+    for fid, phs in flow_phases.items():
+        if phs[0] != "s" or phs[-1] != "f" or len(phs) < 2:
+            fail(f"flow {fid} is not an s->...->f arc: {phs}")
+        if phs.count("s") != 1 or phs.count("f") != 1:
+            fail(f"flow {fid} has duplicate begin/end points: {phs}")
     if n_real < args.min_events:
         fail(f"only {n_real} events, expected >= {args.min_events}")
+    if args.require_flow and not flow_phases:
+        fail("no flow arcs present (--require-flow)")
     missing = [r for r in args.require if r not in seen_names]
     if missing:
         fail(f"required event names missing: {missing} "
              f"(present: {sorted(seen_names)})")
+    missing = [r for r in args.require_span
+               if r not in seen_span_names]
+    if missing:
+        fail(f"required span names missing: {missing} "
+             f"(spans present: {sorted(seen_span_names)})")
 
     print(
         f"check_trace: OK: {args.trace}: {n_real} events on "
         f"{len(emitting_tids)} tracks, "
-        f"{len(seen_names)} distinct names"
+        f"{len(seen_names)} distinct names, "
+        f"{len(flow_phases)} flow arcs"
     )
 
 

@@ -31,23 +31,34 @@
  * exercise the media-fault tolerance layer (docs/repair_design.md):
  *   lazyper_cli inject --data-dir /tmp/lpdb --shard 0 --site superblock
  *   lazyper_cli inject --data-dir /tmp/lpdb --site journal --bytes 64
+ *
+ * The `postmortem` subcommand decodes the crash-persistent flight
+ * recorder out of a dead server's shard files and writes the
+ * surviving spans as Chrome trace JSON (docs/observability.md):
+ *   lazyper_cli postmortem --data-dir /tmp/lpdb
+ *   lazyper_cli postmortem --data-dir /tmp/lpdb --out crash.json
  */
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <limits>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
 
+#include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include "base/logging.hh"
 #include "kernels/env.hh"
 #include "kernels/harness.hh"
+#include "obs/flight.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "pmem/fault.hh"
@@ -57,6 +68,7 @@
 #include "stats/table.hh"
 #include "store/driver.hh"
 #include "store/kv_store.hh"
+#include "txn/prepare_log.hh"
 
 using namespace lp;
 using namespace lp::kernels;
@@ -88,9 +100,11 @@ usage(const char *argv0)
         "or: %s store ...   (persistent KV store; see `%s store -h`)\n"
         "or: %s serve ...   (network front-end; see `%s serve -h`)\n"
         "or: %s top ...     (live server metrics; see `%s top -h`)\n"
-        "or: %s inject ...  (media-fault injection; `%s inject -h`)\n",
+        "or: %s inject ...  (media-fault injection; `%s inject -h`)\n"
+        "or: %s postmortem ...  (crashed-server flight recorder dump;\n"
+        "                        see `%s postmortem -h`)\n",
         argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-        argv0);
+        argv0, argv0, argv0);
     std::exit(2);
 }
 
@@ -188,7 +202,10 @@ serveUsage(const char *argv0)
         "  --max-conns N      connection cap         (default 256)\n"
         "  --trace-out F   write a Chrome trace-event JSON (epoch\n"
         "                  commits, folds, recovery, connection\n"
-        "                  lifecycles) to F at shutdown\n"
+        "                  lifecycles, request flows) to F at shutdown\n"
+        "  --flight-events N   per-shard crash-persistent flight\n"
+        "                  recorder slots, 0 = off  (default 4096);\n"
+        "                  decode after a crash with `postmortem`\n"
         "  --quiet\n"
         "Runs until SIGINT/SIGTERM or a SHUTDOWN op; on shutdown every\n"
         "shard is checkpointed (eager fold) before the process exits.\n",
@@ -238,6 +255,9 @@ runServeCommand(int argc, char **argv)
             cfg.maxConns = std::atoi(next().c_str());
         } else if (arg == "--trace-out") {
             cfg.traceOut = next();
+        } else if (arg == "--flight-events") {
+            cfg.flightEvents =
+                std::uint32_t(std::atoi(next().c_str()));
         } else if (arg == "--quiet") {
             cfg.quiet = true;
         } else {
@@ -581,6 +601,11 @@ runTopCommand(int argc, char **argv)
         const bool hasMedia =
             snap.find("lp_media_repaired_total{shard=\"0\"}") !=
             snap.end();
+        // Trace-drop column, gated the same way: an older server
+        // never exports lp_trace_drops_total.
+        const bool hasDrops =
+            snap.find("lp_trace_drops_total{shard=\"0\"}") !=
+            snap.end();
         std::vector<std::string> hdr = {
             "shard", "get/s", "mut/s", "epoch/s", "fold/s", "dlc/s",
             "qdepth", "epoch", "commit p99", "qwait p99",
@@ -597,6 +622,8 @@ runTopCommand(int argc, char **argv)
             hdr.push_back("unrep");
             hdr.push_back("quar");
         }
+        if (hasDrops)
+            hdr.push_back("drops");
         stats::Table t(hdr);
         const auto us = [](double seconds) {
             return stats::Table::num(seconds * 1e6, 1) + "us";
@@ -664,6 +691,13 @@ runTopCommand(int argc, char **argv)
                         ? "YES"
                         : "-");
             }
+            if (hasDrops) {
+                // Lifetime total, like the repair counters: a ring
+                // that ever overflowed is worth knowing about long
+                // after the burst that did it.
+                row.push_back(stats::Table::num(
+                    scalar(snap, "lp_trace_drops_total" + lab), 0));
+            }
             t.addRow(std::move(row));
         }
         t.print();
@@ -690,7 +724,8 @@ injectUsage(const char *argv0)
         "  --seed S        mask seed for --bytes     (default 1)\n"
         "  --backend lp|eager|wal  must match the server (default lp)\n"
         "  --capacity C / --batch-ops B / --fold-batches F /\n"
-        "  --checksum K    must match the serve flags (the layout is\n"
+        "  --checksum K / --flight-events N / --prepare-slots S\n"
+        "                  must match the serve flags (the layout is\n"
         "                  re-derived from the configuration)\n"
         "Flips bits in the mmap'd backing file of a shard -- simulated\n"
         "bit rot underneath the store. Works on a stopped store (the\n"
@@ -718,6 +753,8 @@ runInjectCommand(int argc, char **argv)
     StoreConfig scfg;
     scfg.capacity = 16384;  // serve defaults; override to match
     scfg.shards = 1;        // one arena file per server shard
+    std::uint32_t flightEvents = 4096;
+    std::size_t prepareSlots = 128;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -750,6 +787,11 @@ runInjectCommand(int argc, char **argv)
             scfg.foldBatches = std::atoi(next().c_str());
         } else if (arg == "--checksum") {
             scfg.checksum = parseChecksum(next());
+        } else if (arg == "--flight-events") {
+            flightEvents = std::uint32_t(std::atoi(next().c_str()));
+        } else if (arg == "--prepare-slots") {
+            prepareSlots =
+                std::strtoull(next().c_str(), nullptr, 10);
         } else {
             injectUsage(argv[0]);
         }
@@ -763,11 +805,22 @@ runInjectCommand(int argc, char **argv)
               "; point --data-dir/--shard at an initialized store");
 
     // Re-attach the arena and re-derive the shard layout exactly the
-    // way a restarting server does -- attach construction writes
-    // nothing, it only replays the allocation sequence, so this is
-    // safe against both a stopped file and a live server's mapping
-    // (MAP_SHARED over the same pages).
-    pmem::PersistentArena arena(storeArenaBytes(scfg), path);
+    // way a restarting server does: same total size (flight ring +
+    // store + prepare log -- a size mismatch fatal()s in the mmap),
+    // same allocation order. The flight ring region is skipped with a
+    // bare allocRaw rather than a FlightRing, whose constructor would
+    // seal a new generation into a live server's recorder; KvStore
+    // attach construction writes nothing, it only replays the
+    // allocation sequence, so this is safe against both a stopped
+    // file and a live server's mapping (MAP_SHARED over the same
+    // pages).
+    pmem::PersistentArena arena(
+        (flightEvents > 0 ? obs::FlightRing::bytesFor(flightEvents)
+                          : 0) +
+            storeArenaBytes(scfg) + txn::prepareLogBytes(prepareSlots),
+        path);
+    if (flightEvents > 0)
+        arena.allocRaw(obs::FlightRing::bytesFor(flightEvents));
     store::KvStore<kernels::NativeEnv> kv(arena, scfg, backend,
                                           /*attach=*/true);
     const FaultSurface fs = kv.faultSurface(0);
@@ -816,6 +869,134 @@ runInjectCommand(int argc, char **argv)
     return 0;
 }
 
+[[noreturn]] void
+postmortemUsage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s postmortem [DIR] [options]\n"
+        "  DIR             crashed server's data directory\n"
+        "  --data-dir D    same, as a flag (default ./lpdb)\n"
+        "  --out F         Chrome trace JSON destination\n"
+        "                  (default <data-dir>/postmortem.json)\n"
+        "Decodes the crash-persistent flight recorder at the head of\n"
+        "every shard-N.lpdb file (docs/observability.md): picks the\n"
+        "newest checksum-clean seal, discards torn and stale slots,\n"
+        "and writes the surviving spans -- request flow arcs included\n"
+        "-- as Chrome trace-event JSON loadable in Perfetto. Reads\n"
+        "the raw files only: no store configuration is needed and a\n"
+        "live server is not disturbed. Run it BEFORE restarting a\n"
+        "crashed server -- restart reseals the rings for the new\n"
+        "incarnation.\n",
+        argv0);
+    std::exit(2);
+}
+
+int
+runPostmortemCommand(int argc, char **argv)
+{
+    std::string dataDir = "./lpdb";
+    std::string out;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                postmortemUsage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--data-dir") {
+            dataDir = next();
+        } else if (arg == "--out") {
+            out = next();
+        } else if (!arg.empty() && arg[0] != '-') {
+            dataDir = arg; // positional: postmortem <dir>
+        } else {
+            postmortemUsage(argv[0]);
+        }
+    }
+    if (out.empty())
+        out = dataDir + "/postmortem.json";
+
+    obs::TraceCollector trace;
+    std::uint64_t totalEvents = 0, totalRejected = 0;
+    int shardsFound = 0, shardsValid = 0;
+    for (int s = 0;; ++s) {
+        const std::string path =
+            dataDir + "/shard-" + std::to_string(s) + ".lpdb";
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            break;
+        struct stat st{};
+        if (::fstat(fd, &st) != 0 ||
+            st.st_size <= std::int64_t(blockBytes)) {
+            ::close(fd);
+            break;
+        }
+        const std::size_t len = std::size_t(st.st_size);
+        void *map =
+            ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd);
+        if (map == MAP_FAILED)
+            fatal("cannot mmap " + path);
+        ++shardsFound;
+        // Placement contract (obs/flight.hh): the flight ring is the
+        // shard arena's FIRST allocation, so its headers sit at the
+        // arena base offset -- one block into the file.
+        const auto *base = static_cast<const std::uint8_t *>(map);
+        const obs::FlightRecovered rec = obs::FlightRing::recover(
+            base + blockBytes, len - blockBytes);
+        if (!rec.valid) {
+            std::printf("shard %d: no valid flight seal in %s "
+                        "(server ran with --flight-events 0, or the "
+                        "region is damaged)\n",
+                        s, path.c_str());
+            ::munmap(map, len);
+            continue;
+        }
+        ++shardsValid;
+        char when[32] = "?";
+        const std::time_t secs =
+            std::time_t(rec.wallAnchorNs / 1000000000ULL);
+        struct tm tmv{};
+        if (::gmtime_r(&secs, &tmv) != nullptr)
+            std::strftime(when, sizeof(when), "%Y-%m-%dT%H:%M:%SZ",
+                          &tmv);
+        std::printf("shard %d: gen=%llu sealed-events=%llu "
+                    "recovered=%zu rejected=%llu sealed-at=%s\n",
+                    s, static_cast<unsigned long long>(rec.gen),
+                    static_cast<unsigned long long>(rec.sealedSeq),
+                    rec.events.size(),
+                    static_cast<unsigned long long>(rec.rejected),
+                    when);
+        obs::TraceRing *ring =
+            trace.ring("shard-" + std::to_string(s) + "-flight",
+                       rec.tid, rec.events.size() + 8);
+        for (const obs::TraceEvent &e : rec.events)
+            ring->push(e);
+        totalEvents += rec.events.size();
+        totalRejected += rec.rejected;
+        ::munmap(map, len);
+    }
+    if (shardsFound == 0)
+        fatal("no shard-*.lpdb files in " + dataDir);
+    if (shardsValid == 0) {
+        std::fprintf(
+            stderr,
+            "postmortem: no shard carried a valid flight seal\n");
+        return 1;
+    }
+    if (!trace.writeChromeTrace(out))
+        fatal("cannot write " + out);
+    std::printf(
+        "wrote %s (%llu events from %d/%d shards, %llu slots "
+        "discarded as torn/stale)\n",
+        out.c_str(), static_cast<unsigned long long>(totalEvents),
+        shardsValid, shardsFound,
+        static_cast<unsigned long long>(totalRejected));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -829,6 +1010,8 @@ main(int argc, char **argv)
         return runTopCommand(argc, argv);
     if (argc >= 2 && std::strcmp(argv[1], "inject") == 0)
         return runInjectCommand(argc, argv);
+    if (argc >= 2 && std::strcmp(argv[1], "postmortem") == 0)
+        return runPostmortemCommand(argc, argv);
 
     KernelId kernel = KernelId::Tmm;
     Scheme scheme = Scheme::Lp;

@@ -284,6 +284,10 @@ def scrape(sock) -> dict:
         line = line.strip()
         if not line or line.startswith("#"):
             continue
+        # OpenMetrics exemplar suffix (` # {trace_id="..."} v`) rides
+        # on histogram bucket lines; the sample value precedes it.
+        if " # " in line:
+            line = line.split(" # ", 1)[0].rstrip()
         key, _, val = line.rpartition(" ")
         if not key:
             fail(f"unparseable exposition line: {line!r}")
@@ -373,6 +377,10 @@ def main() -> None:
                          "media_unrepairable == 0 in METRICS")
     ap.add_argument("--min-scrub-passes", type=int, default=0,
                     help="require this many completed scrub passes")
+    ap.add_argument("--expect-kill", action="store_true",
+                    help="treat the server dying during the PUT/GET "
+                         "load as success (the postmortem-smoke "
+                         "harness SIGKILLs it under this load)")
     ap.add_argument("--txn-accounts", type=int, default=0,
                     help="bank-transfer mode over this many accounts "
                          "(skips the standard PUT/GET rounds)")
@@ -428,15 +436,22 @@ def main() -> None:
     # Round 1: load + verify readback, for at least --seconds.
     deadline = time.time() + args.seconds
     rounds = 0
-    while rounds == 0 or time.time() < deadline:
+    try:
+        while rounds == 0 or time.time() < deadline:
+            for k in range(args.records):
+                op_put(sock, k, rounds * args.records + k * 7)
+            rounds += 1
         for k in range(args.records):
-            op_put(sock, k, rounds * args.records + k * 7)
-        rounds += 1
-    for k in range(args.records):
-        got = op_get(sock, k)
-        want = (rounds - 1) * args.records + k * 7
-        if got != want:
-            fail(f"GET({k}) = {got}, want {want}")
+            got = op_get(sock, k)
+            want = (rounds - 1) * args.records + k * 7
+            if got != want:
+                fail(f"GET({k}) = {got}, want {want}")
+    except ServerGone as e:
+        if args.expect_kill:
+            print(f"smoke_load: OK: server vanished under load as "
+                  f"expected after {rounds} full rounds ({e})")
+            return
+        raise
 
     s1 = scrape(sock)
     check_histograms(s1)
